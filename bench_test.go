@@ -1,0 +1,391 @@
+// Package tcn's root benchmark suite regenerates every table and figure of
+// the paper's evaluation at benchmark scale and reports the headline
+// quantities as custom metrics, so `go test -bench=. -benchmem` doubles as
+// the reproduction harness. Figure-level pass/fail shape checks live in
+// internal/experiments tests; the benches here report magnitudes.
+package tcn
+
+import (
+	"testing"
+
+	"tcn/internal/aqm"
+	"tcn/internal/core"
+	"tcn/internal/experiments"
+	"tcn/internal/fabric"
+	"tcn/internal/pkt"
+	"tcn/internal/qdisc"
+	"tcn/internal/sim"
+	"tcn/internal/transport"
+)
+
+// benchSweep is the reduced sweep used by the figure benches.
+func benchSweep(schemes ...experiments.Scheme) experiments.SweepConfig {
+	return experiments.SweepConfig{
+		Loads:   []float64{0.9},
+		Flows:   800,
+		Seed:    1,
+		Schemes: schemes,
+	}
+}
+
+func benchLeaf() experiments.LeafSpineSweepConfig {
+	return experiments.LeafSpineSweepConfig{
+		Loads:  []float64{0.9},
+		Flows:  500,
+		Seed:   1,
+		Leaves: 4, Spines: 4, HostsPerLeaf: 4,
+		Schemes: []experiments.Scheme{experiments.SchemeTCN, experiments.SchemeRED},
+	}
+}
+
+// us converts a sim.Time to float64 microseconds for ReportMetric.
+func us(t sim.Time) float64 { return t.Microseconds() }
+
+func BenchmarkFig1PortREDViolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig1()
+		cfg.FlowCounts = []int{1, 16}
+		cfg.Duration = sim.Second
+		res := experiments.RunFig1(cfg)
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(100*last.Service2Share, "svc2-share-%")
+		b.ReportMetric(last.TotalMbps, "total-Mbps")
+	}
+}
+
+func BenchmarkFig2RateEstimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig2(experiments.DefaultFig2())
+		for _, tr := range res.Traces {
+			if tr.Scheme == "mqecn" {
+				b.ReportMetric(us(tr.ConvergeTime), "mqecn-converge-us")
+			}
+			if tr.Scheme == "dynred-40KB" {
+				b.ReportMetric(float64(tr.SamplesInWindow), "dq40KB-samples-2ms")
+			}
+			if tr.Scheme == "dynred-10KB" {
+				b.ReportMetric(tr.MaxGbps-tr.MinGbps, "dq10KB-swing-Gbps")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3Occupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3(experiments.DefaultFig3())
+		for _, tr := range res.Traces {
+			switch tr.Scheme {
+			case experiments.SchemeRED:
+				b.ReportMetric(float64(tr.PeakBytes)/float64(res.BDP), "enqRED-peak-BDP")
+			case experiments.SchemeREDDeq:
+				b.ReportMetric(float64(tr.PeakBytes)/float64(res.BDP), "deqRED-peak-BDP")
+			case experiments.SchemeTCN:
+				b.ReportMetric(float64(tr.PeakBytes)/float64(res.BDP), "TCN-peak-BDP")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5aSPWFQPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig5()
+		cfg.Stage = 500 * sim.Millisecond
+		cfg.Duration = 2 * sim.Second
+		res := experiments.RunFig5a(cfg)
+		b.ReportMetric(res.SteadyMbps[0], "q1-Mbps")
+		b.ReportMetric(res.SteadyMbps[1], "q2-Mbps")
+		b.ReportMetric(res.SteadyMbps[2], "q3-Mbps")
+	}
+}
+
+func BenchmarkFig5bLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range []experiments.Scheme{experiments.SchemeTCN, experiments.SchemeRED} {
+			cfg := experiments.DefaultFig5()
+			cfg.Scheme = s
+			cfg.Duration = 2 * sim.Second
+			res := experiments.RunFig5b(cfg)
+			b.ReportMetric(us(res.MeanRTT), string(s)+"-mean-rtt-us")
+		}
+	}
+}
+
+// reportSweep publishes TCN and RED small-flow stats for a testbed sweep.
+func reportSweep(b *testing.B, sw experiments.FCTSweep) {
+	b.Helper()
+	if c := sw.Cell(experiments.SchemeTCN, 0.9); c != nil {
+		b.ReportMetric(us(c.Stats.AvgSmall), "TCN-avg-small-us")
+		b.ReportMetric(us(c.Stats.P99Small), "TCN-p99-small-us")
+	}
+	if c := sw.Cell(experiments.SchemeRED, 0.9); c != nil {
+		b.ReportMetric(us(c.Stats.AvgSmall), "RED-avg-small-us")
+		b.ReportMetric(us(c.Stats.P99Small), "RED-p99-small-us")
+	}
+}
+
+func BenchmarkFig6IsolationDWRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSweep(b, experiments.RunFig6(benchSweep(experiments.SchemeTCN, experiments.SchemeRED)))
+	}
+}
+
+func BenchmarkFig7IsolationWFQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSweep(b, experiments.RunFig7(benchSweep(experiments.SchemeTCN, experiments.SchemeRED)))
+	}
+}
+
+func BenchmarkFig8PriorSPDWRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSweep(b, experiments.RunFig8(benchSweep(experiments.SchemeTCN, experiments.SchemeRED)))
+	}
+}
+
+func BenchmarkFig9PriorSPWFQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSweep(b, experiments.RunFig9(benchSweep(experiments.SchemeTCN, experiments.SchemeRED)))
+	}
+}
+
+// reportLeaf publishes the §6.2 quantities (incl. timeout counts).
+func reportLeaf(b *testing.B, sw experiments.LeafSpineSweep) {
+	b.Helper()
+	if c := sw.Cell(experiments.SchemeTCN, 0.9); c != nil {
+		b.ReportMetric(us(c.Stats.AvgSmall), "TCN-avg-small-us")
+		b.ReportMetric(float64(c.Stats.TimeoutsSmall), "TCN-timeouts-small")
+	}
+	if c := sw.Cell(experiments.SchemeRED, 0.9); c != nil {
+		b.ReportMetric(us(c.Stats.AvgSmall), "RED-avg-small-us")
+		b.ReportMetric(float64(c.Stats.TimeoutsSmall), "RED-timeouts-small")
+	}
+}
+
+func BenchmarkFig10LeafSpineDWRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportLeaf(b, experiments.RunFig10(benchLeaf()))
+	}
+}
+
+func BenchmarkFig11LeafSpineWFQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportLeaf(b, experiments.RunFig11(benchLeaf()))
+	}
+}
+
+func BenchmarkFig12ECNStar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportLeaf(b, experiments.RunFig12(benchLeaf()))
+	}
+}
+
+func BenchmarkFig13ManyQueues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportLeaf(b, experiments.RunFig13(benchLeaf()))
+	}
+}
+
+// --- ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationSignal contrasts the congestion signal itself: the same
+// prioritized workload under sojourn-time (TCN) vs queue-length (RED)
+// marking.
+func BenchmarkAblationSignal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tcn := experiments.RunTestbedFCT(experiments.TestbedFCTConfig{
+			Scheme: experiments.SchemeTCN, Sched: experiments.SchedSPDWRR,
+			PIAS: true, Load: 0.9, Flows: 800, Seed: 1,
+		})
+		red := experiments.RunTestbedFCT(experiments.TestbedFCTConfig{
+			Scheme: experiments.SchemeRED, Sched: experiments.SchedSPDWRR,
+			PIAS: true, Load: 0.9, Flows: 800, Seed: 1,
+		})
+		b.ReportMetric(float64(red.Stats.AvgSmall)/float64(tcn.Stats.AvgSmall), "queuelen/sojourn-avg-small")
+		b.ReportMetric(float64(red.Drops)/float64(max(tcn.Drops, 1)), "queuelen/sojourn-drops")
+	}
+}
+
+// BenchmarkAblationBurst contrasts instantaneous (TCN) vs windowed (CoDel)
+// time signals on the same bursty workload.
+func BenchmarkAblationBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tcn := experiments.RunTestbedFCT(experiments.TestbedFCTConfig{
+			Scheme: experiments.SchemeTCN, Sched: experiments.SchedSPDWRR,
+			PIAS: true, Load: 0.9, Flows: 800, Seed: 1,
+		})
+		codel := experiments.RunTestbedFCT(experiments.TestbedFCTConfig{
+			Scheme: experiments.SchemeCoDel, Sched: experiments.SchedSPDWRR,
+			PIAS: true, Load: 0.9, Flows: 800, Seed: 1,
+		})
+		b.ReportMetric(float64(codel.Stats.P99Small)/float64(tcn.Stats.P99Small), "codel/tcn-p99-small")
+	}
+}
+
+// BenchmarkAblationDqThresh sweeps Algorithm 1's measurement window (§3.3).
+func BenchmarkAblationDqThresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig2()
+		cfg.DqThreshs = []int{80_000, 40_000, 10_000, 5_000}
+		res := experiments.RunFig2(cfg)
+		for _, tr := range res.Traces {
+			if tr.Scheme == "mqecn" {
+				continue
+			}
+			b.ReportMetric(tr.MaxGbps-tr.MinGbps, tr.Scheme+"-swing-Gbps")
+		}
+	}
+}
+
+// BenchmarkAblationHWTCN runs TCN computed on the 16-bit hardware clock
+// (§4.2) and reports its deviation from ideal TCN — the executable version
+// of the paper's feasibility argument. The argument holds where the paper
+// makes it: on fast links whose worst-case sojourn fits the counter span
+// (300 KB at 10 Gbps = 240 us < 8 ns × 2^16 ≈ 524 us). On a 1 Gbps port
+// with a 96 KB shared buffer, sojourns can exceed the span and alias —
+// see EXPERIMENTS.md.
+func BenchmarkAblationHWTCN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultLeafSpine()
+		cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf = 2, 2, 2
+		cfg.Flows = 400
+		cfg.Seed = 1
+		ideal := experiments.RunLeafSpine(cfg)
+		cfg.Scheme = experiments.SchemeTCNHW
+		hw := experiments.RunLeafSpine(cfg)
+		b.ReportMetric(float64(hw.Stats.AvgSmall)/float64(ideal.Stats.AvgSmall), "hw/ideal-avg-small")
+		b.ReportMetric(float64(hw.Stats.AvgLarge)/float64(ideal.Stats.AvgLarge), "hw/ideal-avg-large")
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed: events per
+// second on a saturated leaf-spine run, the cost driver of every
+// experiment above.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := experiments.DefaultLeafSpine()
+		c.Leaves, c.Spines, c.HostsPerLeaf = 2, 2, 2
+		c.Flows = 300
+		c.CC = transport.DCTCP
+		experiments.RunLeafSpine(c)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkAblationProbabilisticTCN compares plain TCN with the RED-like
+// probabilistic variant (§4.3) on synchronized long-lived ECN* flows.
+// Deterministic single-threshold marking cuts all flows in the same RTT;
+// probabilistic marking desynchronizes the cuts, which is what transports
+// like DCQCN rely on for fairness. Reported metric: Jain's fairness index
+// over per-flow goodput (1.0 = perfectly fair).
+func BenchmarkAblationProbabilisticTCN(b *testing.B) {
+	run := func(prob bool) float64 {
+		eng := sim.NewEngine()
+		rng := sim.NewRand(1)
+		net := fabric.NewStar(eng, fabric.StarConfig{
+			Hosts:     5,
+			Rate:      fabric.Gbps,
+			Prop:      2500 * sim.Nanosecond,
+			HostDelay: 120 * sim.Microsecond,
+			SwitchPort: func() fabric.PortConfig {
+				var m core.Marker
+				if prob {
+					m = core.NewProbTCN(128*sim.Microsecond, 384*sim.Microsecond, 0.2, rng)
+				} else {
+					m = core.NewTCN(256 * sim.Microsecond)
+				}
+				return fabric.PortConfig{Queues: 1, BufferBytes: 96_000, Marker: m}
+			},
+		})
+		st := transport.NewStack(eng, transport.Config{CC: transport.ECNStar, RTOMin: 10 * sim.Millisecond}, net.Hosts)
+		delivered := map[pkt.FlowID]float64{}
+		st.OnDeliver = func(_ sim.Time, f *transport.Flow, n int) { delivered[f.ID] += float64(n) }
+		for src := 0; src < 4; src++ {
+			st.Start(&transport.Flow{ID: st.NewFlowID(), Src: src, Dst: 4, Size: 1 << 40})
+		}
+		eng.RunUntil(2 * sim.Second)
+		var sum, sumSq float64
+		for _, x := range delivered {
+			sum += x
+			sumSq += x * x
+		}
+		return sum * sum / (float64(len(delivered)) * sumSq)
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false), "jain-plain-TCN")
+		b.ReportMetric(run(true), "jain-prob-TCN")
+	}
+}
+
+// BenchmarkAblationBufferModel contrasts the paper's fully shared port
+// buffer against static per-queue partitioning under the prioritized
+// workload. Sharing lets low-priority backlogs kill high-priority packets
+// (the §6.1.3 effect TCN mitigates); partitioning protects the strict
+// queue but wastes memory on idle queues.
+func BenchmarkAblationBufferModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		shared := experiments.RunTestbedFCT(experiments.TestbedFCTConfig{
+			Scheme: experiments.SchemeTCN, Sched: experiments.SchedSPDWRR,
+			PIAS: true, Load: 0.9, Flows: 800, Seed: 1,
+		})
+		part := experiments.RunTestbedFCT(experiments.TestbedFCTConfig{
+			Scheme: experiments.SchemeTCN, Sched: experiments.SchedSPDWRR,
+			PIAS: true, Load: 0.9, Flows: 800, Seed: 1, PartitionBuffer: true,
+		})
+		b.ReportMetric(us(shared.Stats.P99Small), "shared-p99-small-us")
+		b.ReportMetric(us(part.Stats.P99Small), "partitioned-p99-small-us")
+		b.ReportMetric(float64(part.Drops)/float64(max(shared.Drops, 1)), "part/shared-drops")
+	}
+}
+
+// BenchmarkDCQCNMarking runs the §4.3 DCQCN extension experiment: plain
+// cut-off TCN vs RED-like probabilistic TCN under rate-based congestion
+// control (the paper's named future work).
+func BenchmarkDCQCNMarking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plain := experiments.RunDCQCNMarking(experiments.DefaultDCQCNMarking())
+		cfg := experiments.DefaultDCQCNMarking()
+		cfg.Probabilistic = true
+		prob := experiments.RunDCQCNMarking(cfg)
+		b.ReportMetric(plain.AggGbps, "plain-agg-Gbps")
+		b.ReportMetric(prob.AggGbps, "prob-agg-Gbps")
+		b.ReportMetric(prob.Jain, "prob-jain")
+	}
+}
+
+// BenchmarkMarkingReactionTime measures the §4.3 "faster reaction to
+// bursty traffic" claim directly: a step burst arrives at an idle qdisc
+// and we record the delay until each scheme's first CE mark. TCN marks
+// the first packet whose own sojourn crosses the threshold; CoDel must
+// first observe a full interval of persistently high sojourn.
+func BenchmarkMarkingReactionTime(b *testing.B) {
+	firstMark := func(m core.Marker) sim.Time {
+		eng := sim.NewEngine()
+		var at sim.Time = -1
+		q := qdisc.New(eng, qdisc.Config{
+			Queues:   1,
+			LineRate: fabric.Gbps,
+			Marker:   m,
+			Transmit: func(now sim.Time, p *pkt.Packet) {
+				if at < 0 && p.ECN == pkt.CE {
+					at = now
+				}
+			},
+		})
+		for i := 0; i < 400; i++ { // 600 KB step burst, drains in ~4.8 ms
+			q.Enqueue(&pkt.Packet{Size: 1500, ECN: pkt.ECT0})
+		}
+		eng.Run()
+		return at
+	}
+	for i := 0; i < b.N; i++ {
+		tcn := firstMark(core.NewTCN(256 * sim.Microsecond))
+		codel := firstMark(aqm.NewCoDel(1, sim.Time(51200), 1024*sim.Microsecond))
+		b.ReportMetric(us(tcn), "tcn-first-mark-us")
+		b.ReportMetric(us(codel), "codel-first-mark-us")
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"tcn/internal/experiments"
+	"tcn/internal/metrics"
+)
+
+// csvDir is set by the -csv flag; when non-empty, figure runners also
+// write plot-friendly CSV files into it.
+var csvDir string
+
+// writeCSV writes rows into csvDir/name, creating the directory.
+func writeCSV(name string, header []string, rows [][]string) {
+	if csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	path := filepath.Join(csvDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	_ = w.Write(header)
+	_ = w.WriteAll(rows)
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// csvSamples writes a (time_us, value) series.
+func csvSamples(name, valueHeader string, samples []metrics.Sample) {
+	rows := make([][]string, 0, len(samples))
+	for _, s := range samples {
+		rows = append(rows, []string{ftoa(s.At.Microseconds()), ftoa(s.Value)})
+	}
+	writeCSV(name, []string{"time_us", valueHeader}, rows)
+}
+
+// csvSweep writes an FCT sweep as one row per (scheme, load).
+func csvSweep(sw experiments.FCTSweep) {
+	var rows [][]string
+	for i, s := range sw.Schemes {
+		for j, load := range sw.Loads {
+			c := sw.Cells[i][j]
+			rows = append(rows, fctRow(string(s), load, c.Stats, c.Drops, c.Unfinished))
+		}
+	}
+	writeCSV(sw.Figure+".csv", fctHeader(), rows)
+}
+
+// csvLeafSweep writes a leaf-spine sweep.
+func csvLeafSweep(sw experiments.LeafSpineSweep) {
+	var rows [][]string
+	for i, s := range sw.Schemes {
+		for j, load := range sw.Loads {
+			c := sw.Cells[i][j]
+			rows = append(rows, fctRow(string(s), load, c.Stats, c.Drops, c.Unfinished))
+		}
+	}
+	writeCSV(sw.Figure+".csv", fctHeader(), rows)
+}
+
+func fctHeader() []string {
+	return []string{"scheme", "load", "avg_all_us", "avg_small_us", "p99_small_us",
+		"avg_large_us", "timeouts_small", "drops", "unfinished"}
+}
+
+func fctRow(scheme string, load float64, st metrics.FCTStats, drops, unfinished int) []string {
+	return []string{
+		scheme, ftoa(load),
+		ftoa(st.AvgAll.Microseconds()), ftoa(st.AvgSmall.Microseconds()),
+		ftoa(st.P99Small.Microseconds()), ftoa(st.AvgLarge.Microseconds()),
+		strconv.Itoa(st.TimeoutsSmall), strconv.Itoa(drops), strconv.Itoa(unfinished),
+	}
+}

@@ -1,0 +1,371 @@
+// Command tcnsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tcnsim -exp fig1 [-flows N] [-loads 0.5,0.9] [-seed S] [-full]
+//
+// Experiments: fig1 fig2 fig3 fig4 fig5a fig5b fig6 fig7 fig8 fig9
+// fig10 fig11 fig12 fig13 all-testbed all-sim
+//
+// By default the runners use CI-sized flow counts and (for leaf-spine
+// experiments) a 4×4×4 fabric; -full switches to the paper's scale
+// (5000/50000 flows, 12×12×12 fabric) and takes correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"tcn/internal/experiments"
+	"tcn/internal/metrics"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig1..fig13, fig4, all-testbed, all-sim)")
+		flows = flag.Int("flows", 0, "flows per load point (0 = experiment default)")
+		loads = flag.String("loads", "", "comma-separated loads, e.g. 0.5,0.9 (default per experiment)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		full  = flag.Bool("full", false, "paper-scale runs (slow)")
+		list  = flag.Bool("list", false, "list experiments")
+		seeds = flag.Int("seeds", 1, "repeat FCT sweeps over this many seeds and aggregate")
+		csv   = flag.String("csv", "", "also write plot-friendly CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		usage()
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	csvDir = *csv
+	cfg := runConfig{flows: *flows, loads: parseLoads(*loads), seed: *seed, full: *full, seeds: *seeds}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		usage()
+		os.Exit(2)
+	}
+	run(cfg)
+}
+
+type runConfig struct {
+	flows int
+	loads []float64
+	seed  int64
+	seeds int
+	full  bool
+}
+
+func (c runConfig) testbedSweep() experiments.SweepConfig {
+	sw := experiments.DefaultSweep()
+	sw.Seed = c.seed
+	if c.full {
+		sw.Flows = 5000
+	} else {
+		sw.Flows = 1500
+		sw.Loads = []float64{0.5, 0.7, 0.9}
+	}
+	if c.flows > 0 {
+		sw.Flows = c.flows
+	}
+	if c.loads != nil {
+		sw.Loads = c.loads
+	}
+	return sw
+}
+
+func (c runConfig) leafSweep() experiments.LeafSpineSweepConfig {
+	ls := experiments.LeafSpineSweepConfig{Seed: c.seed}
+	if c.full {
+		ls.Flows = 50_000
+		ls.Loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+		ls.Leaves, ls.Spines, ls.HostsPerLeaf = 12, 12, 12
+	} else {
+		ls.Flows = 1200
+		ls.Loads = []float64{0.5, 0.9}
+		ls.Leaves, ls.Spines, ls.HostsPerLeaf = 4, 4, 4
+	}
+	if c.flows > 0 {
+		ls.Flows = c.flows
+	}
+	if c.loads != nil {
+		ls.Loads = c.loads
+	}
+	return ls
+}
+
+var runners map[string]func(runConfig)
+
+func init() {
+	runners = map[string]func(runConfig){
+		"fig1":  runFig1,
+		"fig2":  runFig2,
+		"fig3":  runFig3,
+		"fig4":  runFig4,
+		"fig5a": runFig5a,
+		"fig5b": runFig5b,
+		"fig6":  func(c runConfig) { runSweepSeeds(c, experiments.RunFig6) },
+		"fig7":  func(c runConfig) { runSweepSeeds(c, experiments.RunFig7) },
+		"fig8":  func(c runConfig) { runSweepSeeds(c, experiments.RunFig8) },
+		"fig9":  func(c runConfig) { runSweepSeeds(c, experiments.RunFig9) },
+		"fig10": func(c runConfig) { lsw := experiments.RunFig10(c.leafSweep()); printLeafSweep(lsw); csvLeafSweep(lsw) },
+		"fig11": func(c runConfig) { lsw := experiments.RunFig11(c.leafSweep()); printLeafSweep(lsw); csvLeafSweep(lsw) },
+		"fig12": func(c runConfig) { lsw := experiments.RunFig12(c.leafSweep()); printLeafSweep(lsw); csvLeafSweep(lsw) },
+		"fig13": func(c runConfig) { lsw := experiments.RunFig13(c.leafSweep()); printLeafSweep(lsw); csvLeafSweep(lsw) },
+		"all-testbed": func(c runConfig) {
+			for _, f := range []string{"fig1", "fig2", "fig3", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9"} {
+				runners[f](c)
+			}
+		},
+		"all-sim": func(c runConfig) {
+			for _, f := range []string{"fig10", "fig11", "fig12", "fig13"} {
+				runners[f](c)
+			}
+		},
+	}
+}
+
+func usage() {
+	fmt.Println(`tcnsim — regenerate the TCN paper's figures on the built-in simulator
+
+  fig1    per-port RED violates DWRR policy (goodput vs service-2 flows)
+  fig2    Algorithm-1 departure-rate estimation vs MQ-ECN (queue-1 capacity)
+  fig3    buffer occupancy: enqueue RED vs dequeue RED vs TCN
+  fig4    the four workload CDFs
+  fig5a   SP/WFQ goodput split under TCN (static flows)
+  fig5b   RTT through the busy WFQ queue: TCN vs RED vs ideal vs CoDel
+  fig6/7  isolation FCT sweep, DWRR / WFQ (testbed)
+  fig8/9  prioritization (PIAS) FCT sweep, SP/DWRR / SP/WFQ (testbed)
+  fig10+  leaf-spine FCT sweeps (DCTCP, WFQ, ECN*, 32 queues)
+
+Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)`)
+}
+
+func parseLoads(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad load %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func runFig1(c runConfig) {
+	fmt.Println("== Figure 1: per-port ECN/RED violates the DWRR policy ==")
+	for _, scheme := range []experiments.Scheme{experiments.SchemePortRED, experiments.SchemeTCN} {
+		cfg := experiments.DefaultFig1()
+		cfg.Scheme = scheme
+		cfg.Seed = c.seed
+		res := experiments.RunFig1(cfg)
+		fmt.Printf("\n%s:\n%-10s %12s %12s %10s\n", scheme, "svc2 flows", "svc1 Mbps", "svc2 Mbps", "svc2 share")
+		var rows [][]string
+		for _, p := range res.Points {
+			fmt.Printf("%-10d %12.0f %12.0f %9.0f%%\n",
+				p.Service2Flows, p.Service1Mbps, p.Service2Mbps, 100*p.Service2Share)
+			rows = append(rows, []string{
+				strconv.Itoa(p.Service2Flows), ftoa(p.Service1Mbps),
+				ftoa(p.Service2Mbps), ftoa(p.Service2Share),
+			})
+		}
+		writeCSV("fig1-"+string(scheme)+".csv",
+			[]string{"svc2_flows", "svc1_mbps", "svc2_mbps", "svc2_share"}, rows)
+	}
+}
+
+func runFig2(c runConfig) {
+	fmt.Println("== Figure 2: queue-1 capacity estimation after the 10ms step ==")
+	cfg := experiments.DefaultFig2()
+	cfg.Seed = c.seed
+	res := experiments.RunFig2(cfg)
+	fmt.Printf("%-14s %10s %12s %10s %10s %10s\n",
+		"estimator", "samples/2ms", "converge", "min Gbps", "max Gbps", "final")
+	for _, tr := range res.Traces {
+		conv := "never"
+		if tr.ConvergeTime > 0 {
+			conv = tr.ConvergeTime.String()
+		}
+		fmt.Printf("%-14s %10d %12s %10.1f %10.1f %10.2f\n",
+			tr.Scheme, tr.SamplesInWindow, conv, tr.MinGbps, tr.MaxGbps, tr.FinalGbps)
+		csvSamples("fig2-"+tr.Scheme+"-smoothed.csv", "gbps", tr.Smoothed)
+		if len(tr.Raw) > 0 {
+			csvSamples("fig2-"+tr.Scheme+"-raw.csv", "gbps", tr.Raw)
+		}
+	}
+}
+
+func runFig3(c runConfig) {
+	fmt.Println("== Figure 3: buffer occupancy by marking placement ==")
+	cfg := experiments.DefaultFig3()
+	cfg.Seed = c.seed
+	res := experiments.RunFig3(cfg)
+	fmt.Printf("BDP = %d bytes\n%-10s %12s %10s %14s %14s\n",
+		res.BDP, "scheme", "peak bytes", "peak/BDP", "steady max", "steady mean")
+	for _, tr := range res.Traces {
+		fmt.Printf("%-10s %12d %10.2f %14d %14d\n",
+			tr.Scheme, tr.PeakBytes, float64(tr.PeakBytes)/float64(res.BDP),
+			tr.SteadyMaxBytes, tr.SteadyMeanBytes)
+		csvSamples("fig3-"+string(tr.Scheme)+".csv", "occupancy_bytes", tr.Occupancy)
+	}
+}
+
+func runFig4(runConfig) {
+	fmt.Println("== Figure 4: workload flow-size CDFs ==")
+	experiments.PrintWorkloads(os.Stdout)
+}
+
+func runFig5a(c runConfig) {
+	fmt.Println("== Figure 5a: SP/WFQ goodput under TCN ==")
+	cfg := experiments.DefaultFig5()
+	cfg.Seed = c.seed
+	res := experiments.RunFig5a(cfg)
+	fmt.Printf("steady-state goodput: q1(SP)=%.0f q2(WFQ)=%.0f q3(WFQ)=%.0f Mbps\n",
+		res.SteadyMbps[0], res.SteadyMbps[1], res.SteadyMbps[2])
+	fmt.Println("goodput series (100ms bins, Mbps):")
+	var rows [][]string
+	for q := 0; q < 3; q++ {
+		fmt.Printf("  q%d: ", q+1)
+		for i, v := range res.GoodputMbps[q] {
+			fmt.Printf("%4.0f ", v)
+			for len(rows) <= i {
+				rows = append(rows, []string{ftoa(float64(i) * 0.1), "", "", ""})
+			}
+			rows[i][q+1] = ftoa(v)
+		}
+		fmt.Println()
+	}
+	writeCSV("fig5a.csv", []string{"time_s", "q1_mbps", "q2_mbps", "q3_mbps"}, rows)
+}
+
+func runFig5b(c runConfig) {
+	fmt.Println("== Figure 5b: RTT through the busy WFQ queue ==")
+	fmt.Printf("%-10s %12s %12s %8s\n", "scheme", "mean RTT", "p99 RTT", "samples")
+	for _, s := range []experiments.Scheme{
+		experiments.SchemeTCN, experiments.SchemeRED,
+		experiments.SchemeOracle, experiments.SchemeCoDel,
+	} {
+		cfg := experiments.DefaultFig5()
+		cfg.Scheme = s
+		cfg.Seed = c.seed
+		res := experiments.RunFig5b(cfg)
+		fmt.Printf("%-10s %12s %12s %8d\n", s, res.MeanRTT, res.P99RTT, len(res.Samples))
+	}
+}
+
+func printFCTHeader() {
+	fmt.Printf("%-8s %-7s %5s | %10s %10s %10s %10s | %6s %8s %7s\n",
+		"scheme", "sched", "load", "avg all", "avg small", "p99 small", "avg large",
+		"to(sm)", "drops", "unfin")
+}
+
+func printFCTRow(scheme, sched string, load float64, st metrics.FCTStats, drops, unfinished int) {
+	fmt.Printf("%-8s %-7s %5.2f | %10v %10v %10v %10v | %6d %8d %7d\n",
+		scheme, sched, load, st.AvgAll, st.AvgSmall, st.P99Small, st.AvgLarge,
+		st.TimeoutsSmall, drops, unfinished)
+}
+
+// runSweepSeeds executes a testbed sweep once per seed, printing every
+// run and a mean±stddev summary when more than one seed is requested.
+func runSweepSeeds(c runConfig, run func(experiments.SweepConfig) experiments.FCTSweep) {
+	var sweeps []experiments.FCTSweep
+	for i := 0; i < c.seeds; i++ {
+		sc := c.testbedSweep()
+		sc.Seed = c.seed + int64(i)
+		sweeps = append(sweeps, run(sc))
+	}
+	for _, sw := range sweeps {
+		printSweep(sw)
+		csvSweep(sw)
+	}
+	if len(sweeps) > 1 {
+		printSeedSummary(sweeps)
+	}
+}
+
+// printSeedSummary aggregates small-flow stats across seeds.
+func printSeedSummary(sweeps []experiments.FCTSweep) {
+	fmt.Printf("across %d seeds (mean\u00b1std of avg small / p99 small, us):\n", len(sweeps))
+	ref := sweeps[0]
+	for i, s := range ref.Schemes {
+		for j, load := range ref.Loads {
+			var avg, p99 []float64
+			for _, sw := range sweeps {
+				avg = append(avg, sw.Cells[i][j].Stats.AvgSmall.Microseconds())
+				p99 = append(p99, sw.Cells[i][j].Stats.P99Small.Microseconds())
+			}
+			am, as := meanStd(avg)
+			pm, ps := meanStd(p99)
+			fmt.Printf("  %-8s load %.1f: %8.0f\u00b1%-7.0f %8.0f\u00b1%-7.0f\n", s, load, am, as, pm, ps)
+		}
+	}
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+func printSweep(sw experiments.FCTSweep) {
+	fmt.Printf("== %s: FCT sweep over %s ==\n", sw.Figure, sw.Sched)
+	printFCTHeader()
+	for i, s := range sw.Schemes {
+		for j, load := range sw.Loads {
+			cell := sw.Cells[i][j]
+			printFCTRow(string(s), string(sw.Sched), load, cell.Stats, cell.Drops, cell.Unfinished)
+		}
+	}
+	printNormalized(sw)
+}
+
+func printNormalized(sw experiments.FCTSweep) {
+	tcnRow := -1
+	for i, s := range sw.Schemes {
+		if s == experiments.SchemeTCN {
+			tcnRow = i
+		}
+	}
+	if tcnRow < 0 {
+		return
+	}
+	fmt.Println("normalized to TCN (avg small / p99 small / avg large):")
+	for i, s := range sw.Schemes {
+		fmt.Printf("  %-8s", s)
+		for j, load := range sw.Loads {
+			n := sw.Cells[i][j].Stats.Normalize(sw.Cells[tcnRow][j].Stats)
+			fmt.Printf("  load %.1f: %.2f/%.2f/%.2f", load, n.AvgSmall, n.P99Small, n.AvgLarge)
+		}
+		fmt.Println()
+	}
+}
+
+func printLeafSweep(sw experiments.LeafSpineSweep) {
+	fmt.Printf("== %s: leaf-spine FCT sweep over %s ==\n", sw.Figure, sw.Sched)
+	printFCTHeader()
+	for i, s := range sw.Schemes {
+		for j, load := range sw.Loads {
+			cell := sw.Cells[i][j]
+			printFCTRow(string(s), string(sw.Sched), load, cell.Stats, cell.Drops, cell.Unfinished)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Incast: the burst-tolerance ablation behind §4.3's "faster reaction to
+// bursty traffic". Long-lived background flows keep the bottleneck busy;
+// every 50 ms a partition/aggregate burst of synchronized small responses
+// arrives. How much of the 96 KB shared buffer the burst finds free is
+// decided by the marking scheme's standing queue: per-queue RED with the
+// standard threshold parks ~32 KB in the buffer, CoDel reacts only after
+// a full interval, and TCN's instantaneous sojourn marking keeps the
+// queue shortest — so burst flows see the fewest drops and timeouts.
+//
+// Run with: go run ./examples/incast [-senders N] [-resp BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tcn/internal/aqm"
+	"tcn/internal/core"
+	"tcn/internal/fabric"
+	"tcn/internal/sched"
+	"tcn/internal/sim"
+	"tcn/internal/transport"
+)
+
+func main() {
+	senders := flag.Int("senders", 24, "hosts: 4 background + the rest burst")
+	resp := flag.Int64("resp", 4_000, "burst response size in bytes")
+	rounds := flag.Int("rounds", 20, "incast rounds")
+	flag.Parse()
+
+	run := func(name string, marker func() core.Marker) {
+		eng := sim.NewEngine()
+		net := fabric.NewStar(eng, fabric.StarConfig{
+			Hosts:     *senders + 1,
+			Rate:      fabric.Gbps,
+			Prop:      2500 * sim.Nanosecond,
+			HostDelay: 120 * sim.Microsecond,
+			SwitchPort: func() fabric.PortConfig {
+				return fabric.PortConfig{
+					Queues:      4,
+					BufferBytes: 96_000,
+					Scheduler:   sched.NewDWRREqual(4, 1500),
+					Marker:      marker(),
+				}
+			},
+		})
+		st := transport.NewStack(eng, transport.Config{
+			CC:         transport.DCTCP,
+			RTOMin:     10 * sim.Millisecond,
+			InitWindow: 10,
+		}, net.Hosts)
+
+		recv := *senders
+		var fcts []sim.Time
+		var bgBytes int64
+		burstTimeouts := 0
+		st.OnDeliver = func(_ sim.Time, f *transport.Flow, n int) {
+			if f.Size != *resp {
+				bgBytes += int64(n)
+			}
+		}
+		st.OnDone = func(f *transport.Flow) {
+			if f.Size == *resp { // burst flows only
+				fcts = append(fcts, f.FCT())
+				burstTimeouts += f.Timeouts
+			}
+		}
+
+		// Background: one long-lived flow per service queue. This is
+		// where the schemes diverge: per-queue RED lets *each* queue
+		// grow to the 32 KB standard threshold (4×32 KB > the 96 KB
+		// pool, Remark 1), while TCN holds each at its capacity share
+		// (~8 KB at a quarter of the link).
+		for s := 0; s < 4; s++ {
+			st.Start(&transport.Flow{ID: st.NewFlowID(), Src: s, Dst: recv, Size: 1 << 40, Class: uint8(s)})
+		}
+		// Bursts: the remaining senders fire responses together every
+		// 50 ms once the background has converged.
+		burstSenders := *senders - 4
+		for r := 0; r < *rounds; r++ {
+			at := 100*sim.Millisecond + sim.Time(r)*50*sim.Millisecond
+			for s := 4; s < *senders; s++ {
+				f := &transport.Flow{ID: st.NewFlowID(), Src: s, Dst: recv, Size: *resp, Class: uint8(s % 4)}
+				f.Tag = transport.StaticTag(f.Class)
+				st.StartAt(at, f)
+			}
+		}
+		eng.RunUntil(sim.Time(*rounds+10)*50*sim.Millisecond + 100*sim.Millisecond)
+
+		var sum, worst sim.Time
+		for _, f := range fcts {
+			sum += f
+			if f > worst {
+				worst = f
+			}
+		}
+		n := len(fcts)
+		if n == 0 {
+			n = 1
+		}
+		drops := net.Switch.Port(recv).Buffer().TotalDrops()
+		dur := eng.Now().Seconds()
+		fmt.Printf("%-6s completed %d/%d  avg FCT %-9v worst %-9v burst timeouts %-4d drops %-5d bg goodput %.0f Mbps\n",
+			name, len(fcts), burstSenders**rounds, sum/sim.Time(n), worst, burstTimeouts, drops,
+			float64(bgBytes)*8/dur/1e6)
+	}
+
+	fmt.Printf("incast: 4 background flows + %d×%dB bursts, %d rounds, 96KB shared buffer\n\n",
+		*senders-4, *resp, *rounds)
+	run("TCN", func() core.Marker { return core.NewTCN(256 * sim.Microsecond) })
+	// CoDel with the paper's testbed tuning (target 51.2us, interval
+	// 1024us): its windowed minimum cannot mark before a full interval
+	// has elapsed, too slow for a sub-millisecond incast burst.
+	run("CoDel", func() core.Marker {
+		return aqm.NewCoDel(4, sim.Time(51200), 1024*sim.Microsecond)
+	})
+	run("RED", func() core.Marker { return aqm.NewQueueRED(32_000) })
+	fmt.Println(`
+with four busy queues, RED's per-queue standard threshold oversubscribes the
+shared pool and the bursts find no headroom (Remark 1). Both sojourn-time
+schemes keep queues short in this *static* scenario — matching §6.1.1 where
+CoDel's latency is comparable — while CoDel's weaknesses (slow reaction once
+workloads become dynamic, and per-queue state + sqrt in hardware) show up in
+the Figure 8/9 tail-latency sweeps and in §4.2, not here.`)
+}

@@ -1,0 +1,44 @@
+// Isolation: a miniature of the paper's inter-service traffic isolation
+// experiment (§6.1.2, Figures 6-7). Eight servers stream web-search flows
+// to one client over four DWRR service queues; the example contrasts TCN
+// with per-queue ECN/RED at the standard threshold.
+//
+// Run with: go run ./examples/isolation [-flows N] [-load L]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tcn/internal/experiments"
+)
+
+func main() {
+	flows := flag.Int("flows", 1200, "number of flows per scheme")
+	load := flag.Float64("load", 0.9, "offered load on the client link")
+	seed := flag.Int64("seed", 1, "random seed (same seed = same arrivals for both schemes)")
+	flag.Parse()
+
+	fmt.Printf("web-search workload, DWRR ×4 queues, DCTCP, load %.0f%%, %d flows\n\n",
+		*load*100, *flows)
+
+	var results []experiments.TestbedFCTResult
+	for _, s := range []experiments.Scheme{experiments.SchemeTCN, experiments.SchemeMQECN, experiments.SchemeRED} {
+		r := experiments.RunTestbedFCT(experiments.TestbedFCTConfig{
+			Scheme: s,
+			Sched:  experiments.SchedDWRR,
+			Load:   *load,
+			Flows:  *flows,
+			Seed:   *seed,
+		})
+		results = append(results, r)
+		fmt.Printf("%-8s avg(all)=%-10v avg(small)=%-10v p99(small)=%-10v avg(large)=%-10v drops=%d\n",
+			s, r.Stats.AvgAll, r.Stats.AvgSmall, r.Stats.P99Small, r.Stats.AvgLarge, r.Drops)
+	}
+
+	tcn, red := results[0].Stats, results[2].Stats
+	fmt.Printf("\nTCN vs per-queue RED: %.1f%% lower avg small-flow FCT, %.1f%% lower p99\n",
+		100*(1-float64(tcn.AvgSmall)/float64(red.AvgSmall)),
+		100*(1-float64(tcn.P99Small)/float64(red.P99Small)))
+	fmt.Println("(the paper reports up to 61.4% / 73.3% at 90% load with 5000 flows)")
+}

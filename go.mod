@@ -1,0 +1,3 @@
+module tcn
+
+go 1.22

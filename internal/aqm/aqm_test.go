@@ -1,0 +1,436 @@
+package aqm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// fakePort is a hand-cranked core.PortState.
+type fakePort struct {
+	qbytes []int
+	qlen   []int
+	rate   int64
+}
+
+func (f *fakePort) NumQueues() int       { return len(f.qbytes) }
+func (f *fakePort) QueueLen(i int) int   { return f.qlen[i] }
+func (f *fakePort) QueueBytes(i int) int { return f.qbytes[i] }
+func (f *fakePort) PortBytes() int {
+	t := 0
+	for _, b := range f.qbytes {
+		t += b
+	}
+	return t
+}
+func (f *fakePort) LinkRate() int64 { return f.rate }
+
+func ectPacket() *pkt.Packet { return &pkt.Packet{ECN: pkt.ECT0, Size: 1500} }
+
+func TestQueueREDEnqueueThreshold(t *testing.T) {
+	m := NewQueueRED(30_000)
+	st := &fakePort{qbytes: []int{30_000, 50_000}, qlen: []int{20, 33}, rate: 1e9}
+
+	p := ectPacket()
+	m.OnEnqueue(0, 0, p, st)
+	if p.ECN == pkt.CE {
+		t.Fatal("occupancy == K must not mark (strictly greater)")
+	}
+	m.OnEnqueue(0, 1, p, st)
+	if p.ECN != pkt.CE {
+		t.Fatal("occupancy > K must mark")
+	}
+	if m.Marks != 1 {
+		t.Fatalf("marks = %d, want 1", m.Marks)
+	}
+	// Dequeue side must be inert for the enqueue variant.
+	q := ectPacket()
+	m.OnDequeue(0, 1, q, st)
+	if q.ECN == pkt.CE {
+		t.Fatal("enqueue-side RED must not mark at dequeue")
+	}
+}
+
+func TestDequeueREDMarksAtDequeueOnly(t *testing.T) {
+	m := NewDequeueRED(30_000)
+	st := &fakePort{qbytes: []int{50_000}, qlen: []int{33}, rate: 1e9}
+	p := ectPacket()
+	m.OnEnqueue(0, 0, p, st)
+	if p.ECN == pkt.CE {
+		t.Fatal("dequeue-side RED must not mark at enqueue")
+	}
+	m.OnDequeue(0, 0, p, st)
+	if p.ECN != pkt.CE {
+		t.Fatal("dequeue-side RED should mark at dequeue")
+	}
+	if m.Name() != "RED-queue-deq" {
+		t.Fatal("name")
+	}
+}
+
+func TestQueueREDIgnoresOtherQueues(t *testing.T) {
+	m := NewQueueRED(30_000)
+	st := &fakePort{qbytes: []int{100_000, 1_000}, qlen: []int{66, 1}, rate: 1e9}
+	p := ectPacket()
+	m.OnEnqueue(0, 1, p, st) // queue 1 is short
+	if p.ECN == pkt.CE {
+		t.Fatal("per-queue RED must not react to other queues' occupancy")
+	}
+}
+
+func TestPortREDSumsQueues(t *testing.T) {
+	m := NewPortRED(30_000)
+	st := &fakePort{qbytes: []int{20_000, 15_000}, qlen: []int{14, 10}, rate: 1e9}
+	p := ectPacket()
+	m.OnEnqueue(0, 1, p, st)
+	if p.ECN != pkt.CE {
+		t.Fatal("per-port RED marks on aggregate occupancy — the policy violation of Figure 1")
+	}
+}
+
+func TestOracleREDPerQueueThresholds(t *testing.T) {
+	m := NewOracleRED([]int{16_000, 8_000})
+	st := &fakePort{qbytes: []int{10_000, 10_000}, qlen: []int{7, 7}, rate: 1e9}
+	a, b := ectPacket(), ectPacket()
+	m.OnEnqueue(0, 0, a, st)
+	m.OnEnqueue(0, 1, b, st)
+	if a.ECN == pkt.CE {
+		t.Fatal("queue 0 below its threshold")
+	}
+	if b.ECN != pkt.CE {
+		t.Fatal("queue 1 above its threshold")
+	}
+}
+
+func TestNonECTNeverMarked(t *testing.T) {
+	m := NewQueueRED(1)
+	st := &fakePort{qbytes: []int{1_000_000}, qlen: []int{700}, rate: 1e9}
+	p := &pkt.Packet{ECN: pkt.NotECT, Size: 1500}
+	m.OnEnqueue(0, 0, p, st)
+	if p.ECN != pkt.NotECT || m.Marks != 0 {
+		t.Fatal("Not-ECT packets must pass unmarked")
+	}
+}
+
+func TestStandardThreshold(t *testing.T) {
+	// 1 Gbps × 256 us = 32 KB; 10 Gbps × 78 us = 97.5 KB.
+	if k := StandardThreshold(1e9, 256*sim.Microsecond); k != 32_000 {
+		t.Fatalf("K = %d, want 32000", k)
+	}
+	if k := StandardThreshold(10e9, 78*sim.Microsecond); k != 97_500 {
+		t.Fatalf("K = %d, want 97500", k)
+	}
+}
+
+// Property: RED marking is exactly occupancy > K for ECT packets.
+func TestPropertyREDDecision(t *testing.T) {
+	f := func(occ uint32, kRaw uint16) bool {
+		k := int(kRaw) + 1
+		m := NewQueueRED(k)
+		st := &fakePort{qbytes: []int{int(occ % 200_000)}, qlen: []int{1}, rate: 1e9}
+		p := ectPacket()
+		m.OnEnqueue(0, 0, p, st)
+		return (p.ECN == pkt.CE) == (st.qbytes[0] > k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- RateMeter (Algorithm 1) ---
+
+func TestRateMeterSingleCycle(t *testing.T) {
+	r := NewRateMeter(10_000)
+	// Below dq_thresh: no measurement starts.
+	r.OnDeparture(0, 1500, 5_000)
+	if r.Samples() != 0 || r.Rate() != 0 {
+		t.Fatal("no cycle should have started")
+	}
+	// Backlog over threshold: cycle starts, 7 packets of 1500B complete
+	// it (10500 >= 10000) over 7us -> 1.5 GB/s.
+	now := sim.Time(0)
+	for i := 0; i < 7; i++ {
+		r.OnDeparture(now, 1500, 20_000)
+		now += sim.Microsecond
+	}
+	if r.Samples() != 1 {
+		t.Fatalf("samples = %d, want 1", r.Samples())
+	}
+	want := 10_500.0 / (6 * sim.Microsecond).Seconds()
+	if got := r.Rate(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("rate %.0f, want ~%.0f", got, want)
+	}
+}
+
+func TestRateMeterEWMA(t *testing.T) {
+	r := NewRateMeter(3000) // cycle spans three 1000-byte departures
+	var raws, smoothed []float64
+	r.OnSample = func(_ sim.Time, raw, s float64) {
+		raws = append(raws, raw)
+		smoothed = append(smoothed, s)
+	}
+	now := sim.Time(0)
+	feed := func(gap sim.Time) {
+		r.OnDeparture(now, 1000, 5000)
+		now += gap
+	}
+	// Fast phase: 1000 bytes per microsecond.
+	for i := 0; i < 9; i++ {
+		feed(sim.Microsecond)
+	}
+	// Slow phase: half the departure rate.
+	for i := 0; i < 30; i++ {
+		feed(2 * sim.Microsecond)
+	}
+	if len(smoothed) < 6 {
+		t.Fatalf("too few samples: %d", len(smoothed))
+	}
+	last, first := smoothed[len(smoothed)-1], smoothed[0]
+	if last >= first {
+		t.Fatalf("smoothed rate should decrease toward the slower raw rate: first %.0f last %.0f", first, last)
+	}
+	// The EWMA must lag: right after the rate change the smoothed value
+	// stays above the new raw value (w=0.875 history weight).
+	mid := 4 // first slow-phase sample index
+	if smoothed[mid] <= raws[len(raws)-1]*1.05 {
+		t.Fatalf("smoothed %.0f should lag above the slow raw rate %.0f", smoothed[mid], raws[len(raws)-1])
+	}
+}
+
+func TestDynREDFallsBackToStandardThreshold(t *testing.T) {
+	d := NewDynRED(1, 10_000, 100*sim.Microsecond)
+	st := &fakePort{qbytes: []int{100_000}, qlen: []int{66}, rate: 10e9}
+	// No rate samples yet: threshold = standard (125 KB), so 100 KB
+	// does not mark.
+	p := ectPacket()
+	d.OnEnqueue(0, 0, p, st)
+	if p.ECN == pkt.CE {
+		t.Fatal("DynRED without samples must use the standard threshold")
+	}
+}
+
+func TestDynREDUsesMeasuredRate(t *testing.T) {
+	d := NewDynRED(1, 10_000, 100*sim.Microsecond)
+	st := &fakePort{qbytes: []int{100_000}, qlen: []int{66}, rate: 10e9}
+	// Feed departures at ~5 Gbps: 1500B per 2.4us.
+	now := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		d.OnDequeue(now, 0, &pkt.Packet{Size: 1500}, st)
+		now += 2400
+	}
+	// Measured 5 Gbps -> K = 5e9/8 * 100us = 62.5 KB < 100 KB: mark.
+	p := ectPacket()
+	d.OnEnqueue(now, 0, p, st)
+	if p.ECN != pkt.CE {
+		t.Fatal("DynRED should mark above the measured-rate threshold")
+	}
+}
+
+// --- MQ-ECN ---
+
+type fakeRound struct {
+	quantum int
+	round   sim.Time
+	lastDeq sim.Time
+}
+
+func (f *fakeRound) Quantum(int) int          { return f.quantum }
+func (f *fakeRound) RoundTime(int) sim.Time   { return f.round }
+func (f *fakeRound) LastDequeue(int) sim.Time { return f.lastDeq }
+
+func TestMQECNDynamicThreshold(t *testing.T) {
+	// Round time 28.8us with quantum 18KB -> 5 Gbps -> K = 62.5KB at
+	// RTT×λ = 100us.
+	fr := &fakeRound{quantum: 18_000, round: sim.Time(28_800)}
+	m := NewMQECN(fr, 1, 100*sim.Microsecond, 0)
+	st := &fakePort{qbytes: []int{80_000}, qlen: []int{55}, rate: 10e9}
+
+	fr.lastDeq = 0
+	p := ectPacket()
+	m.OnEnqueue(0, 0, p, st)
+	// First observation seeds the EWMA directly with 28.8us ->
+	// K = 18KB * 100us/28.8us = 62.5KB < 80KB: mark.
+	if p.ECN != pkt.CE {
+		t.Fatal("MQ-ECN should mark above its dynamic threshold")
+	}
+}
+
+func TestMQECNCapsAtStandardThreshold(t *testing.T) {
+	// A long round time gives a tiny capacity, but a *short* round time
+	// must never push K above the standard threshold.
+	fr := &fakeRound{quantum: 18_000, round: sim.Time(1_000)} // 144 Gbps estimate
+	m := NewMQECN(fr, 1, 100*sim.Microsecond, 0)
+	st := &fakePort{qbytes: []int{124_000}, qlen: []int{85}, rate: 10e9}
+	p := ectPacket()
+	m.OnEnqueue(0, 0, p, st)
+	if p.ECN == pkt.CE {
+		t.Fatal("just below the standard threshold must not mark")
+	}
+	st.qbytes[0] = 126_000
+	q := ectPacket()
+	m.OnEnqueue(0, 0, q, st)
+	if q.ECN != pkt.CE {
+		t.Fatal("above the standard threshold must mark")
+	}
+}
+
+func TestMQECNIdleReset(t *testing.T) {
+	fr := &fakeRound{quantum: 18_000, round: sim.Time(288_000)} // 0.5 Gbps -> K=6.25KB
+	m := NewMQECN(fr, 1, 100*sim.Microsecond, 10*sim.Microsecond)
+	st := &fakePort{qbytes: []int{50_000}, qlen: []int{34}, rate: 10e9}
+
+	// Busy queue: dynamic threshold applies, 50 KB > 6.25 KB marks.
+	fr.lastDeq = sim.Time(0)
+	p := ectPacket()
+	m.OnEnqueue(sim.Time(1000), 0, p, st)
+	if p.ECN != pkt.CE {
+		t.Fatal("busy queue should mark above dynamic threshold")
+	}
+
+	// Queue idle beyond T_idle: estimate resets, standard threshold
+	// (125 KB) applies and 50 KB passes. Freeze the round sample so the
+	// reset is not immediately overwritten by a fresh observation.
+	fr.round = 0
+	q := ectPacket()
+	m.OnEnqueue(sim.Time(1_000_000), 0, q, st)
+	if q.ECN == pkt.CE {
+		t.Fatal("idle-reset queue should fall back to the standard threshold")
+	}
+}
+
+// --- CoDel ---
+
+func TestCoDelBelowTargetNeverMarks(t *testing.T) {
+	c := NewCoDel(1, 50*sim.Microsecond, sim.Millisecond)
+	st := &fakePort{qbytes: []int{50_000}, qlen: []int{34}, rate: 1e9}
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		p := ectPacket()
+		p.EnqueuedAt = now - 20*sim.Microsecond // sojourn 20us < target
+		c.OnDequeue(now, 0, p, st)
+		if p.ECN == pkt.CE {
+			t.Fatal("CoDel marked below target")
+		}
+		now += 10 * sim.Microsecond
+	}
+}
+
+func TestCoDelMarksAfterInterval(t *testing.T) {
+	c := NewCoDel(1, 50*sim.Microsecond, sim.Millisecond)
+	st := &fakePort{qbytes: []int{50_000}, qlen: []int{34}, rate: 1e9}
+	now := sim.Time(0)
+	var firstMark sim.Time
+	for i := 0; i < 3000; i++ {
+		p := ectPacket()
+		p.EnqueuedAt = now - 200*sim.Microsecond // persistently above target
+		c.OnDequeue(now, 0, p, st)
+		if p.ECN == pkt.CE && firstMark == 0 {
+			firstMark = now
+		}
+		now += 10 * sim.Microsecond
+	}
+	if firstMark == 0 {
+		t.Fatal("CoDel never marked despite persistent delay")
+	}
+	// The first mark requires a full interval of staying above target.
+	if firstMark < sim.Millisecond {
+		t.Fatalf("CoDel marked at %v, before one interval", firstMark)
+	}
+	marking, count := c.State(0)
+	if !marking || count < 2 {
+		t.Fatalf("CoDel should be in marking state with rising count, got %v/%d", marking, count)
+	}
+}
+
+func TestCoDelControlLawAccelerates(t *testing.T) {
+	c := NewCoDel(1, 50*sim.Microsecond, sim.Millisecond)
+	st := &fakePort{qbytes: []int{50_000}, qlen: []int{34}, rate: 1e9}
+	now := sim.Time(0)
+	var marks []sim.Time
+	for i := 0; i < 20000; i++ {
+		p := ectPacket()
+		p.EnqueuedAt = now - 200*sim.Microsecond
+		c.OnDequeue(now, 0, p, st)
+		if p.ECN == pkt.CE {
+			marks = append(marks, now)
+		}
+		now += 10 * sim.Microsecond
+	}
+	if len(marks) < 4 {
+		t.Fatalf("too few marks: %d", len(marks))
+	}
+	// Inter-mark gaps follow interval/sqrt(count): strictly shrinking
+	// early in the marking state.
+	g1 := marks[1] - marks[0]
+	g2 := marks[2] - marks[1]
+	g3 := marks[3] - marks[2]
+	if !(g1 > g2 && g2 >= g3) {
+		t.Fatalf("control law not accelerating: gaps %v %v %v", g1, g2, g3)
+	}
+}
+
+func TestCoDelExitsMarkingWhenDelayDrops(t *testing.T) {
+	c := NewCoDel(1, 50*sim.Microsecond, sim.Millisecond)
+	st := &fakePort{qbytes: []int{50_000}, qlen: []int{34}, rate: 1e9}
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		p := ectPacket()
+		p.EnqueuedAt = now - 200*sim.Microsecond
+		c.OnDequeue(now, 0, p, st)
+		now += 10 * sim.Microsecond
+	}
+	if marking, _ := c.State(0); !marking {
+		t.Fatal("should be marking")
+	}
+	p := ectPacket()
+	p.EnqueuedAt = now - 10*sim.Microsecond // sojourn below target
+	c.OnDequeue(now, 0, p, st)
+	if marking, _ := c.State(0); marking {
+		t.Fatal("a below-target sojourn should end the marking state")
+	}
+}
+
+func TestCoDelSmallBacklogExempt(t *testing.T) {
+	c := NewCoDel(1, 50*sim.Microsecond, sim.Millisecond)
+	// Less than one MTU queued: never considered congested even with
+	// high sojourn.
+	st := &fakePort{qbytes: []int{1_000}, qlen: []int{1}, rate: 1e9}
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		p := ectPacket()
+		p.EnqueuedAt = now - 500*sim.Microsecond
+		c.OnDequeue(now, 0, p, st)
+		if p.ECN == pkt.CE {
+			t.Fatal("CoDel marked with sub-MTU backlog")
+		}
+		now += 10 * sim.Microsecond
+	}
+}
+
+func TestCoDelStateIsPerQueue(t *testing.T) {
+	c := NewCoDel(2, 50*sim.Microsecond, sim.Millisecond)
+	st := &fakePort{qbytes: []int{50_000, 50_000}, qlen: []int{34, 34}, rate: 1e9}
+	now := sim.Time(0)
+	for i := 0; i < 2000; i++ {
+		p := ectPacket()
+		p.EnqueuedAt = now - 200*sim.Microsecond
+		c.OnDequeue(now, 0, p, st)
+		now += 10 * sim.Microsecond
+	}
+	if m0, _ := c.State(0); !m0 {
+		t.Fatal("queue 0 should be marking")
+	}
+	if m1, _ := c.State(1); m1 {
+		t.Fatal("queue 1 never saw traffic and must not be marking")
+	}
+}
+
+var _ core.Marker = (*CoDel)(nil)
+var _ core.Marker = (*MQECN)(nil)
+var _ core.Marker = (*QueueRED)(nil)
+var _ core.Marker = (*PortRED)(nil)
+var _ core.Marker = (*DynRED)(nil)
+var _ core.Marker = (*OracleRED)(nil)

@@ -1,0 +1,132 @@
+package aqm
+
+import (
+	"fmt"
+	"math"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// CoDel implements the Controlled Delay AQM (Nichols & Jacobson, CACM
+// 2012) in mark-only mode, per queue, following the published pseudocode
+// and the Linux sch_codel control law: when the minimum sojourn time stays
+// above target for a full interval, the queue enters a marking state whose
+// marking times follow the inverse-sqrt schedule
+//
+//	next = now + interval / sqrt(count).
+//
+// CoDel is the stateful sojourn-time baseline: it needs four state
+// variables per queue and a square root in the data path — the complexity
+// TCN's stateless instantaneous marking removes (§4.2, §4.3).
+type CoDel struct {
+	// Target is the acceptable minimum sojourn time (Internet default
+	// 5 ms; the paper tunes 51.2 us for its 1 Gbps testbed).
+	Target sim.Time
+	// Interval is the sliding window over which the minimum must stay
+	// above Target (Internet default 100 ms; paper tunes 1024 us).
+	Interval sim.Time
+
+	qs []codelQueue
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// codelQueue is the per-queue CoDel state (the "four state variables").
+type codelQueue struct {
+	firstAbove sim.Time // when sojourn first stayed above target; 0 = below
+	markNext   sim.Time // next scheduled mark while in marking state
+	count      int      // marks in the current marking state
+	lastCount  int      // count when the previous marking state ended
+	marking    bool
+}
+
+// NewCoDel returns a per-queue CoDel marker for n queues.
+func NewCoDel(n int, target, interval sim.Time) *CoDel {
+	if target <= 0 || interval <= 0 {
+		panic(fmt.Sprintf("aqm: CoDel target %v and interval %v must be positive", target, interval))
+	}
+	return &CoDel{Target: target, Interval: interval, qs: make([]codelQueue, n)}
+}
+
+// Name implements core.Marker.
+func (c *CoDel) Name() string { return "CoDel" }
+
+// OnEnqueue implements core.Marker. CoDel acts only at dequeue.
+func (c *CoDel) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState) {}
+
+// OnDequeue implements core.Marker: runs the CoDel state machine on the
+// departing packet's sojourn time.
+func (c *CoDel) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	q := &c.qs[i]
+	okToMark := c.shouldMark(now, q, p.Sojourn(now), st.QueueBytes(i))
+
+	if q.marking {
+		if !okToMark {
+			// Sojourn dropped below target: leave marking state.
+			q.marking = false
+			return
+		}
+		for now >= q.markNext {
+			if p.Mark() {
+				c.Marks++
+			}
+			q.count++
+			q.markNext += c.controlLaw(q.count)
+			// Marking (unlike dropping) acts on this same packet,
+			// so one departure satisfies all due marks.
+			break
+		}
+		return
+	}
+
+	if okToMark && c.enterMarking(now, q) {
+		if p.Mark() {
+			c.Marks++
+		}
+	}
+}
+
+// shouldMark tracks whether the sojourn time has remained above target for
+// a whole interval (the CoDel "first_above_time" logic). Queues holding
+// less than one MTU are never considered congested.
+func (c *CoDel) shouldMark(now sim.Time, q *codelQueue, sojourn sim.Time, qbytes int) bool {
+	if sojourn < c.Target || qbytes <= pkt.MTU {
+		q.firstAbove = 0
+		return false
+	}
+	if q.firstAbove == 0 {
+		q.firstAbove = now + c.Interval
+		return false
+	}
+	return now >= q.firstAbove
+}
+
+// enterMarking transitions into the marking state and reports whether the
+// triggering packet should be marked.
+func (c *CoDel) enterMarking(now sim.Time, q *codelQueue) bool {
+	q.marking = true
+	// Linux-style hysteresis: if we re-enter soon after leaving, resume
+	// from a higher count so the marking rate ramps back up quickly.
+	if q.count > 2 && now-q.markNext < 8*c.Interval {
+		q.count = q.count - 2
+	} else {
+		q.count = 1
+	}
+	q.lastCount = q.count
+	q.markNext = now + c.controlLaw(q.count)
+	return true
+}
+
+// controlLaw returns the spacing to the next mark: interval/sqrt(count).
+func (c *CoDel) controlLaw(count int) sim.Time {
+	return sim.Time(float64(c.Interval) / math.Sqrt(float64(count)))
+}
+
+// State exposes per-queue state for tests (marking flag and mark count in
+// the current state).
+func (c *CoDel) State(i int) (marking bool, count int) {
+	return c.qs[i].marking, c.qs[i].count
+}

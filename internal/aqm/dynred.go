@@ -1,0 +1,146 @@
+package aqm
+
+import (
+	"fmt"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// RateMeter implements Algorithm 1 of the paper — the PIE-style departure
+// rate measurement that a generic "ideal ECN/RED" must rely on: a
+// measurement cycle starts only when the backlog exceeds dq_thresh (so the
+// queue stays busy throughout the cycle), the cycle ends after dq_thresh
+// bytes have departed, and the resulting sample is folded into an EWMA.
+//
+// Its dq_thresh parameter embodies the fundamental tradeoff of §3.3: too
+// small and samples oscillate with scheduler rounds, too large and the
+// estimate lags traffic dynamics. Figure 2 regenerates exactly this.
+type RateMeter struct {
+	// DqThresh is the measurement-cycle size in bytes (PIE default 10 KB).
+	DqThresh int
+	// W is the EWMA history weight (paper: 0.875).
+	W float64
+
+	isMeasure bool
+	dqCount   int
+	dqStart   sim.Time
+	avgRate   float64 // bytes per second; 0 = no sample yet
+	samples   int
+
+	// OnSample, if set, receives every raw and smoothed sample
+	// (bytes/s); Figure 2 uses it to trace the estimator.
+	OnSample func(now sim.Time, raw, smoothed float64)
+}
+
+// NewRateMeter returns a meter with the given cycle threshold in bytes.
+func NewRateMeter(dqThresh int) *RateMeter {
+	if dqThresh <= 0 {
+		panic(fmt.Sprintf("aqm: dq_thresh %d must be positive", dqThresh))
+	}
+	return &RateMeter{DqThresh: dqThresh, W: 0.875}
+}
+
+// OnDeparture feeds one departing packet to the meter. qlenBytes is the
+// queue occupancy at the instant of departure (including the departing
+// packet).
+func (r *RateMeter) OnDeparture(now sim.Time, size, qlenBytes int) {
+	if !r.isMeasure && qlenBytes >= r.DqThresh {
+		r.isMeasure = true
+		r.dqCount = 0
+		r.dqStart = now
+	}
+	if !r.isMeasure {
+		return
+	}
+	r.dqCount += size
+	if r.dqCount < r.DqThresh {
+		return
+	}
+	elapsed := now - r.dqStart
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	raw := float64(r.dqCount) / elapsed.Seconds()
+	if r.avgRate == 0 {
+		r.avgRate = raw
+	} else {
+		r.avgRate = r.W*r.avgRate + (1-r.W)*raw
+	}
+	r.samples++
+	r.isMeasure = false
+	if r.OnSample != nil {
+		r.OnSample(now, raw, r.avgRate)
+	}
+}
+
+// Rate returns the smoothed departure rate in bytes per second, or 0 if no
+// complete cycle has been observed.
+func (r *RateMeter) Rate() float64 { return r.avgRate }
+
+// Samples returns how many complete measurement cycles have finished.
+func (r *RateMeter) Samples() int { return r.samples }
+
+// DynRED is the "ideal ECN/RED for generic schedulers" the paper shows to
+// be fundamentally hard (§3.3): per-queue RED whose threshold follows the
+// measured departure rate,
+//
+//	K_i = avg_rate_i × RTT × λ,            (Equation 2)
+//
+// falling back to the standard whole-link threshold until the first rate
+// sample arrives. Its fidelity is exactly as good as the RateMeter's
+// dq_thresh choice allows.
+type DynRED struct {
+	// RTTLambda is the product RTT × λ.
+	RTTLambda sim.Time
+
+	meters []*RateMeter
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewDynRED returns a dynamic RED marker with one Algorithm-1 meter per
+// queue, all using the same dq_thresh.
+func NewDynRED(n, dqThresh int, rttLambda sim.Time) *DynRED {
+	if rttLambda <= 0 {
+		panic(fmt.Sprintf("aqm: DynRED RTT×λ %v must be positive", rttLambda))
+	}
+	d := &DynRED{RTTLambda: rttLambda, meters: make([]*RateMeter, n)}
+	for i := range d.meters {
+		d.meters[i] = NewRateMeter(dqThresh)
+	}
+	return d
+}
+
+// Name implements core.Marker.
+func (d *DynRED) Name() string { return "RED-dyn" }
+
+// Meter exposes queue i's rate meter, e.g. to attach a trace hook.
+func (d *DynRED) Meter(i int) *RateMeter { return d.meters[i] }
+
+// threshold computes queue i's dynamic threshold in bytes.
+func (d *DynRED) threshold(i int, st core.PortState) int {
+	if rate := d.meters[i].Rate(); rate > 0 {
+		k := int(rate * d.RTTLambda.Seconds())
+		kstd := StandardThreshold(st.LinkRate(), d.RTTLambda)
+		if k < kstd {
+			return k
+		}
+		return kstd
+	}
+	return StandardThreshold(st.LinkRate(), d.RTTLambda)
+}
+
+// OnEnqueue implements core.Marker.
+func (d *DynRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	if st.QueueBytes(i) > d.threshold(i, st) && p.Mark() {
+		d.Marks++
+	}
+}
+
+// OnDequeue implements core.Marker: feeds the departure to Algorithm 1.
+func (d *DynRED) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	d.meters[i].OnDeparture(now, p.Size, st.QueueBytes(i)+p.Size)
+}

@@ -1,0 +1,127 @@
+package aqm
+
+import (
+	"fmt"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// RoundInfo is the round-robin scheduler state MQ-ECN consumes: the
+// per-queue quantum and the measured turn-to-turn interval (the paper's
+// T_round). Only round-based schedulers (WRR, DWRR) can provide it, which
+// is exactly why MQ-ECN does not generalize (§3.3).
+type RoundInfo interface {
+	// Quantum returns queue i's quantum in bytes.
+	Quantum(i int) int
+	// RoundTime returns the latest observed round duration for queue i
+	// (zero if no complete round has been seen).
+	RoundTime(i int) sim.Time
+	// LastDequeue returns the last instant queue i transmitted.
+	LastDequeue(i int) sim.Time
+}
+
+// MQECN implements MQ-ECN (Bai et al., NSDI 2016): per-queue ECN/RED whose
+// threshold tracks the queue's share of the link,
+//
+//	K_i = (quantum_i / T_round) × RTT × λ,
+//
+// with T_round smoothed by an EWMA (weight β on the history) and reset
+// when the queue has been idle longer than T_idle so that a queue starting
+// fresh sees the full standard threshold.
+type MQECN struct {
+	round RoundInfo
+
+	// RTTLambda is the product RTT × λ.
+	RTTLambda sim.Time
+	// Beta is the EWMA history weight for T_round smoothing (paper: 0.75).
+	Beta float64
+	// TIdle resets the round estimate after idleness (paper: one MTU
+	// transmission time).
+	TIdle sim.Time
+
+	smoothed []sim.Time // per-queue smoothed T_round; 0 = no estimate
+	lastSeen []sim.Time // last round sample incorporated, for dedup
+
+	// OnEstimate, if set, receives every capacity estimate MQ-ECN forms
+	// (bytes/s); Figure 2 uses it to trace convergence.
+	OnEstimate func(now sim.Time, queue int, rate float64)
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewMQECN returns an MQ-ECN marker bound to a round-robin scheduler's
+// state. n is the number of queues, rttLambda the RTT × λ product, tidle
+// the idle-reset window.
+func NewMQECN(round RoundInfo, n int, rttLambda, tidle sim.Time) *MQECN {
+	if round == nil {
+		panic("aqm: MQ-ECN requires a round-robin scheduler (RoundInfo)")
+	}
+	if rttLambda <= 0 {
+		panic(fmt.Sprintf("aqm: MQ-ECN RTT×λ %v must be positive", rttLambda))
+	}
+	return &MQECN{
+		round:     round,
+		RTTLambda: rttLambda,
+		Beta:      0.75,
+		TIdle:     tidle,
+		smoothed:  make([]sim.Time, n),
+		lastSeen:  make([]sim.Time, n),
+	}
+}
+
+// Name implements core.Marker.
+func (m *MQECN) Name() string { return "MQ-ECN" }
+
+// threshold computes queue i's current dynamic threshold in bytes, capped
+// by the standard (whole-link) threshold.
+func (m *MQECN) threshold(now sim.Time, i int, st core.PortState) int {
+	kstd := StandardThreshold(st.LinkRate(), m.RTTLambda)
+	// Idle reset: a queue that has not transmitted for T_idle gets the
+	// standard threshold so a fresh burst is not over-marked.
+	if last := m.round.LastDequeue(i); m.TIdle > 0 && now-last > m.TIdle {
+		m.smoothed[i] = 0
+	}
+	if s := m.smoothed[i]; s > 0 {
+		k := int(int64(m.round.Quantum(i)) * int64(m.RTTLambda) / int64(s))
+		if k < kstd {
+			return k
+		}
+	}
+	return kstd
+}
+
+// observe folds the scheduler's latest round-time sample into the EWMA.
+func (m *MQECN) observe(now sim.Time, i int) {
+	sample := m.round.RoundTime(i)
+	if sample <= 0 || sample == m.lastSeen[i] {
+		return
+	}
+	m.lastSeen[i] = sample
+	if m.smoothed[i] == 0 {
+		m.smoothed[i] = sample
+	} else {
+		m.smoothed[i] = sim.Time(m.Beta*float64(m.smoothed[i]) + (1-m.Beta)*float64(sample))
+	}
+	if m.OnEstimate != nil && m.smoothed[i] > 0 {
+		rate := float64(m.round.Quantum(i)) / m.smoothed[i].Seconds()
+		m.OnEstimate(now, i, rate)
+	}
+}
+
+// OnEnqueue implements core.Marker: per-queue comparison against the
+// dynamic threshold.
+func (m *MQECN) OnEnqueue(now sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	m.observe(now, i)
+	if st.QueueBytes(i) > m.threshold(now, i, st) && p.Mark() {
+		m.Marks++
+	}
+}
+
+// OnDequeue implements core.Marker: round samples become visible when the
+// scheduler grants turns, so fold them in here too.
+func (m *MQECN) OnDequeue(now sim.Time, i int, _ *pkt.Packet, _ core.PortState) {
+	m.observe(now, i)
+}

@@ -1,0 +1,174 @@
+// Package aqm implements the ECN marking baselines the paper compares TCN
+// against: per-queue and per-port ECN/RED with the simplified
+// single-threshold instantaneous marking used in production (§2.1), the
+// dequeue-side RED variant (§4.3), MQ-ECN (NSDI'16), CoDel in mark mode,
+// and the "ideal" dynamic ECN/RED built on the departure-rate measurement
+// of Algorithm 1.
+//
+// All schemes implement core.Marker and only ever set CE; packet loss in
+// the simulator happens exclusively through buffer exhaustion, matching the
+// paper's evaluation setup where even CoDel is configured to mark.
+package aqm
+
+import (
+	"fmt"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// Side selects where a queue-length comparison happens.
+type Side uint8
+
+// Marking sides.
+const (
+	// AtEnqueue compares the occupancy seen by an arriving packet, the
+	// conventional RED placement.
+	AtEnqueue Side = iota
+	// AtDequeue compares the occupancy left behind by a departing
+	// packet (Wu et al., CoNEXT 2012), which signals earlier during
+	// buildups (§4.3, Figure 3).
+	AtDequeue
+)
+
+func (s Side) String() string {
+	if s == AtDequeue {
+		return "dequeue"
+	}
+	return "enqueue"
+}
+
+// QueueRED is per-queue ECN/RED with a static threshold: a packet is
+// CE-marked when the instantaneous occupancy of its own queue exceeds K.
+// With K set to the standard threshold C×RTT×λ this is the "current
+// practice" baseline of §3.2.1.
+type QueueRED struct {
+	// K is the marking threshold in bytes, identical for all queues.
+	K int
+	// Side selects enqueue-side (default) or dequeue-side comparison.
+	Side Side
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewQueueRED returns an enqueue-side per-queue RED marker.
+func NewQueueRED(k int) *QueueRED {
+	if k <= 0 {
+		panic(fmt.Sprintf("aqm: RED threshold %d must be positive", k))
+	}
+	return &QueueRED{K: k}
+}
+
+// NewDequeueRED returns the dequeue-side variant.
+func NewDequeueRED(k int) *QueueRED {
+	m := NewQueueRED(k)
+	m.Side = AtDequeue
+	return m
+}
+
+// Name implements core.Marker.
+func (m *QueueRED) Name() string {
+	if m.Side == AtDequeue {
+		return "RED-queue-deq"
+	}
+	return "RED-queue"
+}
+
+// OnEnqueue implements core.Marker.
+func (m *QueueRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	if m.Side != AtEnqueue {
+		return
+	}
+	if st.QueueBytes(i) > m.K && p.Mark() {
+		m.Marks++
+	}
+}
+
+// OnDequeue implements core.Marker.
+func (m *QueueRED) OnDequeue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	if m.Side != AtDequeue {
+		return
+	}
+	if st.QueueBytes(i) > m.K && p.Mark() {
+		m.Marks++
+	}
+}
+
+// PortRED is per-port ECN/RED: a packet is marked when the aggregate
+// occupancy of all queues on the port exceeds K. It keeps latency low but
+// lets one service's backlog mark another service's packets, violating the
+// scheduling policy (§3.2.2, Figure 1).
+type PortRED struct {
+	// K is the marking threshold in bytes for the whole port.
+	K int
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewPortRED returns a per-port RED marker.
+func NewPortRED(k int) *PortRED {
+	if k <= 0 {
+		panic(fmt.Sprintf("aqm: RED threshold %d must be positive", k))
+	}
+	return &PortRED{K: k}
+}
+
+// Name implements core.Marker.
+func (m *PortRED) Name() string { return "RED-port" }
+
+// OnEnqueue implements core.Marker.
+func (m *PortRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, st core.PortState) {
+	if st.PortBytes() > m.K && p.Mark() {
+		m.Marks++
+	}
+}
+
+// OnDequeue implements core.Marker.
+func (m *PortRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+
+// OracleRED is per-queue RED with externally supplied per-queue thresholds.
+// Experiments that know the steady-state queue capacities (e.g. Figure 5b,
+// where the two WFQ queues each drain at 250 Mbps) use it as the "ideal
+// ECN/RED" reference of Equation 2.
+type OracleRED struct {
+	// K holds the per-queue thresholds in bytes.
+	K []int
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewOracleRED returns an ideal RED marker with fixed per-queue thresholds.
+func NewOracleRED(k []int) *OracleRED {
+	ks := make([]int, len(k))
+	copy(ks, k)
+	for i, v := range ks {
+		if v <= 0 {
+			panic(fmt.Sprintf("aqm: oracle threshold[%d]=%d must be positive", i, v))
+		}
+	}
+	return &OracleRED{K: ks}
+}
+
+// Name implements core.Marker.
+func (m *OracleRED) Name() string { return "RED-ideal" }
+
+// OnEnqueue implements core.Marker.
+func (m *OracleRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	if st.QueueBytes(i) > m.K[i] && p.Mark() {
+		m.Marks++
+	}
+}
+
+// OnDequeue implements core.Marker.
+func (m *OracleRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+
+// StandardThreshold computes the standard queue-length marking threshold
+// C × RTT × λ in bytes (Equation 1) for a line rate in bits per second and
+// the product rttLambda = RTT × λ.
+func StandardThreshold(rateBps int64, rttLambda sim.Time) int {
+	return int(rateBps * int64(rttLambda) / (8 * int64(sim.Second)))
+}

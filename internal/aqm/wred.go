@@ -1,0 +1,125 @@
+package aqm
+
+import (
+	"fmt"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// WRED is the classic RED the simplified production scheme derives from
+// (§2.1): an exponentially weighted *average* queue length compared
+// against two thresholds, with marking probability ramping linearly to
+// Pmax between them (Floyd & Jacobson 1993, as configured on commodity
+// chips' "WRED ECN"). The paper's evaluation uses the simplified
+// instantaneous single-threshold variant because that is what operators
+// deploy; WRED is provided for completeness and ablations.
+type WRED struct {
+	// Kmin and Kmax bound the probabilistic region, in bytes.
+	Kmin, Kmax int
+	// Pmax is the marking probability at Kmax.
+	Pmax float64
+	// Weight is the EWMA gain for the average queue (classic 0.002).
+	Weight float64
+
+	rng *sim.Rand
+	avg []float64 // per-queue averaged occupancy
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewWRED returns a per-queue WRED marker for n queues.
+func NewWRED(n, kmin, kmax int, pmax float64, rng *sim.Rand) *WRED {
+	switch {
+	case kmin <= 0 || kmax < kmin:
+		panic(fmt.Sprintf("aqm: invalid WRED thresholds %d/%d", kmin, kmax))
+	case pmax <= 0 || pmax > 1:
+		panic(fmt.Sprintf("aqm: WRED Pmax %v must be in (0,1]", pmax))
+	case rng == nil:
+		panic("aqm: WRED needs a random source")
+	}
+	return &WRED{Kmin: kmin, Kmax: kmax, Pmax: pmax, Weight: 0.002, rng: rng, avg: make([]float64, n)}
+}
+
+// Name implements core.Marker.
+func (w *WRED) Name() string { return "WRED" }
+
+// AvgQueue returns the averaged occupancy estimate of queue i in bytes.
+func (w *WRED) AvgQueue(i int) float64 { return w.avg[i] }
+
+// OnEnqueue implements core.Marker.
+func (w *WRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+	w.avg[i] = (1-w.Weight)*w.avg[i] + w.Weight*float64(st.QueueBytes(i))
+	var prob float64
+	switch a := w.avg[i]; {
+	case a < float64(w.Kmin):
+		return
+	case a >= float64(w.Kmax):
+		prob = 1
+	default:
+		prob = w.Pmax * (a - float64(w.Kmin)) / float64(w.Kmax-w.Kmin)
+	}
+	if prob >= 1 || w.rng.Float64() < prob {
+		if p.Mark() {
+			w.Marks++
+		}
+	}
+}
+
+// OnDequeue implements core.Marker.
+func (w *WRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+
+// PoolRED is per-service-pool ECN/RED (§3.2): several egress ports draw
+// from one shared buffer pool and the marking decision compares the
+// *pool* occupancy against a static threshold. It inherits per-port RED's
+// policy violation and makes it worse — queues on different ports
+// interfere ("such impact will become more serious if we enable
+// per-service-pool ECN/RED", §3.2.2).
+//
+// One PoolRED instance is attached as the Marker of every member port;
+// Register is called once per port so the marker can sum their buffers.
+type PoolRED struct {
+	// K is the pool-level marking threshold in bytes.
+	K int
+
+	members []core.PortState
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewPoolRED returns a pool-level RED marker.
+func NewPoolRED(k int) *PoolRED {
+	if k <= 0 {
+		panic(fmt.Sprintf("aqm: pool threshold %d must be positive", k))
+	}
+	return &PoolRED{K: k}
+}
+
+// Register adds a port to the pool. Ports register once, at build time.
+func (m *PoolRED) Register(st core.PortState) { m.members = append(m.members, st) }
+
+// PoolBytes sums the occupancy of every member port.
+func (m *PoolRED) PoolBytes() int {
+	t := 0
+	for _, st := range m.members {
+		t += st.PortBytes()
+	}
+	return t
+}
+
+// Name implements core.Marker.
+func (m *PoolRED) Name() string { return "RED-pool" }
+
+// OnEnqueue implements core.Marker: pool occupancy, not the packet's own
+// port, decides the mark.
+func (m *PoolRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, _ core.PortState) {
+	if m.PoolBytes() > m.K && p.Mark() {
+		m.Marks++
+	}
+}
+
+// OnDequeue implements core.Marker.
+func (m *PoolRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}

@@ -1,0 +1,114 @@
+package aqm
+
+import (
+	"testing"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+func TestWREDBelowKminNeverMarks(t *testing.T) {
+	w := NewWRED(1, 30_000, 90_000, 0.1, sim.NewRand(1))
+	st := &fakePort{qbytes: []int{10_000}, qlen: []int{7}, rate: 1e9}
+	for i := 0; i < 10_000; i++ {
+		p := ectPacket()
+		w.OnEnqueue(0, 0, p, st)
+		if p.ECN == pkt.CE {
+			t.Fatal("marked below Kmin")
+		}
+	}
+}
+
+func TestWREDAlwaysMarksAboveKmax(t *testing.T) {
+	w := NewWRED(1, 3_000, 9_000, 0.1, sim.NewRand(1))
+	st := &fakePort{qbytes: []int{200_000}, qlen: []int{140}, rate: 1e9}
+	// Warm the average past Kmax first (EWMA weight 0.002).
+	for i := 0; i < 5_000; i++ {
+		w.OnEnqueue(0, 0, ectPacket(), st)
+	}
+	if w.AvgQueue(0) < 9_000 {
+		t.Fatalf("average %f did not climb past Kmax", w.AvgQueue(0))
+	}
+	p := ectPacket()
+	w.OnEnqueue(0, 0, p, st)
+	if p.ECN != pkt.CE {
+		t.Fatal("must mark above Kmax")
+	}
+}
+
+func TestWREDProbabilisticBand(t *testing.T) {
+	w := NewWRED(1, 10_000, 110_000, 0.5, sim.NewRand(2))
+	st := &fakePort{qbytes: []int{60_000}, qlen: []int{40}, rate: 1e9}
+	// Settle the average at 60 KB = midpoint -> p = 0.25.
+	for i := 0; i < 10_000; i++ {
+		w.OnEnqueue(0, 0, ectPacket(), st)
+	}
+	marked := 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		p := ectPacket()
+		w.OnEnqueue(0, 0, p, st)
+		if p.ECN == pkt.CE {
+			marked++
+		}
+	}
+	frac := float64(marked) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("marking fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestWREDAverageSmoothsBursts(t *testing.T) {
+	w := NewWRED(1, 30_000, 90_000, 0.1, sim.NewRand(1))
+	// A short spike over Kmax must not mark: the average lags.
+	st := &fakePort{qbytes: []int{200_000}, qlen: []int{140}, rate: 1e9}
+	for i := 0; i < 20; i++ {
+		p := ectPacket()
+		w.OnEnqueue(0, 0, p, st)
+		if p.ECN == pkt.CE {
+			t.Fatal("WRED marked on a transient burst; averaging should absorb it")
+		}
+	}
+}
+
+func TestWREDValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	rng := sim.NewRand(1)
+	mustPanic("kmax<kmin", func() { NewWRED(1, 100, 50, 0.1, rng) })
+	mustPanic("pmax", func() { NewWRED(1, 50, 100, 1.5, rng) })
+	mustPanic("rng", func() { NewWRED(1, 50, 100, 0.1, nil) })
+}
+
+func TestPoolREDCrossPortInterference(t *testing.T) {
+	// Two ports share the pool; backlog on port B marks packets
+	// entering the idle port A.
+	pool := NewPoolRED(30_000)
+	a := &fakePort{qbytes: []int{0}, qlen: []int{0}, rate: 1e9}
+	b := &fakePort{qbytes: []int{40_000}, qlen: []int{27}, rate: 1e9}
+	pool.Register(a)
+	pool.Register(b)
+
+	if pool.PoolBytes() != 40_000 {
+		t.Fatalf("pool bytes %d", pool.PoolBytes())
+	}
+	p := ectPacket()
+	pool.OnEnqueue(0, 0, p, a)
+	if p.ECN != pkt.CE {
+		t.Fatal("pool pressure must mark even on an idle port — the §3.2 violation")
+	}
+
+	// Drain port B: port A's packets pass again.
+	b.qbytes[0] = 0
+	q := ectPacket()
+	pool.OnEnqueue(0, 0, q, a)
+	if q.ECN == pkt.CE {
+		t.Fatal("no pool pressure, no mark")
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+func ect(enq sim.Time) *pkt.Packet { return &pkt.Packet{ECN: pkt.ECT0, Size: 1500, EnqueuedAt: enq} }
+
+func TestTCNMarksStrictlyAboveThreshold(t *testing.T) {
+	m := NewTCN(100 * sim.Microsecond)
+	cases := []struct {
+		sojourn sim.Time
+		want    bool
+	}{
+		{0, false},
+		{99 * sim.Microsecond, false},
+		{100 * sim.Microsecond, false}, // equal: no mark
+		{100*sim.Microsecond + 1, true},
+		{sim.Millisecond, true},
+	}
+	now := sim.Time(10 * sim.Millisecond)
+	for _, c := range cases {
+		p := ect(now - c.sojourn)
+		m.OnDequeue(now, 0, p, nil)
+		if got := p.ECN == pkt.CE; got != c.want {
+			t.Errorf("sojourn %v: marked=%v, want %v", c.sojourn, got, c.want)
+		}
+	}
+	if m.Marks != 2 {
+		t.Fatalf("marks = %d, want 2", m.Marks)
+	}
+}
+
+func TestTCNIgnoresNonECT(t *testing.T) {
+	m := NewTCN(10 * sim.Microsecond)
+	p := &pkt.Packet{ECN: pkt.NotECT, EnqueuedAt: 0}
+	m.OnDequeue(sim.Millisecond, 0, p, nil)
+	if p.ECN != pkt.NotECT || m.Marks != 0 {
+		t.Fatal("TCN must not alter Not-ECT packets")
+	}
+}
+
+func TestTCNEnqueueIsNoop(t *testing.T) {
+	m := NewTCN(10 * sim.Microsecond)
+	p := ect(0)
+	m.OnEnqueue(sim.Millisecond, 0, p, nil)
+	if p.ECN == pkt.CE {
+		t.Fatal("TCN acts only at dequeue")
+	}
+}
+
+// TestTCNStateless verifies the §4.2 claim directly: the decision is a
+// pure function of (sojourn, threshold) — no history dependence.
+func TestTCNStateless(t *testing.T) {
+	f := func(sojournsRaw []uint32) bool {
+		const threshold = 100 * sim.Microsecond
+		m := NewTCN(threshold)
+		now := sim.Time(1) << 40
+		for _, raw := range sojournsRaw {
+			sojourn := sim.Time(raw % 1_000_000)
+			p := ect(now - sojourn)
+			m.OnDequeue(now, 0, p, nil)
+			// Regardless of everything that came before, the
+			// outcome equals the pure function.
+			if (p.ECN == pkt.CE) != Decide(sojourn, threshold) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecideIsIndependentOfQueueState(t *testing.T) {
+	// Decide takes no queue state at all — compile-time statelessness.
+	if Decide(101, 100) != true || Decide(100, 100) != false {
+		t.Fatal("Decide boundary wrong")
+	}
+}
+
+func TestProbTCNEndpoints(t *testing.T) {
+	if p := MarkProbability(5, 10, 20, 0.5); p != 0 {
+		t.Fatalf("below Tmin: %v", p)
+	}
+	if p := MarkProbability(25, 10, 20, 0.5); p != 1 {
+		t.Fatalf("above Tmax: %v", p)
+	}
+	if p := MarkProbability(15, 10, 20, 0.5); p != 0.25 {
+		t.Fatalf("midpoint: %v, want 0.25", p)
+	}
+	// Degenerate Tmin==Tmax behaves like plain TCN.
+	if MarkProbability(10, 10, 10, 0.5) != 0 {
+		t.Fatal("equal thresholds at boundary should not mark")
+	}
+	if MarkProbability(11, 10, 10, 0.5) != 1 {
+		t.Fatal("equal thresholds above boundary should mark")
+	}
+}
+
+func TestPropertyMarkProbabilityMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s1, s2 := sim.Time(a), sim.Time(b)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		const tmin, tmax = 100, 10_000
+		p1 := MarkProbability(s1, tmin, tmax, 0.8)
+		p2 := MarkProbability(s2, tmin, tmax, 0.8)
+		return p1 >= 0 && p2 <= 1 && p1 <= p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbTCNMarkingRate(t *testing.T) {
+	rng := sim.NewRand(7)
+	m := NewProbTCN(100, 1100, 0.5, rng)
+	now := sim.Time(1) << 30
+	marked := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := ect(now - 600) // midpoint: probability 0.25
+		m.OnDequeue(now, 0, p, nil)
+		if p.ECN == pkt.CE {
+			marked++
+		}
+	}
+	frac := float64(marked) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("marking fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestProbTCNValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	rng := sim.NewRand(1)
+	mustPanic("tmax<tmin", func() { NewProbTCN(20, 10, 0.5, rng) })
+	mustPanic("pmax>1", func() { NewProbTCN(10, 20, 1.5, rng) })
+	mustPanic("nil rng", func() { NewProbTCN(10, 20, 0.5, nil) })
+	mustPanic("tcn zero threshold", func() { NewTCN(0) })
+}
+
+// --- hardware timestamp arithmetic (§4.2) ---
+
+func TestHWClockSpan(t *testing.T) {
+	// The paper's examples: 4ns × 2^16 ≈ 262us, 8ns × 2^16 ≈ 524us.
+	if s := NewHWClock(4).Span(); s != 262144 {
+		t.Fatalf("4ns span %v, want 262144ns", s)
+	}
+	if s := NewHWClock(8).Span(); s != 524288 {
+		t.Fatalf("8ns span %v, want 524288ns", s)
+	}
+}
+
+func TestHWClockWrapAround(t *testing.T) {
+	c := NewHWClock(8)
+	// Enqueue just before the counter wraps, dequeue just after.
+	enqT := c.Span() - 40*sim.Nanosecond
+	deqT := c.Span() + 80*sim.Nanosecond
+	got := c.Sojourn(c.Stamp(enqT), c.Stamp(deqT))
+	if got != 120*sim.Nanosecond {
+		t.Fatalf("wrapped sojourn %v, want 120ns", got)
+	}
+}
+
+// Property: for any enqueue time and true sojourn below the span, the
+// 16-bit reconstruction is within one tick of the truth.
+func TestPropertyHWClockReconstruction(t *testing.T) {
+	for _, res := range []sim.Time{4, 8} {
+		c := NewHWClock(res)
+		f := func(enqRaw uint64, sojournRaw uint32) bool {
+			enq := sim.Time(enqRaw % (1 << 50))
+			sojourn := sim.Time(sojournRaw) % (c.Span() - res)
+			deq := enq + sojourn
+			got := c.Sojourn(c.Stamp(enq), c.Stamp(deq))
+			diff := got - sojourn
+			if diff < 0 {
+				diff = -diff
+			}
+			return diff < res
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("resolution %v: %v", res, err)
+		}
+	}
+}
+
+// Property: HWTCN agrees with ideal TCN except within one tick of the
+// threshold.
+func TestPropertyHWTCNMatchesIdealTCN(t *testing.T) {
+	const threshold = 100 * sim.Microsecond
+	c := NewHWClock(8)
+	hw := NewHWTCN(c, threshold)
+	ideal := NewTCN(threshold)
+	f := func(enqRaw uint64, sojournRaw uint32) bool {
+		enq := sim.Time(enqRaw % (1 << 48))
+		sojourn := sim.Time(sojournRaw) % (c.Span() - 8)
+		now := enq + sojourn
+		p1, p2 := ect(enq), ect(enq)
+		hw.OnDequeue(now, 0, p1, nil)
+		ideal.OnDequeue(now, 0, p2, nil)
+		if p1.ECN == p2.ECN {
+			return true
+		}
+		// Disagreement only allowed within one tick of the threshold.
+		d := sojourn - threshold
+		if d < 0 {
+			d = -d
+		}
+		return d <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHWTCNValidation(t *testing.T) {
+	c := NewHWClock(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("threshold beyond span must panic")
+		}
+	}()
+	NewHWTCN(c, c.Span())
+}
+
+func TestNopMarker(t *testing.T) {
+	var m Marker = Nop{}
+	p := ect(0)
+	m.OnEnqueue(100, 0, p, nil)
+	m.OnDequeue(100, 0, p, nil)
+	if p.ECN == pkt.CE || m.Name() != "none" {
+		t.Fatal("Nop must not mark")
+	}
+}
+
+var _ Marker = (*TCN)(nil)
+var _ Marker = (*ProbTCN)(nil)
+var _ Marker = (*HWTCN)(nil)

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// HWClock models the switching-chip timestamping scheme from the paper's
+// hardware feasibility analysis (§4.2): a 2-byte timestamp with 4 or 8 ns
+// resolution attached to each packet at enqueue, and an unsigned 16-bit
+// subtraction at dequeue that remains correct across counter wrap-around
+// (4 ns × 2^16 ≈ 262 us, 8 ns × 2^16 ≈ 524 us — both above typical
+// datacenter RTTs).
+type HWClock struct {
+	// Resolution is the tick length; the paper discusses 4 ns and 8 ns.
+	Resolution sim.Time
+}
+
+// NewHWClock returns a clock with the given tick resolution.
+func NewHWClock(resolution sim.Time) HWClock {
+	if resolution <= 0 {
+		panic(fmt.Sprintf("core: clock resolution %v must be positive", resolution))
+	}
+	return HWClock{Resolution: resolution}
+}
+
+// Span returns the longest sojourn the 16-bit counter can represent.
+func (c HWClock) Span() sim.Time { return c.Resolution * (1 << 16) }
+
+// Stamp quantizes an absolute time to the chip-local 16-bit counter.
+func (c HWClock) Stamp(t sim.Time) uint16 {
+	return uint16((t / c.Resolution) & 0xFFFF)
+}
+
+// Sojourn reconstructs a sojourn time from enqueue and dequeue stamps. The
+// unsigned 16-bit subtraction handles wrap-around for any true sojourn
+// shorter than Span, exactly as the integer subtraction the paper proposes
+// for the egress pipeline.
+func (c HWClock) Sojourn(enq, deq uint16) sim.Time {
+	return sim.Time(deq-enq) * c.Resolution
+}
+
+// HWTCN is TCN computed with the 16-bit hardware clock instead of the
+// simulator's full-precision clock. It exists to demonstrate, executably,
+// that the quantized arithmetic of §4.2 yields the same marking behaviour
+// (within one tick) as ideal TCN. Sojourns beyond the counter span alias,
+// so the configured threshold must be well below Span — trivially true for
+// datacenter thresholds (tens to hundreds of microseconds).
+type HWTCN struct {
+	Clock     HWClock
+	Threshold sim.Time
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewHWTCN returns a hardware-arithmetic TCN marker.
+func NewHWTCN(clock HWClock, threshold sim.Time) *HWTCN {
+	if threshold <= 0 || threshold >= clock.Span() {
+		panic(fmt.Sprintf("core: HWTCN threshold %v must be in (0, %v)", threshold, clock.Span()))
+	}
+	return &HWTCN{Clock: clock, Threshold: threshold}
+}
+
+// Name implements Marker.
+func (t *HWTCN) Name() string { return "TCN-hw" }
+
+// OnEnqueue implements Marker.
+func (t *HWTCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+
+// OnDequeue implements Marker: stamps both ends with the 16-bit clock and
+// marks on the reconstructed sojourn.
+func (t *HWTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
+	enq := t.Clock.Stamp(p.EnqueuedAt)
+	deq := t.Clock.Stamp(now)
+	if Decide(t.Clock.Sojourn(enq, deq), t.Threshold) && p.Mark() {
+		t.Marks++
+	}
+}

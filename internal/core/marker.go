@@ -1,0 +1,59 @@
+// Package core implements the paper's primary contribution: Time-based
+// Congestion Notification (TCN), a sojourn-time based, stateless,
+// instantaneous ECN marking scheme that works over arbitrary packet
+// schedulers (§4).
+//
+// The package also defines the Marker contract every AQM in this repository
+// implements (the baselines live in internal/aqm) and the 16-bit hardware
+// timestamp arithmetic from the paper's feasibility analysis (§4.2).
+package core
+
+import (
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// PortState is the read-only view of an egress port a marker may consult
+// when deciding whether to mark a packet. Queue-length based schemes (RED,
+// MQ-ECN) read queue or port occupancy; sojourn-time schemes (TCN, CoDel)
+// only need the packet's own enqueue timestamp and ignore it.
+type PortState interface {
+	// NumQueues returns the number of per-class queues on the port.
+	NumQueues() int
+	// QueueLen returns the packet count of queue i.
+	QueueLen(i int) int
+	// QueueBytes returns the buffered bytes of queue i.
+	QueueBytes(i int) int
+	// PortBytes returns the total buffered bytes across the port.
+	PortBytes() int
+	// LinkRate returns the port's line rate in bits per second.
+	LinkRate() int64
+}
+
+// Marker is an ECN marking scheme attached to an egress port. Markers only
+// ever set the CE codepoint — per the paper's evaluation, all schemes
+// (including CoDel) are configured to mark rather than drop, and packet
+// loss happens only through buffer exhaustion.
+type Marker interface {
+	// Name identifies the scheme in logs and result tables.
+	Name() string
+	// OnEnqueue is called when packet p has been admitted to queue i,
+	// before the scheduler sees it. Enqueue-side schemes decide here.
+	OnEnqueue(now sim.Time, i int, p *pkt.Packet, st PortState)
+	// OnDequeue is called when packet p leaves queue i, immediately
+	// before transmission. Dequeue-side schemes decide here.
+	OnDequeue(now sim.Time, i int, p *pkt.Packet, st PortState)
+}
+
+// Nop is a Marker that never marks; it turns a port into a plain drop-tail
+// multi-queue port.
+type Nop struct{}
+
+// Name implements Marker.
+func (Nop) Name() string { return "none" }
+
+// OnEnqueue implements Marker.
+func (Nop) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+
+// OnDequeue implements Marker.
+func (Nop) OnDequeue(sim.Time, int, *pkt.Packet, PortState) {}

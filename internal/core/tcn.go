@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// TCN is Time-based Congestion Notification (§4.1): a departing packet is
+// ECN-marked iff its instantaneous sojourn time exceeds a static threshold
+//
+//	T = RTT × λ                                   (Equation 3)
+//
+// Because the signal is time rather than queue length, the threshold is
+// independent of the (constantly changing) per-queue drain rates, so the
+// same constant works under any scheduler and any traffic mix. The marking
+// decision is stateless: a pure function of the packet's own sojourn time,
+// with no per-queue or cross-packet state (§4.2).
+type TCN struct {
+	// Threshold is the sojourn-time marking threshold T = RTT × λ.
+	Threshold sim.Time
+
+	// Marks counts CE marks applied, for instrumentation.
+	Marks int64
+}
+
+// NewTCN returns a TCN marker with the standard threshold RTT × λ.
+// λ depends on the congestion control in use: 1 for ECN* (plain
+// ECN-enabled TCP) and the DCTCP-recommended fraction for DCTCP; callers
+// pass the product directly.
+func NewTCN(threshold sim.Time) *TCN {
+	if threshold <= 0 {
+		panic(fmt.Sprintf("core: TCN threshold %v must be positive", threshold))
+	}
+	return &TCN{Threshold: threshold}
+}
+
+// Name implements Marker.
+func (t *TCN) Name() string { return "TCN" }
+
+// OnEnqueue implements Marker. TCN does nothing at enqueue: the enqueue
+// timestamp that the sojourn computation needs is attached by the port to
+// every buffered packet (the 2-byte metadata of §4.2), not by the marker.
+func (t *TCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+
+// OnDequeue implements Marker: instantaneous, stateless sojourn check.
+func (t *TCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
+	if Decide(p.Sojourn(now), t.Threshold) && p.Mark() {
+		t.Marks++
+	}
+}
+
+// Decide is the entire TCN data-plane decision: mark iff the sojourn time
+// exceeds the threshold. Exposed as a pure function so tests can verify
+// statelessness directly.
+func Decide(sojourn, threshold sim.Time) bool { return sojourn > threshold }
+
+// ProbTCN is the RED-like probabilistic extension of TCN (§4.3): packets
+// with sojourn below Tmin are never marked, above Tmax always marked, and
+// in between marked with probability rising linearly to Pmax. Transports
+// such as DCQCN that rely on probabilistic marking for fairness use this
+// variant; DCTCP and ECN* use plain TCN (Tmin = Tmax).
+type ProbTCN struct {
+	// Tmin and Tmax bound the probabilistic region.
+	Tmin, Tmax sim.Time
+	// Pmax is the marking probability as the sojourn approaches Tmax.
+	Pmax float64
+
+	rng *sim.Rand
+
+	// Marks counts CE marks applied.
+	Marks int64
+}
+
+// NewProbTCN returns a probabilistic TCN marker. rng supplies the marking
+// coin flips; pass the experiment's seeded source.
+func NewProbTCN(tmin, tmax sim.Time, pmax float64, rng *sim.Rand) *ProbTCN {
+	switch {
+	case tmin <= 0 || tmax < tmin:
+		panic(fmt.Sprintf("core: invalid ProbTCN thresholds Tmin=%v Tmax=%v", tmin, tmax))
+	case pmax <= 0 || pmax > 1:
+		panic(fmt.Sprintf("core: ProbTCN Pmax=%v must be in (0,1]", pmax))
+	case rng == nil:
+		panic("core: ProbTCN needs a random source")
+	}
+	return &ProbTCN{Tmin: tmin, Tmax: tmax, Pmax: pmax, rng: rng}
+}
+
+// Name implements Marker.
+func (t *ProbTCN) Name() string { return "TCN-prob" }
+
+// OnEnqueue implements Marker.
+func (t *ProbTCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+
+// OnDequeue implements Marker.
+func (t *ProbTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
+	prob := MarkProbability(p.Sojourn(now), t.Tmin, t.Tmax, t.Pmax)
+	if prob <= 0 {
+		return
+	}
+	if prob >= 1 || t.rng.Float64() < prob {
+		if p.Mark() {
+			t.Marks++
+		}
+	}
+}
+
+// MarkProbability returns the RED-like marking probability for a sojourn
+// time: 0 below tmin, 1 above tmax, and a linear ramp to pmax in between.
+// Like Decide, it is a pure function of the packet's own delay.
+func MarkProbability(sojourn, tmin, tmax sim.Time, pmax float64) float64 {
+	switch {
+	case sojourn < tmin:
+		return 0
+	case sojourn > tmax:
+		return 1
+	case tmax == tmin:
+		// Degenerate single-threshold configuration: behave like
+		// plain TCN (sojourn == threshold does not mark).
+		return 0
+	default:
+		return pmax * float64(sojourn-tmin) / float64(tmax-tmin)
+	}
+}

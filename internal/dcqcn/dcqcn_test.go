@@ -1,0 +1,175 @@
+package dcqcn_test
+
+import (
+	"testing"
+
+	"tcn/internal/core"
+	"tcn/internal/dcqcn"
+	"tcn/internal/fabric"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// lossless builds an n-host 10 Gbps star with unbounded buffers (the PFC
+// stand-in) guarded by the given marker.
+func lossless(eng *sim.Engine, n int, marker func() core.Marker) *fabric.Star {
+	return fabric.NewStar(eng, fabric.StarConfig{
+		Hosts:     n,
+		Rate:      10 * fabric.Gbps,
+		Prop:      sim.Microsecond,
+		HostDelay: 5 * sim.Microsecond,
+		SwitchPort: func() fabric.PortConfig {
+			var m core.Marker
+			if marker != nil {
+				m = marker()
+			}
+			return fabric.PortConfig{Queues: 1, Marker: m}
+		},
+	})
+}
+
+func TestSingleSenderRunsAtLineRate(t *testing.T) {
+	eng := sim.NewEngine()
+	net := lossless(eng, 2, nil)
+	st := dcqcn.NewStack(eng, dcqcn.Config{}, net.Hosts)
+	var got int64
+	st.OnDeliver = func(_ sim.Time, _ pkt.FlowID, n int) { got += int64(n) }
+	snd := st.Start(0, 1, 0)
+	eng.RunUntil(50 * sim.Millisecond)
+	snd.Stop()
+
+	gbps := float64(got) * 8 / 0.05 / 1e9
+	if gbps < 9 {
+		t.Fatalf("uncongested DCQCN delivered %.2f Gbps, want ~9.7", gbps)
+	}
+	if snd.CNPs != 0 {
+		t.Fatalf("unexpected CNPs on an idle path: %d", snd.CNPs)
+	}
+	if snd.Rate() != 10*fabric.Gbps {
+		t.Fatalf("rate %v should remain at line rate", snd.Rate())
+	}
+}
+
+func TestCNPReducesRate(t *testing.T) {
+	// Two senders into one port with an aggressive marker: CNPs must
+	// arrive and rates must leave line rate.
+	eng := sim.NewEngine()
+	net := lossless(eng, 3, func() core.Marker { return core.NewTCN(20 * sim.Microsecond) })
+	st := dcqcn.NewStack(eng, dcqcn.Config{}, net.Hosts)
+	a := st.Start(0, 2, 0)
+	b := st.Start(1, 2, 0)
+	eng.RunUntil(20 * sim.Millisecond)
+
+	if a.CNPs == 0 && b.CNPs == 0 {
+		t.Fatal("no CNPs despite congestion")
+	}
+	if a.Rate()+b.Rate() > 11*fabric.Gbps {
+		t.Fatalf("aggregate rate %v exceeds the link", a.Rate()+b.Rate())
+	}
+	if a.Alpha() == 0 && b.Alpha() == 0 {
+		t.Fatal("alpha never grew")
+	}
+}
+
+func TestRatesConvergeNearFairShare(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRand(3)
+	net := lossless(eng, 5, func() core.Marker {
+		return core.NewProbTCN(30*sim.Microsecond, 300*sim.Microsecond, 0.01, rng)
+	})
+	st := dcqcn.NewStack(eng, dcqcn.Config{}, net.Hosts)
+	// Measure the steady state: DCQCN recovers from the synchronized-
+	// start transient by additive increase (40 Mbps per 1.5 ms), so
+	// skip the first 150 ms.
+	const warmup = 150 * sim.Millisecond
+	const measure = 200 * sim.Millisecond
+	delivered := map[pkt.FlowID]float64{}
+	st.OnDeliver = func(now sim.Time, f pkt.FlowID, n int) {
+		if now >= warmup {
+			delivered[f] += float64(n)
+		}
+	}
+	for src := 0; src < 4; src++ {
+		st.Start(src, 4, 0)
+	}
+	eng.RunUntil(warmup + measure)
+
+	var sum, sumSq float64
+	for _, x := range delivered {
+		sum += x
+		sumSq += x * x
+	}
+	jain := sum * sum / (4 * sumSq)
+	if jain < 0.9 {
+		t.Fatalf("Jain index %.3f under probabilistic marking, want > 0.9", jain)
+	}
+	gbps := sum * 8 / measure.Seconds() / 1e9
+	if gbps < 7.5 {
+		t.Fatalf("steady aggregate %.2f Gbps, want near 10", gbps)
+	}
+}
+
+func TestQueueBoundedUnderMarking(t *testing.T) {
+	eng := sim.NewEngine()
+	net := lossless(eng, 5, func() core.Marker { return core.NewTCN(60 * sim.Microsecond) })
+	st := dcqcn.NewStack(eng, dcqcn.Config{}, net.Hosts)
+	for src := 0; src < 4; src++ {
+		st.Start(src, 4, 0)
+	}
+	port := net.Switch.Port(4)
+	maxQ := 0
+	var poll func()
+	poll = func() {
+		if q := port.PortBytes(); q > maxQ {
+			maxQ = q
+		}
+		eng.After(20*sim.Microsecond, poll)
+	}
+	eng.After(20*sim.Millisecond, poll) // skip the initial 4×line-rate transient
+	eng.RunUntil(200 * sim.Millisecond)
+
+	// Without marking the queue would grow without bound (rate senders,
+	// lossless fabric). With TCN it must stay within a small multiple
+	// of the threshold's worth of data (60us × 10Gbps = 75 KB).
+	if maxQ > 8*75_000 {
+		t.Fatalf("steady-state queue %d bytes not bounded by marking", maxQ)
+	}
+}
+
+func TestAlphaDecaysWithoutCongestion(t *testing.T) {
+	eng := sim.NewEngine()
+	net := lossless(eng, 3, func() core.Marker { return core.NewTCN(20 * sim.Microsecond) })
+	st := dcqcn.NewStack(eng, dcqcn.Config{}, net.Hosts)
+	a := st.Start(0, 2, 0)
+	b := st.Start(1, 2, 0)
+	eng.RunUntil(20 * sim.Millisecond)
+	alphaCongested := a.Alpha()
+	if alphaCongested == 0 {
+		t.Fatal("alpha should have grown under congestion")
+	}
+	// Remove the competitor: congestion ends, alpha must decay and the
+	// survivor must climb back toward line rate.
+	b.Stop()
+	// Recovery is additive (40 Mbps / 1.5 ms; hyper-increase is not
+	// modeled), so give it time to climb back.
+	eng.RunUntil(500 * sim.Millisecond)
+	if a.Alpha() > alphaCongested/4 {
+		t.Fatalf("alpha %.4f did not decay from %.4f", a.Alpha(), alphaCongested)
+	}
+	if a.Rate() < 8*fabric.Gbps {
+		t.Fatalf("rate %v did not recover after congestion ended", a.Rate())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (dcqcn.Config{}).Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := dcqcn.Config{MinRate: 20 * fabric.Gbps, LineRate: 10 * fabric.Gbps}
+	if bad.Validate() == nil {
+		t.Fatal("min above line rate should fail")
+	}
+	if (dcqcn.Config{G: 2}).Validate() == nil {
+		t.Fatal("g out of range should fail")
+	}
+}

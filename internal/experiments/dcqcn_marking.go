@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math"
+
+	"tcn/internal/core"
+	"tcn/internal/dcqcn"
+	"tcn/internal/fabric"
+	"tcn/internal/metrics"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// DCQCNMarkingConfig drives the §4.3 extension experiment the paper
+// sketches and defers to future work: DCQCN senders under TCN marking,
+// comparing the single-threshold cut-off against the RED-like
+// probabilistic variant (Tmin/Tmax/Pmax). Cut-off marking notifies every
+// sender in the same sojourn excursion, synchronizing their rate cuts;
+// probabilistic marking spreads notifications, which is what DCQCN's
+// fairness relies on.
+type DCQCNMarkingConfig struct {
+	// Senders all share one 10 Gbps bottleneck.
+	Senders int
+	// Warmup is excluded from measurement (synchronized-start
+	// transient); Measure is the observation window after it.
+	Warmup, Measure sim.Time
+	// Probabilistic selects ProbTCN (Tmin/Tmax/Pmax below) instead of
+	// plain TCN at Tmax.
+	Probabilistic bool
+	// Tmin, Tmax, Pmax parameterize the marker.
+	Tmin, Tmax sim.Time
+	Pmax       float64
+	// Seed feeds the marker's coin flips.
+	Seed int64
+}
+
+// DefaultDCQCNMarking returns the experiment defaults.
+func DefaultDCQCNMarking() DCQCNMarkingConfig {
+	return DCQCNMarkingConfig{
+		Senders: 4,
+		Warmup:  150 * sim.Millisecond,
+		Measure: 200 * sim.Millisecond,
+		Tmin:    30 * sim.Microsecond,
+		Tmax:    300 * sim.Microsecond,
+		Pmax:    0.01,
+		Seed:    1,
+	}
+}
+
+// DCQCNMarkingResult summarizes one run.
+type DCQCNMarkingResult struct {
+	// Jain is the fairness index over per-sender steady goodput.
+	Jain float64
+	// AggGbps is the steady aggregate goodput.
+	AggGbps float64
+	// QueueMean and QueueStd describe the steady occupancy (bytes);
+	// synchronized cuts show up as a larger relative oscillation.
+	QueueMean, QueueStd float64
+	// CNPs is the total congestion notifications delivered.
+	CNPs int
+}
+
+// RunDCQCNMarking executes one run.
+func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
+	eng := sim.NewEngine()
+	rng := sim.NewRand(cfg.Seed)
+
+	recv := cfg.Senders
+	net := fabric.NewStar(eng, fabric.StarConfig{
+		Hosts:     cfg.Senders + 1,
+		Rate:      10 * fabric.Gbps,
+		Prop:      sim.Microsecond,
+		HostDelay: 5 * sim.Microsecond,
+		SwitchPort: func() fabric.PortConfig {
+			var m core.Marker
+			if cfg.Probabilistic {
+				m = core.NewProbTCN(cfg.Tmin, cfg.Tmax, cfg.Pmax, rng)
+			} else {
+				m = core.NewTCN(cfg.Tmax)
+			}
+			// Unbounded buffer: the PFC-lossless stand-in.
+			return fabric.PortConfig{Queues: 1, Marker: m}
+		},
+	})
+	st := dcqcn.NewStack(eng, dcqcn.Config{}, net.Hosts)
+
+	delivered := map[pkt.FlowID]float64{}
+	st.OnDeliver = func(now sim.Time, f pkt.FlowID, n int) {
+		if now >= cfg.Warmup {
+			delivered[f] += float64(n)
+		}
+	}
+	var snds []*dcqcn.Sender
+	for src := 0; src < cfg.Senders; src++ {
+		snds = append(snds, st.Start(src, recv, 0))
+	}
+
+	port := net.Switch.Port(recv)
+	sampler := metrics.NewSampler(eng, 50*sim.Microsecond, cfg.Warmup+cfg.Measure, func() float64 {
+		return float64(port.PortBytes())
+	})
+	eng.RunUntil(cfg.Warmup + cfg.Measure)
+
+	var res DCQCNMarkingResult
+	var sum, sumSq float64
+	for _, x := range delivered {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq > 0 {
+		res.Jain = sum * sum / (float64(cfg.Senders) * sumSq)
+	}
+	res.AggGbps = sum * 8 / cfg.Measure.Seconds() / 1e9
+	res.QueueMean = sampler.MeanBetween(cfg.Warmup, cfg.Warmup+cfg.Measure)
+	var varSum float64
+	n := 0
+	for _, s := range sampler.Samples {
+		if s.At >= cfg.Warmup {
+			d := s.Value - res.QueueMean
+			varSum += d * d
+			n++
+		}
+	}
+	if n > 0 {
+		res.QueueStd = math.Sqrt(varSum / float64(n))
+	}
+	for _, s := range snds {
+		res.CNPs += s.CNPs
+	}
+	return res
+}

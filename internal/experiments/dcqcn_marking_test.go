@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestDCQCNProbabilisticMarking reproduces the §4.3 argument for the
+// RED-like TCN extension: under DCQCN, single-threshold cut-off marking
+// notifies every sender in the same sojourn excursion, synchronizing rate
+// cuts and leaving capacity idle; probabilistic marking desynchronizes
+// them and recovers the lost utilization while staying fair.
+func TestDCQCNProbabilisticMarking(t *testing.T) {
+	plain := RunDCQCNMarking(DefaultDCQCNMarking())
+	probCfg := DefaultDCQCNMarking()
+	probCfg.Probabilistic = true
+	prob := RunDCQCNMarking(probCfg)
+
+	if plain.Jain < 0.98 || prob.Jain < 0.98 {
+		t.Fatalf("fairness collapsed: plain %.3f prob %.3f", plain.Jain, prob.Jain)
+	}
+	if prob.AggGbps < plain.AggGbps+0.5 {
+		t.Errorf("probabilistic marking should recover utilization: plain %.2f vs prob %.2f Gbps",
+			plain.AggGbps, prob.AggGbps)
+	}
+	if plain.CNPs == 0 || prob.CNPs == 0 {
+		t.Fatal("no congestion notifications observed")
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"tcn/internal/sim"
+)
+
+// TestFig1PortREDViolatesPolicy reproduces Remark 2: under per-port RED,
+// the service with more flows grabs more than its DWRR share, and the
+// violation grows with the flow count.
+func TestFig1PortREDViolatesPolicy(t *testing.T) {
+	cfg := DefaultFig1()
+	cfg.FlowCounts = []int{1, 8, 16}
+	cfg.Duration = sim.Second
+	res := RunFig1(cfg)
+
+	last := res.Points[len(res.Points)-1]
+	if last.Service2Share < 0.6 {
+		t.Fatalf("per-port RED with 16 flows: service 2 share %.2f, want > 0.6 (policy violation)", last.Service2Share)
+	}
+	first := res.Points[0]
+	if last.Service2Share <= first.Service2Share {
+		t.Fatalf("violation should grow with flows: share(1)=%.2f share(16)=%.2f",
+			first.Service2Share, last.Service2Share)
+	}
+	// The link should still be fully used.
+	if last.TotalMbps < 850 {
+		t.Fatalf("link underutilized: %.0f Mbps", last.TotalMbps)
+	}
+}
+
+// TestFig1TCNPreservesPolicy is the contrast: TCN keeps the 50/50 DWRR
+// split regardless of per-service flow counts.
+func TestFig1TCNPreservesPolicy(t *testing.T) {
+	cfg := DefaultFig1()
+	cfg.Scheme = SchemeTCN
+	cfg.FlowCounts = []int{1, 16}
+	cfg.Duration = sim.Second
+	res := RunFig1(cfg)
+
+	for _, p := range res.Points {
+		if p.Service2Share < 0.42 || p.Service2Share > 0.58 {
+			t.Fatalf("TCN with %d flows: service 2 share %.2f, want ~0.5",
+				p.Service2Flows, p.Service2Share)
+		}
+		if p.TotalMbps < 850 {
+			t.Fatalf("link underutilized under TCN: %.0f Mbps", p.TotalMbps)
+		}
+	}
+}

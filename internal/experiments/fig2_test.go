@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"tcn/internal/sim"
+)
+
+// TestFig2RateEstimationTradeoff reproduces §3.3's three observations:
+// a large dq_thresh converges slowly, a small dq_thresh oscillates wildly
+// between round-local and cross-round rates, and MQ-ECN converges quickly
+// and accurately (because it reads the scheduler's round state directly).
+func TestFig2RateEstimationTradeoff(t *testing.T) {
+	res := RunFig2(DefaultFig2())
+	byName := map[string]Fig2Trace{}
+	for _, tr := range res.Traces {
+		byName[tr.Scheme] = tr
+	}
+	big, small, mq := byName["dynred-40KB"], byName["dynred-10KB"], byName["mqecn"]
+
+	// Observation 1: 40 KB cycles are few — the paper counts 29 samples
+	// in the 2 ms after the step.
+	if big.SamplesInWindow > 60 {
+		t.Errorf("dq_thresh=40KB produced %d samples in 2ms, expected sparse (~30)", big.SamplesInWindow)
+	}
+
+	// Observation 2: 10 KB (< quantum 18 KB) raw samples oscillate
+	// between roughly the line rate and the cross-round rate.
+	if small.MaxGbps < 8 {
+		t.Errorf("dq_thresh=10KB max raw sample %.1f Gbps, expected near line rate", small.MaxGbps)
+	}
+	if small.MinGbps > 5 {
+		t.Errorf("dq_thresh=10KB min raw sample %.1f Gbps, expected well below 5", small.MinGbps)
+	}
+
+	// Observation 3: MQ-ECN converges to 5 Gbps quickly (paper: within
+	// ~600 us) and much faster than the 40 KB estimator.
+	if mq.ConvergeTime == 0 || mq.ConvergeTime > 1500*sim.Microsecond {
+		t.Errorf("MQ-ECN converge time %v, expected under ~1.5ms", mq.ConvergeTime)
+	}
+	if mq.FinalGbps < 4.5 || mq.FinalGbps > 5.5 {
+		t.Errorf("MQ-ECN final estimate %.2f Gbps, want ~5", mq.FinalGbps)
+	}
+	if big.ConvergeTime != 0 && mq.ConvergeTime != 0 && big.ConvergeTime < mq.ConvergeTime {
+		t.Errorf("40KB estimator converged faster (%v) than MQ-ECN (%v)", big.ConvergeTime, mq.ConvergeTime)
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestFig3MarkingPlacement reproduces §4.3 Figure 3: dequeue RED reacts
+// earlier and caps the slow-start peak below enqueue RED's, while TCN and
+// enqueue RED peak alike (fixed drain rate makes their signals
+// equivalent); all three settle near the 1×BDP threshold afterwards.
+func TestFig3MarkingPlacement(t *testing.T) {
+	res := RunFig3(DefaultFig3())
+	byScheme := map[Scheme]Fig3Trace{}
+	for _, tr := range res.Traces {
+		byScheme[tr.Scheme] = tr
+	}
+	enq, deq, tcn := byScheme[SchemeRED], byScheme[SchemeREDDeq], byScheme[SchemeTCN]
+	bdp := res.BDP
+
+	if deq.PeakBytes >= enq.PeakBytes {
+		t.Errorf("dequeue RED peak %d should undercut enqueue RED peak %d", deq.PeakBytes, enq.PeakBytes)
+	}
+	// TCN's peak should be close to enqueue RED's (paper: both ~3 BDP).
+	ratio := float64(tcn.PeakBytes) / float64(enq.PeakBytes)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("TCN peak %d vs enqueue RED peak %d: ratio %.2f, want ~1", tcn.PeakBytes, enq.PeakBytes, ratio)
+	}
+	// Peaks are in multiples of BDP: enqueue/TCN around 2.5-3.5x,
+	// dequeue around 1.5-2.5x.
+	if p := float64(enq.PeakBytes) / float64(bdp); p < 2 || p > 4.5 {
+		t.Errorf("enqueue RED peak %.1f BDP, want ~3", p)
+	}
+	if p := float64(deq.PeakBytes) / float64(bdp); p < 1.2 || p > 3 {
+		t.Errorf("dequeue RED peak %.1f BDP, want ~2", p)
+	}
+	// Steady state: occupancy oscillates between 0 and ~1 BDP for all.
+	for _, tr := range res.Traces {
+		if tr.SteadyMaxBytes > 2*bdp {
+			t.Errorf("%s steady occupancy %d exceeds 2 BDP", tr.Scheme, tr.SteadyMaxBytes)
+		}
+		if tr.SteadyMeanBytes <= 0 {
+			t.Errorf("%s has empty steady occupancy trace", tr.Scheme)
+		}
+	}
+}

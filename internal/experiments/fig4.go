@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tcn/internal/workload"
+)
+
+// PrintWorkloads writes the Figure 4 CDFs plus the summary statistics the
+// paper cites (mean size; byte share of sub-10MB flows for web search).
+func PrintWorkloads(w io.Writer) {
+	for _, c := range workload.All {
+		fmt.Fprintf(w, "%s (mean %.0f bytes, %.0f%% of bytes in flows <= 10MB)\n",
+			c.Name(), c.Mean(), 100*c.FracBytesBelow(10_000_000))
+		for _, p := range c.Points() {
+			fmt.Fprintf(w, "  %12d bytes  %5.2f\n", p.Bytes, p.Frac)
+		}
+	}
+}

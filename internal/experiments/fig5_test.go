@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"tcn/internal/sim"
+)
+
+// TestFig5aTCNPreservesSPWFQ reproduces Figure 5a: under TCN the strict
+// queue holds its 500 Mbps and the two WFQ queues split the remainder
+// evenly even though one carries 4× the flows.
+func TestFig5aTCNPreservesSPWFQ(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.Stage = 500 * sim.Millisecond
+	cfg.Duration = 2 * sim.Second
+	res := RunFig5a(cfg)
+
+	// Goodput is slightly below throughput due to header overhead
+	// (~471 Mbps for 500 Mbps of wire rate).
+	if res.SteadyMbps[0] < 440 || res.SteadyMbps[0] > 500 {
+		t.Errorf("strict queue steady goodput %.0f Mbps, want ~470", res.SteadyMbps[0])
+	}
+	for q := 1; q <= 2; q++ {
+		if res.SteadyMbps[q] < 190 || res.SteadyMbps[q] > 280 {
+			t.Errorf("WFQ queue %d steady goodput %.0f Mbps, want ~235", q, res.SteadyMbps[q])
+		}
+	}
+	// Fairness between the WFQ queues despite 1 vs 4 flows.
+	ratio := res.SteadyMbps[1] / res.SteadyMbps[2]
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("WFQ queues unfair: %.0f vs %.0f Mbps", res.SteadyMbps[1], res.SteadyMbps[2])
+	}
+}
+
+// TestFig5bLatency reproduces Figure 5b's ordering: TCN's RTT through the
+// busy queue is close to the ideal ECN/RED's and far below per-queue RED
+// with the standard threshold.
+func TestFig5bLatency(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.Duration = 3 * sim.Second
+	run := func(s Scheme) Fig5bResult {
+		c := cfg
+		c.Scheme = s
+		return RunFig5b(c)
+	}
+	tcn := run(SchemeTCN)
+	red := run(SchemeRED)
+	oracle := run(SchemeOracle)
+
+	if len(tcn.Samples) < 100 {
+		t.Fatalf("too few RTT samples: %d", len(tcn.Samples))
+	}
+	// Paper: ~415us vs ~1084us mean; demand at least a 1.7x gap.
+	if float64(red.MeanRTT) < 1.7*float64(tcn.MeanRTT) {
+		t.Errorf("RED mean RTT %v not well above TCN %v", red.MeanRTT, tcn.MeanRTT)
+	}
+	// TCN within 40% of the ideal oracle.
+	if float64(tcn.MeanRTT) > 1.4*float64(oracle.MeanRTT) {
+		t.Errorf("TCN mean RTT %v too far above oracle %v", tcn.MeanRTT, oracle.MeanRTT)
+	}
+	// Tail behaves the same way.
+	if float64(red.P99RTT) < 1.5*float64(tcn.P99RTT) {
+		t.Errorf("RED p99 RTT %v not well above TCN %v", red.P99RTT, tcn.P99RTT)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+// FCTSweep is a figure-shaped grid of FCT results: one row per scheme,
+// one column per load, as Figures 6-13 plot.
+type FCTSweep struct {
+	Figure  string
+	Sched   SchedKind
+	Loads   []float64
+	Schemes []Scheme
+	// Cells is indexed [scheme][load].
+	Cells [][]TestbedFCTResult
+}
+
+// SweepConfig parameterizes the testbed figure sweeps.
+type SweepConfig struct {
+	// Loads lists the x-axis (paper: 0.1..0.9).
+	Loads []float64
+	// Flows per load point (paper: 5000).
+	Flows int
+	// Seed feeds all randomness; the same seed yields identical arrival
+	// plans for every scheme.
+	Seed int64
+	// Schemes overrides the default scheme set (nil = paper's set).
+	Schemes []Scheme
+}
+
+// DefaultSweep returns the paper's sweep shape.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Loads: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Flows: 5000,
+		Seed:  1,
+	}
+}
+
+// runTestbedSweep executes a figure's grid.
+func runTestbedSweep(figure string, sched SchedKind, pias bool, cfg SweepConfig) FCTSweep {
+	schemes := cfg.Schemes
+	if schemes == nil {
+		schemes = []Scheme{SchemeTCN, SchemeCoDel, SchemeMQECN, SchemeRED}
+	}
+	// Drop schemes the scheduler cannot host (MQ-ECN outside DWRR).
+	kept := schemes[:0:0]
+	for _, s := range schemes {
+		if sched.SupportsScheme(s) {
+			kept = append(kept, s)
+		}
+	}
+	sw := FCTSweep{Figure: figure, Sched: sched, Loads: cfg.Loads, Schemes: kept}
+	for _, s := range kept {
+		var row []TestbedFCTResult
+		for _, load := range cfg.Loads {
+			row = append(row, RunTestbedFCT(TestbedFCTConfig{
+				Scheme: s,
+				Sched:  sched,
+				Load:   load,
+				Flows:  cfg.Flows,
+				PIAS:   pias,
+				Seed:   cfg.Seed,
+			}))
+		}
+		sw.Cells = append(sw.Cells, row)
+	}
+	return sw
+}
+
+// RunFig6 is inter-service isolation over DWRR (Figure 6).
+func RunFig6(cfg SweepConfig) FCTSweep { return runTestbedSweep("fig6", SchedDWRR, false, cfg) }
+
+// RunFig7 is inter-service isolation over WFQ (Figure 7; no MQ-ECN).
+func RunFig7(cfg SweepConfig) FCTSweep { return runTestbedSweep("fig7", SchedWFQ, false, cfg) }
+
+// RunFig8 is traffic prioritization over SP/DWRR with PIAS (Figure 8).
+func RunFig8(cfg SweepConfig) FCTSweep { return runTestbedSweep("fig8", SchedSPDWRR, true, cfg) }
+
+// RunFig9 is traffic prioritization over SP/WFQ with PIAS (Figure 9).
+func RunFig9(cfg SweepConfig) FCTSweep { return runTestbedSweep("fig9", SchedSPWFQ, true, cfg) }
+
+// Cell returns the result for a scheme at a load, or nil.
+func (sw *FCTSweep) Cell(s Scheme, load float64) *TestbedFCTResult {
+	for i, sc := range sw.Schemes {
+		if sc != s {
+			continue
+		}
+		for j, l := range sw.Loads {
+			if l == load {
+				return &sw.Cells[i][j]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import "testing"
+
+// sweepCfg returns a CI-sized sweep: one high-load point, enough flows
+// for stable small-flow percentiles.
+func sweepCfg(schemes ...Scheme) SweepConfig {
+	return SweepConfig{
+		Loads:   []float64{0.9},
+		Flows:   1500,
+		Seed:    3,
+		Schemes: schemes,
+	}
+}
+
+// checkIsolation asserts the paper's Figure 6/7 shape at high load: every
+// scheme keeps similar large-flow FCT (throughput), while TCN beats
+// per-queue RED with the standard threshold on small flows, especially at
+// the tail, with far fewer drops.
+func checkIsolation(t *testing.T, sw FCTSweep) {
+	t.Helper()
+	tcn := sw.Cell(SchemeTCN, 0.9)
+	red := sw.Cell(SchemeRED, 0.9)
+	if tcn == nil || red == nil {
+		t.Fatal("missing cells")
+	}
+	for _, c := range []*TestbedFCTResult{tcn, red} {
+		if c.Unfinished > 0 {
+			t.Fatalf("%s: %d flows unfinished", c.Scheme, c.Unfinished)
+		}
+	}
+	// Small flows: average and tail improve under TCN.
+	if float64(red.Stats.AvgSmall) < 1.2*float64(tcn.Stats.AvgSmall) {
+		t.Errorf("small-flow avg: RED %v not clearly above TCN %v",
+			red.Stats.AvgSmall, tcn.Stats.AvgSmall)
+	}
+	if red.Stats.P99Small <= tcn.Stats.P99Small {
+		t.Errorf("small-flow p99: RED %v should exceed TCN %v",
+			red.Stats.P99Small, tcn.Stats.P99Small)
+	}
+	// Drops and timeouts: RED's chronic standing queues exhaust the
+	// shared buffer (Remark 1).
+	if red.Drops < 2*tcn.Drops {
+		t.Errorf("drops: RED %d not well above TCN %d", red.Drops, tcn.Drops)
+	}
+	// Large flows: within ~15% (the paper reports within 2.8%; the CI
+	// run uses 3% of the paper's flow count, so allow seed noise).
+	ratio := float64(tcn.Stats.AvgLarge) / float64(red.Stats.AvgLarge)
+	if ratio > 1.15 {
+		t.Errorf("large-flow avg: TCN %v much worse than RED %v",
+			tcn.Stats.AvgLarge, red.Stats.AvgLarge)
+	}
+}
+
+func TestFig6IsolationDWRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload sweep")
+	}
+	sw := RunFig6(sweepCfg(SchemeTCN, SchemeMQECN, SchemeRED))
+	checkIsolation(t, sw)
+
+	// MQ-ECN (valid over DWRR) should roughly track TCN for small flows
+	// (the paper: "TCN performs similarly as MQ-ECN for DWRR").
+	tcn, mq := sw.Cell(SchemeTCN, 0.9), sw.Cell(SchemeMQECN, 0.9)
+	if mq == nil {
+		t.Fatal("MQ-ECN cell missing")
+	}
+	r := float64(mq.Stats.AvgSmall) / float64(tcn.Stats.AvgSmall)
+	if r < 0.4 || r > 2.5 {
+		t.Errorf("MQ-ECN small avg %v vs TCN %v: ratio %.2f, want same ballpark",
+			mq.Stats.AvgSmall, tcn.Stats.AvgSmall, r)
+	}
+}
+
+func TestFig7IsolationWFQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload sweep")
+	}
+	sw := RunFig7(sweepCfg(SchemeTCN, SchemeRED))
+	checkIsolation(t, sw)
+	// MQ-ECN must have been dropped automatically: it cannot run WFQ.
+	if sw.Cell(SchemeMQECN, 0.9) != nil {
+		t.Error("MQ-ECN should be excluded from the WFQ figure")
+	}
+}
+
+// checkPrioritization asserts the Figure 8/9 shape: with PIAS all schemes
+// improve small flows, but TCN still beats RED because high-priority
+// packets die under low-priority buffer pressure in the shared pool.
+func checkPrioritization(t *testing.T, sw FCTSweep, iso FCTSweep) {
+	t.Helper()
+	tcn := sw.Cell(SchemeTCN, 0.9)
+	red := sw.Cell(SchemeRED, 0.9)
+	if tcn.Unfinished > 0 || red.Unfinished > 0 {
+		t.Fatalf("unfinished flows: TCN %d RED %d", tcn.Unfinished, red.Unfinished)
+	}
+	if float64(red.Stats.AvgSmall) < 1.2*float64(tcn.Stats.AvgSmall) {
+		t.Errorf("PIAS small avg: RED %v not clearly above TCN %v",
+			red.Stats.AvgSmall, tcn.Stats.AvgSmall)
+	}
+	if red.Stats.P99Small <= tcn.Stats.P99Small {
+		t.Errorf("PIAS small p99: RED %v should exceed TCN %v",
+			red.Stats.P99Small, tcn.Stats.P99Small)
+	}
+	// PIAS improves TCN's small flows versus the isolation setup
+	// (§6.1.3: 71.3% lower average at 90% load).
+	if isoTCN := iso.Cell(SchemeTCN, 0.9); isoTCN != nil {
+		if float64(tcn.Stats.AvgSmall) > 0.7*float64(isoTCN.Stats.AvgSmall) {
+			t.Errorf("PIAS should cut TCN's small-flow avg well below %v, got %v",
+				isoTCN.Stats.AvgSmall, tcn.Stats.AvgSmall)
+		}
+	}
+}
+
+func TestFig8PrioritizationSPDWRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload sweep")
+	}
+	iso := RunFig6(sweepCfg(SchemeTCN))
+	sw := RunFig8(sweepCfg(SchemeTCN, SchemeRED, SchemeCoDel))
+	checkPrioritization(t, sw, iso)
+	// MQ-ECN does not support SP composites.
+	if sw.Cell(SchemeMQECN, 0.9) != nil {
+		t.Error("MQ-ECN should be excluded from SP figures")
+	}
+	// CoDel's windowed minimum reacts slower to bursts; it should not
+	// beat TCN's tail (paper: up to 84% improvements over CoDel).
+	codel := sw.Cell(SchemeCoDel, 0.9)
+	if float64(codel.Stats.P99Small) < 0.8*float64(sw.Cell(SchemeTCN, 0.9).Stats.P99Small) {
+		t.Errorf("CoDel p99 small %v unexpectedly well below TCN %v",
+			codel.Stats.P99Small, sw.Cell(SchemeTCN, 0.9).Stats.P99Small)
+	}
+}
+
+func TestFig9PrioritizationSPWFQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload sweep")
+	}
+	iso := RunFig7(sweepCfg(SchemeTCN))
+	sw := RunFig9(sweepCfg(SchemeTCN, SchemeRED))
+	checkPrioritization(t, sw, iso)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+
+	"tcn/internal/transport"
+)
+
+// ciLeafSpine returns a CI-sized fabric (4×4×4 = 16 hosts) at 90% load.
+// 1200 flows keeps the TCN-vs-RED small-flow gap well clear of seed noise
+// (ratio ≥ 1.27 across seeds 1-3; at 900 flows a seed landed at 1.05).
+func ciLeafSpine() LeafSpineConfig {
+	c := DefaultLeafSpine()
+	c.Leaves, c.Spines, c.HostsPerLeaf = 4, 4, 4
+	c.Flows = 1200
+	c.Seed = 1
+	return c
+}
+
+// checkLeafSpinePair asserts the §6.2 shape between TCN and per-queue RED
+// in one scheduler/transport setting.
+func checkLeafSpinePair(t *testing.T, tcn, red LeafSpineResult) {
+	t.Helper()
+	if tcn.Unfinished > 0 || red.Unfinished > 0 {
+		t.Fatalf("unfinished flows: TCN %d RED %d", tcn.Unfinished, red.Unfinished)
+	}
+	if float64(red.Stats.AvgSmall) < 1.1*float64(tcn.Stats.AvgSmall) {
+		t.Errorf("small avg: RED %v not above TCN %v", red.Stats.AvgSmall, tcn.Stats.AvgSmall)
+	}
+	if red.Stats.P99Small <= tcn.Stats.P99Small {
+		t.Errorf("small p99: RED %v should exceed TCN %v", red.Stats.P99Small, tcn.Stats.P99Small)
+	}
+	if red.Stats.TimeoutsSmall <= tcn.Stats.TimeoutsSmall {
+		t.Errorf("small-flow timeouts: RED %d should exceed TCN %d (§6.2.1)",
+			red.Stats.TimeoutsSmall, tcn.Stats.TimeoutsSmall)
+	}
+	// Large flows within ~20% (paper: within ~1.5%; CI runs 2% of the
+	// paper's flows).
+	ratio := float64(tcn.Stats.AvgLarge) / float64(red.Stats.AvgLarge)
+	if ratio > 1.2 {
+		t.Errorf("large avg: TCN %v much worse than RED %v", tcn.Stats.AvgLarge, red.Stats.AvgLarge)
+	}
+}
+
+func runLeafSpinePair(t *testing.T, base LeafSpineConfig) (tcn, red LeafSpineResult) {
+	t.Helper()
+	c := base
+	c.Scheme = SchemeTCN
+	tcn = RunLeafSpine(c)
+	c.Scheme = SchemeRED
+	red = RunLeafSpine(c)
+	return tcn, red
+}
+
+func TestFig10LeafSpineDWRR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-fabric simulation")
+	}
+	tcn, red := runLeafSpinePair(t, ciLeafSpine())
+	checkLeafSpinePair(t, tcn, red)
+}
+
+func TestFig11LeafSpineWFQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-fabric simulation")
+	}
+	c := ciLeafSpine()
+	c.Sched = SchedSPWFQ
+	tcn, red := runLeafSpinePair(t, c)
+	checkLeafSpinePair(t, tcn, red)
+}
+
+func TestFig12ECNStar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-fabric simulation")
+	}
+	c := ciLeafSpine()
+	c.CC = transport.ECNStar
+	tcn, red := runLeafSpinePair(t, c)
+	checkLeafSpinePair(t, tcn, red)
+	// §6.2.2: even with the ECN-sensitive ECN*, TCN keeps large-flow
+	// throughput competitive (paper: within 1.8%).
+	ratio := float64(tcn.Stats.AvgLarge) / float64(red.Stats.AvgLarge)
+	if ratio > 1.2 {
+		t.Errorf("ECN* large avg ratio %.2f, want near 1", ratio)
+	}
+}
+
+func TestFig13ManyQueues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-fabric simulation")
+	}
+	c := ciLeafSpine()
+	c.CC = transport.ECNStar
+	c.Services = 31
+	tcn, red := runLeafSpinePair(t, c)
+
+	// The paper's 32-queue divergence (RED's timeouts grow with the
+	// queue count, §6.2.2) needs enough concurrent flows per port to
+	// keep tens of queues busy — paper-scale concurrency (144 hosts).
+	// On the CI fabric (16 hosts) the schemes converge, so this test
+	// asserts correctness of the 32-queue configuration and parity
+	// rather than the divergence; `tcnsim -exp fig13` runs full scale.
+	if tcn.Unfinished > 0 || red.Unfinished > 0 {
+		t.Fatalf("unfinished flows: TCN %d RED %d", tcn.Unfinished, red.Unfinished)
+	}
+	ratio := float64(tcn.Stats.AvgSmall) / float64(red.Stats.AvgSmall)
+	if ratio > 1.5 {
+		t.Errorf("32 queues: TCN small avg %v much worse than RED %v", tcn.Stats.AvgSmall, red.Stats.AvgSmall)
+	}
+	if lr := float64(tcn.Stats.AvgLarge) / float64(red.Stats.AvgLarge); lr > 1.2 {
+		t.Errorf("32 queues: TCN large avg %v much worse than RED %v", tcn.Stats.AvgLarge, red.Stats.AvgLarge)
+	}
+}

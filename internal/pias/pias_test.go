@@ -1,0 +1,60 @@
+package pias
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTagThreshold(t *testing.T) {
+	tag := Tag(0, 3, DefaultThreshold)
+	if tag(0) != 0 || tag(99_999) != 0 {
+		t.Fatal("bytes below threshold must be high priority")
+	}
+	if tag(100_000) != 3 || tag(5_000_000) != 3 {
+		t.Fatal("bytes at/after threshold must be demoted to the service class")
+	}
+}
+
+func TestTagBoundaryIsExclusive(t *testing.T) {
+	tag := Tag(1, 2, 100)
+	if tag(99) != 1 {
+		t.Fatal("offset 99 < 100 stays high")
+	}
+	if tag(100) != 2 {
+		t.Fatal("offset 100 demotes")
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero threshold must panic")
+		}
+	}()
+	Tag(0, 1, 0)
+}
+
+// Property: the tag is a step function — high before the threshold, low
+// from it onward, nothing else.
+func TestPropertyTagIsStep(t *testing.T) {
+	tag := Tag(0, 7, DefaultThreshold)
+	f := func(off int64) bool {
+		if off < 0 {
+			off = -off
+		}
+		got := tag(off)
+		if off < DefaultThreshold {
+			return got == 0
+		}
+		return got == 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultThresholdMatchesPaper(t *testing.T) {
+	if DefaultThreshold != 100_000 {
+		t.Fatalf("threshold %d, want the paper's 100KB", DefaultThreshold)
+	}
+}

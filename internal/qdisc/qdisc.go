@@ -1,0 +1,229 @@
+// Package qdisc reassembles the paper's software prototype (§5) as a
+// library: the five-stage packet pipeline of the Linux queueing-discipline
+// kernel module — DSCP classifier, enqueue ECN marking, packet scheduler,
+// token-bucket rate limiter, dequeue ECN marking — running on the
+// simulator clock instead of kernel time.
+//
+// The deliberate difference from fabric.Port is the rate limiter: the
+// prototype shapes egress at 99.5 % of NIC capacity with a ~1.67-MTU
+// bucket so queueing stays inside the qdisc where the marker can see it,
+// rather than draining into NIC ring buffers (§5, "Rate Limiter").
+package qdisc
+
+import (
+	"fmt"
+
+	"tcn/internal/core"
+	"tcn/internal/fabric"
+	"tcn/internal/pkt"
+	"tcn/internal/queue"
+	"tcn/internal/sched"
+	"tcn/internal/sim"
+)
+
+// TokenBucket is the prototype's shaper: tokens accrue at Rate and each
+// transmission spends the packet's wire size; Burst bounds accumulation.
+type TokenBucket struct {
+	// Rate is the token fill rate in bits per second.
+	Rate fabric.Rate
+	// Burst is the bucket depth in bytes (paper: 2.5 KB ≈ 1.67 MTU).
+	Burst int
+
+	tokens float64 // bytes
+	last   sim.Time
+}
+
+// NewTokenBucket returns a full bucket.
+func NewTokenBucket(rate fabric.Rate, burst int) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		panic(fmt.Sprintf("qdisc: invalid token bucket rate=%v burst=%d", rate, burst))
+	}
+	return &TokenBucket{Rate: rate, Burst: burst, tokens: float64(burst)}
+}
+
+// refill accrues tokens up to the burst cap.
+func (tb *TokenBucket) refill(now sim.Time) {
+	if now > tb.last {
+		tb.tokens += float64(tb.Rate) / 8 * (now - tb.last).Seconds()
+		if tb.tokens > float64(tb.Burst) {
+			tb.tokens = float64(tb.Burst)
+		}
+		tb.last = now
+	}
+}
+
+// Take attempts to spend size bytes at time now. On failure it reports
+// how long to wait until enough tokens accrue.
+func (tb *TokenBucket) Take(now sim.Time, size int) (ok bool, wait sim.Time) {
+	tb.refill(now)
+	if tb.tokens >= float64(size) {
+		tb.tokens -= float64(size)
+		return true, 0
+	}
+	missing := float64(size) - tb.tokens
+	wait = sim.Time(missing * 8 / float64(tb.Rate) * float64(sim.Second))
+	if wait < 1 {
+		wait = 1
+	}
+	return false, wait
+}
+
+// Tokens returns the current token count in bytes (after refill).
+func (tb *TokenBucket) Tokens(now sim.Time) float64 {
+	tb.refill(now)
+	return tb.tokens
+}
+
+// Config assembles a Qdisc.
+type Config struct {
+	// Queues is the number of per-class FIFO queues.
+	Queues int
+	// BufferBytes is the shared buffer pool (0 = unlimited).
+	BufferBytes int
+	// Scheduler arbitrates the queues; nil = FIFO.
+	Scheduler sched.Scheduler
+	// Marker is the ECN scheme; nil = none.
+	Marker core.Marker
+	// Classify maps packets to queues; nil = DSCP.
+	Classify fabric.Classifier
+	// LineRate is the NIC speed; the shaper runs at ShapeFraction of it.
+	LineRate fabric.Rate
+	// ShapeFraction defaults to the paper's 0.995.
+	ShapeFraction float64
+	// Burst defaults to the paper's 2500 bytes.
+	Burst int
+	// Transmit receives packets leaving the qdisc (the "NIC driver").
+	Transmit func(now sim.Time, p *pkt.Packet)
+}
+
+// Qdisc is the assembled pipeline.
+type Qdisc struct {
+	eng      *sim.Engine
+	buf      *queue.Buffer
+	sch      sched.Scheduler
+	marker   core.Marker
+	classify fabric.Classifier
+	bucket   *TokenBucket
+	rate     fabric.Rate
+	transmit func(now sim.Time, p *pkt.Packet)
+
+	busy    bool
+	waiting bool
+
+	// Drops counts buffer rejections; Sent counts transmissions.
+	Drops int
+	Sent  int64
+}
+
+// New builds a qdisc.
+func New(eng *sim.Engine, cfg Config) *Qdisc {
+	if cfg.Queues <= 0 {
+		panic(fmt.Sprintf("qdisc: need at least one queue, got %d", cfg.Queues))
+	}
+	if cfg.LineRate <= 0 {
+		panic("qdisc: need a line rate")
+	}
+	if cfg.Transmit == nil {
+		panic("qdisc: need a transmit function")
+	}
+	frac := cfg.ShapeFraction
+	if frac == 0 {
+		frac = 0.995
+	}
+	burst := cfg.Burst
+	if burst == 0 {
+		burst = 2500
+	}
+	s := cfg.Scheduler
+	if s == nil {
+		s = sched.NewFIFO()
+	}
+	m := cfg.Marker
+	if m == nil {
+		m = core.Nop{}
+	}
+	c := cfg.Classify
+	if c == nil {
+		c = fabric.ClassifyByDSCP(cfg.Queues)
+	}
+	q := &Qdisc{
+		eng:      eng,
+		buf:      queue.NewBuffer(cfg.Queues, cfg.BufferBytes, 0),
+		sch:      s,
+		marker:   m,
+		classify: c,
+		bucket:   NewTokenBucket(fabric.Rate(float64(cfg.LineRate)*frac), burst),
+		rate:     cfg.LineRate,
+		transmit: cfg.Transmit,
+	}
+	s.Bind(q.buf)
+	return q
+}
+
+// Enqueue admits a packet from the IP layer: classify, buffer, enqueue
+// marking.
+func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
+	now := q.eng.Now()
+	qi := q.classify(p)
+	if !q.buf.Push(qi, p) {
+		q.Drops++
+		return false
+	}
+	p.EnqueuedAt = now
+	q.sch.OnEnqueue(now, qi, p)
+	q.marker.OnEnqueue(now, qi, p, q)
+	if !q.busy && !q.waiting {
+		q.dequeue()
+	}
+	return true
+}
+
+// dequeue pulls the next packet through the shaper and dequeue marker.
+func (q *Qdisc) dequeue() {
+	now := q.eng.Now()
+	qi := q.sch.Next(now)
+	if qi < 0 {
+		q.busy = false
+		return
+	}
+	head := q.buf.Head(qi)
+	if ok, wait := q.bucket.Take(now, head.Size); !ok {
+		// Not enough tokens: retry when they have accrued.
+		q.busy = false
+		q.waiting = true
+		q.eng.After(wait, func() {
+			q.waiting = false
+			if !q.busy {
+				q.dequeue()
+			}
+		})
+		return
+	}
+	p := q.buf.Pop(qi)
+	q.sch.OnDequeue(now, qi, p)
+	q.marker.OnDequeue(now, qi, p, q)
+	q.Sent++
+	q.transmit(now, p)
+	// The wire is busy for the serialization time; then pull the next
+	// packet.
+	q.busy = true
+	q.eng.After(q.rate.Serialize(p.Size), q.dequeue)
+}
+
+// Buffer exposes the buffer for tests.
+func (q *Qdisc) Buffer() *queue.Buffer { return q.buf }
+
+// NumQueues implements core.PortState.
+func (q *Qdisc) NumQueues() int { return q.buf.NumQueues() }
+
+// QueueLen implements core.PortState.
+func (q *Qdisc) QueueLen(i int) int { return q.buf.Len(i) }
+
+// QueueBytes implements core.PortState.
+func (q *Qdisc) QueueBytes(i int) int { return q.buf.Bytes(i) }
+
+// PortBytes implements core.PortState.
+func (q *Qdisc) PortBytes() int { return q.buf.Used() }
+
+// LinkRate implements core.PortState.
+func (q *Qdisc) LinkRate() int64 { return int64(q.rate) }

@@ -1,0 +1,195 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcn/internal/pkt"
+)
+
+func mkpkt(size int) *pkt.Packet { return &pkt.Packet{Size: size} }
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO()
+	for i := 0; i < 100; i++ {
+		q.Push(&pkt.Packet{Seq: int64(i), Size: 100})
+	}
+	if q.Len() != 100 || q.Bytes() != 100*100 {
+		t.Fatalf("len=%d bytes=%d", q.Len(), q.Bytes())
+	}
+	for i := 0; i < 100; i++ {
+		p := q.Pop()
+		if p == nil || p.Seq != int64(i) {
+			t.Fatalf("pop %d returned %v", i, p)
+		}
+	}
+	if !q.Empty() || q.Pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestFIFOInterleavedWrap(t *testing.T) {
+	// Exercise the ring wrap: pushes and pops interleaved across the
+	// initial capacity boundary.
+	q := NewFIFO()
+	next, expect := int64(0), int64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(&pkt.Packet{Seq: next, Size: 1})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			p := q.Pop()
+			if p.Seq != expect {
+				t.Fatalf("round %d: got seq %d, want %d", round, p.Seq, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		if p := q.Pop(); p.Seq != expect {
+			t.Fatalf("drain: got %d, want %d", p.Seq, expect)
+		} else {
+			expect++
+		}
+	}
+	if expect != next {
+		t.Fatalf("drained %d packets, pushed %d", expect, next)
+	}
+}
+
+func TestFIFOHead(t *testing.T) {
+	q := NewFIFO()
+	if q.Head() != nil {
+		t.Fatal("empty head should be nil")
+	}
+	q.Push(&pkt.Packet{Seq: 7, Size: 10})
+	q.Push(&pkt.Packet{Seq: 8, Size: 10})
+	if q.Head().Seq != 7 {
+		t.Fatal("head should be first pushed")
+	}
+	q.Pop()
+	if q.Head().Seq != 8 {
+		t.Fatal("head should advance")
+	}
+}
+
+func TestBufferSharedCapacity(t *testing.T) {
+	b := NewBuffer(2, 1000, 0)
+	if !b.Push(0, mkpkt(600)) {
+		t.Fatal("first push should fit")
+	}
+	// Queue 1 is empty but the shared pool is nearly full: a 600-byte
+	// packet must be rejected regardless of target queue.
+	if b.Push(1, mkpkt(600)) {
+		t.Fatal("push should exceed shared capacity")
+	}
+	if b.Drops[1] != 1 || b.DroppedBytes[1] != 600 {
+		t.Fatalf("drop accounting: %v %v", b.Drops, b.DroppedBytes)
+	}
+	if !b.Push(1, mkpkt(400)) {
+		t.Fatal("exact fit should be admitted")
+	}
+	if b.Used() != 1000 {
+		t.Fatalf("used = %d, want 1000", b.Used())
+	}
+}
+
+func TestBufferPerQueueCap(t *testing.T) {
+	b := NewBuffer(2, 0, 500)
+	if !b.Push(0, mkpkt(400)) || b.Push(0, mkpkt(200)) {
+		t.Fatal("per-queue cap not enforced")
+	}
+	if !b.Push(1, mkpkt(400)) {
+		t.Fatal("other queue should have its own cap")
+	}
+}
+
+func TestBufferUnlimited(t *testing.T) {
+	b := NewBuffer(1, 0, 0)
+	for i := 0; i < 10000; i++ {
+		if !b.Push(0, mkpkt(1500)) {
+			t.Fatal("unlimited buffer rejected a packet")
+		}
+	}
+	if b.TotalDrops() != 0 {
+		t.Fatal("unexpected drops")
+	}
+}
+
+func TestBufferPopAccounting(t *testing.T) {
+	b := NewBuffer(3, 10_000, 0)
+	b.Push(1, mkpkt(1000))
+	b.Push(2, mkpkt(2000))
+	if b.Used() != 3000 || b.Bytes(1) != 1000 || b.Bytes(2) != 2000 {
+		t.Fatal("byte accounting wrong after push")
+	}
+	p := b.Pop(2)
+	if p == nil || p.Size != 2000 {
+		t.Fatal("pop returned wrong packet")
+	}
+	if b.Used() != 1000 || b.Bytes(2) != 0 {
+		t.Fatal("byte accounting wrong after pop")
+	}
+	if b.Pop(0) != nil {
+		t.Fatal("pop from empty queue should be nil")
+	}
+}
+
+func TestBufferHeadAndLen(t *testing.T) {
+	b := NewBuffer(2, 0, 0)
+	b.Push(0, &pkt.Packet{Seq: 1, Size: 10})
+	b.Push(0, &pkt.Packet{Seq: 2, Size: 10})
+	if b.Head(0).Seq != 1 || b.Len(0) != 2 || b.Len(1) != 0 {
+		t.Fatal("head/len wrong")
+	}
+	if b.Head(1) != nil {
+		t.Fatal("empty queue head should be nil")
+	}
+}
+
+func TestBufferAdmit(t *testing.T) {
+	b := NewBuffer(1, 100, 0)
+	if !b.Admit(0, 100) || b.Admit(0, 101) {
+		t.Fatal("Admit boundary wrong")
+	}
+}
+
+// Property: under any random push/pop sequence, Used() equals the sum of
+// live packet sizes and never exceeds the shared capacity.
+func TestPropertyBufferAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const cap = 5000
+		b := NewBuffer(4, cap, 0)
+		live := 0
+		for _, op := range ops {
+			qi := int(op % 4)
+			size := 64 + int(op)*7
+			if op%3 == 0 {
+				if p := b.Pop(qi); p != nil {
+					live -= p.Size
+				}
+			} else {
+				if b.Push(qi, mkpkt(size)) {
+					live += size
+				}
+			}
+			if b.Used() != live || b.Used() > cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPanicsOnZeroQueues(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuffer(0, 0, 0)
+}

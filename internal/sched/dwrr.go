@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"fmt"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// DWRR is deficit weighted round robin (Shreedhar & Varghese). Active
+// queues sit in a linked list; the head queue may send up to its
+// accumulated deficit, which grows by one quantum per visit. This is the
+// discipline the paper's qdisc prototype implements (§5), including the
+// per-queue round-time tracking that MQ-ECN consumes.
+type DWRR struct {
+	v        View
+	quantum  []int
+	deficit  []int
+	active   []int  // queue indices in service order (head first)
+	isActive []bool // membership in active
+	inTurn   []bool // quantum already granted for the current visit
+
+	lastTurnStart []sim.Time // when queue i last began a service turn
+	roundTime     []sim.Time // latest turn-to-turn interval sample
+	lastDequeue   []sim.Time // when queue i last dequeued a packet
+}
+
+// NewDWRR returns a DWRR scheduler with the given per-queue quanta, in
+// bytes. A quantum must be at least one MTU for the discipline to be work
+// conserving with MTU-sized packets.
+func NewDWRR(quantum []int) *DWRR {
+	q := make([]int, len(quantum))
+	copy(q, quantum)
+	for i, v := range q {
+		if v <= 0 {
+			panic(fmt.Sprintf("sched: DWRR quantum[%d]=%d must be positive", i, v))
+		}
+	}
+	return &DWRR{quantum: q}
+}
+
+// NewDWRREqual returns a DWRR scheduler with n queues of the same quantum.
+func NewDWRREqual(n, quantum int) *DWRR {
+	q := make([]int, n)
+	for i := range q {
+		q[i] = quantum
+	}
+	return NewDWRR(q)
+}
+
+// Name implements Scheduler.
+func (s *DWRR) Name() string { return "DWRR" }
+
+// Bind implements Scheduler.
+func (s *DWRR) Bind(v View) {
+	if v.NumQueues() != len(s.quantum) {
+		panic(fmt.Sprintf("sched: DWRR configured for %d queues, port has %d",
+			len(s.quantum), v.NumQueues()))
+	}
+	s.v = v
+	n := len(s.quantum)
+	s.deficit = make([]int, n)
+	s.isActive = make([]bool, n)
+	s.inTurn = make([]bool, n)
+	s.lastTurnStart = make([]sim.Time, n)
+	s.roundTime = make([]sim.Time, n)
+	s.lastDequeue = make([]sim.Time, n)
+}
+
+// OnEnqueue implements Scheduler: a newly backlogged queue joins the tail
+// of the active list.
+func (s *DWRR) OnEnqueue(now sim.Time, i int, _ *pkt.Packet) {
+	if !s.isActive[i] {
+		s.isActive[i] = true
+		s.inTurn[i] = false
+		s.active = append(s.active, i)
+	}
+}
+
+// Next implements Scheduler.
+func (s *DWRR) Next(now sim.Time) int {
+	for len(s.active) > 0 {
+		i := s.active[0]
+		if s.v.Len(i) == 0 {
+			// Queue drained outside OnDequeue bookkeeping; retire it.
+			s.retire(i)
+			continue
+		}
+		if !s.inTurn[i] {
+			s.inTurn[i] = true
+			s.deficit[i] += s.quantum[i]
+			// A round-time sample is only meaningful if the queue
+			// stayed backlogged since its previous turn; retire()
+			// invalidates the start timestamp (0 sentinel).
+			if s.lastTurnStart[i] > 0 {
+				s.roundTime[i] = now - s.lastTurnStart[i]
+			}
+			s.lastTurnStart[i] = now
+		}
+		if s.v.Head(i).Size <= s.deficit[i] {
+			return i
+		}
+		// Quantum exhausted: rotate to the tail, keep the deficit.
+		s.active = s.active[1:]
+		s.active = append(s.active, i)
+		s.inTurn[i] = false
+	}
+	return -1
+}
+
+// OnDequeue implements Scheduler.
+func (s *DWRR) OnDequeue(now sim.Time, i int, p *pkt.Packet) {
+	s.deficit[i] -= p.Size
+	s.lastDequeue[i] = now
+	if s.v.Len(i) == 0 {
+		s.retire(i)
+	}
+}
+
+// retire removes queue i from the active list and resets its deficit, per
+// the DWRR specification for queues that empty.
+func (s *DWRR) retire(i int) {
+	s.isActive[i] = false
+	s.inTurn[i] = false
+	s.deficit[i] = 0
+	s.lastTurnStart[i] = 0 // next round sample would span an idle gap
+	for k, q := range s.active {
+		if q == i {
+			s.active = append(s.active[:k], s.active[k+1:]...)
+			break
+		}
+	}
+}
+
+// Quantum returns queue i's quantum in bytes. Part of the RoundInfo
+// contract MQ-ECN consumes.
+func (s *DWRR) Quantum(i int) int { return s.quantum[i] }
+
+// RoundTime returns the most recent turn-to-turn interval observed for
+// queue i, i.e. the paper's T_round as seen by that queue. Zero means no
+// complete round has been observed yet.
+func (s *DWRR) RoundTime(i int) sim.Time { return s.roundTime[i] }
+
+// LastDequeue returns the last time queue i sent a packet, used by MQ-ECN's
+// idle-reset rule.
+func (s *DWRR) LastDequeue(i int) sim.Time { return s.lastDequeue[i] }
+
+// WRR is classic weighted round robin: each visit, a backlogged queue may
+// send up to weight packets regardless of their size. Retained as a second
+// round-based discipline for MQ-ECN coverage; DWRR should be preferred for
+// byte-accurate fairness.
+type WRR struct {
+	*DWRR
+	weights []int
+}
+
+// NewWRR returns a WRR scheduler; weight w behaves like a DWRR quantum of
+// w MTU-sized packets.
+func NewWRR(weights []int) *WRR {
+	q := make([]int, len(weights))
+	for i, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("sched: WRR weight[%d]=%d must be positive", i, w))
+		}
+		q[i] = w * pkt.MTU
+	}
+	return &WRR{DWRR: NewDWRR(q), weights: weights}
+}
+
+// Name implements Scheduler.
+func (s *WRR) Name() string { return "WRR" }
+
+// NewRR returns an unweighted round-robin scheduler over n queues.
+func NewRR(n int) *WRR {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWRR(w)
+}

@@ -1,0 +1,111 @@
+// Package sched implements the packet schedulers the paper evaluates TCN
+// over: FIFO, strict priority (SP), round-robin families (RR, WRR, DWRR),
+// weighted fair queueing (WFQ, self-clocked as in the paper's qdisc
+// prototype), the hierarchical SP/WFQ and SP/DWRR composites, and a
+// PIFO-style programmable rank scheduler standing in for the "arbitrary
+// schedulers" of §2.2.
+//
+// A Scheduler decides which queue an egress port serves next. It observes
+// queue state through a View and is notified of every enqueue and dequeue
+// so it can maintain its own bookkeeping (active lists, deficits, virtual
+// time). Schedulers must be work conserving: Next returns -1 only when all
+// queues are empty.
+package sched
+
+import (
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// View is the read-only queue state a scheduler consults.
+type View interface {
+	NumQueues() int
+	Len(i int) int
+	Bytes(i int) int
+	Head(i int) *pkt.Packet
+}
+
+// Scheduler selects the next queue to serve on an egress port.
+type Scheduler interface {
+	// Name identifies the discipline in logs and result tables.
+	Name() string
+	// Bind attaches the scheduler to the queues it will arbitrate.
+	// It is called exactly once, before any traffic flows.
+	Bind(v View)
+	// OnEnqueue is called after packet p has been admitted to queue i.
+	OnEnqueue(now sim.Time, i int, p *pkt.Packet)
+	// Next returns the queue the port should serve now, or -1 if all
+	// queues are empty.
+	Next(now sim.Time) int
+	// OnDequeue is called after packet p has been removed from queue i.
+	OnDequeue(now sim.Time, i int, p *pkt.Packet)
+}
+
+// totalLen sums queue lengths; helper shared by disciplines that need to
+// detect an idle system.
+func totalLen(v View) int {
+	n := 0
+	for i := 0; i < v.NumQueues(); i++ {
+		n += v.Len(i)
+	}
+	return n
+}
+
+// FIFO serves a single queue in arrival order. With multiple queues it
+// degenerates to lowest-index-first and is only intended for single-queue
+// ports.
+type FIFO struct{ v View }
+
+// NewFIFO returns a FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Scheduler.
+func (s *FIFO) Name() string { return "FIFO" }
+
+// Bind implements Scheduler.
+func (s *FIFO) Bind(v View) { s.v = v }
+
+// OnEnqueue implements Scheduler.
+func (s *FIFO) OnEnqueue(sim.Time, int, *pkt.Packet) {}
+
+// Next implements Scheduler.
+func (s *FIFO) Next(sim.Time) int {
+	for i := 0; i < s.v.NumQueues(); i++ {
+		if s.v.Len(i) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// OnDequeue implements Scheduler.
+func (s *FIFO) OnDequeue(sim.Time, int, *pkt.Packet) {}
+
+// SP is strict priority: queue 0 is highest; a queue is served only when
+// every higher-priority queue is empty.
+type SP struct{ v View }
+
+// NewSP returns a strict-priority scheduler.
+func NewSP() *SP { return &SP{} }
+
+// Name implements Scheduler.
+func (s *SP) Name() string { return "SP" }
+
+// Bind implements Scheduler.
+func (s *SP) Bind(v View) { s.v = v }
+
+// OnEnqueue implements Scheduler.
+func (s *SP) OnEnqueue(sim.Time, int, *pkt.Packet) {}
+
+// Next implements Scheduler.
+func (s *SP) Next(sim.Time) int {
+	for i := 0; i < s.v.NumQueues(); i++ {
+		if s.v.Len(i) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// OnDequeue implements Scheduler.
+func (s *SP) OnDequeue(sim.Time, int, *pkt.Packet) {}

@@ -1,0 +1,441 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcn/internal/pkt"
+	"tcn/internal/queue"
+	"tcn/internal/sim"
+)
+
+// harness drives a scheduler against a real buffer, simulating an
+// always-busy link: every step enqueues or dequeues and tracks served
+// bytes per queue.
+type harness struct {
+	t   *testing.T
+	buf *queue.Buffer
+	s   Scheduler
+	now sim.Time
+
+	served     []int // bytes dequeued per queue
+	servedPkts []int
+	lastServed int
+	serveOrder []int
+}
+
+func newHarness(t *testing.T, s Scheduler, queues int) *harness {
+	h := &harness{
+		t:          t,
+		buf:        queue.NewBuffer(queues, 0, 0),
+		s:          s,
+		served:     make([]int, queues),
+		servedPkts: make([]int, queues),
+	}
+	s.Bind(h.buf)
+	return h
+}
+
+func (h *harness) push(qi, size int) {
+	p := &pkt.Packet{Size: size, DSCP: uint8(qi)}
+	if !h.buf.Push(qi, p) {
+		h.t.Fatalf("push rejected")
+	}
+	h.s.OnEnqueue(h.now, qi, p)
+}
+
+// serve dequeues one packet, advancing time by its serialization at a
+// nominal 1 byte/ns.
+func (h *harness) serve() int {
+	qi := h.s.Next(h.now)
+	if qi < 0 {
+		return -1
+	}
+	p := h.buf.Pop(qi)
+	if p == nil {
+		h.t.Fatalf("scheduler %s chose empty queue %d", h.s.Name(), qi)
+	}
+	h.now += sim.Time(p.Size)
+	h.s.OnDequeue(h.now, qi, p)
+	h.served[qi] += p.Size
+	h.servedPkts[qi]++
+	h.lastServed = qi
+	h.serveOrder = append(h.serveOrder, qi)
+	return qi
+}
+
+func TestSPServesStrictly(t *testing.T) {
+	h := newHarness(t, NewSP(), 3)
+	for i := 0; i < 5; i++ {
+		h.push(2, 100)
+		h.push(1, 100)
+	}
+	h.push(0, 100)
+	if q := h.serve(); q != 0 {
+		t.Fatalf("first service went to queue %d, want 0", q)
+	}
+	// With queue 0 empty, queue 1 must drain before queue 2.
+	for i := 0; i < 5; i++ {
+		if q := h.serve(); q != 1 {
+			t.Fatalf("service %d went to queue %d, want 1", i, q)
+		}
+	}
+	// A late high-priority arrival preempts immediately.
+	h.push(0, 100)
+	if q := h.serve(); q != 0 {
+		t.Fatal("high-priority arrival should be served next")
+	}
+}
+
+func TestFIFOSingleQueue(t *testing.T) {
+	h := newHarness(t, NewFIFO(), 1)
+	h.push(0, 100)
+	h.push(0, 200)
+	if h.serve() != 0 || h.serve() != 0 || h.serve() != -1 {
+		t.Fatal("FIFO service broken")
+	}
+}
+
+// backlogAll loads every queue with n packets and serves only half the
+// total, so every queue stays backlogged and the shares reflect the
+// scheduling policy rather than eventual drain.
+func backlogAll(t *testing.T, s Scheduler, queues, n, size int) []int {
+	h := newHarness(t, s, queues)
+	for q := 0; q < queues; q++ {
+		for i := 0; i < n; i++ {
+			h.push(q, size)
+		}
+	}
+	for i := 0; i < queues*n/2; i++ {
+		if h.serve() < 0 {
+			break
+		}
+	}
+	return h.served
+}
+
+func TestDWRREqualSharesUnderBacklog(t *testing.T) {
+	served := backlogAll(t, NewDWRREqual(4, 1500), 4, 200, 1500)
+	for q := 1; q < 4; q++ {
+		if served[q] != served[0] {
+			t.Fatalf("unequal DWRR shares: %v", served)
+		}
+	}
+}
+
+func TestDWRRWeightedShares(t *testing.T) {
+	// Quanta 1500:4500 should yield a 1:3 byte split while both stay
+	// backlogged.
+	s := NewDWRR([]int{1500, 4500})
+	h := newHarness(t, s, 2)
+	for q := 0; q < 2; q++ {
+		for i := 0; i < 400; i++ {
+			h.push(q, 1500)
+		}
+	}
+	for i := 0; i < 400; i++ { // serve while both backlogged
+		h.serve()
+	}
+	ratio := float64(h.served[1]) / float64(h.served[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weighted DWRR ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestDWRRVariablePacketSizes(t *testing.T) {
+	// Byte fairness must hold even when one queue uses small packets.
+	s := NewDWRREqual(2, 1500)
+	h := newHarness(t, s, 2)
+	for i := 0; i < 600; i++ {
+		h.push(0, 1500)
+	}
+	for i := 0; i < 1800; i++ {
+		h.push(1, 500)
+	}
+	for i := 0; i < 800; i++ {
+		h.serve()
+	}
+	ratio := float64(h.served[0]) / float64(h.served[1])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("byte fairness ratio %.2f, want ~1 (served %v)", ratio, h.served)
+	}
+}
+
+func TestDWRRSkipsEmptyQueues(t *testing.T) {
+	h := newHarness(t, NewDWRREqual(3, 1500), 3)
+	h.push(1, 1000)
+	if q := h.serve(); q != 1 {
+		t.Fatalf("served %d, want 1", q)
+	}
+	if h.serve() != -1 {
+		t.Fatal("all empty should return -1")
+	}
+}
+
+func TestDWRRRoundTimeTracking(t *testing.T) {
+	s := NewDWRREqual(2, 1500)
+	h := newHarness(t, s, 2)
+	for i := 0; i < 20; i++ {
+		h.push(0, 1500)
+		h.push(1, 1500)
+	}
+	for i := 0; i < 20; i++ {
+		h.serve()
+	}
+	// Each round serves one packet per queue (quantum = packet size) at
+	// 1 byte/ns: the turn-to-turn interval is 2×1500 ns.
+	if rt := s.RoundTime(0); rt != 3000 {
+		t.Fatalf("round time %v, want 3000ns", rt)
+	}
+	if s.Quantum(0) != 1500 {
+		t.Fatal("quantum accessor wrong")
+	}
+	if s.LastDequeue(0) == 0 {
+		t.Fatal("last dequeue not tracked")
+	}
+}
+
+func TestWRRPacketWeights(t *testing.T) {
+	s := NewWRR([]int{1, 3})
+	h := newHarness(t, s, 2)
+	for q := 0; q < 2; q++ {
+		for i := 0; i < 400; i++ {
+			h.push(q, 1500)
+		}
+	}
+	for i := 0; i < 400; i++ { // keep both backlogged
+		h.serve()
+	}
+	served := h.served
+	ratio := float64(served[1]) / float64(served[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("WRR ratio %.2f, want ~3", ratio)
+	}
+	if s.Name() != "WRR" {
+		t.Fatal("name")
+	}
+}
+
+func TestRRAlternates(t *testing.T) {
+	h := newHarness(t, NewRR(2), 2)
+	for i := 0; i < 6; i++ {
+		h.push(0, 1500)
+		h.push(1, 1500)
+	}
+	for i := 0; i < 12; i++ {
+		h.serve()
+	}
+	for i := 2; i < len(h.serveOrder); i++ {
+		if h.serveOrder[i] == h.serveOrder[i-1] {
+			t.Fatalf("RR did not alternate: %v", h.serveOrder)
+		}
+	}
+}
+
+func TestWFQEqualSharesUnderBacklog(t *testing.T) {
+	served := backlogAll(t, NewWFQEqual(4), 4, 200, 1500)
+	for q := 1; q < 4; q++ {
+		if served[q] != served[0] {
+			t.Fatalf("unequal WFQ shares: %v", served)
+		}
+	}
+}
+
+func TestWFQWeightedShares(t *testing.T) {
+	s := NewWFQ([]float64{1, 3})
+	h := newHarness(t, s, 2)
+	for q := 0; q < 2; q++ {
+		for i := 0; i < 400; i++ {
+			h.push(q, 1500)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		h.serve()
+	}
+	ratio := float64(h.served[1]) / float64(h.served[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weighted WFQ ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestWFQByteFairnessMixedSizes(t *testing.T) {
+	s := NewWFQEqual(2)
+	h := newHarness(t, s, 2)
+	for i := 0; i < 400; i++ {
+		h.push(0, 1500)
+	}
+	for i := 0; i < 4000; i++ {
+		h.push(1, 150)
+	}
+	for i := 0; i < 1000; i++ {
+		h.serve()
+	}
+	ratio := float64(h.served[0]) / float64(h.served[1])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("WFQ byte fairness ratio %.2f (served %v)", ratio, h.served)
+	}
+}
+
+func TestWFQIdleReset(t *testing.T) {
+	s := NewWFQEqual(2)
+	h := newHarness(t, s, 2)
+	// Busy period 1: queue 0 sends a lot, accumulating a high finish tag.
+	for i := 0; i < 100; i++ {
+		h.push(0, 1500)
+	}
+	for i := 0; i < 100; i++ {
+		h.serve()
+	}
+	// System idle. Busy period 2: both queues arrive; queue 0 must not
+	// be penalized by its period-1 tags.
+	for i := 0; i < 50; i++ {
+		h.push(0, 1500)
+		h.push(1, 1500)
+	}
+	before := h.served[0]
+	for i := 0; i < 50; i++ {
+		h.serve()
+	}
+	got0 := h.served[0] - before
+	if got0 < 30_000 || got0 > 45_000 {
+		t.Fatalf("queue 0 served %d bytes in period 2, want ~half of 75000", got0)
+	}
+}
+
+func TestSPOverDWRRComposite(t *testing.T) {
+	s := NewSPOver(1, NewDWRREqual(2, 1500))
+	h := newHarness(t, s, 3)
+	if s.Name() != "SP/DWRR" || s.HighQueues() != 1 {
+		t.Fatal("composite metadata")
+	}
+	for i := 0; i < 10; i++ {
+		h.push(1, 1500)
+		h.push(2, 1500)
+	}
+	h.push(0, 100)
+	if h.serve() != 0 {
+		t.Fatal("strict queue must preempt")
+	}
+	// Low queues split evenly afterwards.
+	for i := 0; i < 20; i++ {
+		h.serve()
+	}
+	if h.served[1] != h.served[2] {
+		t.Fatalf("low-priority shares unequal: %v", h.served)
+	}
+	// Strict traffic injected mid-stream is served next.
+	h.push(0, 100)
+	h.push(1, 1500)
+	if h.serve() != 0 {
+		t.Fatal("strict queue must preempt mid-stream")
+	}
+}
+
+func TestSPOverWFQComposite(t *testing.T) {
+	s := NewSPOver(2, NewWFQEqual(2))
+	h := newHarness(t, s, 4)
+	h.push(3, 1500)
+	h.push(1, 1500)
+	h.push(0, 1500)
+	if h.serve() != 0 || h.serve() != 1 || h.serve() != 3 {
+		t.Fatal("two-level SP ordering wrong")
+	}
+}
+
+func TestPIFORankOrder(t *testing.T) {
+	// Rank = negative packet size: largest packet first, regardless of
+	// queue — an "arbitrary" policy neither RR nor SP can express.
+	s := NewPIFO(func(_ sim.Time, _ int, p *pkt.Packet) float64 { return -float64(p.Size) })
+	h := newHarness(t, s, 3)
+	h.push(0, 100)
+	h.push(1, 300)
+	h.push(2, 200)
+	if h.serve() != 1 || h.serve() != 2 || h.serve() != 0 {
+		t.Fatalf("PIFO rank order violated: %v", h.serveOrder)
+	}
+}
+
+func TestPIFONilRankIsGlobalFIFO(t *testing.T) {
+	s := NewPIFO(nil)
+	h := newHarness(t, s, 2)
+	h.push(1, 100)
+	h.push(0, 100)
+	h.push(1, 100)
+	want := []int{1, 0, 1}
+	for _, w := range want {
+		if got := h.serve(); got != w {
+			t.Fatalf("global FIFO order violated, got queue %d want %d", got, w)
+		}
+	}
+}
+
+// Property: every scheduler is work conserving — Next returns -1 iff all
+// queues are empty — under arbitrary enqueue/dequeue interleavings.
+func TestPropertyWorkConservation(t *testing.T) {
+	mk := map[string]func() Scheduler{
+		"sp":      func() Scheduler { return NewSP() },
+		"dwrr":    func() Scheduler { return NewDWRREqual(4, 1500) },
+		"wfq":     func() Scheduler { return NewWFQEqual(4) },
+		"sp-dwrr": func() Scheduler { return NewSPOver(1, NewDWRREqual(3, 1500)) },
+		"sp-wfq":  func() Scheduler { return NewSPOver(2, NewWFQEqual(2)) },
+		"pifo":    func() Scheduler { return NewPIFO(nil) },
+	}
+	for name, factory := range mk {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint8) bool {
+				h := newHarness(t, factory(), 4)
+				n := 0
+				for _, op := range ops {
+					if op%2 == 0 {
+						h.push(int(op/2)%4, 100+int(op))
+						n++
+					} else if n > 0 {
+						if h.serve() < 0 {
+							return false // non-empty but refused
+						}
+						n--
+					}
+				}
+				// Drain fully.
+				for n > 0 {
+					if h.serve() < 0 {
+						return false
+					}
+					n--
+				}
+				return h.serve() == -1
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dwrr zero quantum", func() { NewDWRR([]int{0}) })
+	mustPanic("wrr zero weight", func() { NewWRR([]int{0}) })
+	mustPanic("wfq zero weight", func() { NewWFQ([]float64{0}) })
+	mustPanic("spover zero high", func() { NewSPOver(0, NewFIFO()) })
+	mustPanic("dwrr bind mismatch", func() {
+		s := NewDWRREqual(2, 1500)
+		s.Bind(queue.NewBuffer(3, 0, 0))
+	})
+	mustPanic("wfq bind mismatch", func() {
+		s := NewWFQEqual(2)
+		s.Bind(queue.NewBuffer(3, 0, 0))
+	})
+	mustPanic("spover bind too few queues", func() {
+		s := NewSPOver(2, NewFIFO())
+		s.Bind(queue.NewBuffer(2, 0, 0))
+	})
+}

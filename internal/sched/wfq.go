@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// WFQ is weighted fair queueing, implemented as self-clocked fair queueing
+// (SCFQ): each packet receives a virtual finish tag
+//
+//	F = max(V, F_last(queue)) + size/weight
+//
+// at enqueue, the scheduler serves the queue whose head packet has the
+// smallest tag, and the system virtual time V follows the tag of the packet
+// in service. This mirrors the paper's qdisc WFQ, which "maintains a
+// virtual time for the head packet of each queue" and "chooses the head
+// packet with the smallest virtual time to transmit" (§5).
+type WFQ struct {
+	v          View
+	weights    []float64
+	vtime      float64
+	lastFinish []float64
+}
+
+// NewWFQ returns a WFQ scheduler with the given positive per-queue weights.
+func NewWFQ(weights []float64) *WFQ {
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	for i, x := range w {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			panic(fmt.Sprintf("sched: WFQ weight[%d]=%v must be positive and finite", i, x))
+		}
+	}
+	return &WFQ{weights: w}
+}
+
+// NewWFQEqual returns a WFQ scheduler with n equally weighted queues.
+func NewWFQEqual(n int) *WFQ {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWFQ(w)
+}
+
+// Name implements Scheduler.
+func (s *WFQ) Name() string { return "WFQ" }
+
+// Bind implements Scheduler.
+func (s *WFQ) Bind(v View) {
+	if v.NumQueues() != len(s.weights) {
+		panic(fmt.Sprintf("sched: WFQ configured for %d queues, port has %d",
+			len(s.weights), v.NumQueues()))
+	}
+	s.v = v
+	s.lastFinish = make([]float64, len(s.weights))
+}
+
+// OnEnqueue implements Scheduler: stamps the packet's virtual finish tag.
+func (s *WFQ) OnEnqueue(_ sim.Time, i int, p *pkt.Packet) {
+	// An idle system resets virtual time so tags do not grow without
+	// bound across busy periods.
+	if totalLen(s.v) == 1 { // p itself is the only packet queued
+		s.vtime = 0
+		for k := range s.lastFinish {
+			s.lastFinish[k] = 0
+		}
+	}
+	start := s.vtime
+	if s.lastFinish[i] > start {
+		start = s.lastFinish[i]
+	}
+	f := start + float64(p.Size)/s.weights[i]
+	p.SchedTag = f
+	s.lastFinish[i] = f
+}
+
+// Next implements Scheduler: smallest head finish tag wins.
+func (s *WFQ) Next(sim.Time) int {
+	best := -1
+	bestTag := math.Inf(1)
+	for i := 0; i < s.v.NumQueues(); i++ {
+		if s.v.Len(i) == 0 {
+			continue
+		}
+		if tag := s.v.Head(i).SchedTag; tag < bestTag {
+			bestTag = tag
+			best = i
+		}
+	}
+	return best
+}
+
+// OnDequeue implements Scheduler: the served packet's tag becomes the
+// system virtual time (self-clocking).
+func (s *WFQ) OnDequeue(_ sim.Time, i int, p *pkt.Packet) {
+	s.vtime = p.SchedTag
+}

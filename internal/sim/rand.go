@@ -1,0 +1,31 @@
+package sim
+
+import "math/rand"
+
+// Rand wraps math/rand with the distributions the simulator needs. All
+// randomness in an experiment must flow through one seeded Rand so runs are
+// reproducible.
+type Rand struct{ *rand.Rand }
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// clamped below at 1ns so event ordering stays strict.
+func (r *Rand) Exp(mean Time) Time {
+	d := Time(r.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Range returns a uniformly distributed integer in [lo, hi].
+func (r *Rand) Range(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}

@@ -1,0 +1,198 @@
+// Package sim provides the discrete-event simulation engine that underlies
+// every experiment in this repository.
+//
+// The engine keeps a virtual clock in integer nanoseconds and a binary heap
+// of pending events. Events scheduled for the same instant fire in the order
+// they were scheduled (a monotonically increasing sequence number breaks
+// ties), which makes every simulation fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It doubles as a duration; helper constructors are provided for
+// common units.
+type Time int64
+
+// Common durations expressed as Time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant; used as "never".
+const MaxTime Time = math.MaxInt64
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, e.g. "125us" or "1.5ms".
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// EventRef refers to a scheduled event so it can be canceled or inspected.
+// The zero value is an invalid reference.
+type EventRef struct{ ev *event }
+
+// Valid reports whether the reference points at a scheduled event.
+func (r EventRef) Valid() bool { return r.ev != nil }
+
+// Pending reports whether the event is still waiting to fire (not canceled,
+// not yet executed).
+func (r EventRef) Pending() bool { return r.ev != nil && !r.ev.canceled && r.ev.index >= 0 }
+
+// At reports the instant the event is scheduled for.
+func (r EventRef) At() Time {
+	if r.ev == nil {
+		return 0
+	}
+	return r.ev.at
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all callbacks run on the goroutine that calls Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Executed counts events that have fired, for progress reporting and
+	// runaway detection in tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending events (including canceled ones that
+// have not been popped yet).
+func (e *Engine) Len() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a logic error in a model.
+func (e *Engine) At(t Time, fn func()) EventRef {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventRef{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a pending event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(r EventRef) {
+	if r.ev == nil || r.ev.canceled {
+		return
+	}
+	r.ev.canceled = true
+	if r.ev.index >= 0 {
+		heap.Remove(&e.events, r.ev.index)
+	}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() { e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if the queue drained earlier the clock stays at the
+// last event). It returns the number of events executed during this call.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		n++
+		e.Executed++
+	}
+	if deadline != MaxTime && e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return n
+}

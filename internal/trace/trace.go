@@ -1,0 +1,147 @@
+// Package trace records per-packet events (transmissions, CE marks,
+// drops) from fabric ports into a bounded ring buffer, for debugging
+// simulations and asserting packet-level behaviour in tests without
+// accumulating unbounded state on long runs.
+package trace
+
+import (
+	"fmt"
+
+	"tcn/internal/fabric"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Transmit is a packet leaving a port onto its link.
+	Transmit Kind = iota
+	// Mark is a transmit whose packet carried CE.
+	Mark
+	// Drop is a packet rejected at admission.
+	Drop
+	nKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Transmit:
+		return "tx"
+	case Mark:
+		return "mark"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence. The packet is summarized by value so
+// the trace stays valid after the packet moves on.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Where string // port label
+	Queue int
+
+	Flow pkt.FlowID
+	Seq  int64
+	Size int
+	DSCP uint8
+	ECN  pkt.ECN
+}
+
+// String renders one line suitable for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%v %-4s %s q%d flow=%d seq=%d size=%d dscp=%d %s",
+		e.At, e.Kind, e.Where, e.Queue, e.Flow, e.Seq, e.Size, e.DSCP, e.ECN)
+}
+
+// Tracer accumulates events in a ring buffer of fixed capacity; when full,
+// the oldest events are overwritten. Counters are exact regardless of
+// eviction.
+type Tracer struct {
+	// Filter, if set, drops events for which it returns false before
+	// they reach the ring (counters are not incremented either).
+	Filter func(Event) bool
+
+	ring   []Event
+	next   int
+	filled bool
+	counts [nKinds]int64
+}
+
+// New returns a tracer holding up to capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: capacity %d must be positive", capacity))
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record adds one event.
+func (t *Tracer) Record(e Event) {
+	if t.Filter != nil && !t.Filter(e) {
+		return
+	}
+	t.counts[e.Kind]++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % cap(t.ring)
+	t.filled = true
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if !t.filled {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Count returns how many events of a kind were recorded (including
+// evicted ones).
+func (t *Tracer) Count(k Kind) int64 { return t.counts[k] }
+
+// summarize converts a live packet into an event skeleton.
+func summarize(now sim.Time, kind Kind, where string, qi int, p *pkt.Packet) Event {
+	return Event{
+		At: now, Kind: kind, Where: where, Queue: qi,
+		Flow: p.Flow, Seq: p.Seq, Size: p.Size, DSCP: p.DSCP, ECN: p.ECN,
+	}
+}
+
+// AttachPort hooks the tracer onto a port's transmit and drop paths under
+// the given label. It chains any hooks already installed. CE-marked
+// transmissions are recorded as Mark events, others as Transmit.
+func (t *Tracer) AttachPort(label string, port *fabric.Port) {
+	prevTx := port.OnTransmit
+	port.OnTransmit = func(now sim.Time, qi int, p *pkt.Packet) {
+		kind := Transmit
+		if p.ECN == pkt.CE {
+			kind = Mark
+		}
+		t.Record(summarize(now, kind, label, qi, p))
+		if prevTx != nil {
+			prevTx(now, qi, p)
+		}
+	}
+	prevDrop := port.OnDrop
+	port.OnDrop = func(now sim.Time, qi int, p *pkt.Packet) {
+		t.Record(summarize(now, Drop, label, qi, p))
+		if prevDrop != nil {
+			prevDrop(now, qi, p)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tcn/internal/fabric"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+func ev(at sim.Time, k Kind, flow pkt.FlowID) Event {
+	return Event{At: at, Kind: k, Where: "p0", Flow: flow, Size: 1500, ECN: pkt.ECT0}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(ev(sim.Time(i), Transmit, pkt.FlowID(i)))
+	}
+	got := tr.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d events", len(got))
+	}
+	for i, e := range got {
+		if e.Flow != pkt.FlowID(i+2) {
+			t.Fatalf("eviction order wrong: %v", got)
+		}
+	}
+	if tr.Count(Transmit) != 5 {
+		t.Fatalf("counter %d, want exact 5 despite eviction", tr.Count(Transmit))
+	}
+}
+
+func TestEventsBeforeWrap(t *testing.T) {
+	tr := New(10)
+	tr.Record(ev(1, Transmit, 1))
+	tr.Record(ev(2, Drop, 2))
+	got := tr.Events()
+	if len(got) != 2 || got[0].Flow != 1 || got[1].Kind != Drop {
+		t.Fatalf("events: %v", got)
+	}
+}
+
+func TestFilterExcludes(t *testing.T) {
+	tr := New(10)
+	tr.Filter = func(e Event) bool { return e.Kind == Drop }
+	tr.Record(ev(1, Transmit, 1))
+	tr.Record(ev(2, Drop, 2))
+	if len(tr.Events()) != 1 || tr.Count(Transmit) != 0 || tr.Count(Drop) != 1 {
+		t.Fatal("filter not applied")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	s := ev(5*sim.Microsecond, Mark, 7).String()
+	for _, want := range []string{"mark", "p0", "flow=7", "ECT(0)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestAttachPortRecordsTxMarksAndDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	var delivered int
+	sinkHost := fabric.NewHost(eng, 1, 0)
+	sinkHost.Handler = func(*pkt.Packet) { delivered++ }
+
+	port := fabric.NewPort(eng, fabric.PortConfig{
+		Rate:        fabric.Gbps,
+		Queues:      1,
+		BufferBytes: 4500,
+	}, sinkHost)
+	tr := New(100)
+	tr.AttachPort("bottleneck", port)
+
+	// 4 packets into a 4500B buffer: 1 in service + 3... the 4th drops
+	// after the first enters service; mark one manually via CE.
+	for i := 0; i < 5; i++ {
+		p := &pkt.Packet{Size: 1500, ECN: pkt.ECT0, Seq: int64(i)}
+		if i == 0 {
+			p.ECN = pkt.CE
+		}
+		port.Send(p)
+	}
+	eng.Run()
+
+	if tr.Count(Drop) == 0 {
+		t.Fatal("no drops recorded")
+	}
+	if tr.Count(Mark) != 1 {
+		t.Fatalf("marks = %d, want 1", tr.Count(Mark))
+	}
+	if int(tr.Count(Transmit)+tr.Count(Mark)) != delivered {
+		t.Fatalf("tx events %d != delivered %d", tr.Count(Transmit)+tr.Count(Mark), delivered)
+	}
+	for _, e := range tr.Events() {
+		if e.Where != "bottleneck" {
+			t.Fatalf("label missing: %+v", e)
+		}
+	}
+}
+
+func TestAttachPortChainsHooks(t *testing.T) {
+	eng := sim.NewEngine()
+	sinkHost := fabric.NewHost(eng, 1, 0)
+	sinkHost.Handler = func(*pkt.Packet) {}
+	port := fabric.NewPort(eng, fabric.PortConfig{Rate: fabric.Gbps, Queues: 1}, sinkHost)
+	called := 0
+	port.OnTransmit = func(sim.Time, int, *pkt.Packet) { called++ }
+	tr := New(10)
+	tr.AttachPort("p", port)
+	port.Send(&pkt.Packet{Size: 100})
+	eng.Run()
+	if called != 1 || tr.Count(Transmit) != 1 {
+		t.Fatalf("hook chaining broken: called=%d traced=%d", called, tr.Count(Transmit))
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

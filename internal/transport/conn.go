@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"fmt"
+
+	"tcn/internal/sim"
+)
+
+// Message is one application-level transfer (the paper's "flow") carried
+// over a persistent connection. The FCT experiments measure Done-Arrive
+// per message, exactly like the paper's client application which fetches
+// messages over pre-opened connections (§6.1.2).
+type Message struct {
+	Size  int64
+	Class uint8
+	// Tag assigns per-segment DSCP from the byte offset *within the
+	// message*; nil means StaticTag(Class). PIAS taggers plug in here.
+	Tag Tagger
+
+	// Arrive is when the application issued the request; Done when the
+	// last byte reached the receiver.
+	Arrive, Done sim.Time
+	// Timeouts counts RTO expirations while this message was in flight.
+	Timeouts int
+
+	startOff int64 // stream offset of the first byte
+	conn     *Conn
+}
+
+// FCT returns the message completion time.
+func (m *Message) FCT() sim.Time { return m.Done - m.Arrive }
+
+// Conn is a persistent TCP connection carrying messages one at a time.
+// Its congestion state (cwnd, ssthresh, DCTCP alpha, RTT estimate)
+// persists across messages, with a slow-start-restart cwnd clamp after
+// idleness — the behaviour of the paper's testbed where flows ride warm
+// Linux connections instead of slow-starting from scratch.
+type Conn struct {
+	stack *Stack
+	snd   *Sender
+	rcv   *receiver
+	cur   *Message
+}
+
+// NewConn opens a persistent connection between two hosts. The connection
+// is idle until a message is submitted.
+func (s *Stack) NewConn(src, dst int) *Conn {
+	f := &Flow{
+		ID:  s.NewFlowID(),
+		Src: src,
+		Dst: dst,
+		Tag: StaticTag(0),
+	}
+	c := &Conn{stack: s}
+	c.snd = newSender(s, f)
+	c.snd.done = true // nothing to send yet
+	c.rcv = newReceiver(s, f)
+	c.rcv.streaming = true
+	s.senders[f.ID] = c.snd
+	s.receivers[f.ID] = c.rcv
+	// The wire-level tag resolves through the connection so each
+	// message can carry its own (possibly offset-dependent) DSCP.
+	f.Tag = c.tagAt
+	return c
+}
+
+// Idle reports whether the connection can accept a new message now.
+func (c *Conn) Idle() bool { return c.cur == nil }
+
+// Sender exposes the underlying TCP sender (diagnostics).
+func (c *Conn) Sender() *Sender { return c.snd }
+
+// Send begins transferring m immediately. The connection must be idle.
+func (c *Conn) Send(m *Message) {
+	if !c.Idle() {
+		panic("transport: connection busy")
+	}
+	if m.Size <= 0 {
+		panic(fmt.Sprintf("transport: message size %d", m.Size))
+	}
+	now := c.stack.eng.Now()
+	m.Arrive = now
+	m.startOff = c.snd.flow.Size
+	m.conn = c
+	c.cur = m
+	c.snd.flow.Size += m.Size
+	c.snd.flow.Class = m.Class
+	c.rcv.flow.Class = m.Class // ACK class follows the active message
+	c.rcv.boundaries = append(c.rcv.boundaries, m)
+	c.snd.msg = m
+	c.snd.resume(now)
+}
+
+// tagAt resolves the DSCP of the segment at stream offset off: bytes of
+// the active message use its tagger (relative to the message start);
+// retransmissions of earlier messages fall back to the current class.
+func (c *Conn) tagAt(off int64) uint8 {
+	m := c.cur
+	if m == nil || off < m.startOff {
+		if m == nil {
+			return 0
+		}
+		return m.Class
+	}
+	if m.Tag != nil {
+		return m.Tag(off - m.startOff)
+	}
+	return m.Class
+}
+
+// finishMessage is called by the receiver when the last byte of the
+// connection's oldest outstanding message arrives.
+func (c *Conn) finishMessage(m *Message) {
+	m.Done = c.stack.eng.Now()
+	if c.cur == m {
+		c.cur = nil
+		c.snd.msg = nil
+	}
+	if c.stack.OnMessage != nil {
+		c.stack.OnMessage(m)
+	}
+}
+
+// Pool manages persistent connections the way the paper's client does:
+// it pre-opens Warm connections per host pair and submits each message on
+// an idle connection, opening a fresh one when none is available.
+type Pool struct {
+	stack *Stack
+	warm  int
+	conns map[[2]int][]*Conn
+
+	// Opened counts connections created beyond the warm set.
+	Opened int
+}
+
+// NewPool returns a pool that lazily pre-opens warm connections per pair.
+func NewPool(s *Stack, warm int) *Pool {
+	return &Pool{stack: s, warm: warm, conns: make(map[[2]int][]*Conn)}
+}
+
+// Submit sends m from src to dst on an idle connection, opening one if
+// needed.
+func (p *Pool) Submit(src, dst int, m *Message) {
+	key := [2]int{src, dst}
+	cs := p.conns[key]
+	if cs == nil {
+		cs = make([]*Conn, 0, p.warm)
+		for i := 0; i < p.warm; i++ {
+			cs = append(cs, p.stack.NewConn(src, dst))
+		}
+		p.conns[key] = cs
+	}
+	for _, c := range cs {
+		if c.Idle() {
+			c.Send(m)
+			return
+		}
+	}
+	c := p.stack.NewConn(src, dst)
+	p.conns[key] = append(cs, c)
+	p.Opened++
+	c.Send(m)
+}
+
+// Conns returns the total number of connections in the pool.
+func (p *Pool) Conns() int {
+	n := 0
+	for _, cs := range p.conns {
+		n += len(cs)
+	}
+	return n
+}

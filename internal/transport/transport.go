@@ -1,0 +1,247 @@
+// Package transport implements the end-host protocols the paper's
+// evaluation drives traffic with: DCTCP (per-ACK ECN echo, g-weighted
+// alpha EWMA, fractional window cuts) and ECN* (plain ECN-enabled TCP that
+// halves its window once per RTT on ECN-echo), both on top of a NewReno
+// loss-recovery engine with minimum-RTO clamping, plus auxiliary sources —
+// a constant-bit-rate stream (Figure 5a's 500 Mbps flow) and a ping agent
+// (Figure 5b's RTT probes).
+//
+// A single Stack instance owns all flows of an experiment; hosts hand it
+// every delivered packet and it dispatches to the per-flow sender or
+// receiver state machines.
+package transport
+
+import (
+	"fmt"
+
+	"tcn/internal/fabric"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// CC selects the congestion-control reaction to ECN marks.
+type CC uint8
+
+// Congestion control algorithms.
+const (
+	// DCTCP scales the window cut by the EWMA-estimated fraction of
+	// marked bytes (Alizadeh et al., SIGCOMM 2010).
+	DCTCP CC = iota
+	// ECNStar is regular ECN-enabled TCP: one half-window cut per RTT
+	// in the presence of ECN-echo (Wu et al., CoNEXT 2012).
+	ECNStar
+	// Reno disables ECN: marks are ignored and only loss reduces the
+	// window.
+	Reno
+)
+
+func (c CC) String() string {
+	switch c {
+	case DCTCP:
+		return "DCTCP"
+	case ECNStar:
+		return "ECN*"
+	default:
+		return "Reno"
+	}
+}
+
+// Config carries the transport parameters of an experiment.
+type Config struct {
+	// CC selects the congestion control algorithm.
+	CC CC
+	// MSS is the maximum segment payload in bytes.
+	MSS int
+	// InitWindow is the initial congestion window in segments (the
+	// paper's simulations use 16).
+	InitWindow int
+	// MaxWindow caps the window in segments (receive-window stand-in);
+	// 0 means a large default.
+	MaxWindow int
+	// RTOMin clamps the retransmission timeout (paper: 5 ms in
+	// simulation, 10 ms on the testbed).
+	RTOMin sim.Time
+	// RTOInit is the timeout before any RTT sample exists.
+	RTOInit sim.Time
+	// DCTCPg is DCTCP's alpha gain (paper default 1/16).
+	DCTCPg float64
+	// AckDSCP, if non-nil, overrides the service class of pure ACKs
+	// (e.g. to place them in the high-priority queue, as operators do
+	// per §2.2); nil means ACKs inherit the flow's class.
+	AckDSCP func(f *Flow) uint8
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = pkt.MSS
+	}
+	if c.InitWindow == 0 {
+		c.InitWindow = 16
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 4096
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 5 * sim.Millisecond
+	}
+	if c.RTOInit == 0 {
+		c.RTOInit = c.RTOMin
+	}
+	if c.DCTCPg == 0 {
+		c.DCTCPg = 1.0 / 16
+	}
+	return c
+}
+
+// Tagger assigns the DSCP (service class / priority queue) of a data
+// segment from its byte offset within the flow. Static service classes
+// ignore the offset; PIAS-style taggers demote later bytes.
+type Tagger func(offset int64) uint8
+
+// StaticTag returns a Tagger that always yields class.
+func StaticTag(class uint8) Tagger { return func(int64) uint8 { return class } }
+
+// Flow describes one transfer.
+type Flow struct {
+	ID   pkt.FlowID
+	Src  int   // sending host
+	Dst  int   // receiving host
+	Size int64 // bytes to deliver
+
+	// Tag assigns per-segment DSCP; nil means class 0.
+	Tag Tagger
+	// Class is the flow's nominal service, used for per-service metrics
+	// (the Tag function may place individual segments elsewhere).
+	Class uint8
+
+	// Start is when the application issued the transfer.
+	Start sim.Time
+	// Done is when the last byte arrived at the receiver (0 while in
+	// flight).
+	Done sim.Time
+	// Timeouts counts RTO expirations experienced by the flow.
+	Timeouts int
+}
+
+// FCT returns the flow completion time, valid once Done is set.
+func (f *Flow) FCT() sim.Time { return f.Done - f.Start }
+
+// Stack manages every flow of an experiment.
+type Stack struct {
+	eng   *sim.Engine
+	cfg   Config
+	hosts []*fabric.Host
+
+	senders   map[pkt.FlowID]*Sender
+	receivers map[pkt.FlowID]*receiver
+	nextID    pkt.FlowID
+
+	// OnDone, if set, is called when a flow completes.
+	OnDone func(f *Flow)
+	// OnMessage, if set, is called when a persistent-connection message
+	// completes.
+	OnMessage func(m *Message)
+	// OnDeliver, if set, observes every in-order data delivery
+	// (goodput accounting).
+	OnDeliver func(now sim.Time, f *Flow, bytes int)
+
+	// Timeouts counts RTO expirations across all flows.
+	Timeouts int
+
+	pingers map[pkt.FlowID]*Pinger
+}
+
+// NewStack wires a transport stack onto the given hosts, installing itself
+// as each host's packet handler.
+func NewStack(eng *sim.Engine, cfg Config, hosts []*fabric.Host) *Stack {
+	s := &Stack{
+		eng:       eng,
+		cfg:       cfg.withDefaults(),
+		hosts:     hosts,
+		senders:   make(map[pkt.FlowID]*Sender),
+		receivers: make(map[pkt.FlowID]*receiver),
+		pingers:   make(map[pkt.FlowID]*Pinger),
+	}
+	for _, h := range hosts {
+		h.Handler = s.deliver
+	}
+	return s
+}
+
+// Config returns the stack's effective configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// NewFlowID hands out a fresh flow identifier.
+func (s *Stack) NewFlowID() pkt.FlowID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// Start begins transmitting flow f at the current time. The flow must have
+// a fresh ID (use NewFlowID) and Src/Dst inside the host set.
+func (s *Stack) Start(f *Flow) *Sender {
+	if f.Tag == nil {
+		f.Tag = StaticTag(f.Class)
+	}
+	if f.Size <= 0 {
+		panic(fmt.Sprintf("transport: flow %d has size %d", f.ID, f.Size))
+	}
+	if _, dup := s.senders[f.ID]; dup {
+		panic(fmt.Sprintf("transport: duplicate flow id %d", f.ID))
+	}
+	f.Start = s.eng.Now()
+	snd := newSender(s, f)
+	s.senders[f.ID] = snd
+	s.receivers[f.ID] = newReceiver(s, f)
+	snd.sendMore()
+	return snd
+}
+
+// StartAt schedules flow f to start at time t.
+func (s *Stack) StartAt(t sim.Time, f *Flow) {
+	s.eng.At(t, func() { s.Start(f) })
+}
+
+// deliver dispatches a packet that reached its destination host.
+func (s *Stack) deliver(p *pkt.Packet) {
+	switch p.Kind {
+	case pkt.Data:
+		if r := s.receivers[p.Flow]; r != nil {
+			r.onData(p)
+		}
+	case pkt.Ack:
+		if snd := s.senders[p.Flow]; snd != nil {
+			snd.onAck(p)
+		}
+	case pkt.Ping:
+		s.echoPing(p)
+	case pkt.Pong:
+		if pg := s.pingers[p.Flow]; pg != nil {
+			pg.onPong(p)
+		}
+	}
+}
+
+// send pushes a packet into the network from host src.
+func (s *Stack) send(src int, p *pkt.Packet) {
+	s.hosts[src].Send(p)
+}
+
+// finish records flow completion at the receiver.
+func (s *Stack) finish(f *Flow) {
+	f.Done = s.eng.Now()
+	if s.OnDone != nil {
+		s.OnDone(f)
+	}
+}
+
+// ecnCodepoint returns the codepoint data packets carry: ECT(0) when ECN
+// is on, Not-ECT for plain Reno.
+func (s *Stack) ecnCodepoint() pkt.ECN {
+	if s.cfg.CC == Reno {
+		return pkt.NotECT
+	}
+	return pkt.ECT0
+}

@@ -1,0 +1,182 @@
+package transport_test
+
+import (
+	"testing"
+
+	"tcn/internal/core"
+	"tcn/internal/fabric"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+	"tcn/internal/transport"
+)
+
+// star builds an n-host 1 Gbps star whose switch ports each have a single
+// queue guarded by the given marker factory.
+func star(eng *sim.Engine, n int, buffer int, marker func() core.Marker) *fabric.Star {
+	return fabric.NewStar(eng, fabric.StarConfig{
+		Hosts:     n,
+		Rate:      fabric.Gbps,
+		Prop:      2500 * sim.Nanosecond,
+		HostDelay: 120 * sim.Microsecond,
+		SwitchPort: func() fabric.PortConfig {
+			var m core.Marker
+			if marker != nil {
+				m = marker()
+			}
+			return fabric.PortConfig{
+				Queues:      1,
+				BufferBytes: buffer,
+				Marker:      m,
+			}
+		},
+	})
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	net := star(eng, 2, 0, nil)
+	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP, RTOMin: 10 * sim.Millisecond}, net.Hosts)
+
+	var done *transport.Flow
+	st.OnDone = func(f *transport.Flow) { done = f }
+	f := &transport.Flow{ID: st.NewFlowID(), Src: 0, Dst: 1, Size: 1_000_000}
+	st.Start(f)
+	eng.RunUntil(sim.Second)
+
+	if done == nil {
+		t.Fatal("flow did not complete")
+	}
+	// 1 MB at 1 Gbps is ~8.2 ms of serialization (plus headers and the
+	// ~250us base RTT); anything between 8 ms and 30 ms is sane.
+	fct := done.FCT()
+	if fct < 8*sim.Millisecond || fct > 30*sim.Millisecond {
+		t.Fatalf("implausible FCT %v for 1MB at 1Gbps", fct)
+	}
+	if done.Timeouts != 0 {
+		t.Fatalf("unexpected timeouts: %d", done.Timeouts)
+	}
+}
+
+func TestLongFlowsShareBottleneckFairly(t *testing.T) {
+	eng := sim.NewEngine()
+	// Unlimited buffer + TCN marking, DCTCP senders.
+	net := star(eng, 3, 0, func() core.Marker { return core.NewTCN(256 * sim.Microsecond) })
+	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP, RTOMin: 10 * sim.Millisecond}, net.Hosts)
+
+	delivered := make(map[pkt.FlowID]int64)
+	st.OnDeliver = func(_ sim.Time, f *transport.Flow, n int) { delivered[f.ID] += int64(n) }
+
+	const size = 40_000_000
+	for src := 0; src < 2; src++ {
+		f := &transport.Flow{ID: st.NewFlowID(), Src: src, Dst: 2, Size: size}
+		st.Start(f)
+	}
+	eng.RunUntil(400 * sim.Millisecond)
+
+	var total int64
+	for _, n := range delivered {
+		total += n
+	}
+	// Link should be nearly saturated: >85% of 1Gbps over 400ms.
+	wantMin := int64(0.85 * 1e9 / 8 * 0.4)
+	if total < wantMin {
+		t.Fatalf("bottleneck underutilized: delivered %d bytes, want >= %d", total, wantMin)
+	}
+	// And shared roughly evenly between the two flows.
+	for id, n := range delivered {
+		frac := float64(n) / float64(total)
+		if frac < 0.35 || frac > 0.65 {
+			t.Fatalf("unfair share: flow %d got %.2f of goodput", id, frac)
+		}
+	}
+}
+
+func TestTCNBoundsQueueing(t *testing.T) {
+	// With TCN at threshold 256us the steady-state queue should stay
+	// around one BDP; with no AQM and a big buffer it grows much larger.
+	run := func(marker func() core.Marker) int {
+		eng := sim.NewEngine()
+		net := star(eng, 5, 1_000_000, marker)
+		st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP, RTOMin: 10 * sim.Millisecond}, net.Hosts)
+		for src := 0; src < 4; src++ {
+			st.Start(&transport.Flow{ID: st.NewFlowID(), Src: src, Dst: 4, Size: 1 << 40})
+		}
+		maxQ := 0
+		port := net.Switch.Port(4)
+		var poll func()
+		poll = func() {
+			if q := port.PortBytes(); q > maxQ {
+				maxQ = q
+			}
+			eng.After(10*sim.Microsecond, poll)
+		}
+		eng.After(50*sim.Millisecond, poll) // skip slow-start transient
+		eng.RunUntil(200 * sim.Millisecond)
+		return maxQ
+	}
+
+	withTCN := run(func() core.Marker { return core.NewTCN(256 * sim.Microsecond) })
+	noAQM := run(nil)
+	if withTCN >= noAQM {
+		t.Fatalf("TCN queue %d not smaller than drop-tail queue %d", withTCN, noAQM)
+	}
+	// Steady-state TCN queue should be within a few BDPs (1 BDP = 32KB).
+	if withTCN > 6*32_000 {
+		t.Fatalf("TCN steady-state queue too large: %d bytes", withTCN)
+	}
+}
+
+func TestLossRecoveryUnderTinyBuffer(t *testing.T) {
+	eng := sim.NewEngine()
+	// 10 KB per-port buffer forces drops; flows must still complete via
+	// fast retransmit / RTO.
+	net := star(eng, 4, 10_000, nil)
+	st := transport.NewStack(eng, transport.Config{CC: transport.Reno, RTOMin: 10 * sim.Millisecond}, net.Hosts)
+
+	doneCount := 0
+	st.OnDone = func(f *transport.Flow) { doneCount++ }
+	for src := 0; src < 3; src++ {
+		st.Start(&transport.Flow{ID: st.NewFlowID(), Src: src, Dst: 3, Size: 2_000_000})
+	}
+	eng.RunUntil(10 * sim.Second)
+	if doneCount != 3 {
+		t.Fatalf("only %d/3 flows completed under loss", doneCount)
+	}
+}
+
+func TestPingerMeasuresBaseRTT(t *testing.T) {
+	eng := sim.NewEngine()
+	net := star(eng, 2, 0, nil)
+	st := transport.NewStack(eng, transport.Config{}, net.Hosts)
+	pg := st.StartPinger(0, 1, 0, sim.Millisecond)
+	eng.RunUntil(100 * sim.Millisecond)
+	pg.Stop()
+
+	if len(pg.Samples) < 90 {
+		t.Fatalf("too few ping samples: %d", len(pg.Samples))
+	}
+	// Base RTT should be ~2*(hostDelay + prop) plus serialization:
+	// around 245-260us in this setup.
+	m := pg.Mean()
+	if m < 240*sim.Microsecond || m > 280*sim.Microsecond {
+		t.Fatalf("unexpected base RTT %v", m)
+	}
+}
+
+func TestCBRDeliversAtConfiguredRate(t *testing.T) {
+	eng := sim.NewEngine()
+	net := star(eng, 2, 0, nil)
+	st := transport.NewStack(eng, transport.Config{}, net.Hosts)
+
+	var got int64
+	st.OnDeliver = func(_ sim.Time, f *transport.Flow, n int) { got += int64(n) }
+	cbr := st.StartCBR(0, 1, 0, 500*fabric.Mbps)
+	eng.RunUntil(100 * sim.Millisecond)
+	cbr.Stop()
+
+	// 500 Mbps of wire rate for 100 ms ≈ 6.25 MB minus header overhead.
+	gotMbps := float64(got) * 8 / 0.1 / 1e6
+	if gotMbps < 450 || gotMbps > 510 {
+		t.Fatalf("CBR rate %0.1f Mbps, want ~480", gotMbps)
+	}
+}

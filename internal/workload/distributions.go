@@ -1,0 +1,83 @@
+package workload
+
+// The four production traffic distributions of Figure 4, transcribed as
+// piecewise-linear CDFs from the publicly released distributions the
+// authors' own experiment scripts use (web search from the DCTCP paper,
+// data mining from VL2, Hadoop and cache from "Inside the Social Network's
+// (Datacenter) Network"). Knot positions are approximate where only plots
+// are public; the properties the evaluation depends on are preserved:
+// every workload is heavy-tailed, and web search is the least skewed with
+// roughly 60 % of bytes in flows under 10 MB.
+
+// WebSearch is the DCTCP web-search workload (mean ≈ 1.7 MB).
+var WebSearch = New("websearch", []Point{
+	{0, 0},
+	{10_000, 0.15},
+	{20_000, 0.20},
+	{30_000, 0.30},
+	{50_000, 0.40},
+	{80_000, 0.53},
+	{200_000, 0.60},
+	{1_000_000, 0.70},
+	{2_000_000, 0.80},
+	{5_000_000, 0.90},
+	{10_000_000, 0.97},
+	{30_000_000, 1},
+})
+
+// DataMining is the VL2 data-mining workload (mean ≈ 7.4 MB): 80 % of
+// flows under 1 MB but nearly all bytes in multi-megabyte transfers.
+var DataMining = New("datamining", []Point{
+	{0, 0},
+	{180, 0.10},
+	{216, 0.20},
+	{560, 0.30},
+	{900, 0.35},
+	{1_100, 0.40},
+	{60_000, 0.53},
+	{90_000, 0.60},
+	{350_000, 0.70},
+	{1_000_000, 0.80},
+	{5_200_000, 0.90},
+	{10_000_000, 0.95},
+	{100_000_000, 0.99},
+	{1_000_000_000, 1},
+})
+
+// Hadoop is the Facebook Hadoop-cluster workload: mostly sub-MTU control
+// and shuffle messages with a long tail of bulk transfers.
+var Hadoop = New("hadoop", []Point{
+	{0, 0},
+	{100, 0.02},
+	{300, 0.10},
+	{500, 0.20},
+	{700, 0.30},
+	{1_000, 0.40},
+	{2_000, 0.50},
+	{10_000, 0.60},
+	{100_000, 0.70},
+	{1_000_000, 0.80},
+	{10_000_000, 0.90},
+	{30_000_000, 0.95},
+	{100_000_000, 1},
+})
+
+// Cache is the Facebook cache-follower workload: dominated by small
+// object reads with occasional megabyte responses.
+var Cache = New("cache", []Point{
+	{0, 0},
+	{100, 0.10},
+	{200, 0.20},
+	{300, 0.30},
+	{400, 0.40},
+	{700, 0.50},
+	{1_000, 0.60},
+	{2_000, 0.70},
+	{10_000, 0.80},
+	{100_000, 0.90},
+	{1_000_000, 0.97},
+	{10_000_000, 1},
+})
+
+// All lists the four workloads in the paper's order.
+var All = []CDF{WebSearch, DataMining, Hadoop, Cache}

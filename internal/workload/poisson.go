@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"tcn/internal/fabric"
+	"tcn/internal/sim"
+)
+
+// FlowSpec is one planned transfer: who, how much, when, which service.
+type FlowSpec struct {
+	Src, Dst int
+	Size     int64
+	At       sim.Time
+	Class    uint8
+}
+
+// PairPicker chooses the endpoints of the next flow.
+type PairPicker func(r *sim.Rand) (src, dst int)
+
+// ClassPicker chooses the service class of the next flow; it also selects
+// which workload the flow's size is drawn from in multi-service setups.
+type ClassPicker func(r *sim.Rand) uint8
+
+// PlanConfig describes an open-loop Poisson arrival plan.
+type PlanConfig struct {
+	// Flows is how many flows to generate.
+	Flows int
+	// Load is the target utilization (0,1] of the bottleneck.
+	Load float64
+	// Bottleneck is the link whose utilization Load refers to — the
+	// receiver's access link in the testbed experiments, a host link in
+	// the leaf-spine runs.
+	Bottleneck fabric.Rate
+	// CDFs maps service class to its flow-size distribution. A
+	// single-service experiment provides one entry keyed 0.
+	CDFs map[uint8]CDF
+	// Pair picks flow endpoints; required.
+	Pair PairPicker
+	// Class picks the service; nil means always class 0.
+	Class ClassPicker
+}
+
+// Plan generates the arrival plan. Inter-arrival times are exponential
+// with rate λ = load × bottleneck / E[size], where E[size] averages the
+// per-service means under the class distribution (estimated from the plan
+// itself), so the offered load matches the target in expectation.
+func Plan(r *sim.Rand, cfg PlanConfig) []FlowSpec {
+	switch {
+	case cfg.Flows <= 0:
+		panic(fmt.Sprintf("workload: plan needs flows > 0, got %d", cfg.Flows))
+	case cfg.Load <= 0 || cfg.Load > 1:
+		panic(fmt.Sprintf("workload: load %v must be in (0,1]", cfg.Load))
+	case cfg.Bottleneck <= 0:
+		panic("workload: plan needs a bottleneck rate")
+	case len(cfg.CDFs) == 0:
+		panic("workload: plan needs at least one CDF")
+	case cfg.Pair == nil:
+		panic("workload: plan needs a pair picker")
+	}
+	class := cfg.Class
+	if class == nil {
+		class = func(*sim.Rand) uint8 { return 0 }
+	}
+
+	// Draw classes and sizes first so the realized mean size sets the
+	// arrival rate — keeps offered load on target even for skewed
+	// class mixes.
+	specs := make([]FlowSpec, cfg.Flows)
+	var totalBytes float64
+	for i := range specs {
+		c := class(r)
+		cdf, ok := cfg.CDFs[c]
+		if !ok {
+			panic(fmt.Sprintf("workload: no CDF for class %d", c))
+		}
+		specs[i].Class = c
+		specs[i].Size = cdf.Sample(r)
+		specs[i].Src, specs[i].Dst = cfg.Pair(r)
+		if specs[i].Src == specs[i].Dst {
+			panic(fmt.Sprintf("workload: pair picker returned src==dst==%d", specs[i].Src))
+		}
+		totalBytes += float64(specs[i].Size)
+	}
+	meanSize := totalBytes / float64(cfg.Flows)
+
+	// λ flows/sec such that λ × E[size] × 8 = load × rate.
+	lambda := cfg.Load * float64(cfg.Bottleneck) / (meanSize * 8)
+	meanGap := sim.Time(float64(sim.Second) / lambda)
+
+	t := sim.Time(0)
+	for i := range specs {
+		t += r.Exp(meanGap)
+		specs[i].At = t
+	}
+	return specs
+}
+
+// TotalBytes sums the planned flow sizes.
+func TotalBytes(specs []FlowSpec) int64 {
+	var n int64
+	for _, s := range specs {
+		n += s.Size
+	}
+	return n
+}
+
+// UniformPairs returns a PairPicker drawing src uniformly from senders and
+// dst uniformly from receivers, never equal.
+func UniformPairs(senders, receivers []int) PairPicker {
+	if len(senders) == 0 || len(receivers) == 0 {
+		panic("workload: UniformPairs needs non-empty host sets")
+	}
+	return func(r *sim.Rand) (int, int) {
+		for {
+			s := senders[r.Intn(len(senders))]
+			d := receivers[r.Intn(len(receivers))]
+			if s != d {
+				return s, d
+			}
+		}
+	}
+}
+
+// ManyToOne returns a PairPicker for the testbed client/server pattern:
+// uniformly chosen sender, fixed receiver.
+func ManyToOne(senders []int, receiver int) PairPicker {
+	return UniformPairs(senders, []int{receiver})
+}
