@@ -12,9 +12,11 @@ import (
 	"tcn/internal/core"
 	"tcn/internal/experiments"
 	"tcn/internal/fabric"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/qdisc"
 	"tcn/internal/sim"
+	"tcn/internal/trace"
 	"tcn/internal/transport"
 )
 
@@ -355,6 +357,35 @@ func BenchmarkDCQCNMarking(b *testing.B) {
 		b.ReportMetric(prob.AggGbps, "prob-agg-Gbps")
 		b.ReportMetric(prob.Jain, "prob-jain")
 	}
+}
+
+// BenchmarkObsOverheadFig1 measures the cost of full observability —
+// registry counters, sojourn/occupancy histograms, marker instruments, and
+// the packet tracer — against the identical uninstrumented run. The
+// acceptance budget is <10% wall-clock; compare the two sub-benchmarks'
+// ns/op.
+func BenchmarkObsOverheadFig1(b *testing.B) {
+	base := func() experiments.Fig1Config {
+		cfg := experiments.DefaultFig1()
+		cfg.FlowCounts = []int{8}
+		cfg.Duration = sim.Second
+		return cfg
+	}
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.RunFig1(base())
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := base()
+			cfg.Obs = &experiments.Obs{
+				Registry: obs.NewRegistry(),
+				Tracer:   trace.New(4096),
+			}
+			experiments.RunFig1(cfg)
+		}
+	})
 }
 
 // BenchmarkMarkingReactionTime measures the §4.3 "faster reaction to

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -22,6 +23,8 @@ import (
 
 	"tcn/internal/experiments"
 	"tcn/internal/metrics"
+	"tcn/internal/obs"
+	"tcn/internal/trace"
 )
 
 func main() {
@@ -34,6 +37,11 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments")
 		seeds = flag.Int("seeds", 1, "repeat FCT sweeps over this many seeds and aggregate")
 		csv   = flag.String("csv", "", "also write plot-friendly CSV files into this directory")
+
+		statsFile = flag.String("stats", "", "write a JSON stats snapshot of every instrumented port to this file ('-' = stdout)")
+		statsText = flag.Bool("stats-text", false, "render -stats in tc(8)-style text instead of JSON")
+		traceFile = flag.String("trace", "", "write a JSONL packet-event trace to this file ('-' = stdout)")
+		traceCap  = flag.Int("trace-events", 1<<16, "packet events retained in the trace ring")
 	)
 	flag.Parse()
 
@@ -46,6 +54,19 @@ func main() {
 	}
 
 	csvDir = *csv
+	if *traceFile != "" && *traceCap <= 0 {
+		fmt.Fprintf(os.Stderr, "-trace-events %d must be positive\n", *traceCap)
+		os.Exit(2)
+	}
+	if *statsFile != "" || *traceFile != "" {
+		obsSink = &experiments.Obs{}
+		if *statsFile != "" {
+			obsSink.Registry = obs.NewRegistry()
+		}
+		if *traceFile != "" {
+			obsSink.Tracer = trace.New(*traceCap)
+		}
+	}
 	cfg := runConfig{flows: *flows, loads: parseLoads(*loads), seed: *seed, full: *full, seeds: *seeds}
 	run, ok := runners[*exp]
 	if !ok {
@@ -54,6 +75,52 @@ func main() {
 		os.Exit(2)
 	}
 	run(cfg)
+	if err := writeObsOutputs(*statsFile, *statsText, *traceFile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// obsSink, when -stats or -trace is given, is handed to every runner that
+// knows how to attach it; runners without instrumentation leave it empty.
+var obsSink *experiments.Obs
+
+// writeObsOutputs flushes the collected stats and trace after the run.
+func writeObsOutputs(statsPath string, statsText bool, tracePath string) error {
+	if obsSink == nil {
+		return nil
+	}
+	if statsPath != "" {
+		snap := obsSink.Registry.Snapshot()
+		write := snap.WriteJSON
+		if statsText {
+			write = snap.WriteText
+		}
+		if err := writeTo(statsPath, write); err != nil {
+			return fmt.Errorf("writing stats: %w", err)
+		}
+	}
+	if tracePath != "" {
+		if err := writeTo(tracePath, obsSink.Tracer.WriteJSONL); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 type runConfig struct {
@@ -67,6 +134,7 @@ type runConfig struct {
 func (c runConfig) testbedSweep() experiments.SweepConfig {
 	sw := experiments.DefaultSweep()
 	sw.Seed = c.seed
+	sw.Obs = obsSink
 	if c.full {
 		sw.Flows = 5000
 	} else {
@@ -83,7 +151,7 @@ func (c runConfig) testbedSweep() experiments.SweepConfig {
 }
 
 func (c runConfig) leafSweep() experiments.LeafSpineSweepConfig {
-	ls := experiments.LeafSpineSweepConfig{Seed: c.seed}
+	ls := experiments.LeafSpineSweepConfig{Seed: c.seed, Obs: obsSink}
 	if c.full {
 		ls.Flows = 50_000
 		ls.Loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
@@ -146,7 +214,8 @@ func usage() {
   fig8/9  prioritization (PIAS) FCT sweep, SP/DWRR / SP/WFQ (testbed)
   fig10+  leaf-spine FCT sweeps (DCTCP, WFQ, ECN*, 32 queues)
 
-Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)`)
+Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)
+       -stats FILE [-stats-text]  -trace FILE [-trace-events N]`)
 }
 
 func parseLoads(s string) []float64 {
@@ -171,6 +240,7 @@ func runFig1(c runConfig) {
 		cfg := experiments.DefaultFig1()
 		cfg.Scheme = scheme
 		cfg.Seed = c.seed
+		cfg.Obs = obsSink
 		res := experiments.RunFig1(cfg)
 		fmt.Printf("\n%s:\n%-10s %12s %12s %10s\n", scheme, "svc2 flows", "svc1 Mbps", "svc2 Mbps", "svc2 share")
 		var rows [][]string
@@ -212,6 +282,7 @@ func runFig3(c runConfig) {
 	fmt.Println("== Figure 3: buffer occupancy by marking placement ==")
 	cfg := experiments.DefaultFig3()
 	cfg.Seed = c.seed
+	cfg.Obs = obsSink
 	res := experiments.RunFig3(cfg)
 	fmt.Printf("BDP = %d bytes\n%-10s %12s %10s %14s %14s\n",
 		res.BDP, "scheme", "peak bytes", "peak/BDP", "steady max", "steady mean")

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tcn/internal/core"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -32,6 +33,33 @@ type CoDel struct {
 
 	// Marks counts CE marks applied.
 	Marks int64
+
+	oMarks   *obs.Counter
+	oEntries *obs.Counter
+	oCount   *obs.Gauge
+}
+
+// Instrument records the CoDel state machine into a stats registry
+// under label: marks applied, marking-state entries, and the current
+// control-law count (the internal state the inverse-sqrt schedule runs
+// on).
+func (c *CoDel) Instrument(r *obs.Registry, label string) {
+	c.oMarks = r.Counter(label + ".marks")
+	c.oEntries = r.Counter(label + ".marking_state_entries")
+	c.oCount = r.Gauge(label + ".control_law_count")
+}
+
+// mark applies CE and updates instrumentation; q is the queue whose
+// state triggered the mark.
+func (c *CoDel) mark(p *pkt.Packet, q *codelQueue) {
+	if !p.Mark() {
+		return
+	}
+	c.Marks++
+	if c.oMarks != nil {
+		c.oMarks.Inc()
+		c.oCount.Set(float64(q.count))
+	}
 }
 
 // codelQueue is the per-queue CoDel state (the "four state variables").
@@ -70,9 +98,7 @@ func (c *CoDel) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState)
 			return
 		}
 		for now >= q.markNext {
-			if p.Mark() {
-				c.Marks++
-			}
+			c.mark(p, q)
 			q.count++
 			q.markNext += c.controlLaw(q.count)
 			// Marking (unlike dropping) acts on this same packet,
@@ -83,9 +109,10 @@ func (c *CoDel) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState)
 	}
 
 	if okToMark && c.enterMarking(now, q) {
-		if p.Mark() {
-			c.Marks++
+		if c.oEntries != nil {
+			c.oEntries.Inc()
 		}
+		c.mark(p, q)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcn/internal/core"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -99,6 +100,19 @@ type DynRED struct {
 
 	// Marks counts CE marks applied.
 	Marks int64
+
+	oMarks *obs.Counter
+	oRate  []*obs.Gauge // per-queue Algorithm-1 rate estimate, bytes/s
+}
+
+// Instrument records marking decisions and the per-queue departure-rate
+// estimates into a stats registry under label.
+func (d *DynRED) Instrument(r *obs.Registry, label string) {
+	d.oMarks = r.Counter(label + ".marks")
+	d.oRate = make([]*obs.Gauge, len(d.meters))
+	for i := range d.oRate {
+		d.oRate[i] = r.Gauge(fmt.Sprintf("%s.q%d.est_rate_bytes_per_s", label, i))
+	}
 }
 
 // NewDynRED returns a dynamic RED marker with one Algorithm-1 meter per
@@ -137,10 +151,16 @@ func (d *DynRED) threshold(i int, st core.PortState) int {
 func (d *DynRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
 	if st.QueueBytes(i) > d.threshold(i, st) && p.Mark() {
 		d.Marks++
+		if d.oMarks != nil {
+			d.oMarks.Inc()
+		}
 	}
 }
 
 // OnDequeue implements core.Marker: feeds the departure to Algorithm 1.
 func (d *DynRED) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState) {
 	d.meters[i].OnDeparture(now, p.Size, st.QueueBytes(i)+p.Size)
+	if d.oRate != nil {
+		d.oRate[i].Set(d.meters[i].Rate())
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcn/internal/core"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -50,6 +51,20 @@ type MQECN struct {
 
 	// Marks counts CE marks applied.
 	Marks int64
+
+	oMarks *obs.Counter
+	oEst   []*obs.Gauge // per-queue smoothed capacity estimate, bytes/s
+}
+
+// Instrument records marking decisions and the per-queue capacity
+// estimates (the EWMA-smoothed quantum/T_round rate, bytes/s) into a
+// stats registry under label.
+func (m *MQECN) Instrument(r *obs.Registry, label string) {
+	m.oMarks = r.Counter(label + ".marks")
+	m.oEst = make([]*obs.Gauge, len(m.smoothed))
+	for i := range m.oEst {
+		m.oEst[i] = r.Gauge(fmt.Sprintf("%s.q%d.est_rate_bytes_per_s", label, i))
+	}
 }
 
 // NewMQECN returns an MQ-ECN marker bound to a round-robin scheduler's
@@ -105,9 +120,14 @@ func (m *MQECN) observe(now sim.Time, i int) {
 	} else {
 		m.smoothed[i] = sim.Time(m.Beta*float64(m.smoothed[i]) + (1-m.Beta)*float64(sample))
 	}
-	if m.OnEstimate != nil && m.smoothed[i] > 0 {
+	if m.smoothed[i] > 0 && (m.OnEstimate != nil || m.oEst != nil) {
 		rate := float64(m.round.Quantum(i)) / m.smoothed[i].Seconds()
-		m.OnEstimate(now, i, rate)
+		if m.OnEstimate != nil {
+			m.OnEstimate(now, i, rate)
+		}
+		if m.oEst != nil {
+			m.oEst[i].Set(rate)
+		}
 	}
 }
 
@@ -117,6 +137,9 @@ func (m *MQECN) OnEnqueue(now sim.Time, i int, p *pkt.Packet, st core.PortState)
 	m.observe(now, i)
 	if st.QueueBytes(i) > m.threshold(now, i, st) && p.Mark() {
 		m.Marks++
+		if m.oMarks != nil {
+			m.oMarks.Inc()
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"tcn/internal/core"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -51,6 +52,36 @@ type QueueRED struct {
 
 	// Marks counts CE marks applied.
 	Marks int64
+
+	oMarks  *obs.Counter
+	oOver   *obs.Counter
+	oQBytes *obs.Gauge
+}
+
+// Instrument records marking decisions into a stats registry under
+// label: marks applied, threshold crossings (incl. non-ECT packets),
+// and the queue occupancy observed at the latest crossing.
+func (m *QueueRED) Instrument(r *obs.Registry, label string) {
+	m.oMarks = r.Counter(label + ".marks")
+	m.oOver = r.Counter(label + ".qbytes_over_threshold")
+	m.oQBytes = r.Gauge(label + ".qbytes_at_crossing")
+}
+
+// decide runs the shared threshold comparison and instrumentation.
+func (m *QueueRED) decide(qbytes int, p *pkt.Packet) {
+	if qbytes <= m.K {
+		return
+	}
+	if m.oOver != nil {
+		m.oOver.Inc()
+		m.oQBytes.Set(float64(qbytes))
+	}
+	if p.Mark() {
+		m.Marks++
+		if m.oMarks != nil {
+			m.oMarks.Inc()
+		}
+	}
 }
 
 // NewQueueRED returns an enqueue-side per-queue RED marker.
@@ -81,9 +112,7 @@ func (m *QueueRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState
 	if m.Side != AtEnqueue {
 		return
 	}
-	if st.QueueBytes(i) > m.K && p.Mark() {
-		m.Marks++
-	}
+	m.decide(st.QueueBytes(i), p)
 }
 
 // OnDequeue implements core.Marker.
@@ -91,9 +120,7 @@ func (m *QueueRED) OnDequeue(_ sim.Time, i int, p *pkt.Packet, st core.PortState
 	if m.Side != AtDequeue {
 		return
 	}
-	if st.QueueBytes(i) > m.K && p.Mark() {
-		m.Marks++
-	}
+	m.decide(st.QueueBytes(i), p)
 }
 
 // PortRED is per-port ECN/RED: a packet is marked when the aggregate
@@ -106,6 +133,18 @@ type PortRED struct {
 
 	// Marks counts CE marks applied.
 	Marks int64
+
+	oMarks  *obs.Counter
+	oOver   *obs.Counter
+	oPBytes *obs.Gauge
+}
+
+// Instrument records marking decisions into a stats registry under
+// label, mirroring QueueRED.Instrument but on port occupancy.
+func (m *PortRED) Instrument(r *obs.Registry, label string) {
+	m.oMarks = r.Counter(label + ".marks")
+	m.oOver = r.Counter(label + ".portbytes_over_threshold")
+	m.oPBytes = r.Gauge(label + ".portbytes_at_crossing")
 }
 
 // NewPortRED returns a per-port RED marker.
@@ -121,8 +160,19 @@ func (m *PortRED) Name() string { return "RED-port" }
 
 // OnEnqueue implements core.Marker.
 func (m *PortRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, st core.PortState) {
-	if st.PortBytes() > m.K && p.Mark() {
+	used := st.PortBytes()
+	if used <= m.K {
+		return
+	}
+	if m.oOver != nil {
+		m.oOver.Inc()
+		m.oPBytes.Set(float64(used))
+	}
+	if p.Mark() {
 		m.Marks++
+		if m.oMarks != nil {
+			m.oMarks.Inc()
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -54,6 +55,13 @@ type HWTCN struct {
 
 	// Marks counts CE marks applied.
 	Marks int64
+
+	oMarks *obs.Counter
+}
+
+// Instrument records CE marks into a stats registry under label.
+func (t *HWTCN) Instrument(r *obs.Registry, label string) {
+	t.oMarks = r.Counter(label + ".marks")
 }
 
 // NewHWTCN returns a hardware-arithmetic TCN marker.
@@ -77,5 +85,8 @@ func (t *HWTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
 	deq := t.Clock.Stamp(now)
 	if Decide(t.Clock.Sojourn(enq, deq), t.Threshold) && p.Mark() {
 		t.Marks++
+		if t.oMarks != nil {
+			t.oMarks.Inc()
+		}
 	}
 }

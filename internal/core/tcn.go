@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -23,6 +24,18 @@ type TCN struct {
 
 	// Marks counts CE marks applied, for instrumentation.
 	Marks int64
+
+	oMarks *obs.Counter // CE marks applied
+	oOver  *obs.Counter // sojourn threshold crossings (incl. non-ECT)
+}
+
+// Instrument records marking decisions into a stats registry under
+// label: "<label>.marks" counts CE marks applied,
+// "<label>.sojourn_over_threshold" counts every threshold crossing,
+// including packets that could not be marked (non-ECT).
+func (t *TCN) Instrument(r *obs.Registry, label string) {
+	t.oMarks = r.Counter(label + ".marks")
+	t.oOver = r.Counter(label + ".sojourn_over_threshold")
 }
 
 // NewTCN returns a TCN marker with the standard threshold RTT × λ.
@@ -46,8 +59,17 @@ func (t *TCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
 
 // OnDequeue implements Marker: instantaneous, stateless sojourn check.
 func (t *TCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
-	if Decide(p.Sojourn(now), t.Threshold) && p.Mark() {
+	if !Decide(p.Sojourn(now), t.Threshold) {
+		return
+	}
+	if t.oOver != nil {
+		t.oOver.Inc()
+	}
+	if p.Mark() {
 		t.Marks++
+		if t.oMarks != nil {
+			t.oMarks.Inc()
+		}
 	}
 }
 
@@ -71,6 +93,13 @@ type ProbTCN struct {
 
 	// Marks counts CE marks applied.
 	Marks int64
+
+	oMarks *obs.Counter
+}
+
+// Instrument records CE marks into a stats registry under label.
+func (t *ProbTCN) Instrument(r *obs.Registry, label string) {
+	t.oMarks = r.Counter(label + ".marks")
 }
 
 // NewProbTCN returns a probabilistic TCN marker. rng supplies the marking
@@ -102,6 +131,9 @@ func (t *ProbTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
 	if prob >= 1 || t.rng.Float64() < prob {
 		if p.Mark() {
 			t.Marks++
+			if t.oMarks != nil {
+				t.oMarks.Inc()
+			}
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
 	"tcn/internal/sim"
@@ -22,6 +24,9 @@ type Fig1Config struct {
 	Duration sim.Time
 	// Seed feeds all randomness.
 	Seed int64
+	// Obs, if non-nil, receives per-port stats and packet traces for
+	// every sweep point, labelled fig1.<scheme>.n<flows>.
+	Obs *Obs
 }
 
 // DefaultFig1 returns the paper's configuration.
@@ -79,6 +84,7 @@ func runFig1Point(cfg Fig1Config, n int) Fig1Point {
 		HostDelay:  120 * sim.Microsecond,
 		SwitchPort: pp.Factory(cfg.Scheme, SchedDWRR, rng),
 	})
+	cfg.Obs.AttachStar(fmt.Sprintf("fig1.%s.n%d", cfg.Scheme, n), net)
 	st := transport.NewStack(eng, transport.Config{
 		CC:     transport.DCTCP,
 		RTOMin: 10 * sim.Millisecond,

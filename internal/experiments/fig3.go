@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
 	"tcn/internal/sim"
@@ -20,6 +22,9 @@ type Fig3Config struct {
 	SamplePeriod sim.Time
 	// Seed feeds all randomness.
 	Seed int64
+	// Obs, if non-nil, receives per-port stats and packet traces for
+	// every trace, labelled fig3.<scheme>.
+	Obs *Obs
 }
 
 // DefaultFig3 returns the paper's configuration.
@@ -78,6 +83,7 @@ func runFig3Once(cfg Fig3Config, scheme Scheme) Fig3Trace {
 		HostDelay:  48 * sim.Microsecond,
 		SwitchPort: pp.Factory(scheme, SchedFIFO, rng),
 	})
+	cfg.Obs.AttachStar(fmt.Sprintf("fig3.%s", scheme), net)
 	// IW=2 (the ns-2 default of the paper's targeted simulation): the
 	// figure's 3×BDP peak is the classic slow-start overshoot, which
 	// needs several doubling rounds before ECN feedback arrives.

@@ -1,5 +1,7 @@
 package experiments
 
+import "fmt"
+
 // FCTSweep is a figure-shaped grid of FCT results: one row per scheme,
 // one column per load, as Figures 6-13 plot.
 type FCTSweep struct {
@@ -22,6 +24,9 @@ type SweepConfig struct {
 	Seed int64
 	// Schemes overrides the default scheme set (nil = paper's set).
 	Schemes []Scheme
+	// Obs, if non-nil, receives per-port stats and packet traces for
+	// every cell, labelled <figure>.<scheme>.load<load>.
+	Obs *Obs
 }
 
 // DefaultSweep returns the paper's sweep shape.
@@ -51,12 +56,14 @@ func runTestbedSweep(figure string, sched SchedKind, pias bool, cfg SweepConfig)
 		var row []TestbedFCTResult
 		for _, load := range cfg.Loads {
 			row = append(row, RunTestbedFCT(TestbedFCTConfig{
-				Scheme: s,
-				Sched:  sched,
-				Load:   load,
-				Flows:  cfg.Flows,
-				PIAS:   pias,
-				Seed:   cfg.Seed,
+				Scheme:   s,
+				Sched:    sched,
+				Load:     load,
+				Flows:    cfg.Flows,
+				PIAS:     pias,
+				Seed:     cfg.Seed,
+				Obs:      cfg.Obs,
+				ObsLabel: fmt.Sprintf("%s.%s.load%g", figure, s, load),
 			}))
 		}
 		sw.Cells = append(sw.Cells, row)

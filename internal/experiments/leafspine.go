@@ -37,6 +37,9 @@ type LeafSpineConfig struct {
 	Seed int64
 	// Deadline bounds the run (0 = generous default).
 	Deadline sim.Time
+	// Obs, if non-nil, receives per-port stats and packet traces,
+	// labelled <scheme>.<sched>.load<load>.sw<id>.p<i>.
+	Obs *Obs
 }
 
 // DefaultLeafSpine returns the paper's fabric with a CI-sized flow count.
@@ -119,6 +122,7 @@ func RunLeafSpine(cfg LeafSpineConfig) LeafSpineResult {
 		HostDelay:    40 * sim.Microsecond,
 		SwitchPort:   pp.Factory(cfg.Scheme, cfg.Sched, rng),
 	})
+	cfg.Obs.AttachLeafSpine(fmt.Sprintf("%s.%s.load%g", cfg.Scheme, cfg.Sched, cfg.Load), net)
 	st := transport.NewStack(eng, transport.Config{
 		CC:         cfg.CC,
 		RTOMin:     5 * sim.Millisecond,
@@ -231,6 +235,9 @@ type LeafSpineSweepConfig struct {
 	// Leaves/Spines/HostsPerLeaf shrink the fabric for CI (0 = paper's
 	// 12/12/12).
 	Leaves, Spines, HostsPerLeaf int
+	// Obs, if non-nil, receives per-port stats and packet traces for
+	// every cell.
+	Obs *Obs
 }
 
 func (c LeafSpineSweepConfig) base() LeafSpineConfig {
@@ -244,6 +251,7 @@ func (c LeafSpineSweepConfig) base() LeafSpineConfig {
 	if c.Leaves > 0 {
 		b.Leaves, b.Spines, b.HostsPerLeaf = c.Leaves, c.Spines, c.HostsPerLeaf
 	}
+	b.Obs = c.Obs
 	return b
 }
 

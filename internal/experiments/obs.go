@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tcn/internal/fabric"
+	"tcn/internal/obs"
+	"tcn/internal/trace"
+)
+
+// Obs bundles the observability sinks a runner can attach to the fabric it
+// builds: a stats registry for counters/gauges/histograms and a packet
+// tracer. Either field may be nil, and a nil *Obs attaches nothing, so
+// runners call the Attach methods unconditionally and uninstrumented runs
+// stay on the fast path.
+type Obs struct {
+	Registry *obs.Registry
+	Tracer   *trace.Tracer
+}
+
+// instrumenter is implemented by the markers that can record their
+// decisions and internal state into a registry (TCN, RED variants, CoDel,
+// MQ-ECN, ...).
+type instrumenter interface {
+	Instrument(r *obs.Registry, label string)
+}
+
+// AttachPort instruments one switch egress port under label: per-queue
+// counters and histograms in the registry (plus the marker's own
+// instruments under label.marker) and packet events in the tracer.
+func (o *Obs) AttachPort(label string, p *fabric.Port) {
+	if o == nil {
+		return
+	}
+	if o.Registry != nil {
+		p.Instrument(o.Registry, label)
+		if m, ok := p.Marker().(instrumenter); ok {
+			m.Instrument(o.Registry, label+".marker")
+		}
+	}
+	if o.Tracer != nil {
+		o.Tracer.AttachPort(label, p)
+	}
+}
+
+// AttachStar instruments every switch egress port of a star topology,
+// labelled <prefix>.sw.p<i>.
+func (o *Obs) AttachStar(prefix string, net *fabric.Star) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < net.Switch.NumPorts(); i++ {
+		o.AttachPort(fmt.Sprintf("%s.sw.p%d", prefix, i), net.Switch.Port(i))
+	}
+}
+
+// AttachLeafSpine instruments every switch egress port of a leaf-spine
+// fabric, labelled <prefix>.sw<id>.p<i> using the owning switch's id.
+func (o *Obs) AttachLeafSpine(prefix string, net *fabric.LeafSpine) {
+	if o == nil {
+		return
+	}
+	attach := func(sw *fabric.Switch) {
+		for i := 0; i < sw.NumPorts(); i++ {
+			o.AttachPort(fmt.Sprintf("%s.sw%d.p%d", prefix, sw.ID, i), sw.Port(i))
+		}
+	}
+	for _, sw := range net.Leaves {
+		attach(sw)
+	}
+	for _, sw := range net.Spines {
+		attach(sw)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcn/internal/obs"
+	"tcn/internal/sim"
+	"tcn/internal/trace"
+)
+
+func obsFig1Config() Fig1Config {
+	cfg := DefaultFig1()
+	cfg.FlowCounts = []int{2}
+	cfg.Duration = 200 * sim.Millisecond
+	return cfg
+}
+
+// sumSuffix totals every counter whose name ends in suffix.
+func sumSuffix(snap obs.Snapshot, suffix string) int64 {
+	var n int64
+	for _, c := range snap.Counters {
+		if strings.HasSuffix(c.Name, suffix) {
+			n += c.Value
+		}
+	}
+	return n
+}
+
+// TestObsReconcilesWithTrace pins the contract between the two
+// observability paths: for the same run, the registry's per-queue counters
+// and the tracer's event counts must agree exactly — tx counts every
+// transmission (the tracer splits CE ones out as Mark events), mark counts
+// CE-at-transmit, drop counts admission rejections.
+func TestObsReconcilesWithTrace(t *testing.T) {
+	o := &Obs{Registry: obs.NewRegistry(), Tracer: trace.New(1024)}
+	cfg := obsFig1Config()
+	cfg.Obs = o
+	RunFig1(cfg)
+
+	snap := o.Registry.Snapshot()
+	tx := sumSuffix(snap, ".tx_packets")
+	mark := sumSuffix(snap, ".mark_packets")
+	drop := sumSuffix(snap, ".drop_packets")
+	if tx == 0 {
+		t.Fatal("no transmissions recorded")
+	}
+	if mark == 0 {
+		t.Fatal("PortRED at 2s never marked — instrumentation lost the marks")
+	}
+	if got := o.Tracer.Count(trace.Transmit) + o.Tracer.Count(trace.Mark); got != tx {
+		t.Errorf("tracer tx+mark = %d, registry tx_packets = %d", got, tx)
+	}
+	if got := o.Tracer.Count(trace.Mark); got != mark {
+		t.Errorf("tracer marks = %d, registry mark_packets = %d", got, mark)
+	}
+	if got := o.Tracer.Count(trace.Drop); got != drop {
+		t.Errorf("tracer drops = %d, registry drop_packets = %d", got, drop)
+	}
+
+	// Enqueue conservation: everything admitted is either still queued
+	// (nothing, after the run drains or not) or transmitted; enq >= tx.
+	enq := sumSuffix(snap, ".enq_packets")
+	if enq < tx {
+		t.Errorf("enq_packets %d < tx_packets %d", enq, tx)
+	}
+
+	// The marker's own counter agrees with the port-level mark counters.
+	if mm := sumSuffix(snap, ".marker.marks"); mm != mark {
+		t.Errorf("marker.marks = %d, port mark_packets = %d", mm, mark)
+	}
+}
+
+// TestObsStatsJSONDeterministic pins the acceptance criterion that
+// identical seeds produce byte-identical -stats JSON.
+func TestObsStatsJSONDeterministic(t *testing.T) {
+	render := func() []byte {
+		o := &Obs{Registry: obs.NewRegistry()}
+		cfg := obsFig1Config()
+		cfg.Obs = o
+		RunFig1(cfg)
+		var buf bytes.Buffer
+		if err := o.Registry.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical seeds produced different stats JSON")
+	}
+	if !bytes.Contains(a, []byte("sojourn_ns")) {
+		t.Error("snapshot missing sojourn histograms")
+	}
+}
+
+// TestObsNilSafe: a nil *Obs and an Obs with nil fields attach nothing and
+// never panic, so runners can call Attach unconditionally.
+func TestObsNilSafe(t *testing.T) {
+	cfg := obsFig1Config()
+	cfg.Obs = nil
+	RunFig1(cfg)     // nil receiver path
+	cfg.Obs = &Obs{} // both sinks nil
+	RunFig1(cfg)
+}
+
+// TestObsInstrumentedResultUnchanged: attaching observers must not change
+// the simulation — same seed, same goodput split, observed or not.
+func TestObsInstrumentedResultUnchanged(t *testing.T) {
+	bare := RunFig1(obsFig1Config())
+	cfg := obsFig1Config()
+	cfg.Obs = &Obs{Registry: obs.NewRegistry(), Tracer: trace.New(64)}
+	observed := RunFig1(cfg)
+	if bare.Points[0] != observed.Points[0] {
+		t.Fatalf("instrumentation perturbed the run:\nbare     %+v\nobserved %+v",
+			bare.Points[0], observed.Points[0])
+	}
+}

@@ -40,6 +40,11 @@ type TestbedFCTConfig struct {
 	Seed int64
 	// Deadline bounds the run (0 = generous default).
 	Deadline sim.Time
+	// Obs, if non-nil, receives per-port stats and packet traces.
+	Obs *Obs
+	// ObsLabel prefixes the instrument names (default
+	// <scheme>.<sched>.load<load>, which sweeps override per cell).
+	ObsLabel string
 }
 
 // TestbedFCTResult is one (scheme, load) cell of Figures 6-9.
@@ -111,6 +116,13 @@ func RunTestbedFCT(cfg TestbedFCTConfig) TestbedFCTResult {
 		HostDelay:  120 * sim.Microsecond,
 		SwitchPort: pp.Factory(cfg.Scheme, cfg.Sched, rng),
 	})
+	if cfg.Obs != nil {
+		label := cfg.ObsLabel
+		if label == "" {
+			label = fmt.Sprintf("%s.%s.load%g", cfg.Scheme, cfg.Sched, cfg.Load)
+		}
+		cfg.Obs.AttachStar(label, net)
+	}
 	tc := transport.Config{
 		CC:     transport.DCTCP,
 		RTOMin: 10 * sim.Millisecond,

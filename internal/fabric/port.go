@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcn/internal/core"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/queue"
 	"tcn/internal/sched"
@@ -76,6 +77,11 @@ type Port struct {
 	OnTransmit func(now sim.Time, qi int, p *pkt.Packet)
 	// OnDrop, if set, observes every packet rejected by the buffer.
 	OnDrop func(now sim.Time, qi int, p *pkt.Packet)
+
+	// stats, when attached via Instrument, receives per-queue counters
+	// and histograms on every enqueue/drop/transmit. Nil = off, and the
+	// hot path pays only a nil check.
+	stats *obs.PortObs
 }
 
 // NewPort builds a port from cfg, delivering transmitted packets to peer.
@@ -121,10 +127,16 @@ func (pt *Port) Send(p *pkt.Packet) {
 	now := pt.eng.Now()
 	qi := pt.classify(p)
 	if !pt.buf.Push(qi, p) {
+		if pt.stats != nil {
+			pt.stats.Drop(qi, p.Size)
+		}
 		if pt.OnDrop != nil {
 			pt.OnDrop(now, qi, p)
 		}
 		return
+	}
+	if pt.stats != nil {
+		pt.stats.Enqueue(qi, p.Size, pt.buf.Bytes(qi))
 	}
 	p.EnqueuedAt = now
 	pt.sch.OnEnqueue(now, qi, p)
@@ -151,6 +163,9 @@ func (pt *Port) transmitNext() {
 	pt.marker.OnDequeue(now, qi, p, pt)
 	pt.TxPackets[qi]++
 	pt.TxBytes[qi] += int64(p.Size)
+	if pt.stats != nil {
+		pt.stats.Transmit(qi, p.Size, p.Sojourn(now), p.ECN == pkt.CE)
+	}
 	if pt.OnTransmit != nil {
 		pt.OnTransmit(now, qi, p)
 	}
@@ -160,6 +175,18 @@ func (pt *Port) transmitNext() {
 	peer := pt.peer
 	pt.eng.After(arrival, func() { peer.Receive(p) })
 	pt.eng.After(txDone, pt.transmitNext)
+}
+
+// Instrument attaches the standard per-queue stats bundle (enqueue/
+// transmit/drop byte+packet counters, CE mark counter, sojourn and
+// occupancy histograms) to the registry under label. The definitions
+// line up with trace.Tracer: tx counts every transmission (marked or
+// not), mark counts transmissions leaving with CE, drop counts
+// admission rejections — so registry counters and tracer counts
+// reconcile exactly on the same run.
+func (pt *Port) Instrument(r *obs.Registry, label string) *obs.PortObs {
+	pt.stats = obs.NewPortObs(r, label, pt.buf.NumQueues())
+	return pt.stats
 }
 
 // Buffer exposes the port's buffer for tests and metrics.

@@ -152,6 +152,29 @@ func TestGoodputMeterBinning(t *testing.T) {
 	g.Add(0, -1, 100)
 }
 
+// TestGoodputAccessorsBoundsChecked pins the accessor contract: the
+// read side treats out-of-range classes the same way Add does —
+// silently, with zero values — instead of panicking.
+func TestGoodputAccessorsBoundsChecked(t *testing.T) {
+	g := NewGoodputMeter(2, 100*sim.Millisecond)
+	g.Add(50*sim.Millisecond, 0, 1_250_000)
+	for _, class := range []int{-1, 2, 100} {
+		if s := g.SeriesMbps(class); s != nil {
+			t.Errorf("SeriesMbps(%d) = %v, want nil", class, s)
+		}
+		if n := g.TotalBytes(class); n != 0 {
+			t.Errorf("TotalBytes(%d) = %d, want 0", class, n)
+		}
+		if avg := g.AvgMbpsBetween(class, 0, sim.Second); avg != 0 {
+			t.Errorf("AvgMbpsBetween(%d) = %v, want 0", class, avg)
+		}
+	}
+	// In-range classes still work.
+	if g.TotalBytes(0) != 1_250_000 {
+		t.Fatal("in-range accessor broken by bounds check")
+	}
+}
+
 func TestGoodputAvgBetweenWholeBins(t *testing.T) {
 	g := NewGoodputMeter(1, 100*sim.Millisecond)
 	for i := 0; i < 10; i++ {

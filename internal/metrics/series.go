@@ -36,8 +36,19 @@ func (g *GoodputMeter) Add(now sim.Time, class int, bytes int) {
 	g.bins[class][i] += int64(bytes)
 }
 
-// SeriesMbps returns the per-bin goodput of a class in Mbps.
+// validClass reports whether class is in range. The accessors below use
+// it so they are consistent with Add, which silently ignores
+// out-of-range classes instead of panicking.
+func (g *GoodputMeter) validClass(class int) bool {
+	return class >= 0 && class < g.classes
+}
+
+// SeriesMbps returns the per-bin goodput of a class in Mbps, or nil for
+// an out-of-range class.
 func (g *GoodputMeter) SeriesMbps(class int) []float64 {
+	if !g.validClass(class) {
+		return nil
+	}
 	out := make([]float64, len(g.bins[class]))
 	for i, b := range g.bins[class] {
 		out[i] = float64(b) * 8 / g.bin.Seconds() / 1e6
@@ -45,8 +56,12 @@ func (g *GoodputMeter) SeriesMbps(class int) []float64 {
 	return out
 }
 
-// TotalBytes returns all bytes credited to a class.
+// TotalBytes returns all bytes credited to a class, or 0 for an
+// out-of-range class.
 func (g *GoodputMeter) TotalBytes(class int) int64 {
+	if !g.validClass(class) {
+		return 0
+	}
 	var n int64
 	for _, b := range g.bins[class] {
 		n += b
@@ -56,8 +71,11 @@ func (g *GoodputMeter) TotalBytes(class int) int64 {
 
 // AvgMbpsBetween returns a class's average goodput between two instants,
 // rounded inward to whole bins so partially covered bins do not skew the
-// average.
+// average. Out-of-range classes yield 0.
 func (g *GoodputMeter) AvgMbpsBetween(class int, from, to sim.Time) float64 {
+	if !g.validClass(class) {
+		return 0
+	}
 	i0 := int((from + g.bin - 1) / g.bin) // first bin fully inside
 	i1 := int(to / g.bin)                 // first bin not fully inside
 	if i1 > len(g.bins[class]) {

@@ -1,0 +1,162 @@
+package obs
+
+import "math/bits"
+
+// Histogram is a log-linear (HDR-style) histogram over non-negative
+// int64 values: sojourn times in nanoseconds, occupancies in bytes.
+//
+// Bucketing: values below 2×histSubCount fall into unit-width buckets
+// (exact); above that, every power-of-two range [2^e, 2^(e+1)) is split
+// into histSubCount linear sub-buckets. With histSubCount = 16 the
+// relative quantile error is bounded by half a bucket width: 1/32 of
+// the value, comfortably inside the 1/16 bound the tests assert.
+//
+// The bucket array is a fixed-size value field, so Record never
+// allocates and the whole struct is cache-friendly.
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	// histSubBits sets the linear resolution inside each octave.
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // sub-buckets per octave
+
+	// histMaxExp is the largest value exponent an int64 can carry.
+	histMaxExp = 62
+
+	// histBuckets covers [0, 2^63): the exact region plus
+	// (histMaxExp - histSubBits) octaves of histSubCount buckets each.
+	histBuckets = 2*histSubCount + (histMaxExp-histSubBits)*histSubCount
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: -1}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 2*histSubCount {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // >= histSubBits+1
+	sub := int(v>>uint(e-histSubBits)) - histSubCount
+	return 2*histSubCount + (e-histSubBits-1)*histSubCount + sub
+}
+
+// BucketLower returns the smallest value that maps to bucket i.
+func BucketLower(i int) int64 {
+	if i < 2*histSubCount {
+		return int64(i)
+	}
+	i -= 2 * histSubCount
+	e := histSubBits + 1 + i/histSubCount
+	sub := i % histSubCount
+	return int64(histSubCount+sub) << uint(e-histSubBits)
+}
+
+// bucketMid returns the midpoint of bucket i, the value reported for
+// quantiles falling inside it.
+func bucketMid(i int) int64 {
+	lo := BucketLower(i)
+	if i+1 >= histBuckets {
+		return lo
+	}
+	hi := BucketLower(i + 1) // exclusive upper bound
+	return lo + (hi-lo-1)/2
+}
+
+// Record adds one observation. Negative values clamp to zero (they can
+// only arise from arithmetic bugs upstream; the histogram stays total).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of recorded values, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) as the midpoint of
+// the bucket holding the ceil(q·count)-th observation, clamped to the
+// recorded min/max so estimates never leave the observed range. Returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	rank := int64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Buckets invokes fn for every non-empty bucket in ascending value
+// order, passing the bucket's inclusive lower bound and its count.
+func (h *Histogram) Buckets(fn func(lower, count int64)) {
+	for i := 0; i < histBuckets; i++ {
+		if h.counts[i] > 0 {
+			fn(BucketLower(i), h.counts[i])
+		}
+	}
+}

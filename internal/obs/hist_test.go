@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketBoundaries pins the log-linear layout: unit buckets below
+// 2×histSubCount, then histSubCount linear sub-buckets per octave, with
+// no gaps or overlaps anywhere in the int64 range.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact region: identity mapping.
+	for v := int64(0); v < 2*histSubCount; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want identity in exact region", v, got)
+		}
+		if lo := BucketLower(int(v)); lo != v {
+			t.Fatalf("BucketLower(%d) = %d", v, lo)
+		}
+	}
+	// Boundary continuity: every bucket's lower bound maps back to the
+	// bucket, and the value just below it maps to the previous bucket.
+	for i := 1; i < histBuckets; i++ {
+		lo := BucketLower(i)
+		if bucketIndex(lo) != i {
+			t.Fatalf("BucketLower(%d)=%d maps to bucket %d", i, lo, bucketIndex(lo))
+		}
+		if bucketIndex(lo-1) != i-1 {
+			t.Fatalf("value %d below bucket %d maps to %d, want %d", lo-1, i, bucketIndex(lo-1), i-1)
+		}
+	}
+	// Known spot values.
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0},
+		{31, 31},
+		{32, 32}, // first log-linear bucket
+		{63, 47}, // last sub-bucket of the first octave
+		{64, 48}, // first sub-bucket of the second octave
+		{math.MaxInt64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestBucketRelativeWidth checks the resolution guarantee: above the
+// exact region every bucket spans at most 1/histSubCount of its lower
+// bound, which bounds the quantile error.
+func TestBucketRelativeWidth(t *testing.T) {
+	for i := 2 * histSubCount; i < histBuckets-1; i++ {
+		lo, hi := BucketLower(i), BucketLower(i+1)
+		if width := hi - lo; width > lo/histSubCount {
+			t.Fatalf("bucket %d spans [%d,%d): width %d > %d", i, lo, hi, width, lo/histSubCount)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	for _, v := range []int64{5, 10, 100, 1000, 1000000} {
+		h.Record(v)
+	}
+	if h.Count() != 5 || h.Min() != 5 || h.Max() != 1000000 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Sum() != 1001115 {
+		t.Fatalf("sum=%d", h.Sum())
+	}
+	if got, want := h.Mean(), float64(1001115)/5; got != want {
+		t.Fatalf("mean=%v want %v", got, want)
+	}
+	h.Record(-3) // clamps to 0
+	if h.Min() != 0 {
+		t.Fatalf("negative value did not clamp: min=%d", h.Min())
+	}
+}
+
+// TestQuantileErrorBound records a dense value sweep and checks every
+// estimated quantile against the exact order statistic: the log-linear
+// layout guarantees relative error at most 1/histSubCount.
+func TestQuantileErrorBound(t *testing.T) {
+	h := NewHistogram()
+	var values []int64
+	// Mix linear and exponential spacing so both regions are exercised.
+	for v := int64(0); v < 2000; v++ {
+		values = append(values, v)
+	}
+	for v := int64(1); v < int64(1)<<40; v *= 3 {
+		values = append(values, v)
+	}
+	for _, v := range values {
+		h.Record(v)
+	}
+	// Exact order statistics from the sorted input (values are appended
+	// in two sorted runs; sort by merging is overkill — just sort).
+	sorted := append([]int64(nil), values...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0} {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := sorted[rank-1]
+		got := h.Quantile(q)
+		tol := exact / histSubCount
+		if tol < 1 {
+			tol = 1
+		}
+		if got < exact-tol || got > exact+tol {
+			t.Errorf("q=%v: estimate %d outside %d±%d", q, got, exact, tol)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Fatalf("single-value quantile(%v) = %d, want 42", q, got)
+		}
+	}
+}
+
+func TestBucketsIteration(t *testing.T) {
+	h := NewHistogram()
+	h.Record(3)
+	h.Record(3)
+	h.Record(100)
+	var lowers, counts []int64
+	h.Buckets(func(lo, n int64) { lowers = append(lowers, lo); counts = append(counts, n) })
+	if len(lowers) != 2 || lowers[0] != 3 || counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("buckets: lowers=%v counts=%v", lowers, counts)
+	}
+	if lowers[1] > 100 || BucketLower(bucketIndex(100)+1) <= 100 {
+		t.Fatalf("bucket for 100 misplaced: lower=%d", lowers[1])
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 7919 % 1000000)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1500)
+	}
+}

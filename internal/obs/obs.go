@@ -1,0 +1,148 @@
+// Package obs is the unified switch-statistics layer: a stats registry
+// with typed instruments — monotonic counters, gauges, and log-linear
+// (HDR-style) histograms — that every pipeline stage (fabric ports,
+// qdiscs, markers) records into.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocation on the hot path. Instruments are resolved by name
+//     once at attach time; Record/Add/Set afterwards touch only
+//     preallocated fixed-size state. Simulations are single-goroutine
+//     (the engine serializes all events), so instruments are plain
+//     unsynchronized memory.
+//  2. Deterministic snapshots. Snapshot() orders every instrument by
+//     name, so identical seeds produce byte-identical JSON — the
+//     property the determinism tests pin.
+//  3. One registry per experiment run. Names are dot-separated paths
+//     ("fig1.TCN.n16.sw.p2.q0.tx_packets"); the per-port naming
+//     convention lives in PortObs so the tc -s qdisc–style text view
+//     can group related counters.
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing int64 instrument.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a last-value-wins float64 instrument for internal state that
+// rises and falls (smoothed rate estimates, CoDel state counts).
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// Value returns the last value set (zero if never set).
+func (g *Gauge) Value() float64 { return g.v }
+
+// kind tags a registered instrument for collision checks.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds every instrument of one experiment run, addressed by
+// name. Lookup happens at attach time only; the returned pointers are
+// what the hot path uses.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	kinds      map[string]kind
+	ports      []*PortObs // registered port bundles, for the text view
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		kinds:      map[string]kind{},
+	}
+}
+
+// checkKind panics when a name is reused with a different instrument
+// type — silent aliasing would corrupt both series.
+func (r *Registry) checkKind(name string, k kind) {
+	if prev, ok := r.kinds[name]; ok && prev != k {
+		panic(fmt.Sprintf("obs: %q already registered as %s, requested as %s", name, prev, k))
+	}
+	r.kinds[name] = k
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.checkKind(name, kindCounter)
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.checkKind(name, kindGauge)
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.checkKind(name, kindHistogram)
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// sortedNames returns the keys of a map in lexical order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcn/internal/sim"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b.c")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("a.b.c") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+	g := r.Gauge("a.b.g")
+	g.Set(1.5)
+	g.Set(-2)
+	if g.Value() != -2 {
+		t.Fatalf("gauge = %v, want last write", g.Value())
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind collision")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestSnapshotOrderingDeterministic(t *testing.T) {
+	// Two registries populated in opposite orders must snapshot to
+	// byte-identical JSON: ordering comes from names, not insertion.
+	build := func(reverse bool) []byte {
+		r := NewRegistry()
+		names := []string{"p0.tx", "p1.tx", "a.tx", "z.tx"}
+		if reverse {
+			for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+		for i, n := range names {
+			r.Counter(n).Add(int64(i * i))
+			r.Counter(n) // idempotent re-lookup must not disturb state
+		}
+		// Counter values depend on insertion position; fix them so both
+		// orders describe the same state.
+		for _, n := range names {
+			c := r.Counter(n)
+			c.Add(100 - c.Value())
+		}
+		r.Gauge("g.one").Set(3.25)
+		h := r.Histogram("h.one")
+		for v := int64(0); v < 1000; v += 7 {
+			h.Record(v)
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(false), build(true)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSnapshotTextPortBlock(t *testing.T) {
+	r := NewRegistry()
+	p := NewPortObs(r, "sw.p2", 2)
+	p.Enqueue(0, 1500, 1500)
+	p.Enqueue(0, 1500, 3000)
+	p.Transmit(0, 1500, 120*sim.Microsecond, true)
+	p.Drop(1, 900)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"qdisc sw.p2: queues 2",
+		"Sent 1500 bytes 1 pkt (dropped 1, marked 1)",
+		"q0: enq 2 pkt 3000 bytes",
+		"sojourn p50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text view missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "other instruments") {
+		t.Errorf("port-owned instruments leaked into the loose listing:\n%s", out)
+	}
+}
+
+func TestSnapshotTextLooseInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("marker.tcn.marks").Add(7)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "counter marker.tcn.marks 7") {
+		t.Fatalf("loose counter not rendered:\n%s", buf.String())
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	p := NewPortObs(r, "p", 1)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(1.5)
+		h.Record(123456)
+		p.Enqueue(0, 1500, 4500)
+		p.Transmit(0, 1500, 250*sim.Microsecond, true)
+		p.Drop(0, 1500)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v times per op, want 0", n)
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"tcn/internal/sim"
+)
+
+// QueueObs is the per-queue instrument bundle of the standard switch
+// port convention: enqueue/transmit/drop byte+packet counters, a CE
+// mark counter, a sojourn-time histogram (nanoseconds, recorded at
+// dequeue) and an occupancy histogram (bytes in the queue, recorded
+// after every admission). All fields are resolved once at attach time;
+// the hot path dereferences them directly.
+type QueueObs struct {
+	EnqPackets, EnqBytes   *Counter
+	TxPackets, TxBytes     *Counter
+	DropPackets, DropBytes *Counter
+	MarkPackets            *Counter
+	Sojourn                *Histogram // ns, at dequeue
+	Occupancy              *Histogram // bytes in queue, after enqueue
+}
+
+// PortObs bundles the per-queue instruments of one egress port (or
+// qdisc) under a label. Instruments are registered in the owning
+// registry as "<label>.q<i>.<metric>", so they appear in JSON
+// snapshots individually and in the text view as one tc-style block.
+type PortObs struct {
+	Label string
+	Q     []QueueObs
+}
+
+// Per-queue metric name suffixes of the port convention.
+const (
+	metricEnqPackets  = "enq_packets"
+	metricEnqBytes    = "enq_bytes"
+	metricTxPackets   = "tx_packets"
+	metricTxBytes     = "tx_bytes"
+	metricDropPackets = "drop_packets"
+	metricDropBytes   = "drop_bytes"
+	metricMarkPackets = "mark_packets"
+	metricSojourn     = "sojourn_ns"
+	metricOccupancy   = "occupancy_bytes"
+)
+
+// NewPortObs registers the standard per-queue instruments for a port
+// with the given queue count and returns the bundle. The port also
+// joins the registry's text view.
+func NewPortObs(r *Registry, label string, queues int) *PortObs {
+	if queues <= 0 {
+		panic(fmt.Sprintf("obs: port %q needs at least one queue, got %d", label, queues))
+	}
+	p := &PortObs{Label: label, Q: make([]QueueObs, queues)}
+	for i := range p.Q {
+		prefix := fmt.Sprintf("%s.q%d.", label, i)
+		p.Q[i] = QueueObs{
+			EnqPackets:  r.Counter(prefix + metricEnqPackets),
+			EnqBytes:    r.Counter(prefix + metricEnqBytes),
+			TxPackets:   r.Counter(prefix + metricTxPackets),
+			TxBytes:     r.Counter(prefix + metricTxBytes),
+			DropPackets: r.Counter(prefix + metricDropPackets),
+			DropBytes:   r.Counter(prefix + metricDropBytes),
+			MarkPackets: r.Counter(prefix + metricMarkPackets),
+			Sojourn:     r.Histogram(prefix + metricSojourn),
+			Occupancy:   r.Histogram(prefix + metricOccupancy),
+		}
+	}
+	r.ports = append(r.ports, p)
+	return p
+}
+
+// Enqueue records an admitted packet: size wire bytes into queue qi,
+// which now holds qbytes bytes.
+func (p *PortObs) Enqueue(qi, size, qbytes int) {
+	q := &p.Q[qi]
+	q.EnqPackets.Inc()
+	q.EnqBytes.Add(int64(size))
+	q.Occupancy.Record(int64(qbytes))
+}
+
+// Drop records a packet rejected at admission.
+func (p *PortObs) Drop(qi, size int) {
+	q := &p.Q[qi]
+	q.DropPackets.Inc()
+	q.DropBytes.Add(int64(size))
+}
+
+// Transmit records a departing packet and its sojourn time; marked
+// reports whether it leaves carrying CE.
+func (p *PortObs) Transmit(qi, size int, sojourn sim.Time, marked bool) {
+	q := &p.Q[qi]
+	q.TxPackets.Inc()
+	q.TxBytes.Add(int64(size))
+	q.Sojourn.Record(int64(sojourn))
+	if marked {
+		q.MarkPackets.Inc()
+	}
+}
+
+// markNames flags every instrument name owned by this bundle, so the
+// generic snapshot listing does not repeat them.
+func (p *PortObs) markNames(seen map[string]bool) {
+	for i := range p.Q {
+		prefix := fmt.Sprintf("%s.q%d.", p.Label, i)
+		for _, m := range []string{
+			metricEnqPackets, metricEnqBytes, metricTxPackets, metricTxBytes,
+			metricDropPackets, metricDropBytes, metricMarkPackets,
+			metricSojourn, metricOccupancy,
+		} {
+			seen[prefix+m] = true
+		}
+	}
+}
+
+// writeText renders the port block in the style of `tc -s qdisc show`.
+func (p *PortObs) writeText(w io.Writer) error {
+	var txB, txP, dropP, markP int64
+	for i := range p.Q {
+		q := &p.Q[i]
+		txB += q.TxBytes.Value()
+		txP += q.TxPackets.Value()
+		dropP += q.DropPackets.Value()
+		markP += q.MarkPackets.Value()
+	}
+	if _, err := fmt.Fprintf(w, "qdisc %s: queues %d\n", p.Label, len(p.Q)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " Sent %d bytes %d pkt (dropped %d, marked %d)\n",
+		txB, txP, dropP, markP); err != nil {
+		return err
+	}
+	for i := range p.Q {
+		q := &p.Q[i]
+		if q.EnqPackets.Value() == 0 && q.DropPackets.Value() == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, " q%d: enq %d pkt %d bytes | sent %d pkt %d bytes | dropped %d | marked %d\n",
+			i, q.EnqPackets.Value(), q.EnqBytes.Value(),
+			q.TxPackets.Value(), q.TxBytes.Value(),
+			q.DropPackets.Value(), q.MarkPackets.Value()); err != nil {
+			return err
+		}
+		if q.Sojourn.Count() > 0 {
+			if _, err := fmt.Fprintf(w, "     sojourn p50 %v p90 %v p99 %v max %v\n",
+				sim.Time(q.Sojourn.Quantile(0.50)), sim.Time(q.Sojourn.Quantile(0.90)),
+				sim.Time(q.Sojourn.Quantile(0.99)), sim.Time(q.Sojourn.Max())); err != nil {
+				return err
+			}
+		}
+		if q.Occupancy.Count() > 0 {
+			if _, err := fmt.Fprintf(w, "     occupancy p50 %dB p90 %dB p99 %dB max %dB\n",
+				q.Occupancy.Quantile(0.50), q.Occupancy.Quantile(0.90),
+				q.Occupancy.Quantile(0.99), q.Occupancy.Max()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CounterSnap is one counter's snapshot entry.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge's snapshot entry.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistSnap is one histogram's snapshot entry. Buckets holds only
+// non-empty buckets as [inclusive lower bound, count] pairs.
+type HistSnap struct {
+	Name    string     `json:"name"`
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	P50     int64      `json:"p50"`
+	P90     int64      `json:"p90"`
+	P99     int64      `json:"p99"`
+	Buckets [][2]int64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time, deterministically ordered view of a
+// registry: every slice is sorted by instrument name, so rendering the
+// same simulation state always produces identical bytes.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+
+	ports []*PortObs // carried for the text view; not serialized
+}
+
+// Snapshot captures the current state of every instrument. Slices are
+// non-nil even when empty, so the JSON rendering is always [] rather
+// than null.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make([]CounterSnap, 0, len(r.counters)),
+		Gauges:     make([]GaugeSnap, 0, len(r.gauges)),
+		Histograms: make([]HistSnap, 0, len(r.histograms)),
+	}
+	for _, n := range sortedNames(r.counters) {
+		s.Counters = append(s.Counters, CounterSnap{Name: n, Value: r.counters[n].Value()})
+	}
+	for _, n := range sortedNames(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: n, Value: r.gauges[n].Value()})
+	}
+	for _, n := range sortedNames(r.histograms) {
+		h := r.histograms[n]
+		hs := HistSnap{
+			Name:  n,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+		h.Buckets(func(lower, count int64) {
+			hs.Buckets = append(hs.Buckets, [2]int64{lower, count})
+		})
+		s.Histograms = append(s.Histograms, hs)
+	}
+	s.ports = r.ports
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. The output is
+// byte-identical for identical registry states.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot in the style of `tc -s qdisc show`:
+// one block per registered port bundle, followed by a generic listing
+// of any instruments outside the port convention.
+func (s Snapshot) WriteText(w io.Writer) error {
+	seen := map[string]bool{}
+	for _, p := range s.ports {
+		if err := p.writeText(w); err != nil {
+			return err
+		}
+		p.markNames(seen)
+	}
+	return s.writeLoose(w, seen)
+}
+
+// writeLoose lists instruments not claimed by a port bundle.
+func (s Snapshot) writeLoose(w io.Writer, seen map[string]bool) error {
+	wrote := false
+	header := func() error {
+		if !wrote {
+			wrote = true
+			_, err := fmt.Fprintln(w, "other instruments:")
+			return err
+		}
+		return nil
+	}
+	for _, c := range s.Counters {
+		if seen[c.Name] {
+			continue
+		}
+		if err := header(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, " counter %s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if seen[g.Name] {
+			continue
+		}
+		if err := header(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, " gauge %s %g\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if seen[h.Name] {
+			continue
+		}
+		if err := header(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, " histogram %s count %d min %d p50 %d p90 %d p99 %d max %d\n",
+			h.Name, h.Count, h.Min, h.P50, h.P90, h.P99, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 
 	"tcn/internal/core"
 	"tcn/internal/fabric"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/queue"
 	"tcn/internal/sched"
@@ -110,8 +111,13 @@ type Qdisc struct {
 	busy    bool
 	waiting bool
 
-	// Drops counts buffer rejections; Sent counts transmissions.
-	Drops int
+	// stats, when attached via Instrument, receives per-queue counters
+	// and histograms; nil = off.
+	stats *obs.PortObs
+
+	// Drops counts buffer rejections; Sent counts transmissions. Both
+	// are int64 so multi-hour runs cannot overflow on 32-bit platforms.
+	Drops int64
 	Sent  int64
 }
 
@@ -167,7 +173,13 @@ func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
 	qi := q.classify(p)
 	if !q.buf.Push(qi, p) {
 		q.Drops++
+		if q.stats != nil {
+			q.stats.Drop(qi, p.Size)
+		}
 		return false
+	}
+	if q.stats != nil {
+		q.stats.Enqueue(qi, p.Size, q.buf.Bytes(qi))
 	}
 	p.EnqueuedAt = now
 	q.sch.OnEnqueue(now, qi, p)
@@ -203,11 +215,21 @@ func (q *Qdisc) dequeue() {
 	q.sch.OnDequeue(now, qi, p)
 	q.marker.OnDequeue(now, qi, p, q)
 	q.Sent++
+	if q.stats != nil {
+		q.stats.Transmit(qi, p.Size, p.Sojourn(now), p.ECN == pkt.CE)
+	}
 	q.transmit(now, p)
 	// The wire is busy for the serialization time; then pull the next
 	// packet.
 	q.busy = true
 	q.eng.After(q.rate.Serialize(p.Size), q.dequeue)
+}
+
+// Instrument attaches the standard per-queue stats bundle to the
+// registry under label, mirroring fabric.Port.Instrument.
+func (q *Qdisc) Instrument(r *obs.Registry, label string) *obs.PortObs {
+	q.stats = obs.NewPortObs(r, label, q.buf.NumQueues())
+	return q.stats
 }
 
 // Buffer exposes the buffer for tests.

@@ -6,6 +6,7 @@ import (
 
 	"tcn/internal/core"
 	"tcn/internal/fabric"
+	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/sched"
 	"tcn/internal/sim"
@@ -192,6 +193,42 @@ func TestQdiscDropsWhenFull(t *testing.T) {
 	eng.Run()
 	if int(q.Sent) != accepted {
 		t.Fatalf("sent %d, want %d", q.Sent, accepted)
+	}
+}
+
+// TestQdiscInstrumentedCounters pins that the registry view agrees with
+// the qdisc's own Sent/Drops fields and records sojourns for every
+// transmission.
+func TestQdiscInstrumentedCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	q := New(eng, Config{
+		Queues:      1,
+		BufferBytes: 15_000,
+		LineRate:    fabric.Gbps,
+		Marker:      core.NewTCN(50 * sim.Microsecond),
+		Transmit:    func(sim.Time, *pkt.Packet) {},
+	})
+	r := obs.NewRegistry()
+	q.Instrument(r, "qd")
+	for i := 0; i < 20; i++ {
+		q.Enqueue(&pkt.Packet{Size: 1500, ECN: pkt.ECT0})
+	}
+	eng.Run()
+	if got := r.Counter("qd.q0.tx_packets").Value(); got != q.Sent {
+		t.Fatalf("tx_packets %d, qdisc Sent %d", got, q.Sent)
+	}
+	if got := r.Counter("qd.q0.drop_packets").Value(); got != q.Drops {
+		t.Fatalf("drop_packets %d, qdisc Drops %d", got, q.Drops)
+	}
+	if got := r.Counter("qd.q0.mark_packets").Value(); got == 0 {
+		t.Fatal("backlogged TCN qdisc recorded no marks")
+	}
+	h := r.Histogram("qd.q0.sojourn_ns")
+	if h.Count() != q.Sent {
+		t.Fatalf("sojourn samples %d, want one per transmission (%d)", h.Count(), q.Sent)
+	}
+	if h.Max() == 0 {
+		t.Fatal("a 15KB backlog at 1Gbps must show nonzero sojourns")
 	}
 }
 

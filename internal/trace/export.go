@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// eventJSON is the NDJSON wire form of an Event. Field order is fixed
+// by the struct, so exports are deterministic for identical traces.
+type eventJSON struct {
+	At    int64  `json:"at_ns"`
+	Kind  string `json:"kind"`
+	Where string `json:"where"`
+	Queue int    `json:"queue"`
+	Flow  int32  `json:"flow"`
+	Seq   int64  `json:"seq"`
+	Size  int    `json:"size"`
+	DSCP  uint8  `json:"dscp"`
+	ECN   string `json:"ecn"`
+}
+
+// WriteJSONL dumps the retained events, oldest first, as newline-
+// delimited JSON (one event per line) for offline analysis. Counters
+// are exact even after eviction, so a trailing summary line carries
+// them: {"summary":true,"tx":N,"mark":N,"drop":N,"retained":N}.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(eventJSON{
+			At:    int64(e.At),
+			Kind:  e.Kind.String(),
+			Where: e.Where,
+			Queue: e.Queue,
+			Flow:  int32(e.Flow),
+			Seq:   e.Seq,
+			Size:  e.Size,
+			DSCP:  e.DSCP,
+			ECN:   e.ECN.String(),
+		}); err != nil {
+			return err
+		}
+	}
+	summary := struct {
+		Summary  bool  `json:"summary"`
+		Tx       int64 `json:"tx"`
+		Mark     int64 `json:"mark"`
+		Drop     int64 `json:"drop"`
+		Retained int   `json:"retained"`
+	}{true, t.Count(Transmit), t.Count(Mark), t.Count(Drop), len(t.Events())}
+	if err := enc.Encode(summary); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

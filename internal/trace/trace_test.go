@@ -118,6 +118,88 @@ func TestAttachPortChainsHooks(t *testing.T) {
 	}
 }
 
+// TestRingEvictionAcrossMultipleWraps drives the ring through several
+// full wrap-arounds and checks that Events() is always the last
+// `capacity` events in exact chronological order, with counters exact.
+func TestRingEvictionAcrossMultipleWraps(t *testing.T) {
+	const capacity, total = 7, 100
+	tr := New(capacity)
+	for i := 0; i < total; i++ {
+		k := Transmit
+		if i%3 == 0 {
+			k = Drop
+		}
+		tr.Record(ev(sim.Time(i), k, pkt.FlowID(i)))
+		// Invariant holds at every step, not just at the end.
+		got := tr.Events()
+		want := i + 1
+		if want > capacity {
+			want = capacity
+		}
+		if len(got) != want {
+			t.Fatalf("after %d records: retained %d, want %d", i+1, len(got), want)
+		}
+		for j, e := range got {
+			if wantFlow := pkt.FlowID(i + 1 - want + j); e.Flow != wantFlow {
+				t.Fatalf("after %d records: event %d is flow %d, want %d", i+1, j, e.Flow, wantFlow)
+			}
+		}
+	}
+	wantDrops := int64((total + 2) / 3)
+	if tr.Count(Drop) != wantDrops || tr.Count(Transmit) != total-wantDrops {
+		t.Fatalf("counters drop=%d tx=%d, want %d/%d despite eviction",
+			tr.Count(Drop), tr.Count(Transmit), wantDrops, total-wantDrops)
+	}
+}
+
+// TestFilterRejectedIncrementsNothing pins the satellite contract: an
+// event the filter rejects reaches neither the ring nor any counter.
+func TestFilterRejectedIncrementsNothing(t *testing.T) {
+	tr := New(4)
+	tr.Filter = func(Event) bool { return false }
+	for i := 0; i < 10; i++ {
+		tr.Record(ev(sim.Time(i), Kind(i%3), pkt.FlowID(i)))
+	}
+	if len(tr.Events()) != 0 {
+		t.Fatalf("ring retained %d filtered events", len(tr.Events()))
+	}
+	for _, k := range []Kind{Transmit, Mark, Drop} {
+		if tr.Count(k) != 0 {
+			t.Fatalf("counter %v = %d after filtered records", k, tr.Count(k))
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New(10)
+	tr.Record(Event{At: 5 * sim.Microsecond, Kind: Mark, Where: "sw.p2", Queue: 1,
+		Flow: 7, Seq: 3000, Size: 1500, DSCP: 1, ECN: pkt.CE})
+	tr.Record(Event{At: 6 * sim.Microsecond, Kind: Drop, Where: "sw.p2", Queue: 0,
+		Flow: 8, Size: 900, ECN: pkt.ECT0})
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 events + summary:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"at_ns":5000`) || !strings.Contains(lines[0], `"kind":"mark"`) {
+		t.Errorf("first line: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"summary":true`) || !strings.Contains(lines[2], `"drop":1`) {
+		t.Errorf("summary line: %s", lines[2])
+	}
+	// Determinism: a second export is byte-identical.
+	var buf2 strings.Builder
+	if err := tr.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("JSONL export not deterministic")
+	}
+}
+
 func TestNewValidates(t *testing.T) {
 	defer func() {
 		if recover() == nil {
