@@ -12,6 +12,7 @@ import (
 	"tcn/internal/core"
 	"tcn/internal/experiments"
 	"tcn/internal/fabric"
+	"tcn/internal/metrics"
 	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/qdisc"
@@ -310,12 +311,7 @@ func BenchmarkAblationProbabilisticTCN(b *testing.B) {
 			st.Start(&transport.Flow{ID: st.NewFlowID(), Src: src, Dst: 4, Size: 1 << 40})
 		}
 		eng.RunUntil(2 * sim.Second)
-		var sum, sumSq float64
-		for _, x := range delivered {
-			sum += x
-			sumSq += x * x
-		}
-		return sum * sum / (float64(len(delivered)) * sumSq)
+		return metrics.JainFairness(delivered, len(delivered))
 	}
 	for i := 0; i < b.N; i++ {
 		b.ReportMetric(run(false), "jain-plain-TCN")

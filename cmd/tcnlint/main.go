@@ -1,0 +1,149 @@
+// Command tcnlint runs the repository's determinism and accounting
+// analyzers over Go packages and reports violations in the standard
+// file:line:col format. It exits non-zero when any diagnostic fires, so it
+// slots directly into CI:
+//
+//	go run ./cmd/tcnlint ./...
+//
+// Flags select analyzers (-run) and control whether test files are
+// included (-tests, default true). The tool is built on the stdlib-only
+// framework in internal/lint/analysis; it mirrors the x/tools multichecker
+// interface closely enough that migrating to `go vet -vettool` is a
+// mechanical swap once x/tools can be vendored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tcn/internal/lint"
+	"tcn/internal/lint/analysis"
+)
+
+func main() {
+	var (
+		tests = flag.Bool("tests", true, "analyze test files too")
+		run   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list  = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcnlint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		analyzers = selectAnalyzers(analyzers, *run)
+	}
+
+	// The stdlib source importer resolves module imports against the
+	// process working directory, so anchor at the module root.
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		analyzer  string
+		message   string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				file := pos.Filename
+				if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+				findings = append(findings, finding{file, pos.Line, pos.Column, name, d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				fatal(fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err))
+			}
+		}
+	}
+
+	// Diagnostics print in deterministic position order regardless of
+	// package load or map iteration order.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tcnlint: %d issue(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	seen := map[string]bool{}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		a, ok := byName[n]
+		if !ok {
+			fatal(fmt.Errorf("unknown analyzer %q", n))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcnlint:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"tcn/internal/core"
 	"tcn/internal/dcqcn"
 	"tcn/internal/fabric"
+	"tcn/internal/metrics"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -53,15 +54,8 @@ func main() {
 		}
 		eng.RunUntil(warmup + measure)
 
-		var sum, sumSq float64
-		for _, x := range per {
-			sum += x
-			sumSq += x * x
-		}
-		jain := 0.0
-		if sumSq > 0 {
-			jain = sum * sum / (float64(*senders) * sumSq)
-		}
+		sum, _ := metrics.SumAndSumSq(per)
+		jain := metrics.JainFairness(per, *senders)
 		fmt.Printf("%-9s aggregate %.2f Gbps  Jain %.3f  per-sender:", name, sum*8/measure.Seconds()/1e9, jain)
 		for f := pkt.FlowID(0); int(f) < *senders; f++ {
 			fmt.Printf(" %.2f", per[f]*8/measure.Seconds()/1e9)

@@ -7,6 +7,7 @@ import (
 	"tcn/internal/core"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 )
 
 // fakePort is a hand-cranked core.PortState.
@@ -146,7 +147,7 @@ func TestRateMeterSingleCycle(t *testing.T) {
 	r := NewRateMeter(10_000)
 	// Below dq_thresh: no measurement starts.
 	r.OnDeparture(0, 1500, 5_000)
-	if r.Samples() != 0 || r.Rate() != 0 {
+	if r.Samples() != 0 || !testutil.Eq(r.Rate(), 0) {
 		t.Fatal("no cycle should have started")
 	}
 	// Backlog over threshold: cycle starts, 7 packets of 1500B complete

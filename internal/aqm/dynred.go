@@ -64,7 +64,7 @@ func (r *RateMeter) OnDeparture(now sim.Time, size, qlenBytes int) {
 		elapsed = 1
 	}
 	raw := float64(r.dqCount) / elapsed.Seconds()
-	if r.avgRate == 0 {
+	if r.samples == 0 {
 		r.avgRate = raw
 	} else {
 		r.avgRate = r.W*r.avgRate + (1-r.W)*raw

@@ -1,0 +1,39 @@
+package aqm
+
+import (
+	"testing"
+
+	"tcn/internal/pkt"
+)
+
+// FuzzREDDecide checks the static-threshold marking decision on
+// arbitrary occupancy/threshold/codepoint combinations: a packet is
+// CE-marked iff the occupancy strictly exceeds K and the packet is
+// ECN-capable, and the mark counter moves in lockstep with the marks.
+func FuzzREDDecide(f *testing.F) {
+	f.Add(30_000, 20_000, uint8(1))
+	f.Add(20_000, 20_000, uint8(1))
+	f.Add(30_000, 20_000, uint8(0))
+	f.Fuzz(func(t *testing.T, qbytes, k int, ecn uint8) {
+		if k <= 0 {
+			k = 1
+		}
+		m := NewQueueRED(k)
+		p := &pkt.Packet{Size: 1500, ECN: pkt.ECN(ecn % 4)}
+		capable := p.ECN.ECNCapable()
+		wasCE := p.ECN == pkt.CE
+		m.decide(qbytes, p)
+		wantMark := qbytes > k && capable
+		if gotCE := p.ECN == pkt.CE; gotCE != (wasCE || wantMark) {
+			t.Fatalf("decide(qbytes=%d, K=%d, ecn=%v): CE=%v, want %v",
+				qbytes, k, pkt.ECN(ecn%4), gotCE, wasCE || wantMark)
+		}
+		wantCount := int64(0)
+		if wantMark {
+			wantCount = 1
+		}
+		if m.Marks != wantCount {
+			t.Fatalf("Marks = %d, want %d", m.Marks, wantCount)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 )
 
 func ect(enq sim.Time) *pkt.Packet { return &pkt.Packet{ECN: pkt.ECT0, Size: 1500, EnqueuedAt: enq} }
@@ -79,26 +80,28 @@ func TestTCNStateless(t *testing.T) {
 
 func TestDecideIsIndependentOfQueueState(t *testing.T) {
 	// Decide takes no queue state at all — compile-time statelessness.
-	if Decide(101, 100) != true || Decide(100, 100) != false {
+	if Decide(101*sim.Nanosecond, 100*sim.Nanosecond) != true ||
+		Decide(100*sim.Nanosecond, 100*sim.Nanosecond) != false {
 		t.Fatal("Decide boundary wrong")
 	}
 }
 
 func TestProbTCNEndpoints(t *testing.T) {
-	if p := MarkProbability(5, 10, 20, 0.5); p != 0 {
+	const tmin, tmax = 10 * sim.Nanosecond, 20 * sim.Nanosecond
+	if p := MarkProbability(5*sim.Nanosecond, tmin, tmax, 0.5); !testutil.Eq(p, 0) {
 		t.Fatalf("below Tmin: %v", p)
 	}
-	if p := MarkProbability(25, 10, 20, 0.5); p != 1 {
+	if p := MarkProbability(25*sim.Nanosecond, tmin, tmax, 0.5); !testutil.Eq(p, 1) {
 		t.Fatalf("above Tmax: %v", p)
 	}
-	if p := MarkProbability(15, 10, 20, 0.5); p != 0.25 {
+	if p := MarkProbability(15*sim.Nanosecond, tmin, tmax, 0.5); !testutil.Eq(p, 0.25) {
 		t.Fatalf("midpoint: %v, want 0.25", p)
 	}
 	// Degenerate Tmin==Tmax behaves like plain TCN.
-	if MarkProbability(10, 10, 10, 0.5) != 0 {
+	if p := MarkProbability(tmin, tmin, tmin, 0.5); !testutil.Eq(p, 0) {
 		t.Fatal("equal thresholds at boundary should not mark")
 	}
-	if MarkProbability(11, 10, 10, 0.5) != 1 {
+	if p := MarkProbability(11*sim.Nanosecond, tmin, tmin, 0.5); !testutil.Eq(p, 1) {
 		t.Fatal("equal thresholds above boundary should mark")
 	}
 }
@@ -109,7 +112,7 @@ func TestPropertyMarkProbabilityMonotone(t *testing.T) {
 		if s1 > s2 {
 			s1, s2 = s2, s1
 		}
-		const tmin, tmax = 100, 10_000
+		const tmin, tmax = 100 * sim.Nanosecond, 10 * sim.Microsecond
 		p1 := MarkProbability(s1, tmin, tmax, 0.8)
 		p2 := MarkProbability(s2, tmin, tmax, 0.8)
 		return p1 >= 0 && p2 <= 1 && p1 <= p2
@@ -121,7 +124,7 @@ func TestPropertyMarkProbabilityMonotone(t *testing.T) {
 
 func TestProbTCNMarkingRate(t *testing.T) {
 	rng := sim.NewRand(7)
-	m := NewProbTCN(100, 1100, 0.5, rng)
+	m := NewProbTCN(100*sim.Nanosecond, 1100*sim.Nanosecond, 0.5, rng)
 	now := sim.Time(1) << 30
 	marked := 0
 	const n = 20000
@@ -148,9 +151,9 @@ func TestProbTCNValidation(t *testing.T) {
 		f()
 	}
 	rng := sim.NewRand(1)
-	mustPanic("tmax<tmin", func() { NewProbTCN(20, 10, 0.5, rng) })
-	mustPanic("pmax>1", func() { NewProbTCN(10, 20, 1.5, rng) })
-	mustPanic("nil rng", func() { NewProbTCN(10, 20, 0.5, nil) })
+	mustPanic("tmax<tmin", func() { NewProbTCN(20*sim.Nanosecond, 10*sim.Nanosecond, 0.5, rng) })
+	mustPanic("pmax>1", func() { NewProbTCN(10*sim.Nanosecond, 20*sim.Nanosecond, 1.5, rng) })
+	mustPanic("nil rng", func() { NewProbTCN(10*sim.Nanosecond, 20*sim.Nanosecond, 0.5, nil) })
 	mustPanic("tcn zero threshold", func() { NewTCN(0) })
 }
 
@@ -158,16 +161,16 @@ func TestProbTCNValidation(t *testing.T) {
 
 func TestHWClockSpan(t *testing.T) {
 	// The paper's examples: 4ns × 2^16 ≈ 262us, 8ns × 2^16 ≈ 524us.
-	if s := NewHWClock(4).Span(); s != 262144 {
+	if s := NewHWClock(4 * sim.Nanosecond).Span(); s != 262144 {
 		t.Fatalf("4ns span %v, want 262144ns", s)
 	}
-	if s := NewHWClock(8).Span(); s != 524288 {
+	if s := NewHWClock(8 * sim.Nanosecond).Span(); s != 524288 {
 		t.Fatalf("8ns span %v, want 524288ns", s)
 	}
 }
 
 func TestHWClockWrapAround(t *testing.T) {
-	c := NewHWClock(8)
+	c := NewHWClock(8 * sim.Nanosecond)
 	// Enqueue just before the counter wraps, dequeue just after.
 	enqT := c.Span() - 40*sim.Nanosecond
 	deqT := c.Span() + 80*sim.Nanosecond
@@ -203,7 +206,7 @@ func TestPropertyHWClockReconstruction(t *testing.T) {
 // threshold.
 func TestPropertyHWTCNMatchesIdealTCN(t *testing.T) {
 	const threshold = 100 * sim.Microsecond
-	c := NewHWClock(8)
+	c := NewHWClock(8 * sim.Nanosecond)
 	hw := NewHWTCN(c, threshold)
 	ideal := NewTCN(threshold)
 	f := func(enqRaw uint64, sojournRaw uint32) bool {
@@ -229,7 +232,7 @@ func TestPropertyHWTCNMatchesIdealTCN(t *testing.T) {
 }
 
 func TestHWTCNValidation(t *testing.T) {
-	c := NewHWClock(8)
+	c := NewHWClock(8 * sim.Nanosecond)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("threshold beyond span must panic")
@@ -241,8 +244,8 @@ func TestHWTCNValidation(t *testing.T) {
 func TestNopMarker(t *testing.T) {
 	var m Marker = Nop{}
 	p := ect(0)
-	m.OnEnqueue(100, 0, p, nil)
-	m.OnDequeue(100, 0, p, nil)
+	m.OnEnqueue(100*sim.Nanosecond, 0, p, nil)
+	m.OnDequeue(100*sim.Nanosecond, 0, p, nil)
 	if p.ECN == pkt.CE || m.Name() != "none" {
 		t.Fatal("Nop must not mark")
 	}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tcn/internal/sim"
+)
+
+// FuzzMarkProbability checks the probabilistic-marking math on arbitrary
+// configurations: the result is always a valid probability, exactly 0
+// below Tmin, exactly 1 above Tmax, and monotone in the sojourn time.
+func FuzzMarkProbability(f *testing.F) {
+	f.Add(int64(150), int64(100), int64(200), 0.5)
+	f.Add(int64(0), int64(0), int64(0), 1.0)
+	f.Fuzz(func(t *testing.T, sojournRaw, tminRaw, tmaxRaw int64, pmax float64) {
+		norm := func(v int64) sim.Time {
+			if v < 0 {
+				v = -v
+			}
+			return sim.Time(v % (1 << 40))
+		}
+		sojourn, tmin, tmax := norm(sojournRaw), norm(tminRaw), norm(tmaxRaw)
+		if tmax < tmin {
+			tmin, tmax = tmax, tmin
+		}
+		if pmax < 0 || pmax > 1 || math.IsNaN(pmax) {
+			pmax = 0.5
+		}
+		p := MarkProbability(sojourn, tmin, tmax, pmax)
+		if !(p >= 0 && p <= 1) {
+			t.Fatalf("MarkProbability(%v,%v,%v,%v) = %v outside [0,1]", sojourn, tmin, tmax, pmax, p)
+		}
+		if sojourn < tmin && p != 0 { //tcnlint:floatexact exact-zero contract below Tmin
+			t.Fatalf("below Tmin must be 0, got %v", p)
+		}
+		if sojourn > tmax && p != 1 { //tcnlint:floatexact exact-one contract above Tmax
+			t.Fatalf("above Tmax must be 1, got %v", p)
+		}
+		if sojourn+sim.Microsecond > sojourn {
+			p2 := MarkProbability(sojourn+sim.Microsecond, tmin, tmax, pmax)
+			if p2 < p {
+				t.Fatalf("not monotone: p(%v)=%v > p(%v)=%v", sojourn, p, sojourn+sim.Microsecond, p2)
+			}
+		}
+		// The probabilistic variant must agree with plain TCN at the
+		// degenerate Tmin == Tmax configuration.
+		if tmin == tmax {
+			want := 0.0
+			if Decide(sojourn, tmin) {
+				want = 1
+			}
+			if p != want { //tcnlint:floatexact degenerate case returns literal 0 or 1
+				t.Fatalf("degenerate config: p=%v, Decide=%v", p, want)
+			}
+		}
+	})
+}

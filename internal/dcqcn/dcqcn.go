@@ -65,7 +65,7 @@ func (c Config) withDefaults() Config {
 	if c.MTUBytes == 0 {
 		c.MTUBytes = 1500
 	}
-	if c.G == 0 {
+	if c.G == 0 { //tcnlint:floatexact zero is the "unset" sentinel, never computed
 		c.G = 1.0 / 256
 	}
 	if c.AlphaTimer == 0 {

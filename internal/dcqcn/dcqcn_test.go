@@ -6,8 +6,10 @@ import (
 	"tcn/internal/core"
 	"tcn/internal/dcqcn"
 	"tcn/internal/fabric"
+	"tcn/internal/metrics"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 )
 
 // lossless builds an n-host 10 Gbps star with unbounded buffers (the PFC
@@ -66,7 +68,7 @@ func TestCNPReducesRate(t *testing.T) {
 	if a.Rate()+b.Rate() > 11*fabric.Gbps {
 		t.Fatalf("aggregate rate %v exceeds the link", a.Rate()+b.Rate())
 	}
-	if a.Alpha() == 0 && b.Alpha() == 0 {
+	if testutil.Eq(a.Alpha(), 0) && testutil.Eq(b.Alpha(), 0) {
 		t.Fatal("alpha never grew")
 	}
 }
@@ -94,12 +96,8 @@ func TestRatesConvergeNearFairShare(t *testing.T) {
 	}
 	eng.RunUntil(warmup + measure)
 
-	var sum, sumSq float64
-	for _, x := range delivered {
-		sum += x
-		sumSq += x * x
-	}
-	jain := sum * sum / (4 * sumSq)
+	sum, _ := metrics.SumAndSumSq(delivered)
+	jain := metrics.JainFairness(delivered, 4)
 	if jain < 0.9 {
 		t.Fatalf("Jain index %.3f under probabilistic marking, want > 0.9", jain)
 	}
@@ -144,7 +142,7 @@ func TestAlphaDecaysWithoutCongestion(t *testing.T) {
 	b := st.Start(1, 2, 0)
 	eng.RunUntil(20 * sim.Millisecond)
 	alphaCongested := a.Alpha()
-	if alphaCongested == 0 {
+	if testutil.Eq(alphaCongested, 0) {
 		t.Fatal("alpha should have grown under congestion")
 	}
 	// Remove the competitor: congestion ends, alpha must decay and the

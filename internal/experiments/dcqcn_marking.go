@@ -102,14 +102,8 @@ func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
 	eng.RunUntil(cfg.Warmup + cfg.Measure)
 
 	var res DCQCNMarkingResult
-	var sum, sumSq float64
-	for _, x := range delivered {
-		sum += x
-		sumSq += x * x
-	}
-	if sumSq > 0 {
-		res.Jain = sum * sum / (float64(cfg.Senders) * sumSq)
-	}
+	sum, _ := metrics.SumAndSumSq(delivered)
+	res.Jain = metrics.JainFairness(delivered, cfg.Senders)
 	res.AggGbps = sum * 8 / cfg.Measure.Seconds() / 1e9
 	res.QueueMean = sampler.MeanBetween(cfg.Warmup, cfg.Warmup+cfg.Measure)
 	var varSum float64

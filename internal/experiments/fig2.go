@@ -154,7 +154,7 @@ func runFig2Once(cfg Fig2Config, scheme Scheme, dqThresh int, name string) Fig2T
 		if s.At < cfg.StepAt {
 			continue
 		}
-		if tr.MinGbps == 0 || s.Value < tr.MinGbps {
+		if tr.MinGbps == 0 || s.Value < tr.MinGbps { //tcnlint:floatexact zero means "no sample yet"
 			tr.MinGbps = s.Value
 		}
 		if s.Value > tr.MaxGbps {

@@ -90,7 +90,7 @@ func (sw *FCTSweep) Cell(s Scheme, load float64) *TestbedFCTResult {
 			continue
 		}
 		for j, l := range sw.Loads {
-			if l == load {
+			if l == load { //tcnlint:floatexact looks up the exact configured load value
 				return &sw.Cells[i][j]
 			}
 		}

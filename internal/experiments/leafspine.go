@@ -300,7 +300,7 @@ func (sw *LeafSpineSweep) Cell(s Scheme, load float64) *LeafSpineResult {
 			continue
 		}
 		for j, l := range sw.Loads {
-			if l == load {
+			if l == load { //tcnlint:floatexact looks up the exact configured load value
 				return &sw.Cells[i][j]
 			}
 		}

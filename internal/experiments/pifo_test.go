@@ -121,7 +121,7 @@ func TestMQECNPanicsOnPIFO(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	pp := PortParams{Queues: 2, RTTLambda: 1000, Quantum: 1500}
+	pp := PortParams{Queues: 2, RTTLambda: sim.Microsecond, Quantum: 1500}
 	sc := pp.NewScheduler(SchedPIFOLAS)
 	pp.NewMarker(SchemeMQECN, sc, nil)
 }

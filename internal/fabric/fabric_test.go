@@ -15,7 +15,7 @@ func TestRateSerialize(t *testing.T) {
 		want  sim.Time
 	}{
 		{Gbps, 1500, 12 * sim.Microsecond},
-		{10 * Gbps, 1500, 1200},
+		{10 * Gbps, 1500, 1200 * sim.Nanosecond},
 		{Mbps, 125, sim.Millisecond},
 	}
 	for _, c := range cases {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcn/internal/core"
+	"tcn/internal/invariant"
 	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/queue"
@@ -159,12 +160,20 @@ func (pt *Port) transmitNext() {
 	if p == nil {
 		panic(fmt.Sprintf("fabric: scheduler %s chose empty queue %d", pt.sch.Name(), qi))
 	}
+	if invariant.Enabled {
+		invariant.Checkf(p.Sojourn(now) >= 0,
+			"fabric: negative sojourn %v (enqueued at %v, dequeued at %v)",
+			p.Sojourn(now), p.EnqueuedAt, now)
+	}
 	pt.sch.OnDequeue(now, qi, p)
 	pt.marker.OnDequeue(now, qi, p, pt)
 	pt.TxPackets[qi]++
 	pt.TxBytes[qi] += int64(p.Size)
 	if pt.stats != nil {
 		pt.stats.Transmit(qi, p.Size, p.Sojourn(now), p.ECN == pkt.CE)
+		if invariant.Enabled {
+			pt.checkStats(qi)
+		}
 	}
 	if pt.OnTransmit != nil {
 		pt.OnTransmit(now, qi, p)
@@ -185,8 +194,36 @@ func (pt *Port) transmitNext() {
 // admission rejections — so registry counters and tracer counts
 // reconcile exactly on the same run.
 func (pt *Port) Instrument(r *obs.Registry, label string) *obs.PortObs {
+	if invariant.Enabled {
+		// The reconciliation identity (enq − tx == buffered) only holds
+		// when the counters observe the port's whole life.
+		invariant.Checkf(pt.buf.Used() == 0,
+			"fabric: Instrument(%q) on a port already holding %d bytes", label, pt.buf.Used())
+	}
 	pt.stats = obs.NewPortObs(r, label, pt.buf.NumQueues())
 	return pt.stats
+}
+
+// checkStats asserts, after a transmit on queue qi, that the obs
+// counters reconcile with the port's own accounting (invariants builds
+// only): counted enqueued bytes minus transmitted bytes equal the bytes
+// still buffered, counters agree with the port's transmit tallies, and
+// CE marks never exceed transmissions.
+func (pt *Port) checkStats(qi int) {
+	q := &pt.stats.Q[qi]
+	invariant.Checkf(q.TxPackets.Value() == pt.TxPackets[qi],
+		"fabric: obs tx_packets %d != port count %d on queue %d",
+		q.TxPackets.Value(), pt.TxPackets[qi], qi)
+	invariant.Checkf(q.TxBytes.Value() == pt.TxBytes[qi],
+		"fabric: obs tx_bytes %d != port count %d on queue %d",
+		q.TxBytes.Value(), pt.TxBytes[qi], qi)
+	invariant.Checkf(q.MarkPackets.Value() <= q.TxPackets.Value(),
+		"fabric: %d CE marks exceed %d transmissions on queue %d",
+		q.MarkPackets.Value(), q.TxPackets.Value(), qi)
+	buffered := q.EnqBytes.Value() - q.TxBytes.Value()
+	invariant.Checkf(buffered == int64(pt.buf.Bytes(qi)),
+		"fabric: obs enq−tx = %d bytes but queue %d holds %d",
+		buffered, qi, pt.buf.Bytes(qi))
 }
 
 // Buffer exposes the port's buffer for tests and metrics.

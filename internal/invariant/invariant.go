@@ -1,0 +1,27 @@
+//go:build invariants
+
+// Package invariant provides build-tag-gated runtime assertions for the
+// simulator's accounting identities (buffer byte totals, token-bucket
+// non-negativity, obs counter reconciliation). The checks exist because
+// these identities span packages — a scheduler bug shows up as a buffer
+// miscount three calls later — and unit tests only exercise each layer
+// alone.
+//
+// Build with `-tags=invariants` to enable. Without the tag Enabled is a
+// constant false and every `if invariant.Enabled { ... }` block is
+// eliminated at compile time, so the hot path pays nothing.
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking was compiled in.
+const Enabled = true
+
+// Checkf panics with the formatted message when cond is false. Callers
+// must guard the call (including argument construction) behind
+// `if invariant.Enabled`.
+func Checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether invariant checking was compiled in.
+const Enabled = false
+
+// Checkf is a no-op without the invariants build tag. Guard calls behind
+// `if invariant.Enabled` so the arguments are not even evaluated.
+func Checkf(cond bool, format string, args ...any) {}

@@ -1,0 +1,97 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, built entirely on the standard
+// library (go/ast, go/types, go/importer). The repository vendors no external
+// modules, so the real x/tools multichecker cannot be imported; this package
+// keeps the same shape — Analyzer, Pass, Diagnostic — so the tcnlint
+// analyzers can migrate to the upstream framework by swapping one import.
+//
+// Deliberate simplifications relative to upstream: no Facts, no Requires
+// graph (every analyzer is self-contained), and no SuggestedFixes. Those are
+// not needed by the determinism and accounting analyzers this repo ships.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters. It
+	// must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `tcnlint help`.
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics
+	// through the pass. The result value is unused by the driver but
+	// kept for upstream signature compatibility.
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one (analyzer, package) pairing and the
+// driver: the syntax, type information, and the Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos to file positions for every file in the pass.
+	Fset *token.FileSet
+	// Files holds the parsed syntax trees of the package, including any
+	// in-package test files, in deterministic (file name) order.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records types and objects for every expression in Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a human-readable message. The
+// driver prefixes the reporting analyzer's name.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// LineCommentDirective reports whether the given directive comment (for
+// example "//tcnlint:ordered") is attached to the source line holding pos:
+// either on the line itself (trailing) or alone on the line directly above.
+// This is the mechanism behind the repo's justification-comment convention —
+// a directive must sit visibly next to the construct it exempts.
+func LineCommentDirective(fset *token.FileSet, f *ast.File, pos token.Pos, directive string) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			cl := fset.Position(c.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			if commentHasDirective(c.Text, directive) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commentHasDirective matches "//tcnlint:<directive>" allowing trailing
+// explanation text ("//tcnlint:ordered keys feed a commutative sum").
+func commentHasDirective(text, directive string) bool {
+	const prefix = "//tcnlint:"
+	if len(text) < len(prefix)+len(directive) || text[:len(prefix)] != prefix {
+		return false
+	}
+	rest := text[len(prefix):]
+	if rest[:len(directive)] != directive {
+		return false
+	}
+	rest = rest[len(directive):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}

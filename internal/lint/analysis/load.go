@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked unit of analysis. In-package test
+// files are compiled together with the library files (matching the go
+// tool); external _test packages load as their own unit.
+type Package struct {
+	// Path is the import path ("tcn/internal/qdisc"), with an "_test"
+	// suffix for external test units.
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadConfig controls package loading.
+type LoadConfig struct {
+	// Dir is the working directory for the `go list` invocation; it must
+	// be inside the module. Empty means the process working directory.
+	Dir string
+	// Tests includes in-package and external test files.
+	Tests bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Incomplete   bool
+	DepOnly      bool
+	ForTest      string
+	Error        *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns with the go command,
+// parses them, and type-checks them against a shared source-level importer.
+// All randomness-free: output order follows `go list`, which is sorted.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(cfg.Dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.ForTest != "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		units := []struct {
+			path  string
+			files []string
+		}{
+			{lp.ImportPath, mergeFiles(lp, cfg.Tests)},
+		}
+		if cfg.Tests && len(lp.XTestGoFiles) > 0 {
+			units = append(units, struct {
+				path  string
+				files []string
+			}{lp.ImportPath + "_test", append([]string(nil), lp.XTestGoFiles...)})
+		}
+		for _, u := range units {
+			if len(u.files) == 0 {
+				continue
+			}
+			p, err := checkUnit(fset, imp, u.path, lp.Dir, u.files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// mergeFiles joins library and in-package test files in sorted order.
+func mergeFiles(lp listedPackage, tests bool) []string {
+	files := append([]string(nil), lp.GoFiles...)
+	files = append(files, lp.CgoFiles...)
+	if tests {
+		files = append(files, lp.TestGoFiles...)
+	}
+	sort.Strings(files)
+	return files
+}
+
+// checkUnit parses and type-checks one compilation unit.
+func checkUnit(fset *token.FileSet, imp types.Importer, path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: imp}
+	info := NewInfo()
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// goList shells out to `go list -json` and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = os.Environ()
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// ModuleRoot walks upward from dir until it finds go.mod, so the driver can
+// run from any subdirectory of the repository.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,63 @@
+// Package floatcmp flags exact equality comparisons between floating-point
+// operands.
+//
+// The marker-threshold math (MarkProbability, WFQ virtual times, token
+// bucket levels) is full of values that are *almost* representable; `==`
+// and `!=` on them encode an assumption about rounding that quietly breaks
+// when an expression is refactored. Comparisons should use integer units
+// (sim.Time, bytes) or an epsilon helper (testutil.AlmostEqual). Constant
+// expressions folded at compile time are exempt, and a deliberate exact
+// comparison (IEEE sentinel checks, exact-propagation tests) can be
+// justified with a //tcnlint:floatexact comment on or above the line.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag == and != between floating-point operands; use integer units or an epsilon comparison",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			whole, ok := pass.TypesInfo.Types[be]
+			if !ok || whole.Value != nil {
+				return true // folded at compile time: exact by definition
+			}
+			if !isFloatOperand(pass, be.X) && !isFloatOperand(pass, be.Y) {
+				return true
+			}
+			if analysis.LineCommentDirective(pass.Fset, file, be.Pos(), "floatexact") {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact floating-point %s comparison; compare in integer units or with testutil.AlmostEqual (//tcnlint:floatexact to justify)", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFloatOperand reports whether the expression has floating-point type
+// (including complex, whose parts inherit the same rounding hazards).
+func isFloatOperand(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/floatcmp"
+	"tcn/internal/lint/linttest"
+)
+
+func TestFloatcmp(t *testing.T) {
+	linttest.Run(t, floatcmp.Analyzer, "floatcmp")
+}

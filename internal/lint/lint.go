@@ -1,0 +1,24 @@
+// Package lint registers the tcnlint analyzer suite: the machine-checked
+// form of the repository's determinism and accounting conventions (see
+// DESIGN.md, "Determinism rules").
+package lint
+
+import (
+	"tcn/internal/lint/analysis"
+	"tcn/internal/lint/floatcmp"
+	"tcn/internal/lint/maporder"
+	"tcn/internal/lint/seededrand"
+	"tcn/internal/lint/simclock"
+	"tcn/internal/lint/unitcheck"
+)
+
+// All returns the full analyzer suite in stable (alphabetical) order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floatcmp.Analyzer,
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		simclock.Analyzer,
+		unitcheck.Analyzer,
+	}
+}

@@ -1,0 +1,226 @@
+// Package linttest is the fixture harness for tcnlint analyzers, a
+// stdlib-only equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live under internal/lint/testdata/src/<name>. A fixture
+// file marks each line where a diagnostic is expected with a trailing
+//
+//	// want "regexp"
+//
+// comment (several regexps may follow one want). The harness runs the
+// analyzer, then requires an exact correspondence: every want matched by a
+// diagnostic on its line, every diagnostic covered by a want. Files with no
+// want comments therefore serve as true-negative fixtures.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"tcn/internal/lint/analysis"
+)
+
+// TestdataDir returns the shared fixture root, resolved relative to this
+// source file so analyzer tests in sibling packages all reuse one tree.
+func TestdataDir() string {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		panic("linttest: cannot locate testdata")
+	}
+	return filepath.Join(filepath.Dir(self), "..", "testdata", "src")
+}
+
+// Run applies the analyzer to each named fixture package and checks its
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	root := TestdataDir()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		root:     root,
+		fset:     fset,
+		cache:    map[string]*loadedFixture{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, name := range fixtures {
+		fx, err := ld.load(name)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", name, err)
+		}
+		checkFixture(t, a, fx)
+	}
+}
+
+// loadedFixture is one type-checked fixture package.
+type loadedFixture struct {
+	name  string
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader resolves imports among fixture packages first and falls
+// back to the source importer for the standard library.
+type fixtureLoader struct {
+	root     string
+	fset     *token.FileSet
+	cache    map[string]*loadedFixture
+	fallback types.Importer
+	loading  []string
+}
+
+// Import implements types.Importer.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		fx, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fx.pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *fixtureLoader) load(name string) (*loadedFixture, error) {
+	if fx, ok := l.cache[name]; ok {
+		return fx, nil
+	}
+	for _, in := range l.loading {
+		if in == name {
+			return nil, fmt.Errorf("fixture import cycle through %q", name)
+		}
+	}
+	l.loading = append(l.loading, name)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.root, filepath.FromSlash(name))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fn), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %q has no Go files", name)
+	}
+	conf := types.Config{Importer: l}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(name, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %q: %v", name, err)
+	}
+	fx := &loadedFixture{name: name, fset: l.fset, files: files, pkg: pkg, info: info}
+	l.cache[name] = fx
+	return fx, nil
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// want is one expectation: a line plus a message regexp.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// collectWants extracts want comments from the fixture's files.
+func collectWants(t *testing.T, fx *loadedFixture) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range fx.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fx.fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[i+len("// want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the analyzer over one fixture and diffs diagnostics
+// against wants.
+func checkFixture(t *testing.T, a *analysis.Analyzer, fx *loadedFixture) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fx.fset,
+		Files:     fx.files,
+		Pkg:       fx.pkg,
+		TypesInfo: fx.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on fixture %q: %v", a.Name, fx.name, err)
+	}
+
+	wants := collectWants(t, fx)
+	for _, d := range diags {
+		pos := fx.fset.Position(d.Pos)
+		var hit *want
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		hit.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

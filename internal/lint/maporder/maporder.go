@@ -1,0 +1,266 @@
+// Package maporder flags range-over-map loops whose bodies have
+// order-dependent observable effects.
+//
+// Go randomizes map iteration order on purpose, so any effect of the loop
+// body that is sensitive to visit order — appending to a slice, sending on
+// a channel, emitting output, scheduling simulator events, accumulating
+// floating-point sums — makes the program's observable behaviour differ
+// between identically-seeded runs. The analyzer is deliberately
+// under-approximate: commutative updates (integer sums, per-key map writes,
+// x++/x--) pass, and a loop can be exempted with a justification comment on
+// or directly above the range statement:
+//
+//	//tcnlint:ordered <why order cannot be observed>
+//
+// Test-failure reporting (methods on *testing.T/B/F) is treated as benign:
+// it only fires when the test is already failing.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map loops with order-dependent effects; sort keys or justify with //tcnlint:ordered",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if analysis.LineCommentDirective(pass.Fset, file, rng.Pos(), "ordered") {
+				return true
+			}
+			c := &checker{pass: pass, rng: rng}
+			c.findEffects()
+			for _, e := range c.effects {
+				pass.Reportf(e.pos, "map iteration order leaks through %s; sort the keys first or justify with //tcnlint:ordered", e.what)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// effect is one order-dependent operation found in a loop body.
+type effect struct {
+	pos  token.Pos
+	what string
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	rng     *ast.RangeStmt
+	effects []effect
+}
+
+// declaredInside reports whether obj is declared within the range
+// statement (the key/value variables or body locals).
+func (c *checker) declaredInside(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= c.rng.Pos() && obj.Pos() < c.rng.End()
+}
+
+// rootObj unwraps selectors, indexes, stars, and parens down to the base
+// identifier's object: the storage an assignment ultimately writes.
+func (c *checker) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return c.pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsLoopVar reports whether expr references any object declared
+// inside the loop (the iteration variables or locals derived from them).
+func (c *checker) mentionsLoopVar(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.declaredInside(c.pass.TypesInfo.Uses[id]) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// keyedByLoopKey reports whether lhs is an index expression whose index
+// mentions the loop's own key/value variables — a per-key write, which is
+// commutative across iterations because each iteration touches a distinct
+// element.
+func (c *checker) keyedByLoopKey(lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	return ok && c.mentionsLoopVar(ix.Index)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// findEffects walks the loop body collecting order-dependent operations.
+func (c *checker) findEffects() {
+	ast.Inspect(c.rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			c.add(s.Pos(), "a channel send")
+		case *ast.AssignStmt:
+			c.checkAssign(s)
+		case *ast.CallExpr:
+			c.checkCall(s)
+		}
+		return true
+	})
+}
+
+func (c *checker) add(pos token.Pos, what string) {
+	c.effects = append(c.effects, effect{pos, what})
+}
+
+// checkAssign classifies assignments whose target outlives the loop.
+func (c *checker) checkAssign(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		if s.Tok == token.DEFINE {
+			continue // new locals are loop-scoped
+		}
+		root := c.rootObj(lhs)
+		if root == nil || c.declaredInside(root) {
+			continue
+		}
+		lt, ok := c.pass.TypesInfo.Types[lhs]
+		if !ok {
+			continue
+		}
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		switch s.Tok {
+		case token.ASSIGN:
+			// append to an outer slice depends on arrival order.
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+					if c.mentionsLoopVar(call) {
+						c.add(s.Pos(), "an append to "+root.Name())
+						continue
+					}
+				}
+			}
+			// Per-key writes into an outer map/slice are commutative.
+			if c.keyedByLoopKey(lhs) {
+				continue
+			}
+			// Plain overwrite: last iteration wins, and "last" is random.
+			if c.mentionsLoopVar(rhs) {
+				c.add(s.Pos(), "a last-writer-wins assignment to "+root.Name())
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// Float accumulation is order-dependent (rounding is not
+			// associative); integer accumulation commutes. String +=
+			// concatenates in visit order.
+			if !c.mentionsLoopVar(rhs) {
+				continue
+			}
+			if isFloat(lt.Type) {
+				c.add(s.Pos(), "a floating-point accumulation into "+root.Name())
+			} else if isString(lt.Type) && s.Tok == token.ADD_ASSIGN {
+				c.add(s.Pos(), "a string concatenation into "+root.Name())
+			} else if s.Tok == token.QUO_ASSIGN && !isFloat(lt.Type) {
+				// Integer division does not commute either.
+				c.add(s.Pos(), "a non-commutative update of "+root.Name())
+			}
+		}
+	}
+}
+
+// ioPackages are packages whose calls count as output.
+var ioPackages = map[string]bool{
+	"fmt": true, "io": true, "os": true, "bufio": true, "log": true,
+}
+
+// testingTypes are receiver types whose method calls are benign inside a
+// map-range body: they only produce output when a test is failing.
+var testingTypes = map[string]bool{"T": true, "B": true, "F": true, "TB": true}
+
+// checkCall flags calls that emit ordered output or schedule simulator
+// events.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	// Package-level I/O: fmt.Printf, os.WriteFile, log.Printf, ...
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if ioPackages[pn.Imported().Path()] {
+				c.add(call.Pos(), "a "+pn.Imported().Path()+"."+name+" call")
+			}
+			return
+		}
+	}
+	// Method calls: writers, and simulator event scheduling (sim.Engine.At /
+	// After), both of which serialize visit order into observable state.
+	recvTV, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return
+	}
+	if named := namedOf(recvTV.Type); named != nil {
+		if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "testing" && testingTypes[named.Obj().Name()] {
+			return
+		}
+		if (name == "At" || name == "After") && named.Obj().Name() == "Engine" {
+			c.add(call.Pos(), "scheduling a simulator event")
+			return
+		}
+	}
+	if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+		c.add(call.Pos(), "a "+name+" call")
+	}
+}
+
+// namedOf returns the named type behind t, unwrapping one pointer.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/linttest"
+	"tcn/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "maporder")
+}

@@ -1,0 +1,78 @@
+// Package seededrand forbids the global math/rand source.
+//
+// Reproducibility requires every random draw in a run to come from one
+// seeded generator (sim.Rand). The package-level math/rand functions share
+// hidden global state that other packages (or the runtime's auto-seeding in
+// math/rand/v2) can perturb, so calling them anywhere in this repository is
+// a determinism bug. The single exemption is internal/sim/rand.go, where the
+// seeded wrapper is built.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the seededrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid package-level math/rand functions; randomness must flow through a seeded sim.Rand",
+	Run:  run,
+}
+
+// randPackages are the import paths whose package-level functions are
+// forbidden. Methods on an explicit *rand.Rand value are fine — the point
+// is banning the shared global source, not the algorithms.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// exemptFile reports whether the file may construct rand sources directly:
+// the sim package's rand.go, which defines the seeded wrapper everything
+// else must use. Fixture packages named "sim" get the same exemption so the
+// rule itself is testable.
+func exemptFile(pkgPath, filename string) bool {
+	if pkgPath != "tcn/internal/sim" && pkgPath != "sim" {
+		return false
+	}
+	return filepath.Base(filename) == "rand.go"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if exemptFile(pass.Pkg.Path(), filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || !randPackages[obj.Pkg().Path()] {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on an explicit source are fine
+			}
+			pass.Reportf(id.Pos(), "%s.%s uses an unseeded global source: route randomness through a seeded sim.Rand",
+				shortPath(obj.Pkg().Path()), fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "math/"); i >= 0 {
+		return p[i:]
+	}
+	return p
+}

@@ -1,0 +1,14 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/linttest"
+	"tcn/internal/lint/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	// The "sim" fixture exercises the rand.go exemption: its rand.go
+	// builds sources from math/rand yet must produce no diagnostics.
+	linttest.Run(t, seededrand.Analyzer, "seededrand", "sim")
+}

@@ -1,0 +1,70 @@
+// Package simclock forbids wall-clock time in simulator code.
+//
+// Identical seeds must produce byte-identical runs, so nothing inside
+// internal/... may observe the host clock: all time flows through sim.Time
+// and the discrete-event engine. The analyzer flags references to the
+// wall-clock entry points of package time (Now, Since, Until, Sleep, After,
+// AfterFunc, Tick, NewTimer, NewTicker) and any use of the time.Time type.
+// time.Duration remains legal: command-line front ends outside internal/...
+// parse flag.Duration values before converting them to sim.Time at the
+// boundary.
+package simclock
+
+import (
+	"go/types"
+	"strings"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the simclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, time.Time, ...) in simulator packages; use sim.Time",
+	Run:  run,
+}
+
+// forbidden lists the package-level time functions that read or wait on the
+// host clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// exemptPath reports whether the package is outside the simulator core:
+// command-line front ends and examples may touch wall-clock time for flag
+// parsing and progress reporting. Fixture packages (no module prefix) are
+// always analyzed.
+func exemptPath(path string) bool {
+	return strings.HasPrefix(path, "tcn/") && !strings.Contains(path, "/internal/")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exemptPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		pkg := obj.Pkg()
+		if pkg == nil || pkg.Path() != "time" {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			if forbidden[o.Name()] {
+				pass.Reportf(id.Pos(), "wall-clock time.%s is forbidden in simulator code: use sim.Time and the event engine", o.Name())
+			}
+		case *types.TypeName:
+			if o.Name() == "Time" {
+				pass.Reportf(id.Pos(), "time.Time is forbidden in simulator code: represent instants as sim.Time")
+			}
+		}
+	}
+	return nil, nil
+}

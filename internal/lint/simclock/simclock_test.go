@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/linttest"
+	"tcn/internal/lint/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	linttest.Run(t, simclock.Analyzer, "simclock")
+}

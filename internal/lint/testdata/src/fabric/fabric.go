@@ -1,0 +1,13 @@
+// Package fabric is a self-contained stand-in for tcn/internal/fabric used
+// by the unitcheck fixtures.
+package fabric
+
+// Rate mirrors tcn/internal/fabric.Rate.
+type Rate int64
+
+// Common rates.
+const (
+	Kbps Rate = 1e3
+	Mbps Rate = 1e6
+	Gbps Rate = 1e9
+)

@@ -1,0 +1,28 @@
+package floatcmp
+
+// markProbability mirrors the shape of core.MarkProbability for the
+// threshold-comparison cases the analyzer exists to catch.
+func markProbability(sojourn, tmin, tmax, pmax float64) float64 {
+	if tmax == tmin { // want `exact floating-point == comparison`
+		return 0
+	}
+	if sojourn < tmin {
+		return 0
+	}
+	return pmax * (sojourn - tmin) / (tmax - tmin)
+}
+
+// checkQuantile compares a computed quantile for exact equality.
+func checkQuantile(got, want float64) bool {
+	return got == want // want `exact floating-point == comparison`
+}
+
+// isDefault uses a float zero-sentinel.
+func isDefault(frac float64) bool {
+	return frac != 0 // want `exact floating-point != comparison`
+}
+
+// mixed compares a float32 against an untyped constant.
+func mixed(x float32) bool {
+	return x == 0.25 // want `exact floating-point == comparison`
+}

@@ -1,0 +1,33 @@
+package floatcmp
+
+import "math"
+
+// True negatives: ordered comparisons, integer comparisons, epsilon
+// comparisons, constant folds, and a justified exact check.
+
+// almostEqual is the sanctioned pattern: tolerance, not equality.
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// ordered comparisons carry no exactness assumption.
+func below(x, threshold float64) bool { return x < threshold }
+
+// integer equality is exact by construction.
+func sameBytes(a, b int64) bool { return a == b }
+
+// constant fold: evaluated at compile time, exact by definition.
+const half = 0.5
+const isHalf = half == 0.5
+
+// exactPropagation pins an IEEE identity on purpose.
+func exactPropagation(x float64) bool {
+	//tcnlint:floatexact NaN is the only value that differs from itself
+	return x != x
+}
+
+var _ = almostEqual
+var _ = below
+var _ = sameBytes
+var _ = isHalf
+var _ = exactPropagation

@@ -1,0 +1,55 @@
+package maporder
+
+import "fmt"
+
+// collect appends map values in iteration order: the slice differs from
+// run to run.
+func collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `map iteration order leaks through an append to out`
+	}
+	return out
+}
+
+// emit writes directly during iteration.
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `map iteration order leaks through a fmt\.Printf call`
+	}
+}
+
+// notify sends each key over a channel in visit order.
+func notify(m map[string]bool, ch chan string) {
+	for k := range m {
+		ch <- k // want `map iteration order leaks through a channel send`
+	}
+}
+
+// meanLatency accumulates floats: FP addition is not associative, so the
+// rounding — and the reported mean — depends on visit order.
+func meanLatency(byFlow map[int]float64) float64 {
+	var sum float64
+	for _, x := range byFlow {
+		sum += x // want `map iteration order leaks through a floating-point accumulation into sum`
+	}
+	return sum / float64(len(byFlow))
+}
+
+// lastSeen keeps whichever entry the runtime happens to visit last.
+func lastSeen(m map[int]string) string {
+	var last string
+	for _, v := range m {
+		last = v // want `map iteration order leaks through a last-writer-wins assignment to last`
+	}
+	return last
+}
+
+// joined concatenates in visit order.
+func joined(m map[int]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `map iteration order leaks through a string concatenation into s`
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package maporder
+
+import (
+	"sort"
+	"testing"
+)
+
+// True negatives: commutative folds, per-key writes, sorted-key iteration,
+// justified loops, and test assertions.
+
+// totalBytes folds with integer addition, which commutes: any visit order
+// yields the same sum.
+func totalBytes(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes through the loop key: each iteration touches a distinct
+// element, so order cannot be observed.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sortedKeys materializes and sorts the keys before any ordered effect:
+// the append target is keys itself, justified because the very next line
+// sorts it.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//tcnlint:ordered keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// floatSumJustified shows the trailing-comment form of the directive.
+func floatSumJustified(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { //tcnlint:ordered consumed only by a tolerance check
+		sum += v
+	}
+	return sum
+}
+
+// assertAll fails the test for bad entries; testing.T methods only fire on
+// failure, so passing runs stay byte-identical.
+func assertAll(t *testing.T, m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			t.Errorf("negative value for %s: %d", k, v)
+		}
+	}
+}
+
+// counts increments per-key counters in a second map.
+func counts(m map[string]int, tally map[string]int) {
+	for k := range m {
+		tally[k]++
+	}
+}

@@ -1,0 +1,21 @@
+package seededrand
+
+import "math/rand"
+
+// jitter draws from the shared global source: irreproducible.
+func jitter(n int) int {
+	if rand.Float64() < 0.5 { // want `math/rand\.Float64 uses an unseeded global source`
+		return rand.Intn(n) // want `math/rand\.Intn uses an unseeded global source`
+	}
+	rand.Shuffle(n, func(i, j int) {}) // want `math/rand\.Shuffle uses an unseeded global source`
+	return 0
+}
+
+// freshSource builds a private source outside the sim package, which is
+// still forbidden: all generators must descend from the experiment seed.
+func freshSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand\.New uses` `math/rand\.NewSource uses`
+}
+
+var _ = jitter
+var _ = freshSource

@@ -1,0 +1,13 @@
+package sim
+
+import "math/rand"
+
+// Rand mirrors tcn/internal/sim.Rand. This file is the one place allowed
+// to touch math/rand constructors: seededrand exempts rand.go inside a
+// package whose path is sim (the fixture twin of tcn/internal/sim).
+type Rand struct{ *rand.Rand }
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}

@@ -1,0 +1,15 @@
+// Package sim is a self-contained stand-in for tcn/internal/sim, so the
+// unitcheck and seededrand fixtures can exercise the real matching rules
+// (a type named Time in a package named sim) without importing the module.
+package sim
+
+// Time mirrors tcn/internal/sim.Time.
+type Time int64
+
+// Unit constants, as in the real package.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)

@@ -1,0 +1,32 @@
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// measure uses every forbidden wall-clock entry point.
+func measure() {
+	start := time.Now()          // want `wall-clock time\.Now is forbidden`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep is forbidden`
+	elapsed := time.Since(start) // want `wall-clock time\.Since is forbidden`
+	fmt.Println(elapsed)
+	<-time.After(time.Second)       // want `wall-clock time\.After is forbidden`
+	t := time.NewTimer(time.Second) // want `wall-clock time\.NewTimer is forbidden`
+	defer t.Stop()
+	tk := time.NewTicker(time.Hour) // want `wall-clock time\.NewTicker is forbidden`
+	defer tk.Stop()
+}
+
+// deadline carries a wall-clock instant through a struct.
+type deadline struct {
+	at time.Time // want `time\.Time is forbidden`
+}
+
+// remaining mixes time.Time values and wall-clock queries.
+func remaining(d deadline) time.Duration { // Duration itself is allowed
+	return time.Until(d.at) // want `wall-clock time\.Until is forbidden`
+}
+
+var _ = measure
+var _ = remaining

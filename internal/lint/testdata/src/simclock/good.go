@@ -1,0 +1,22 @@
+package simclock
+
+import (
+	"flag"
+	"time"
+)
+
+// True negatives: time.Duration is legal (front ends parse flag.Duration
+// at the boundary), and formatting utilities that never read the host
+// clock pass untouched.
+
+// flagDur parses a duration flag; no wall clock involved.
+func flagDur(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("dur", 200*time.Millisecond, "simulated duration")
+}
+
+// toNanos converts a parsed duration to integer nanoseconds for the
+// simulator clock.
+func toNanos(d time.Duration) int64 { return d.Nanoseconds() }
+
+var _ = flagDur
+var _ = toNanos

@@ -1,0 +1,48 @@
+package unitcheck
+
+import (
+	"fabric"
+	"sim"
+)
+
+// schedule takes simulator units.
+func schedule(at sim.Time, budget sim.Time) sim.Time { return at + budget }
+
+// portConfig mirrors fabric.PortConfig's unit-typed fields.
+type portConfig struct {
+	Rate      fabric.Rate
+	PropDelay sim.Time
+	Queues    int
+}
+
+// buffer mirrors byte/packet accounting accessors.
+type buffer struct{}
+
+func (buffer) Len() int   { return 3 }
+func (buffer) Bytes() int { return 4500 }
+
+// admit takes a byte-count and a packet-count.
+func admit(sizeBytes int, pkts int) bool { return sizeBytes > pkts }
+
+func misuse(b buffer) {
+	// Bare literals: is 100 nanoseconds or microseconds? The compiler
+	// cannot say; the analyzer insists the units be written down.
+	schedule(100, 2*sim.Microsecond) // want `untyped constant passed as sim\.Time parameter "at"`
+	schedule(sim.Time(100), 3*1000)  // want `untyped constant passed as sim\.Time parameter "budget"`
+
+	cfg := portConfig{
+		Rate:      40,  // want `untyped constant passed as fabric\.Rate field "Rate"`
+		PropDelay: 500, // want `untyped constant passed as sim\.Time field "PropDelay"`
+		Queues:    8,   // plain int field: no unit to confuse
+	}
+	_ = cfg
+
+	// Positional composite literal form.
+	cfg2 := portConfig{10, 0, 8} // want `untyped constant passed as fabric\.Rate field "Rate"`
+	_ = cfg2
+
+	// Bytes-vs-packets swaps at the call site.
+	admit(b.Len(), b.Bytes()) // want `Len\(\) returns a packet count but "sizeBytes" expects bytes` `Bytes\(\) returns a byte count but "pkts" expects a packet count`
+}
+
+var _ = misuse

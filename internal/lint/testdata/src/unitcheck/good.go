@@ -1,0 +1,30 @@
+package unitcheck
+
+import (
+	"fabric"
+	"sim"
+)
+
+// True negatives: explicit units, explicit conversions, zero, named
+// constants, and correctly-paired byte/packet arguments.
+
+func proper(b buffer) {
+	// Unit expressions and conversions name their units.
+	schedule(100*sim.Microsecond, sim.Time(1500))
+	schedule(0, sim.Millisecond) // zero is unit-free
+
+	const warmup = 150 * sim.Millisecond
+	schedule(warmup, warmup)
+
+	cfg := portConfig{
+		Rate:      10 * fabric.Gbps,
+		PropDelay: 5 * sim.Microsecond,
+		Queues:    8,
+	}
+	_ = cfg
+
+	// Bytes flow into the byte slot, packets into the packet slot.
+	admit(b.Bytes(), b.Len())
+}
+
+var _ = proper

@@ -1,0 +1,251 @@
+// Package unitcheck catches unit mixups at call sites.
+//
+// Two rules:
+//
+//  1. A bare untyped numeric literal (other than 0) passed where a
+//     sim.Time or fabric.Rate parameter — or struct field in a composite
+//     literal — is expected. `Decide(101, 100)` compiles because untyped
+//     constants convert implicitly, but nothing says whether 100 meant
+//     nanoseconds or microseconds; the convention is an explicit unit
+//     expression (`100*sim.Microsecond`, `10*fabric.Gbps`) or conversion.
+//     Zero is exempt: it is the same instant/rate in every unit.
+//
+//  2. A byte-count/packet-count swap: an argument that is syntactically a
+//     packet count (a call to Len/Count/…Packets…) passed to a parameter
+//     named like a byte quantity (bytes/size/burst/quantum/cap), or an
+//     argument that is a byte count (a call to Bytes/Size/…Bytes…) passed
+//     to a parameter named like a packet count (n/num/count/packets).
+//
+// The type matching is by name — a type named Time in a package named sim,
+// Rate in fabric — so the analyzer works identically on the real tree and
+// on self-contained test fixtures.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the unitcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc:  "flag untyped numeric literals passed as sim.Time/fabric.Rate and bytes-vs-packets call-site mixups",
+	Run:  run,
+}
+
+// unitName describes a recognized unit type and the idiom to suggest.
+func unitName(t types.Type) (string, string) {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	switch {
+	case n.Obj().Name() == "Time" && n.Obj().Pkg().Name() == "sim":
+		return "sim.Time", "write units explicitly, e.g. 100*sim.Microsecond"
+	case n.Obj().Name() == "Rate" && n.Obj().Pkg().Name() == "fabric":
+		return "fabric.Rate", "write units explicitly, e.g. 10*fabric.Gbps"
+	}
+	return "", ""
+}
+
+var (
+	bytesParamRE = regexp.MustCompile(`(?i)(bytes|size|burst|quantum|cap)`)
+	pktParamRE   = regexp.MustCompile(`(?i)^(n|num\w*|count|packets?|pkts?)$`)
+	pktCallRE    = regexp.MustCompile(`^(Len|Count|NumPackets|Packets|TxPackets|EnqPackets)$`)
+	bytesCallRE  = regexp.MustCompile(`^(Bytes|Size|TotalBytes|TxBytes|Used|EnqBytes)$`)
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, x)
+			case *ast.CompositeLit:
+				checkComposite(pass, x)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall inspects one call's arguments against its signature.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fnTV, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || fnTV.IsType() {
+		return // explicit conversion: the unit decision is visible
+	}
+	sig, ok := fnTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin
+	}
+	for i, arg := range call.Args {
+		param := paramAt(sig, i)
+		if param == nil {
+			break
+		}
+		checkValue(pass, arg, param.Type(), "parameter", paramLabel(param, i))
+		checkCountMixup(pass, arg, param, i)
+	}
+}
+
+// paramAt resolves the parameter for argument index i, handling variadics.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	np := sig.Params().Len()
+	if np == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= np-1 {
+		last := sig.Params().At(np - 1)
+		if sl, ok := last.Type().(*types.Slice); ok {
+			return types.NewVar(last.Pos(), last.Pkg(), last.Name(), sl.Elem())
+		}
+		return last
+	}
+	if i >= np {
+		return nil
+	}
+	return sig.Params().At(i)
+}
+
+func paramLabel(param *types.Var, i int) string {
+	if param.Name() != "" {
+		return "\"" + param.Name() + "\""
+	}
+	return "#" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// checkComposite inspects struct literal fields.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, el := range lit.Elts {
+		var fieldType types.Type
+		var label string
+		var value ast.Expr
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					fieldType = st.Field(j).Type()
+					break
+				}
+			}
+			label, value = "\""+key.Name+"\"", kv.Value
+		} else {
+			if i >= st.NumFields() {
+				break
+			}
+			fieldType = st.Field(i).Type()
+			label, value = "\""+st.Field(i).Name()+"\"", el
+		}
+		if fieldType != nil {
+			checkValue(pass, value, fieldType, "field", label)
+		}
+	}
+}
+
+// checkValue reports a bare untyped literal flowing into a unit-typed slot.
+func checkValue(pass *analysis.Pass, arg ast.Expr, slotType types.Type, slotKind, slotLabel string) {
+	unit, hint := unitName(slotType)
+	if unit == "" {
+		return
+	}
+	if !isBareLiteral(arg) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if ok && tv.Value != nil && constant.Sign(tv.Value) == 0 {
+		return // zero carries no unit ambiguity
+	}
+	pass.Reportf(arg.Pos(), "untyped constant passed as %s %s %s; %s", unit, slotKind, slotLabel, hint)
+}
+
+// isBareLiteral reports whether the expression is built purely from
+// numeric literals and arithmetic — no identifier anywhere to carry a
+// unit. `100` and `3*100` are bare; `100*sim.Microsecond`, `sim.Time(x)`
+// and `threshold` are not.
+func isBareLiteral(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.INT || x.Kind == token.FLOAT
+	case *ast.ParenExpr:
+		return isBareLiteral(x.X)
+	case *ast.UnaryExpr:
+		return isBareLiteral(x.X)
+	case *ast.BinaryExpr:
+		return isBareLiteral(x.X) && isBareLiteral(x.Y)
+	default:
+		return false
+	}
+}
+
+// checkCountMixup applies the bytes-vs-packets heuristic.
+func checkCountMixup(pass *analysis.Pass, arg ast.Expr, param *types.Var, i int) {
+	if !isPlainInt(param.Type()) {
+		return
+	}
+	callName := calledName(arg)
+	if callName == "" {
+		return
+	}
+	pname := param.Name()
+	switch {
+	case bytesParamRE.MatchString(pname) && pktCallRE.MatchString(callName):
+		pass.Reportf(arg.Pos(), "%s() returns a packet count but %s expects bytes", callName, paramLabel(param, i))
+	case pktParamRE.MatchString(pname) && bytesCallRE.MatchString(callName):
+		pass.Reportf(arg.Pos(), "%s() returns a byte count but %s expects a packet count", callName, paramLabel(param, i))
+	}
+}
+
+// isPlainInt reports whether t is an un-named integer type (a named type
+// like sim.Time already carries its unit).
+func isPlainInt(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// calledName extracts the function name when arg is a direct call like
+// q.Len(i) or Bytes().
+func calledName(arg ast.Expr) string {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

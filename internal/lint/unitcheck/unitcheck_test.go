@@ -1,0 +1,14 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/linttest"
+	"tcn/internal/lint/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	// The sim and fabric fixture packages define the unit types; loading
+	// them alone must also be clean.
+	linttest.Run(t, unitcheck.Analyzer, "unitcheck", "sim", "fabric")
+}

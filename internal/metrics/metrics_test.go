@@ -1,10 +1,12 @@
 package metrics
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 )
 
 func TestFCTBuckets(t *testing.T) {
@@ -111,7 +113,7 @@ func TestPropertyPercentileBounds(t *testing.T) {
 }
 
 func clamp01(x float64) float64 {
-	if x != x || x < 0 {
+	if math.IsNaN(x) || x < 0 {
 		return 0
 	}
 	if x > 1 {
@@ -121,13 +123,24 @@ func clamp01(x float64) float64 {
 }
 
 func TestNormalize(t *testing.T) {
-	base := FCTStats{AvgAll: 100, AvgSmall: 10, P99Small: 50, AvgLarge: 1000}
-	s := FCTStats{AvgAll: 150, AvgSmall: 30, P99Small: 200, AvgLarge: 1000}
+	base := FCTStats{
+		AvgAll:   100 * sim.Nanosecond,
+		AvgSmall: 10 * sim.Nanosecond,
+		P99Small: 50 * sim.Nanosecond,
+		AvgLarge: 1000 * sim.Nanosecond,
+	}
+	s := FCTStats{
+		AvgAll:   150 * sim.Nanosecond,
+		AvgSmall: 30 * sim.Nanosecond,
+		P99Small: 200 * sim.Nanosecond,
+		AvgLarge: 1000 * sim.Nanosecond,
+	}
 	n := s.Normalize(base)
-	if n.AvgAll != 1.5 || n.AvgSmall != 3 || n.P99Small != 4 || n.AvgLarge != 1 {
+	if !testutil.Eq(n.AvgAll, 1.5) || !testutil.Eq(n.AvgSmall, 3) ||
+		!testutil.Eq(n.P99Small, 4) || !testutil.Eq(n.AvgLarge, 1) {
 		t.Fatalf("normalized: %+v", n)
 	}
-	if z := s.Normalize(FCTStats{}); z.AvgAll != 0 {
+	if z := s.Normalize(FCTStats{}); !testutil.Eq(z.AvgAll, 0) {
 		t.Fatal("zero baseline should normalize to 0")
 	}
 }
@@ -141,7 +154,7 @@ func TestGoodputMeterBinning(t *testing.T) {
 	if len(s) != 2 {
 		t.Fatalf("series length %d", len(s))
 	}
-	if s[0] != 100 || s[1] != 200 {
+	if !testutil.Eq(s[0], 100) || !testutil.Eq(s[1], 200) {
 		t.Fatalf("series %v, want [100 200]", s)
 	}
 	if g.TotalBytes(0) != 3_750_000 {
@@ -165,7 +178,7 @@ func TestGoodputAccessorsBoundsChecked(t *testing.T) {
 		if n := g.TotalBytes(class); n != 0 {
 			t.Errorf("TotalBytes(%d) = %d, want 0", class, n)
 		}
-		if avg := g.AvgMbpsBetween(class, 0, sim.Second); avg != 0 {
+		if avg := g.AvgMbpsBetween(class, 0, sim.Second); !testutil.Eq(avg, 0) {
 			t.Errorf("AvgMbpsBetween(%d) = %v, want 0", class, avg)
 		}
 	}
@@ -182,10 +195,10 @@ func TestGoodputAvgBetweenWholeBins(t *testing.T) {
 	}
 	// Asking for [250ms, 1s] must align inward to bins [3,10): still
 	// exactly 100 Mbps since all bins are equal.
-	if avg := g.AvgMbpsBetween(0, 250*sim.Millisecond, sim.Second); avg != 100 {
+	if avg := g.AvgMbpsBetween(0, 250*sim.Millisecond, sim.Second); !testutil.Eq(avg, 100) {
 		t.Fatalf("avg %v, want 100", avg)
 	}
-	if avg := g.AvgMbpsBetween(0, sim.Second, sim.Second); avg != 0 {
+	if avg := g.AvgMbpsBetween(0, sim.Second, sim.Second); !testutil.Eq(avg, 0) {
 		t.Fatal("empty window should be 0")
 	}
 }
@@ -203,13 +216,13 @@ func TestSamplerPeriodAndStop(t *testing.T) {
 	if len(s.Samples) != 11 {
 		t.Fatalf("samples = %d, want 11", len(s.Samples))
 	}
-	if s.Max() != 11 {
+	if !testutil.Eq(s.Max(), 11) {
 		t.Fatalf("max %v", s.Max())
 	}
-	if m := s.MeanBetween(0, 100*sim.Millisecond); m != 6 {
+	if m := s.MeanBetween(0, 100*sim.Millisecond); !testutil.Eq(m, 6) {
 		t.Fatalf("mean %v, want 6", m)
 	}
-	if m := s.MaxBetween(20*sim.Millisecond, 50*sim.Millisecond); m != 6 {
+	if m := s.MaxBetween(20*sim.Millisecond, 50*sim.Millisecond); !testutil.Eq(m, 6) {
 		t.Fatalf("max between %v, want 6", m)
 	}
 }

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"sort"
+
+	"tcn/internal/pkt"
+)
+
+// SumAndSumSq folds Σx and Σx² over the per-flow values in ascending
+// FlowID order. Floating-point addition is not associative, so folding in
+// map iteration order would let identical seeds produce different
+// rounding — the determinism bug the tcnlint maporder rule exists to
+// catch. Every fairness/goodput aggregation over a per-flow map must go
+// through this helper (or an equivalent sorted fold).
+func SumAndSumSq(byFlow map[pkt.FlowID]float64) (sum, sumSq float64) {
+	ids := make([]pkt.FlowID, 0, len(byFlow))
+	//tcnlint:ordered keys are sorted before any float accumulation
+	for id := range byFlow {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		x := byFlow[id]
+		sum += x
+		sumSq += x * x
+	}
+	return sum, sumSq
+}
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) over the
+// per-flow values, with n the population size (which may exceed
+// len(byFlow) when some flows delivered nothing). Returns 0 for an empty
+// or all-zero population.
+func JainFairness(byFlow map[pkt.FlowID]float64, n int) float64 {
+	sum, sumSq := SumAndSumSq(byFlow)
+	if n <= 0 || sumSq <= 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import "testing"
+
+// FuzzBucketMapping drives the log-linear bucket mapping with arbitrary
+// values and checks the properties every consumer relies on: the index
+// is always in range, BucketLower inverts bucketIndex (the value falls
+// inside [lower(i), lower(i+1))), and the mapping is monotone, so
+// quantile scans walk buckets in value order.
+func FuzzBucketMapping(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(31))
+	f.Add(int64(32))
+	f.Add(int64(1_000_000))
+	f.Add(int64(1) << 62)
+	f.Fuzz(func(t *testing.T, v int64) {
+		if v < 0 {
+			v = 0 // Record clamps negatives; the mapping is defined on [0, 2^63)
+		}
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of [0, %d)", v, i, histBuckets)
+		}
+		if lo := BucketLower(i); lo > v {
+			t.Fatalf("BucketLower(%d) = %d > value %d", i, lo, v)
+		}
+		if i+1 < histBuckets {
+			if hi := BucketLower(i + 1); v >= hi {
+				t.Fatalf("value %d >= next bucket lower %d (bucket %d)", v, hi, i)
+			}
+		}
+		if v > 0 {
+			if j := bucketIndex(v - 1); j > i {
+				t.Fatalf("bucketIndex not monotone: f(%d)=%d > f(%d)=%d", v-1, j, v, i)
+			}
+		}
+		if v < 1<<62 {
+			if j := bucketIndex(v + 1); j < i {
+				t.Fatalf("bucketIndex not monotone: f(%d)=%d < f(%d)=%d", v+1, j, v, i)
+			}
+		}
+	})
+}
+
+// FuzzHistogramRecord checks the aggregate counters against arbitrary
+// observation sequences: count/sum/min/max must agree with a direct
+// fold over the inputs (after the documented clamp of negatives to 0).
+func FuzzHistogramRecord(f *testing.F) {
+	f.Add(int64(5), int64(-3), int64(1<<40))
+	f.Fuzz(func(t *testing.T, a, b, c int64) {
+		h := NewHistogram()
+		var count, sum int64
+		min, max := int64(-1), int64(0)
+		for _, v := range []int64{a, b, c} {
+			h.Record(v)
+			if v < 0 {
+				v = 0
+			}
+			count++
+			sum += v
+			if min < 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if h.Count() != count || h.Sum() != sum || h.Min() != min || h.Max() != max {
+			t.Fatalf("count/sum/min/max = %d/%d/%d/%d, want %d/%d/%d/%d",
+				h.Count(), h.Sum(), h.Min(), h.Max(), count, sum, min, max)
+		}
+	})
+}

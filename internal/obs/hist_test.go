@@ -3,6 +3,8 @@ package obs
 import (
 	"math"
 	"testing"
+
+	"tcn/internal/testutil"
 )
 
 // TestBucketBoundaries pins the log-linear layout: unit buckets below
@@ -74,7 +76,7 @@ func TestHistogramStats(t *testing.T) {
 	if h.Sum() != 1001115 {
 		t.Fatalf("sum=%d", h.Sum())
 	}
-	if got, want := h.Mean(), float64(1001115)/5; got != want {
+	if got, want := h.Mean(), float64(1001115)/5; !testutil.Eq(got, want) {
 		t.Fatalf("mean=%v want %v", got, want)
 	}
 	h.Record(-3) // clamps to 0

@@ -140,6 +140,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 // sortedNames returns the keys of a map in lexical order.
 func sortedNames[V any](m map[string]V) []string {
 	names := make([]string, 0, len(m))
+	//tcnlint:ordered keys are sorted before return
 	for n := range m {
 		names = append(names, n)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 )
 
 func TestCounterAndGauge(t *testing.T) {
@@ -22,7 +23,7 @@ func TestCounterAndGauge(t *testing.T) {
 	g := r.Gauge("a.b.g")
 	g.Set(1.5)
 	g.Set(-2)
-	if g.Value() != -2 {
+	if !testutil.Eq(g.Value(), -2) {
 		t.Fatalf("gauge = %v, want last write", g.Value())
 	}
 }
@@ -128,7 +129,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		p.Enqueue(0, 1500, 4500)
 		p.Transmit(0, 1500, 250*sim.Microsecond, true)
 		p.Drop(0, 1500)
-	}); n != 0 {
+	}); !testutil.Eq(n, 0) {
 		t.Fatalf("hot path allocates %v times per op, want 0", n)
 	}
 }

@@ -57,8 +57,8 @@ func TestMark(t *testing.T) {
 }
 
 func TestSojourn(t *testing.T) {
-	p := &Packet{EnqueuedAt: 100}
-	if got := p.Sojourn(350); got != 250 {
+	p := &Packet{EnqueuedAt: 100 * sim.Nanosecond}
+	if got := p.Sojourn(350 * sim.Nanosecond); got != 250 {
 		t.Fatalf("Sojourn = %v, want 250", got)
 	}
 }

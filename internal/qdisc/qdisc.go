@@ -15,6 +15,7 @@ import (
 
 	"tcn/internal/core"
 	"tcn/internal/fabric"
+	"tcn/internal/invariant"
 	"tcn/internal/obs"
 	"tcn/internal/pkt"
 	"tcn/internal/queue"
@@ -57,8 +58,16 @@ func (tb *TokenBucket) refill(now sim.Time) {
 // how long to wait until enough tokens accrue.
 func (tb *TokenBucket) Take(now sim.Time, size int) (ok bool, wait sim.Time) {
 	tb.refill(now)
+	if invariant.Enabled {
+		invariant.Checkf(tb.tokens >= 0 && tb.tokens <= float64(tb.Burst),
+			"qdisc: token count %f outside [0, burst %d] after refill", tb.tokens, tb.Burst)
+	}
 	if tb.tokens >= float64(size) {
 		tb.tokens -= float64(size)
+		if invariant.Enabled {
+			invariant.Checkf(tb.tokens >= 0,
+				"qdisc: token bucket went negative (%f) spending %d bytes", tb.tokens, size)
+		}
 		return true, 0
 	}
 	missing := float64(size) - tb.tokens
@@ -133,7 +142,7 @@ func New(eng *sim.Engine, cfg Config) *Qdisc {
 		panic("qdisc: need a transmit function")
 	}
 	frac := cfg.ShapeFraction
-	if frac == 0 {
+	if frac == 0 { //tcnlint:floatexact zero is the "unset" sentinel, never computed
 		frac = 0.995
 	}
 	burst := cfg.Burst
@@ -212,6 +221,11 @@ func (q *Qdisc) dequeue() {
 		return
 	}
 	p := q.buf.Pop(qi)
+	if invariant.Enabled {
+		invariant.Checkf(p.Sojourn(now) >= 0,
+			"qdisc: negative sojourn %v (enqueued at %v, dequeued at %v)",
+			p.Sojourn(now), p.EnqueuedAt, now)
+	}
 	q.sch.OnDequeue(now, qi, p)
 	q.marker.OnDequeue(now, qi, p, q)
 	q.Sent++

@@ -10,6 +10,7 @@ import (
 	"tcn/internal/pkt"
 	"tcn/internal/sched"
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 )
 
 func TestTokenBucketBasics(t *testing.T) {
@@ -37,7 +38,7 @@ func TestTokenBucketCapsAtBurst(t *testing.T) {
 	tb := NewTokenBucket(fabric.Gbps, 2500)
 	tb.Take(0, 2500)
 	// A long idle period must not accumulate more than the burst.
-	if got := tb.Tokens(sim.Second); got != 2500 {
+	if got := tb.Tokens(sim.Second); !testutil.Eq(got, 2500) {
 		t.Fatalf("tokens %v, want capped at 2500", got)
 	}
 }

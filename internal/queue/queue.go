@@ -8,6 +8,7 @@ package queue
 import (
 	"fmt"
 
+	"tcn/internal/invariant"
 	"tcn/internal/pkt"
 )
 
@@ -148,6 +149,9 @@ func (b *Buffer) Push(i int, p *pkt.Packet) bool {
 	}
 	b.queues[i].Push(p)
 	b.used += p.Size
+	if invariant.Enabled {
+		b.checkAccounting()
+	}
 	return true
 }
 
@@ -156,6 +160,9 @@ func (b *Buffer) Pop(i int) *pkt.Packet {
 	p := b.queues[i].Pop()
 	if p != nil {
 		b.used -= p.Size
+	}
+	if invariant.Enabled {
+		b.checkAccounting()
 	}
 	return p
 }
@@ -178,4 +185,22 @@ func (b *Buffer) totalLen() int {
 		n += q.Len()
 	}
 	return n
+}
+
+// checkAccounting asserts the shared-pool identities after every
+// mutation (invariants builds only): the pool counter equals the sum of
+// the per-queue byte counts, never goes negative, and never exceeds the
+// configured shared capacity.
+func (b *Buffer) checkAccounting() {
+	sum := 0
+	for _, q := range b.queues {
+		sum += q.Bytes()
+		invariant.Checkf(q.Bytes() >= 0, "queue: negative per-queue bytes %d", q.Bytes())
+		invariant.Checkf(q.Len() >= 0, "queue: negative per-queue length %d", q.Len())
+	}
+	invariant.Checkf(b.used == sum,
+		"queue: shared pool counter %d != sum of queue bytes %d", b.used, sum)
+	invariant.Checkf(b.used >= 0, "queue: negative pool usage %d", b.used)
+	invariant.Checkf(b.sharedCap == 0 || b.used <= b.sharedCap,
+		"queue: pool usage %d exceeds shared cap %d", b.used, b.sharedCap)
 }

@@ -1,0 +1,101 @@
+package sched_test
+
+import (
+	"testing"
+
+	"tcn/internal/pkt"
+	"tcn/internal/queue"
+	"tcn/internal/sched"
+	"tcn/internal/sim"
+)
+
+// fuzzScheduler drives a scheduler with an arbitrary interleaving of
+// enqueues and dequeues decoded from ops, then drains it, checking the
+// two contracts every port relies on: Next never selects an empty queue,
+// and the discipline is work conserving (Next returns -1 only when all
+// queues are empty). Byte and packet totals must balance after the drain
+// — with `-tags=invariants` the queue.Buffer cross-checks its own
+// accounting on every operation too.
+func fuzzScheduler(t *testing.T, s sched.Scheduler, nq int, ops []byte) {
+	buf := queue.NewBuffer(nq, 0, 0)
+	s.Bind(buf)
+	now := sim.Time(0)
+	enqueued, dequeued := 0, 0
+	enqBytes, deqBytes := 0, 0
+
+	dequeueOne := func() {
+		qi := s.Next(now)
+		total := 0
+		for i := 0; i < nq; i++ {
+			total += buf.Len(i)
+		}
+		if qi < 0 {
+			if total != 0 {
+				t.Fatalf("%s: Next = -1 with %d packets queued", s.Name(), total)
+			}
+			return
+		}
+		if buf.Len(qi) == 0 {
+			t.Fatalf("%s: Next chose empty queue %d", s.Name(), qi)
+		}
+		p := buf.Pop(qi)
+		s.OnDequeue(now, qi, p)
+		dequeued++
+		deqBytes += p.Size
+	}
+
+	for _, op := range ops {
+		now += sim.Time(1+op%7) * sim.Microsecond
+		if op&0x80 != 0 {
+			dequeueOne()
+			continue
+		}
+		qi := int(op) % nq
+		p := &pkt.Packet{Size: 64 + int(op)*11%1437, ECN: pkt.ECT0, EnqueuedAt: now}
+		if !buf.Push(qi, p) {
+			t.Fatalf("unlimited buffer rejected a packet")
+		}
+		s.OnEnqueue(now, qi, p)
+		enqueued++
+		enqBytes += p.Size
+	}
+	// Drain completely: a work-conserving scheduler must surface every
+	// remaining packet.
+	remaining := enqueued - dequeued
+	for i := 0; i < remaining; i++ {
+		now += sim.Microsecond
+		dequeueOne()
+	}
+	if dequeued != enqueued || deqBytes != enqBytes {
+		t.Fatalf("%s: enq %d pkts/%d B but deq %d pkts/%d B",
+			s.Name(), enqueued, enqBytes, dequeued, deqBytes)
+	}
+	if qi := s.Next(now); qi >= 0 {
+		t.Fatalf("%s: Next = %d on a drained port", s.Name(), qi)
+	}
+	if !buf.Empty() {
+		t.Fatalf("buffer not empty after full drain")
+	}
+}
+
+func FuzzDWRRAccounting(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x80, 3, 0x81, 0x82})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		fuzzScheduler(t, sched.NewDWRREqual(4, 1500), 4, ops)
+	})
+}
+
+func FuzzWFQAccounting(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x80, 3, 0x81, 0x82})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		fuzzScheduler(t, sched.NewWFQEqual(4), 4, ops)
+	})
+}

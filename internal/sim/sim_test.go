@@ -4,6 +4,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"tcn/internal/testutil"
 )
 
 func TestEngineRunsInTimeOrder(t *testing.T) {
@@ -27,7 +29,7 @@ func TestEngineFIFOWithinSameInstant(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		e.At(100, func() { got = append(got, i) })
+		e.At(100*Nanosecond, func() { got = append(got, i) })
 	}
 	e.Run()
 	for i, v := range got {
@@ -40,9 +42,9 @@ func TestEngineFIFOWithinSameInstant(t *testing.T) {
 func TestEngineNestedScheduling(t *testing.T) {
 	e := NewEngine()
 	var trace []Time
-	e.At(10, func() {
+	e.At(10*Nanosecond, func() {
 		trace = append(trace, e.Now())
-		e.After(5, func() { trace = append(trace, e.Now()) })
+		e.After(5*Nanosecond, func() { trace = append(trace, e.Now()) })
 		e.After(0, func() { trace = append(trace, e.Now()) })
 	})
 	e.Run()
@@ -59,13 +61,13 @@ func TestEngineNestedScheduling(t *testing.T) {
 
 func TestEngineSchedulingInPastPanics(t *testing.T) {
 	e := NewEngine()
-	e.At(100, func() {
+	e.At(100*Nanosecond, func() {
 		defer func() {
 			if recover() == nil {
 				t.Error("scheduling in the past should panic")
 			}
 		}()
-		e.At(50, func() {})
+		e.At(50*Nanosecond, func() {})
 	})
 	e.Run()
 }
@@ -73,7 +75,7 @@ func TestEngineSchedulingInPastPanics(t *testing.T) {
 func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	ref := e.At(10, func() { fired = true })
+	ref := e.At(10*Nanosecond, func() { fired = true })
 	e.Cancel(ref)
 	e.Run()
 	if fired {
@@ -109,8 +111,8 @@ func TestEngineCancelOneOfMany(t *testing.T) {
 
 func TestRunUntilAdvancesClock(t *testing.T) {
 	e := NewEngine()
-	e.At(10, func() {})
-	n := e.RunUntil(100)
+	e.At(10*Nanosecond, func() {})
+	n := e.RunUntil(100 * Nanosecond)
 	if n != 1 {
 		t.Fatalf("executed %d events, want 1", n)
 	}
@@ -122,13 +124,13 @@ func TestRunUntilAdvancesClock(t *testing.T) {
 func TestRunUntilLeavesLaterEvents(t *testing.T) {
 	e := NewEngine()
 	fired := 0
-	e.At(10, func() { fired++ })
-	e.At(200, func() { fired++ })
-	e.RunUntil(100)
+	e.At(10*Nanosecond, func() { fired++ })
+	e.At(200*Nanosecond, func() { fired++ })
+	e.RunUntil(100 * Nanosecond)
 	if fired != 1 {
 		t.Fatalf("fired %d, want 1", fired)
 	}
-	e.RunUntil(300)
+	e.RunUntil(300 * Nanosecond)
 	if fired != 2 {
 		t.Fatalf("fired %d, want 2 after second run", fired)
 	}
@@ -137,8 +139,8 @@ func TestRunUntilLeavesLaterEvents(t *testing.T) {
 func TestStop(t *testing.T) {
 	e := NewEngine()
 	fired := 0
-	e.At(1, func() { fired++; e.Stop() })
-	e.At(2, func() { fired++ })
+	e.At(1*Nanosecond, func() { fired++; e.Stop() })
+	e.At(2*Nanosecond, func() { fired++ })
 	e.Run()
 	if fired != 1 {
 		t.Fatalf("fired %d, want 1 after Stop", fired)
@@ -147,7 +149,7 @@ func TestStop(t *testing.T) {
 
 func TestEventRefAt(t *testing.T) {
 	e := NewEngine()
-	ref := e.At(42, func() {})
+	ref := e.At(42*Nanosecond, func() {})
 	if ref.At() != 42 {
 		t.Fatalf("At() = %v, want 42", ref.At())
 	}
@@ -161,7 +163,7 @@ func TestTimeString(t *testing.T) {
 		t    Time
 		want string
 	}{
-		{500, "500ns"},
+		{500 * Nanosecond, "500ns"},
 		{125 * Microsecond, "125us"},
 		{sim15ms(), "1.5ms"},
 		{2 * Second, "2s"},
@@ -176,13 +178,13 @@ func TestTimeString(t *testing.T) {
 func sim15ms() Time { return 1500 * Microsecond }
 
 func TestTimeConversions(t *testing.T) {
-	if (2 * Second).Seconds() != 2 {
+	if !testutil.Eq((2 * Second).Seconds(), 2) {
 		t.Error("Seconds conversion")
 	}
-	if (3 * Millisecond).Milliseconds() != 3 {
+	if !testutil.Eq((3 * Millisecond).Milliseconds(), 3) {
 		t.Error("Milliseconds conversion")
 	}
-	if (7 * Microsecond).Microseconds() != 7 {
+	if !testutil.Eq((7 * Microsecond).Microseconds(), 7) {
 		t.Error("Microseconds conversion")
 	}
 }

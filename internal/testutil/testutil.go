@@ -1,0 +1,34 @@
+// Package testutil holds tiny helpers shared by every package's tests.
+//
+// The main export is the epsilon comparison family, the sanctioned
+// replacement for exact floating-point equality (the tcnlint floatcmp
+// rule): values that are "equal" in a test almost always came from two
+// different arithmetic paths, so the comparison must budget for rounding.
+package testutil
+
+import "math"
+
+// Tol is the default tolerance: generous against rounding noise, far
+// below any quantity the tests assert on.
+const Tol = 1e-9
+
+// AlmostEqual reports whether a and b differ by at most eps, absolutely
+// or relative to the larger magnitude (so it stays meaningful for values
+// far from 1.0). NaN equals nothing, mirroring IEEE semantics.
+func AlmostEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //tcnlint:floatexact fast path; also handles equal infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*scale
+}
+
+// Eq is AlmostEqual at the package default tolerance.
+func Eq(a, b float64) bool { return AlmostEqual(a, b, Tol) }

@@ -34,8 +34,8 @@ func TestRingKeepsNewest(t *testing.T) {
 
 func TestEventsBeforeWrap(t *testing.T) {
 	tr := New(10)
-	tr.Record(ev(1, Transmit, 1))
-	tr.Record(ev(2, Drop, 2))
+	tr.Record(ev(1*sim.Nanosecond, Transmit, 1))
+	tr.Record(ev(2*sim.Nanosecond, Drop, 2))
 	got := tr.Events()
 	if len(got) != 2 || got[0].Flow != 1 || got[1].Kind != Drop {
 		t.Fatalf("events: %v", got)
@@ -45,8 +45,8 @@ func TestEventsBeforeWrap(t *testing.T) {
 func TestFilterExcludes(t *testing.T) {
 	tr := New(10)
 	tr.Filter = func(e Event) bool { return e.Kind == Drop }
-	tr.Record(ev(1, Transmit, 1))
-	tr.Record(ev(2, Drop, 2))
+	tr.Record(ev(1*sim.Nanosecond, Transmit, 1))
+	tr.Record(ev(2*sim.Nanosecond, Drop, 2))
 	if len(tr.Events()) != 1 || tr.Count(Transmit) != 0 || tr.Count(Drop) != 1 {
 		t.Fatal("filter not applied")
 	}

@@ -7,6 +7,7 @@ import (
 	"tcn/internal/fabric"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 	"tcn/internal/transport"
 )
 
@@ -42,7 +43,7 @@ func TestDCTCPAlphaStaysZeroWithoutMarks(t *testing.T) {
 	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP, RTOMin: 10 * sim.Millisecond}, net.Hosts)
 	snd := st.Start(&transport.Flow{ID: st.NewFlowID(), Src: 0, Dst: 1, Size: 5_000_000})
 	eng.RunUntil(sim.Second)
-	if snd.Alpha() != 0 {
+	if !testutil.Eq(snd.Alpha(), 0) {
 		t.Fatalf("alpha %v without any marking", snd.Alpha())
 	}
 	if !snd.Done() {
@@ -69,7 +70,7 @@ func TestECNStarGentlerThanFullCut(t *testing.T) {
 func TestRenoIgnoresMarks(t *testing.T) {
 	// Reno traffic is Not-ECT; an aggressive marker must not slow it.
 	eng := sim.NewEngine()
-	net := twoHostStar(eng, func() core.Marker { return core.NewTCN(1) })
+	net := twoHostStar(eng, func() core.Marker { return core.NewTCN(sim.Nanosecond) })
 	st := transport.NewStack(eng, transport.Config{CC: transport.Reno, RTOMin: 10 * sim.Millisecond}, net.Hosts)
 	var got int64
 	st.OnDeliver = func(_ sim.Time, _ *transport.Flow, n int) { got += int64(n) }

@@ -88,7 +88,7 @@ func (c Config) withDefaults() Config {
 	if c.RTOInit == 0 {
 		c.RTOInit = c.RTOMin
 	}
-	if c.DCTCPg == 0 {
+	if c.DCTCPg == 0 { //tcnlint:floatexact zero is the "unset" sentinel, never computed
 		c.DCTCPg = 1.0 / 16
 	}
 	return c

@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
 	"tcn/internal/fabric"
 	"tcn/internal/sim"
+	"tcn/internal/testutil"
 )
 
 func TestCDFValidation(t *testing.T) {
@@ -56,7 +58,7 @@ func TestSampleMeanMatchesAnalytic(t *testing.T) {
 
 func TestMeanSimpleCDF(t *testing.T) {
 	c := New("uniform", []Point{{0, 0}, {1000, 1}})
-	if m := c.Mean(); m != 500 {
+	if m := c.Mean(); !testutil.Eq(m, 500) {
 		t.Fatalf("uniform mean %v, want 500", m)
 	}
 }
@@ -127,7 +129,7 @@ func sampleAt(c CDF, u float64) int64 {
 	for i := 1; i < len(pts); i++ {
 		if pts[i].Frac >= u {
 			lo, hi := pts[i-1], pts[i]
-			if hi.Frac == lo.Frac {
+			if hi.Frac == lo.Frac { //tcnlint:floatexact division-by-zero guard
 				return hi.Bytes
 			}
 			t := (u - lo.Frac) / (hi.Frac - lo.Frac)
@@ -146,7 +148,7 @@ func norm01(x float64) float64 {
 		x = -x
 	}
 	x = x - float64(int64(x))
-	if x < 0 || x != x { // NaN guard
+	if x < 0 || math.IsNaN(x) {
 		return 0
 	}
 	return x
