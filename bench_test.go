@@ -14,6 +14,7 @@ import (
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
+	"tcn/internal/obs/flight"
 	"tcn/internal/pkt"
 	"tcn/internal/qdisc"
 	"tcn/internal/sim"
@@ -414,5 +415,71 @@ func BenchmarkMarkingReactionTime(b *testing.B) {
 		codel := firstMark(aqm.NewCoDel(1, sim.Time(51200), 1024*sim.Microsecond))
 		b.ReportMetric(us(tcn), "tcn-first-mark-us")
 		b.ReportMetric(us(codel), "codel-first-mark-us")
+	}
+}
+
+// BenchmarkFlightSamplerRecord measures the flight recorder's sampler
+// hot path — one probe read plus one ring append — including the
+// in-place downsampling compactions as the ring wraps. Every sampler
+// tick runs inside the simulation event loop, so the path must stay
+// allocation-free; the bench asserts that with AllocsPerRun before
+// timing. Baseline on the CI container: ~3 ns/op, 0 allocs/op.
+func BenchmarkFlightSamplerRecord(b *testing.B) {
+	rec := flight.New(flight.Config{SeriesCap: 4096})
+	s := rec.Series("bench.depth_bytes")
+	depth := 0.0
+	probe := func(now sim.Time) float64 {
+		depth += 1500
+		if depth > 1e6 {
+			depth = 0
+		}
+		return depth
+	}
+	var at sim.Time
+	record := func() {
+		at += 100 * sim.Microsecond
+		s.Record(at, probe(at))
+	}
+	for i := 0; i < 2*4096; i++ {
+		record() // warm past the first compactions
+	}
+	if a := testing.AllocsPerRun(1000, record); a != 0 { //tcnlint:floatexact zero-alloc assertion, exact by definition
+		b.Fatalf("sampler hot path allocates: %v allocs/op", a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record()
+	}
+}
+
+// BenchmarkFlightSpanEvent measures the span tracker's per-packet event
+// path (enqueue + transmit for a resident flow). In steady state —
+// every flow already admitted through the reservoir — the path is one
+// map lookup plus field updates and must not allocate. Baseline on the
+// CI container: ~30 ns/op for the pair, 0 allocs/op.
+func BenchmarkFlightSpanEvent(b *testing.B) {
+	tr := flight.NewSpanTracker(1024, 1)
+	pkts := make([]*pkt.Packet, 1024)
+	for i := range pkts {
+		pkts[i] = &pkt.Packet{Flow: pkt.FlowID(i), Kind: pkt.Data, Size: 1500, ECN: pkt.ECT0}
+		tr.Enqueue(0, pkts[i]) // admit every flow up front
+	}
+	var at sim.Time
+	i := 0
+	event := func() {
+		at += sim.Microsecond
+		p := pkts[i&1023]
+		i++
+		tr.Enqueue(at, p)
+		tr.Transmit(at+10*sim.Microsecond, p, 10*sim.Microsecond, i%8 == 0)
+	}
+	if a := testing.AllocsPerRun(1000, event); a != 0 { //tcnlint:floatexact zero-alloc assertion, exact by definition
+		b.Fatalf("span event path allocates: %v allocs/op", a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		event()
 	}
 }

@@ -20,10 +20,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tcn/internal/experiments"
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
+	"tcn/internal/obs/flight"
+	"tcn/internal/sim"
 	"tcn/internal/trace"
 )
 
@@ -42,6 +45,11 @@ func main() {
 		statsText = flag.Bool("stats-text", false, "render -stats in tc(8)-style text instead of JSON")
 		traceFile = flag.String("trace", "", "write a JSONL packet-event trace to this file ('-' = stdout)")
 		traceCap  = flag.Int("trace-events", 1<<16, "packet events retained in the trace ring")
+
+		serveAddr    = flag.String("serve", "", "serve /metrics, /timeseries.csv, /flows.csv, and pprof on this address while running (e.g. :9090)")
+		tsFile       = flag.String("timeseries", "", "write the flight-recorder time series to this file, CSV by default, JSON for a .json suffix ('-' = stdout)")
+		spansFile    = flag.String("flow-spans", "", "write per-flow lifecycle spans (FCT, bytes, marks, drops, max sojourn) as CSV to this file ('-' = stdout)")
+		samplePeriod = flag.Duration("sample-period", 100*time.Microsecond, "flight-recorder probe polling period (simulated time)")
 	)
 	flag.Parse()
 
@@ -58,14 +66,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-trace-events %d must be positive\n", *traceCap)
 		os.Exit(2)
 	}
-	if *statsFile != "" || *traceFile != "" {
+	wantFlight := *serveAddr != "" || *tsFile != "" || *spansFile != ""
+	if *statsFile != "" || *traceFile != "" || wantFlight {
 		obsSink = &experiments.Obs{}
-		if *statsFile != "" {
+		if *statsFile != "" || *serveAddr != "" {
+			// -serve needs a registry so /metrics has instruments to render.
 			obsSink.Registry = obs.NewRegistry()
 		}
 		if *traceFile != "" {
 			obsSink.Tracer = trace.New(*traceCap)
 		}
+		if wantFlight {
+			if *samplePeriod <= 0 {
+				fmt.Fprintf(os.Stderr, "-sample-period %v must be positive\n", *samplePeriod)
+				os.Exit(2)
+			}
+			obsSink.Flight = flight.New(flight.Config{
+				Period:   sim.Time(samplePeriod.Nanoseconds()),
+				Registry: obsSink.Registry,
+			})
+		}
+	}
+	if *serveAddr != "" {
+		srv, err := startServer(*serveAddr, obsSink.Flight)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer waitForShutdown(srv)
 	}
 	cfg := runConfig{flows: *flows, loads: parseLoads(*loads), seed: *seed, full: *full, seeds: *seeds}
 	run, ok := runners[*exp]
@@ -75,7 +103,14 @@ func main() {
 		os.Exit(2)
 	}
 	run(cfg)
+	if obsSink != nil && obsSink.Flight != nil {
+		obsSink.Flight.Seal()
+	}
 	if err := writeObsOutputs(*statsFile, *statsText, *traceFile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := writeFlightOutputs(*tsFile, *spansFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -103,6 +138,29 @@ func writeObsOutputs(statsPath string, statsText bool, tracePath string) error {
 	if tracePath != "" {
 		if err := writeTo(tracePath, obsSink.Tracer.WriteJSONL); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFlightOutputs flushes the flight recorder's series and flow spans
+// after the run (the recorder is sealed by then).
+func writeFlightOutputs(tsPath, spansPath string) error {
+	if obsSink == nil || obsSink.Flight == nil {
+		return nil
+	}
+	if tsPath != "" {
+		write := obsSink.Flight.WriteTimeseriesCSV
+		if strings.HasSuffix(tsPath, ".json") {
+			write = obsSink.Flight.WriteTimeseriesJSON
+		}
+		if err := writeTo(tsPath, write); err != nil {
+			return fmt.Errorf("writing timeseries: %w", err)
+		}
+	}
+	if spansPath != "" {
+		if err := writeTo(spansPath, obsSink.Flight.Spans().WriteCSV); err != nil {
+			return fmt.Errorf("writing flow spans: %w", err)
 		}
 	}
 	return nil
@@ -215,7 +273,9 @@ func usage() {
   fig10+  leaf-spine FCT sweeps (DCTCP, WFQ, ECN*, 32 queues)
 
 Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)
-       -stats FILE [-stats-text]  -trace FILE [-trace-events N]`)
+       -stats FILE [-stats-text]  -trace FILE [-trace-events N]
+       -serve ADDR  -timeseries FILE[.json]  -flow-spans FILE
+       -sample-period DUR`)
 }
 
 func parseLoads(s string) []float64 {
@@ -261,6 +321,7 @@ func runFig2(c runConfig) {
 	fmt.Println("== Figure 2: queue-1 capacity estimation after the 10ms step ==")
 	cfg := experiments.DefaultFig2()
 	cfg.Seed = c.seed
+	cfg.Obs = obsSink
 	res := experiments.RunFig2(cfg)
 	fmt.Printf("%-14s %10s %12s %10s %10s %10s\n",
 		"estimator", "samples/2ms", "converge", "min Gbps", "max Gbps", "final")

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcn/internal/obs/flight"
+)
+
+// The -serve endpoint. The simulation itself is single-goroutine and
+// wall-clock free; HTTP handlers never touch live simulator state.
+// Instead they ask the flight recorder for a published Exposition — an
+// immutable snapshot rendered on the simulation goroutine at a sampler
+// tick (or at Seal once the run finishes) and handed over atomically.
+// The wall-clock waiting below is confined to this cmd package; the
+// simclock lint bans it everywhere under internal/.
+
+// exposeTimeout bounds how long a handler waits for the simulation to
+// publish a fresh snapshot. A busy sim ticks every sample period (sim
+// time), which is microseconds of wall time; 5 s only trips when the
+// run is stalled or finished without sealing.
+const exposeTimeout = 5 * time.Second
+
+// latestExposition returns a current snapshot: the sealed final state if
+// the run is done, otherwise it requests a publication and polls briefly
+// for the sim goroutine to render one. May return nil before the first
+// sampler tick.
+func latestExposition(rec *flight.Recorder) *flight.Exposition {
+	select {
+	case <-rec.Done():
+		return rec.Latest()
+	default:
+	}
+	before := rec.Latest()
+	rec.RequestPublish()
+	deadline := time.Now().Add(exposeTimeout)
+	for time.Now().Before(deadline) {
+		if e := rec.Latest(); e != nil && (before == nil || e.Gen != before.Gen) {
+			return e
+		}
+		select {
+		case <-rec.Done():
+			return rec.Latest()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return rec.Latest()
+}
+
+// exposeHandler serves one Exposition field with a content type.
+func exposeHandler(rec *flight.Recorder, contentType string, field func(*flight.Exposition) []byte) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		e := latestExposition(rec)
+		if e == nil {
+			http.Error(w, "no telemetry published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(field(e))
+	}
+}
+
+// newServeMux wires /metrics, /timeseries.csv, /flows.csv, and pprof.
+func newServeMux(rec *flight.Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics",
+		exposeHandler(rec, "text/plain; version=0.0.4; charset=utf-8",
+			func(e *flight.Exposition) []byte { return e.Prom }))
+	mux.HandleFunc("/timeseries.csv",
+		exposeHandler(rec, "text/csv; charset=utf-8",
+			func(e *flight.Exposition) []byte { return e.Timeseries }))
+	mux.HandleFunc("/flows.csv",
+		exposeHandler(rec, "text/csv; charset=utf-8",
+			func(e *flight.Exposition) []byte { return e.Flows }))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "tcnsim flight recorder\n\n/metrics\n/timeseries.csv\n/flows.csv\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// startServer begins serving the recorder on addr and returns once the
+// listener is bound, so a caller racing curl in CI cannot hit a closed
+// port.
+func startServer(addr string, rec *flight.Recorder) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: newServeMux(rec)}
+	fmt.Fprintf(os.Stderr, "serving flight recorder on http://%s (metrics, timeseries.csv, flows.csv, debug/pprof)\n", ln.Addr())
+	go srv.Serve(ln)
+	return srv, nil
+}
+
+// waitForShutdown blocks until SIGINT/SIGTERM, then closes the server.
+func waitForShutdown(srv *http.Server) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintln(os.Stderr, "run complete; still serving — interrupt to exit")
+	<-sig
+	srv.Close()
+}

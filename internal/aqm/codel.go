@@ -82,6 +82,9 @@ func NewCoDel(n int, target, interval sim.Time) *CoDel {
 // Name implements core.Marker.
 func (c *CoDel) Name() string { return "CoDel" }
 
+// MarkCount implements core.MarkCounter.
+func (c *CoDel) MarkCount() int64 { return c.Marks }
+
 // OnEnqueue implements core.Marker. CoDel acts only at dequeue.
 func (c *CoDel) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState) {}
 

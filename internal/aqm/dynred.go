@@ -164,3 +164,16 @@ func (d *DynRED) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState
 		d.oRate[i].Set(d.meters[i].Rate())
 	}
 }
+
+// MarkCount implements core.MarkCounter.
+func (d *DynRED) MarkCount() int64 { return d.Marks }
+
+// MarkProb implements core.MarkProber against the current dynamic
+// threshold (threshold only reads the meters, so probing is side-effect
+// free).
+func (d *DynRED) MarkProb(_ sim.Time, i int, _ sim.Time, st core.PortState) float64 {
+	if st.QueueBytes(i) > d.threshold(i, st) {
+		return 1
+	}
+	return 0
+}

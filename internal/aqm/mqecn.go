@@ -90,6 +90,9 @@ func NewMQECN(round RoundInfo, n int, rttLambda, tidle sim.Time) *MQECN {
 // Name implements core.Marker.
 func (m *MQECN) Name() string { return "MQ-ECN" }
 
+// MarkCount implements core.MarkCounter.
+func (m *MQECN) MarkCount() int64 { return m.Marks }
+
 // threshold computes queue i's current dynamic threshold in bytes, capped
 // by the standard (whole-link) threshold.
 func (m *MQECN) threshold(now sim.Time, i int, st core.PortState) int {

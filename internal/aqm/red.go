@@ -123,6 +123,18 @@ func (m *QueueRED) OnDequeue(_ sim.Time, i int, p *pkt.Packet, st core.PortState
 	m.decide(st.QueueBytes(i), p)
 }
 
+// MarkCount implements core.MarkCounter.
+func (m *QueueRED) MarkCount() int64 { return m.Marks }
+
+// MarkProb implements core.MarkProber: single-threshold RED marks
+// deterministically once the queue occupancy crosses K.
+func (m *QueueRED) MarkProb(_ sim.Time, i int, _ sim.Time, st core.PortState) float64 {
+	if st.QueueBytes(i) > m.K {
+		return 1
+	}
+	return 0
+}
+
 // PortRED is per-port ECN/RED: a packet is marked when the aggregate
 // occupancy of all queues on the port exceeds K. It keeps latency low but
 // lets one service's backlog mark another service's packets, violating the
@@ -179,6 +191,17 @@ func (m *PortRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, st core.PortState)
 // OnDequeue implements core.Marker.
 func (m *PortRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
 
+// MarkCount implements core.MarkCounter.
+func (m *PortRED) MarkCount() int64 { return m.Marks }
+
+// MarkProb implements core.MarkProber on the aggregate port occupancy.
+func (m *PortRED) MarkProb(_ sim.Time, _ int, _ sim.Time, st core.PortState) float64 {
+	if st.PortBytes() > m.K {
+		return 1
+	}
+	return 0
+}
+
 // OracleRED is per-queue RED with externally supplied per-queue thresholds.
 // Experiments that know the steady-state queue capacities (e.g. Figure 5b,
 // where the two WFQ queues each drain at 250 Mbps) use it as the "ideal
@@ -215,6 +238,17 @@ func (m *OracleRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortStat
 
 // OnDequeue implements core.Marker.
 func (m *OracleRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+
+// MarkCount implements core.MarkCounter.
+func (m *OracleRED) MarkCount() int64 { return m.Marks }
+
+// MarkProb implements core.MarkProber against queue i's fixed threshold.
+func (m *OracleRED) MarkProb(_ sim.Time, i int, _ sim.Time, st core.PortState) float64 {
+	if st.QueueBytes(i) > m.K[i] {
+		return 1
+	}
+	return 0
+}
 
 // StandardThreshold computes the standard queue-length marking threshold
 // C × RTT × λ in bytes (Equation 1) for a line rate in bits per second and

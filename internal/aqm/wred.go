@@ -46,6 +46,9 @@ func NewWRED(n, kmin, kmax int, pmax float64, rng *sim.Rand) *WRED {
 // Name implements core.Marker.
 func (w *WRED) Name() string { return "WRED" }
 
+// MarkCount implements core.MarkCounter.
+func (w *WRED) MarkCount() int64 { return w.Marks }
+
 // AvgQueue returns the averaged occupancy estimate of queue i in bytes.
 func (w *WRED) AvgQueue(i int) float64 { return w.avg[i] }
 
@@ -112,6 +115,9 @@ func (m *PoolRED) PoolBytes() int {
 
 // Name implements core.Marker.
 func (m *PoolRED) Name() string { return "RED-pool" }
+
+// MarkCount implements core.MarkCounter.
+func (m *PoolRED) MarkCount() int64 { return m.Marks }
 
 // OnEnqueue implements core.Marker: pool occupancy, not the packet's own
 // port, decides the mark.

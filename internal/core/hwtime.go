@@ -90,3 +90,6 @@ func (t *HWTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
 		}
 	}
 }
+
+// MarkCount implements MarkCounter.
+func (t *HWTCN) MarkCount() int64 { return t.Marks }

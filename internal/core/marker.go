@@ -45,6 +45,26 @@ type Marker interface {
 	OnDequeue(now sim.Time, i int, p *pkt.Packet, st PortState)
 }
 
+// MarkCounter is implemented by markers that count the CE marks they
+// apply. Instrumentation (experiment tables, the flight recorder's
+// mark-rate probe) reads the count through this interface instead of
+// type-switching over every concrete scheme.
+type MarkCounter interface {
+	// MarkCount returns the number of CE marks applied so far.
+	MarkCount() int64
+}
+
+// MarkProber is implemented by markers that can report the probability
+// with which they would mark a packet observed now — queue-length schemes
+// from the port state, sojourn schemes from the given head-of-line
+// sojourn. Implementations MUST be read-only: probing runs on the flight
+// recorder's sampling ticks and must not perturb marker state.
+type MarkProber interface {
+	// MarkProb returns the instantaneous marking probability in [0, 1]
+	// for queue i given the current head-of-line sojourn.
+	MarkProb(now sim.Time, i int, sojourn sim.Time, st PortState) float64
+}
+
 // Nop is a Marker that never marks; it turns a port into a plain drop-tail
 // multi-queue port.
 type Nop struct{}

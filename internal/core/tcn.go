@@ -73,6 +73,18 @@ func (t *TCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
 	}
 }
 
+// MarkCount implements MarkCounter.
+func (t *TCN) MarkCount() int64 { return t.Marks }
+
+// MarkProb implements MarkProber: 1 when the head-of-line sojourn crosses
+// the threshold, else 0 (TCN marks deterministically).
+func (t *TCN) MarkProb(_ sim.Time, _ int, sojourn sim.Time, _ PortState) float64 {
+	if Decide(sojourn, t.Threshold) {
+		return 1
+	}
+	return 0
+}
+
 // Decide is the entire TCN data-plane decision: mark iff the sojourn time
 // exceeds the threshold. Exposed as a pure function so tests can verify
 // statelessness directly.
@@ -136,6 +148,14 @@ func (t *ProbTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
 			}
 		}
 	}
+}
+
+// MarkCount implements MarkCounter.
+func (t *ProbTCN) MarkCount() int64 { return t.Marks }
+
+// MarkProb implements MarkProber via the pure ramp function.
+func (t *ProbTCN) MarkProb(_ sim.Time, _ int, sojourn sim.Time, _ PortState) float64 {
+	return MarkProbability(sojourn, t.Tmin, t.Tmax, t.Pmax)
 }
 
 // MarkProbability returns the RED-like marking probability for a sojourn

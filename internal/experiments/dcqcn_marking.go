@@ -7,6 +7,7 @@ import (
 	"tcn/internal/dcqcn"
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
+	"tcn/internal/obs/flight"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -96,7 +97,9 @@ func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
 	}
 
 	port := net.Switch.Port(recv)
-	sampler := metrics.NewSampler(eng, 50*sim.Microsecond, cfg.Warmup+cfg.Measure, func() float64 {
+	rec := flight.New(flight.Config{SeriesCap: figSeriesCap})
+	occ := rec.SeriesCap("dcqcn.occupancy_bytes", figSeriesCap)
+	rec.Probe(eng, occ.Name(), 50*sim.Microsecond, func(sim.Time) float64 {
 		return float64(port.PortBytes())
 	})
 	eng.RunUntil(cfg.Warmup + cfg.Measure)
@@ -105,12 +108,12 @@ func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
 	sum, _ := metrics.SumAndSumSq(delivered)
 	res.Jain = metrics.JainFairness(delivered, cfg.Senders)
 	res.AggGbps = sum * 8 / cfg.Measure.Seconds() / 1e9
-	res.QueueMean = sampler.MeanBetween(cfg.Warmup, cfg.Warmup+cfg.Measure)
+	res.QueueMean = occ.MeanBetween(cfg.Warmup, cfg.Warmup+cfg.Measure)
 	var varSum float64
 	n := 0
-	for _, s := range sampler.Samples {
+	for _, s := range occ.Points() {
 		if s.At >= cfg.Warmup {
-			d := s.Value - res.QueueMean
+			d := s.V - res.QueueMean
 			varSum += d * d
 			n++
 		}

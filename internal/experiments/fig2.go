@@ -23,6 +23,9 @@ type Fig2Config struct {
 	DqThreshs []int
 	// Seed feeds all randomness.
 	Seed int64
+	// Obs, if non-nil, receives per-port stats, packet traces, and flight
+	// telemetry for every trace, labelled fig2.<scheme>.
+	Obs *Obs
 }
 
 // DefaultFig2 returns the paper's configuration.
@@ -98,6 +101,13 @@ func runFig2Once(cfg Fig2Config, scheme Scheme, dqThresh int, name string) Fig2T
 
 	const rttLambda = 100 * sim.Microsecond // ECN*: λ=1, RTT=100us
 
+	// The estimator traces are event-driven series in the flight
+	// recorder: each estimator callback records one point, and the trace
+	// slices below are read back out of the recorder after the run.
+	rec := cfg.Obs.flightRecorder()
+	rawSeries := rec.SeriesCap("fig2."+name+".est_raw_gbps", figSeriesCap)
+	smoothedSeries := rec.SeriesCap("fig2."+name+".est_smoothed_gbps", figSeriesCap)
+
 	pp := PortParams{
 		Queues:    2,
 		Buffer:    1_000_000,
@@ -113,15 +123,15 @@ func runFig2Once(cfg Fig2Config, scheme Scheme, dqThresh int, name string) Fig2T
 			return nil
 		}
 		return func(now sim.Time, raw, smoothed float64) {
-			tr.Raw = append(tr.Raw, metrics.Sample{At: now, Value: raw * 8 / 1e9})
-			tr.Smoothed = append(tr.Smoothed, metrics.Sample{At: now, Value: smoothed * 8 / 1e9})
+			rawSeries.Record(now, raw*8/1e9)
+			smoothedSeries.Record(now, smoothed*8/1e9)
 		}
 	}
 	pp.OnMQECNEstimate = func(now sim.Time, q int, rate float64) {
 		if q != 0 {
 			return
 		}
-		tr.Smoothed = append(tr.Smoothed, metrics.Sample{At: now, Value: rate * 8 / 1e9})
+		smoothedSeries.Record(now, rate*8/1e9)
 	}
 
 	net := fabric.NewStar(eng, fabric.StarConfig{
@@ -131,6 +141,7 @@ func runFig2Once(cfg Fig2Config, scheme Scheme, dqThresh int, name string) Fig2T
 		HostDelay:  48 * sim.Microsecond,
 		SwitchPort: pp.Factory(scheme, SchedDWRR, rng),
 	})
+	cfg.Obs.AttachStar("fig2."+name, net)
 	st := transport.NewStack(eng, transport.Config{
 		CC:         transport.ECNStar,
 		RTOMin:     5 * sim.Millisecond,
@@ -147,6 +158,9 @@ func runFig2Once(cfg Fig2Config, scheme Scheme, dqThresh int, name string) Fig2T
 	}
 
 	eng.RunUntil(cfg.Duration)
+
+	tr.Raw = samplesOf(rawSeries)
+	tr.Smoothed = samplesOf(smoothedSeries)
 
 	// Post-process the trace.
 	const target = 5.0 // Gbps

@@ -99,14 +99,16 @@ func runFig3Once(cfg Fig3Config, scheme Scheme) Fig3Trace {
 	}
 
 	port := net.Switch.Port(recv)
-	sampler := metrics.NewSampler(eng, cfg.SamplePeriod, cfg.Duration, func() float64 {
+	rec := cfg.Obs.flightRecorder()
+	occ := rec.SeriesCap(fmt.Sprintf("fig3.%s.occupancy_bytes", scheme), figSeriesCap)
+	rec.Probe(eng, occ.Name(), cfg.SamplePeriod, func(sim.Time) float64 {
 		return float64(port.PortBytes())
 	})
 	eng.RunUntil(cfg.Duration)
 
-	tr := Fig3Trace{Scheme: scheme, Occupancy: sampler.Samples}
-	tr.PeakBytes = int(sampler.Max())
-	tr.SteadyMaxBytes = int(sampler.MaxBetween(5*sim.Millisecond, cfg.Duration))
-	tr.SteadyMeanBytes = int(sampler.MeanBetween(5*sim.Millisecond, cfg.Duration))
+	tr := Fig3Trace{Scheme: scheme, Occupancy: samplesOf(occ)}
+	tr.PeakBytes = int(occ.Max())
+	tr.SteadyMaxBytes = int(occ.MaxBetween(5*sim.Millisecond, cfg.Duration))
+	tr.SteadyMeanBytes = int(occ.MeanBetween(5*sim.Millisecond, cfg.Duration))
 	return tr
 }

@@ -4,18 +4,22 @@ import (
 	"fmt"
 
 	"tcn/internal/fabric"
+	"tcn/internal/metrics"
 	"tcn/internal/obs"
+	"tcn/internal/obs/flight"
 	"tcn/internal/trace"
 )
 
 // Obs bundles the observability sinks a runner can attach to the fabric it
-// builds: a stats registry for counters/gauges/histograms and a packet
-// tracer. Either field may be nil, and a nil *Obs attaches nothing, so
-// runners call the Attach methods unconditionally and uninstrumented runs
-// stay on the fast path.
+// builds: a stats registry for counters/gauges/histograms, a packet
+// tracer, and a flight recorder for periodic sampling and flow spans. Any
+// field may be nil, and a nil *Obs attaches nothing, so runners call the
+// Attach methods unconditionally and uninstrumented runs stay on the fast
+// path.
 type Obs struct {
 	Registry *obs.Registry
 	Tracer   *trace.Tracer
+	Flight   *flight.Recorder
 }
 
 // instrumenter is implemented by the markers that can record their
@@ -27,7 +31,8 @@ type instrumenter interface {
 
 // AttachPort instruments one switch egress port under label: per-queue
 // counters and histograms in the registry (plus the marker's own
-// instruments under label.marker) and packet events in the tracer.
+// instruments under label.marker), packet events in the tracer, and
+// periodic probes plus flow spans in the flight recorder.
 func (o *Obs) AttachPort(label string, p *fabric.Port) {
 	if o == nil {
 		return
@@ -40,6 +45,10 @@ func (o *Obs) AttachPort(label string, p *fabric.Port) {
 	}
 	if o.Tracer != nil {
 		o.Tracer.AttachPort(label, p)
+	}
+	if o.Flight != nil {
+		flight.AttachPortProbes(o.Flight, label, p)
+		flight.AttachPortSpans(o.Flight, p)
 	}
 }
 
@@ -71,4 +80,30 @@ func (o *Obs) AttachLeafSpine(prefix string, net *fabric.LeafSpine) {
 	for _, sw := range net.Spines {
 		attach(sw)
 	}
+}
+
+// figSeriesCap sizes the figure-defining series rings so they never wrap
+// at the papers' sampling rates: the figure post-processing (convergence
+// times, steady-state means) then sees every sample, keeping results
+// identical to the pre-flight-recorder accumulation.
+const figSeriesCap = 1 << 15
+
+// flightRecorder returns the bundle's flight recorder, or a private
+// throwaway one when none is attached — experiment time series always
+// route through the sampler, instrumented run or not.
+func (o *Obs) flightRecorder() *flight.Recorder {
+	if o != nil && o.Flight != nil {
+		return o.Flight
+	}
+	return flight.New(flight.Config{SeriesCap: figSeriesCap})
+}
+
+// samplesOf converts a flight series into the metrics.Sample slice the
+// figure result structs expose.
+func samplesOf(s *flight.Series) []metrics.Sample {
+	out := make([]metrics.Sample, 0, s.Len())
+	for _, p := range s.Points() {
+		out = append(out, metrics.Sample{At: p.At, Value: p.V})
+	}
+	return out
 }

@@ -202,28 +202,10 @@ func (p PortParams) Factory(s Scheme, kind SchedKind, rng *sim.Rand) fabric.Port
 }
 
 // markCount extracts the CE-mark counter from any of the repository's
-// markers, for result tables.
+// markers, for result tables. Schemes that do not count (Nop) report 0.
 func markCount(m core.Marker) int64 {
-	switch v := m.(type) {
-	case *core.TCN:
-		return v.Marks
-	case *core.ProbTCN:
-		return v.Marks
-	case *core.HWTCN:
-		return v.Marks
-	case *aqm.CoDel:
-		return v.Marks
-	case *aqm.MQECN:
-		return v.Marks
-	case *aqm.QueueRED:
-		return v.Marks
-	case *aqm.PortRED:
-		return v.Marks
-	case *aqm.DynRED:
-		return v.Marks
-	case *aqm.OracleRED:
-		return v.Marks
-	default:
-		return 0
+	if mc, ok := m.(core.MarkCounter); ok {
+		return mc.MarkCount()
 	}
+	return 0
 }

@@ -74,6 +74,9 @@ type Port struct {
 	// TxPackets and TxBytes count transmissions per queue.
 	TxPackets []int64
 	TxBytes   []int64
+	// OnEnqueue, if set, observes every admitted packet after the
+	// enqueue timestamp is stamped and enqueue-side marking has run.
+	OnEnqueue func(now sim.Time, qi int, p *pkt.Packet)
 	// OnTransmit, if set, observes every departing packet after marking.
 	OnTransmit func(now sim.Time, qi int, p *pkt.Packet)
 	// OnDrop, if set, observes every packet rejected by the buffer.
@@ -142,6 +145,9 @@ func (pt *Port) Send(p *pkt.Packet) {
 	p.EnqueuedAt = now
 	pt.sch.OnEnqueue(now, qi, p)
 	pt.marker.OnEnqueue(now, qi, p, pt)
+	if pt.OnEnqueue != nil {
+		pt.OnEnqueue(now, qi, p)
+	}
 	if !pt.busy {
 		pt.transmitNext()
 	}
@@ -228,6 +234,10 @@ func (pt *Port) checkStats(qi int) {
 
 // Buffer exposes the port's buffer for tests and metrics.
 func (pt *Port) Buffer() *queue.Buffer { return pt.buf }
+
+// Engine exposes the port's event engine, so observers attaching to an
+// already-built port can schedule probes on the right clock.
+func (pt *Port) Engine() *sim.Engine { return pt.eng }
 
 // Scheduler exposes the port's scheduler.
 func (pt *Port) Scheduler() sched.Scheduler { return pt.sch }

@@ -202,27 +202,3 @@ func TestGoodputAvgBetweenWholeBins(t *testing.T) {
 		t.Fatal("empty window should be 0")
 	}
 }
-
-func TestSamplerPeriodAndStop(t *testing.T) {
-	eng := sim.NewEngine()
-	v := 0.0
-	s := NewSampler(eng, 10*sim.Millisecond, 100*sim.Millisecond, func() float64 {
-		v++
-		return v
-	})
-	eng.At(200*sim.Millisecond, func() {}) // keep the engine running past stopAt
-	eng.Run()
-	// Samples at 0,10,...,100ms inclusive = 11.
-	if len(s.Samples) != 11 {
-		t.Fatalf("samples = %d, want 11", len(s.Samples))
-	}
-	if !testutil.Eq(s.Max(), 11) {
-		t.Fatalf("max %v", s.Max())
-	}
-	if m := s.MeanBetween(0, 100*sim.Millisecond); !testutil.Eq(m, 6) {
-		t.Fatalf("mean %v, want 6", m)
-	}
-	if m := s.MaxBetween(20*sim.Millisecond, 50*sim.Millisecond); !testutil.Eq(m, 6) {
-		t.Fatalf("max between %v, want 6", m)
-	}
-}

@@ -95,73 +95,10 @@ func (g *GoodputMeter) AvgMbpsBetween(class int, from, to sim.Time) float64 {
 // BinDuration returns the meter's bin width.
 func (g *GoodputMeter) BinDuration() sim.Time { return g.bin }
 
-// Sample is one point of a time series.
+// Sample is one point of a time series. Periodic polling itself now
+// lives in internal/obs/flight (Recorder.Probe), which supersedes the
+// Sampler this package used to provide.
 type Sample struct {
 	At    sim.Time
 	Value float64
-}
-
-// Sampler polls a value at a fixed period on the simulation engine,
-// recording a time series — used for the buffer occupancy traces of
-// Figure 3 and the rate-estimation traces of Figure 2.
-type Sampler struct {
-	Samples []Sample
-}
-
-// NewSampler starts polling read() every period until stopAt (0 = run
-// while the engine runs).
-func NewSampler(eng *sim.Engine, period, stopAt sim.Time, read func() float64) *Sampler {
-	if period <= 0 {
-		panic(fmt.Sprintf("metrics: sampler period %v must be positive", period))
-	}
-	s := &Sampler{}
-	var tick func()
-	tick = func() {
-		now := eng.Now()
-		if stopAt > 0 && now > stopAt {
-			return
-		}
-		s.Samples = append(s.Samples, Sample{At: now, Value: read()})
-		eng.After(period, tick)
-	}
-	eng.After(0, tick)
-	return s
-}
-
-// Max returns the largest sampled value.
-func (s *Sampler) Max() float64 {
-	var m float64
-	for _, x := range s.Samples {
-		if x.Value > m {
-			m = x.Value
-		}
-	}
-	return m
-}
-
-// MeanBetween averages samples within [from, to].
-func (s *Sampler) MeanBetween(from, to sim.Time) float64 {
-	var sum float64
-	var n int
-	for _, x := range s.Samples {
-		if x.At >= from && x.At <= to {
-			sum += x.Value
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
-}
-
-// MaxBetween returns the largest sample within [from, to].
-func (s *Sampler) MaxBetween(from, to sim.Time) float64 {
-	var m float64
-	for _, x := range s.Samples {
-		if x.At >= from && x.At <= to && x.Value > m {
-			m = x.Value
-		}
-	}
-	return m
 }

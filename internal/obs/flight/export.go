@@ -1,0 +1,73 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// sortSeriesByName orders series lexically so every export is
+// deterministic regardless of registration order.
+func sortSeriesByName(ss []*Series) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+}
+
+// WriteTimeseriesCSV writes every series as long-form CSV
+// (series,time_ns,value) in name then time order. Values are formatted
+// with strconv's shortest exact representation, so identical runs export
+// identical bytes.
+func (r *Recorder) WriteTimeseriesCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "series,time_ns,value\n"); err != nil {
+		return err
+	}
+	var line []byte
+	for _, s := range r.AllSeries() {
+		for _, p := range s.Points() {
+			line = line[:0]
+			line = append(line, s.name...)
+			line = append(line, ',')
+			line = strconv.AppendInt(line, int64(p.At), 10)
+			line = append(line, ',')
+			line = strconv.AppendFloat(line, p.V, 'g', -1, 64)
+			line = append(line, '\n')
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesJSON is the JSON shape of one exported series. Points are
+// [time_ns, value] pairs to keep files compact.
+type seriesJSON struct {
+	Name    string       `json:"name"`
+	Stride  int          `json:"stride"`
+	Offered int64        `json:"offered"`
+	Points  [][2]float64 `json:"points"`
+}
+
+// WriteTimeseriesJSON writes every series as a JSON document
+// {"series": [...]} in name order.
+func (r *Recorder) WriteTimeseriesJSON(w io.Writer) error {
+	all := r.AllSeries()
+	out := struct {
+		Series []seriesJSON `json:"series"`
+	}{Series: make([]seriesJSON, 0, len(all))}
+	for _, s := range all {
+		sj := seriesJSON{
+			Name:    s.name,
+			Stride:  s.stride,
+			Offered: s.offered,
+			Points:  make([][2]float64, 0, len(s.pts)),
+		}
+		for _, p := range s.Points() {
+			sj.Points = append(sj.Points, [2]float64{float64(p.At), p.V})
+		}
+		out.Series = append(out.Series, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

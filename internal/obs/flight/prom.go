@@ -1,0 +1,185 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tcn/internal/obs"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a stats registry.
+//
+// Registry names follow the port convention "<label>.q<i>.<metric>"
+// (obs.PortObs); those become one metric family per metric suffix —
+// tcn_tx_packets_total{port="fig2.sw.p0",queue="0"} — so every queue of
+// every port lands under the same family, the shape Prometheus queries
+// want. Names outside the convention are exposed through generic
+// families (tcn_counter_total, tcn_gauge, tcn_histogram) with the full
+// registry name as a label.
+
+// portName matches the port convention. The metric suffix must also be a
+// valid Prometheus name component (checked separately: no leading digit).
+var portName = regexp.MustCompile(`^(.+)\.q(\d+)\.([A-Za-z0-9_]+)$`)
+
+// promFamily accumulates the rendered sample lines of one metric family.
+type promFamily struct {
+	typ   string // "counter", "gauge", "histogram"
+	lines []string
+}
+
+// promFamilies is the render state: family name -> samples.
+type promFamilies map[string]*promFamily
+
+// family returns the named family if its type matches, or nil when the
+// name is already claimed by a different type (the caller then falls back
+// to a generic family — two TYPE lines for one name would be invalid
+// exposition).
+func (fs promFamilies) family(name, typ string) *promFamily {
+	f, ok := fs[name]
+	if !ok {
+		f = &promFamily{typ: typ}
+		fs[name] = f
+	}
+	if f.typ != typ {
+		return nil
+	}
+	return f
+}
+
+// splitPortName decomposes a registry name following the port convention
+// into its label parts and the metric suffix; ok is false for loose names.
+func splitPortName(name string) (port, queue, metric string, ok bool) {
+	m := portName.FindStringSubmatch(name)
+	if m == nil || m[3][0] >= '0' && m[3][0] <= '9' {
+		return "", "", "", false
+	}
+	return m[1], m[2], m[3], true
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelPair renders one key="value" pair with escaping.
+func labelPair(k, v string) string {
+	return k + `="` + escapeLabel(v) + `"`
+}
+
+// WriteProm renders every instrument of r in Prometheus text format.
+// Output is deterministic: families sort lexically, samples inherit the
+// registry's name-sorted walk order.
+func WriteProm(w io.Writer, r *obs.Registry) error {
+	fams := promFamilies{}
+
+	add := func(famName, typ, labels, value string) {
+		f := fams.family(famName, typ)
+		if f == nil {
+			// Family name collided across types; fall back to generic.
+			switch typ {
+			case "counter":
+				famName = "tcn_counter_total"
+			case "gauge":
+				famName = "tcn_gauge"
+			default:
+				famName = "tcn_histogram"
+			}
+			f = fams.family(famName, typ)
+		}
+		f.lines = append(f.lines, famName+"{"+labels+"} "+value)
+	}
+
+	r.WalkCounters(func(name string, c *obs.Counter) {
+		v := strconv.FormatInt(c.Value(), 10)
+		if port, queue, metric, ok := splitPortName(name); ok {
+			add("tcn_"+metric+"_total", "counter",
+				labelPair("port", port)+","+labelPair("queue", queue), v)
+			return
+		}
+		add("tcn_counter_total", "counter", labelPair("name", name), v)
+	})
+
+	r.WalkGauges(func(name string, g *obs.Gauge) {
+		v := strconv.FormatFloat(g.Value(), 'g', -1, 64)
+		if port, queue, metric, ok := splitPortName(name); ok {
+			add("tcn_"+metric, "gauge",
+				labelPair("port", port)+","+labelPair("queue", queue), v)
+			return
+		}
+		add("tcn_gauge", "gauge", labelPair("name", name), v)
+	})
+
+	r.WalkHistograms(func(name string, h *obs.Histogram) {
+		famName := "tcn_histogram"
+		labels := labelPair("name", name)
+		if port, queue, metric, ok := splitPortName(name); ok {
+			famName = "tcn_" + metric
+			labels = labelPair("port", port) + "," + labelPair("queue", queue)
+		}
+		f := fams.family(famName, "histogram")
+		if f == nil {
+			famName = "tcn_histogram"
+			labels = labelPair("name", name)
+			f = fams.family(famName, "histogram")
+		}
+		h.Cumulative(func(upper, cum int64) {
+			if upper == math.MaxInt64 {
+				// The final bucket's count is carried by the explicit
+				// +Inf line below.
+				return
+			}
+			f.lines = append(f.lines,
+				famName+"_bucket{"+labels+","+
+					labelPair("le", strconv.FormatInt(upper, 10))+"} "+
+					strconv.FormatInt(cum, 10))
+		})
+		f.lines = append(f.lines,
+			famName+"_bucket{"+labels+","+labelPair("le", "+Inf")+"} "+
+				strconv.FormatInt(h.Count(), 10))
+		f.lines = append(f.lines,
+			famName+"_sum{"+labels+"} "+strconv.FormatInt(h.Sum(), 10))
+		f.lines = append(f.lines,
+			famName+"_count{"+labels+"} "+strconv.FormatInt(h.Count(), 10))
+	})
+
+	names := make([]string, 0, len(fams))
+	//tcnlint:ordered keys are sorted before rendering
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

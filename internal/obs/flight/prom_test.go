@@ -1,0 +1,150 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcn/internal/obs"
+)
+
+func renderProm(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func mustContain(t *testing.T, out string, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if !strings.Contains(out, l+"\n") {
+			t.Fatalf("exposition missing %q; got:\n%s", l, out)
+		}
+	}
+}
+
+func TestPromPortConventionFamilies(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("fig2.sw.p0.q0.tx_packets").Add(5)
+	r.Counter("fig2.sw.p1.q2.tx_packets").Add(7)
+	r.Gauge("fig2.sw.p0.q0.depth_bytes").Set(1500)
+
+	out := renderProm(t, r)
+	mustContain(t, out,
+		"# TYPE tcn_tx_packets_total counter",
+		`tcn_tx_packets_total{port="fig2.sw.p0",queue="0"} 5`,
+		`tcn_tx_packets_total{port="fig2.sw.p1",queue="2"} 7`,
+		"# TYPE tcn_depth_bytes gauge",
+		`tcn_depth_bytes{port="fig2.sw.p0",queue="0"} 1500`,
+	)
+	if strings.Count(out, "# TYPE tcn_tx_packets_total") != 1 {
+		t.Fatalf("family header duplicated:\n%s", out)
+	}
+}
+
+func TestPromLooseNames(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("marker.total_marks").Add(3)
+	// A digit-leading metric suffix is not a valid Prometheus name
+	// component, so this must fall through to the generic family too.
+	r.Counter("sw.p0.q1.4xx").Add(1)
+	r.Gauge("bucket.level").Set(0.25)
+
+	out := renderProm(t, r)
+	mustContain(t, out,
+		"# TYPE tcn_counter_total counter",
+		`tcn_counter_total{name="marker.total_marks"} 3`,
+		`tcn_counter_total{name="sw.p0.q1.4xx"} 1`,
+		"# TYPE tcn_gauge gauge",
+		`tcn_gauge{name="bucket.level"} 0.25`,
+	)
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("weird\\name\"with\nall").Inc()
+
+	out := renderProm(t, r)
+	mustContain(t, out,
+		`tcn_counter_total{name="weird\\name\"with\nall"} 1`,
+	)
+	if strings.Count(out, "\n") != strings.Count(out, "# TYPE")+strings.Count(out, "} ") {
+		t.Fatalf("raw newline leaked into a label value:\n%q", out)
+	}
+}
+
+func TestPromHistogramBucketEdges(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("sw.p0.q0.sojourn_ns")
+	// Values below 32 land in unit-width buckets, so the le edges are
+	// exactly the recorded values.
+	h.Record(0)
+	h.Record(3)
+	h.Record(3)
+	h.Record(7)
+
+	out := renderProm(t, r)
+	mustContain(t, out,
+		"# TYPE tcn_sojourn_ns histogram",
+		`tcn_sojourn_ns_bucket{port="sw.p0",queue="0",le="0"} 1`,
+		`tcn_sojourn_ns_bucket{port="sw.p0",queue="0",le="3"} 3`,
+		`tcn_sojourn_ns_bucket{port="sw.p0",queue="0",le="7"} 4`,
+		`tcn_sojourn_ns_bucket{port="sw.p0",queue="0",le="+Inf"} 4`,
+		`tcn_sojourn_ns_sum{port="sw.p0",queue="0"} 13`,
+		`tcn_sojourn_ns_count{port="sw.p0",queue="0"} 4`,
+	)
+	if n := strings.Count(out, `le="+Inf"`); n != 1 {
+		t.Fatalf("%d +Inf buckets, want exactly 1:\n%s", n, out)
+	}
+}
+
+func TestPromWideBucketUpperEdge(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("sw.p0.q0.sojourn_ns")
+	// 100 lands in the octave bucket [100, 104); its inclusive upper
+	// bound (and thus the le edge) is 103.
+	h.Record(100)
+
+	out := renderProm(t, r)
+	mustContain(t, out,
+		`tcn_sojourn_ns_bucket{port="sw.p0",queue="0",le="103"} 1`,
+	)
+}
+
+func TestPromTypeCollisionFallsBackToGeneric(t *testing.T) {
+	r := obs.NewRegistry()
+	// Both map to family "tcn_depth". Counters walk after gauges would
+	// be fine either way: exactly one family may claim the name; the
+	// other must fall back to its generic family rather than emit a
+	// second TYPE line.
+	r.Gauge("a.q0.depth").Set(10)
+	r.Histogram("b.q0.depth").Record(5)
+
+	out := renderProm(t, r)
+	if n := strings.Count(out, "# TYPE tcn_depth "); n != 1 {
+		t.Fatalf("%d TYPE lines for tcn_depth, want 1:\n%s", n, out)
+	}
+	mustContain(t, out,
+		`tcn_depth{port="a",queue="0"} 10`,
+		"# TYPE tcn_histogram histogram",
+		`tcn_histogram_count{name="b.q0.depth"} 1`,
+	)
+}
+
+func TestPromDeterministicOrder(t *testing.T) {
+	build := func() string {
+		r := obs.NewRegistry()
+		r.Counter("z.q1.tx_packets").Add(1)
+		r.Counter("a.q0.tx_packets").Add(2)
+		r.Gauge("m.q0.depth_bytes").Set(3)
+		r.Histogram("m.q0.sojourn_ns").Record(4)
+		r.Counter("loose").Inc()
+		return renderProm(t, r)
+	}
+	if build() != build() {
+		t.Fatal("exposition not byte-identical across identical registries")
+	}
+}

@@ -1,0 +1,173 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// FlowSpan is the stitched lifecycle record of one flow: every packet
+// event observed at instrumented ports, folded into aggregates. When the
+// tracker watches every port of a multi-hop fabric, Packets/Bytes count
+// per-hop transmit events (a packet crossing two switches counts twice);
+// FirstEnq and LastDeq are taken across all hops, so FCT still measures
+// first admission anywhere to last departure anywhere.
+type FlowSpan struct {
+	Flow       pkt.FlowID
+	FirstEnq   sim.Time // first queue admission
+	LastDeq    sim.Time // most recent transmit
+	Packets    int64    // transmit events (Data packets)
+	Bytes      int64    // bytes across transmit events
+	Marks      int64    // transmits leaving with CE
+	Drops      int64    // admission rejections
+	MaxSojourn sim.Time // largest per-hop queueing delay
+}
+
+// FCT returns the observed flow span: last dequeue minus first enqueue.
+// Zero until the flow has both.
+func (f *FlowSpan) FCT() sim.Time {
+	if f.LastDeq <= f.FirstEnq {
+		return 0
+	}
+	return f.LastDeq - f.FirstEnq
+}
+
+// spanUntracked marks a flow the reservoir decided not to keep.
+const spanUntracked int32 = -1
+
+// SpanTracker folds packet lifecycle events into per-flow spans, bounded
+// by reservoir sampling (Algorithm R): the first cap distinct flows are
+// admitted outright; each later flow replaces a uniformly random resident
+// with probability cap/seen, so the tracked set is always a uniform
+// sample of all flows seen. Decisions depend only on flow arrival order
+// and the tracker's own seed, never on the experiment RNG — tracking is
+// deterministic and free of side effects on the run.
+//
+// The event path is allocation-free in steady state: spans live in a
+// slice preallocated at construction and flows resolve through one map
+// lookup. Only the first event of a previously unseen flow may allocate
+// (map growth).
+type SpanTracker struct {
+	slots []FlowSpan           // fixed storage, len grows to cap once
+	index map[pkt.FlowID]int32 // flow -> slot, or spanUntracked
+	rng   *sim.Rand
+	seen  int64 // distinct flows observed
+}
+
+// NewSpanTracker returns a tracker keeping at most capFlows spans.
+func NewSpanTracker(capFlows int, seed int64) *SpanTracker {
+	if capFlows < 1 {
+		capFlows = 1
+	}
+	return &SpanTracker{
+		slots: make([]FlowSpan, 0, capFlows),
+		index: make(map[pkt.FlowID]int32, capFlows),
+		rng:   sim.NewRand(seed),
+	}
+}
+
+// slot resolves the span for p's flow, admitting the flow through the
+// reservoir on first sight. Returns nil when the reservoir declined it.
+// Only Data packets carry flow lifecycle; everything else is ignored.
+func (t *SpanTracker) slot(p *pkt.Packet) *FlowSpan {
+	if p.Kind != pkt.Data {
+		return nil
+	}
+	if i, ok := t.index[p.Flow]; ok {
+		if i == spanUntracked {
+			return nil
+		}
+		return &t.slots[i]
+	}
+	t.seen++
+	if len(t.slots) < cap(t.slots) {
+		i := int32(len(t.slots))
+		t.slots = append(t.slots, FlowSpan{Flow: p.Flow})
+		t.index[p.Flow] = i
+		return &t.slots[i]
+	}
+	// Reservoir full: replace a random resident with probability cap/seen.
+	j := t.rng.Int63n(t.seen)
+	if j >= int64(cap(t.slots)) {
+		t.index[p.Flow] = spanUntracked
+		return nil
+	}
+	evicted := t.slots[j].Flow
+	t.index[evicted] = spanUntracked
+	t.slots[j] = FlowSpan{Flow: p.Flow}
+	t.index[p.Flow] = int32(j)
+	return &t.slots[j]
+}
+
+// Enqueue records a queue admission.
+func (t *SpanTracker) Enqueue(now sim.Time, p *pkt.Packet) {
+	s := t.slot(p)
+	if s == nil {
+		return
+	}
+	if s.FirstEnq == 0 && s.Packets == 0 && s.Drops == 0 {
+		s.FirstEnq = now
+	}
+}
+
+// Transmit records a departure: sojourn is the per-hop queueing delay and
+// marked reports whether the packet left carrying CE.
+func (t *SpanTracker) Transmit(now sim.Time, p *pkt.Packet, sojourn sim.Time, marked bool) {
+	s := t.slot(p)
+	if s == nil {
+		return
+	}
+	s.LastDeq = now
+	s.Packets++
+	s.Bytes += int64(p.Size)
+	if marked {
+		s.Marks++
+	}
+	if sojourn > s.MaxSojourn {
+		s.MaxSojourn = sojourn
+	}
+}
+
+// Drop records an admission rejection.
+func (t *SpanTracker) Drop(now sim.Time, p *pkt.Packet) {
+	s := t.slot(p)
+	if s == nil {
+		return
+	}
+	if s.FirstEnq == 0 && s.Packets == 0 && s.Drops == 0 {
+		s.FirstEnq = now
+	}
+	s.Drops++
+}
+
+// Seen returns the number of distinct Data flows observed (tracked or not).
+func (t *SpanTracker) Seen() int64 { return t.seen }
+
+// Spans returns the tracked spans sorted by flow ID. The spans are
+// copies; mutating them does not affect the tracker.
+func (t *SpanTracker) Spans() []FlowSpan {
+	out := make([]FlowSpan, len(t.slots))
+	copy(out, t.slots)
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}
+
+// WriteCSV writes the tracked spans as CSV, sorted by flow ID, with all
+// times in integer nanoseconds.
+func (t *SpanTracker) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"flow,first_enq_ns,last_deq_ns,fct_ns,packets,bytes,marks,drops,max_sojourn_ns\n"); err != nil {
+		return err
+	}
+	for _, s := range t.Spans() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Flow, int64(s.FirstEnq), int64(s.LastDeq), int64(s.FCT()),
+			s.Packets, s.Bytes, s.Marks, s.Drops, int64(s.MaxSojourn)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+func dataPkt(flow pkt.FlowID, size int) *pkt.Packet {
+	return &pkt.Packet{Flow: flow, Kind: pkt.Data, Size: size, ECN: pkt.ECT0}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewSpanTracker(8, 1)
+	p := dataPkt(3, 1500)
+
+	tr.Enqueue(10*sim.Microsecond, p)
+	tr.Transmit(25*sim.Microsecond, p, 15*sim.Microsecond, false)
+	q := dataPkt(3, 1000)
+	tr.Enqueue(30*sim.Microsecond, q)
+	tr.Transmit(70*sim.Microsecond, q, 40*sim.Microsecond, true)
+	tr.Drop(80*sim.Microsecond, dataPkt(3, 1500))
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Flow != 3 || s.Packets != 2 || s.Bytes != 2500 || s.Marks != 1 || s.Drops != 1 {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.FirstEnq != 10*sim.Microsecond || s.LastDeq != 70*sim.Microsecond {
+		t.Fatalf("span window = [%v, %v]", s.FirstEnq, s.LastDeq)
+	}
+	if s.FCT() != 60*sim.Microsecond {
+		t.Fatalf("fct = %v", s.FCT())
+	}
+	if s.MaxSojourn != 40*sim.Microsecond {
+		t.Fatalf("max sojourn = %v", s.MaxSojourn)
+	}
+}
+
+func TestSpanIgnoresNonData(t *testing.T) {
+	tr := NewSpanTracker(8, 1)
+	ack := &pkt.Packet{Flow: 1, Kind: pkt.Ack, Size: 40}
+	tr.Enqueue(0, ack)
+	tr.Transmit(sim.Microsecond, ack, sim.Microsecond, false)
+	if len(tr.Spans()) != 0 || tr.Seen() != 0 {
+		t.Fatal("non-Data packets must not create spans")
+	}
+}
+
+func TestSpanReservoirBoundsAndDeterminism(t *testing.T) {
+	run := func() []FlowSpan {
+		tr := NewSpanTracker(16, 7)
+		for f := pkt.FlowID(0); f < 200; f++ {
+			p := dataPkt(f, 1500)
+			tr.Enqueue(sim.Time(f)*sim.Microsecond, p)
+			tr.Transmit(sim.Time(f+1)*sim.Microsecond, p, sim.Microsecond, false)
+		}
+		if tr.Seen() != 200 {
+			t.Fatalf("seen = %d", tr.Seen())
+		}
+		return tr.Spans()
+	}
+	a, b := run(), run()
+	if len(a) != 16 {
+		t.Fatalf("tracked %d flows, reservoir cap 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+	// An evicted flow's later events must not resurrect it or corrupt a
+	// resident's slot.
+	for i := 1; i < len(a); i++ {
+		if a[i].Flow <= a[i-1].Flow {
+			t.Fatalf("spans not sorted by flow: %v", a)
+		}
+	}
+}
+
+func TestSpanEvictedFlowEventsIgnored(t *testing.T) {
+	tr := NewSpanTracker(1, 1)
+	p0, p1 := dataPkt(0, 100), dataPkt(1, 100)
+	tr.Enqueue(0, p0)
+	// Flow 1 either evicts flow 0 or is rejected; whichever flow remains
+	// must only carry its own events.
+	tr.Enqueue(sim.Microsecond, p1)
+	tr.Transmit(2*sim.Microsecond, p0, sim.Microsecond, false)
+	tr.Transmit(3*sim.Microsecond, p1, sim.Microsecond, false)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Packets != 1 {
+		t.Fatalf("surviving span saw %d transmits, want only its own", spans[0].Packets)
+	}
+}
+
+func TestSpanCSV(t *testing.T) {
+	tr := NewSpanTracker(8, 1)
+	p := dataPkt(5, 1500)
+	tr.Enqueue(sim.Microsecond, p)
+	tr.Transmit(3*sim.Microsecond, p, 2*sim.Microsecond, true)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv = %q", buf.String())
+	}
+	if lines[0] != "flow,first_enq_ns,last_deq_ns,fct_ns,packets,bytes,marks,drops,max_sojourn_ns" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "5,1000,3000,2000,1,1500,1,0,2000" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Histogram is a log-linear (HDR-style) histogram over non-negative
 // int64 values: sojourn times in nanoseconds, occupancies in bytes.
@@ -158,5 +161,25 @@ func (h *Histogram) Buckets(fn func(lower, count int64)) {
 		if h.counts[i] > 0 {
 			fn(BucketLower(i), h.counts[i])
 		}
+	}
+}
+
+// Cumulative invokes fn for every non-empty bucket in ascending value
+// order, passing the bucket's inclusive upper bound and the cumulative
+// count of observations at or below it — the shape Prometheus histogram
+// exposition ("le" buckets) wants. The final cumulative value equals
+// Count(); the caller adds the +Inf bucket itself.
+func (h *Histogram) Cumulative(fn func(upper, cum int64)) {
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		if h.counts[i] == 0 {
+			continue
+		}
+		cum += h.counts[i]
+		upper := int64(math.MaxInt64)
+		if i+1 < histBuckets {
+			upper = BucketLower(i+1) - 1
+		}
+		fn(upper, cum)
 	}
 }

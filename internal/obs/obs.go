@@ -137,6 +137,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// WalkCounters invokes fn for every registered counter in name order.
+// The ordering is deterministic, so exports built on the walk produce
+// identical bytes for identical registry states.
+func (r *Registry) WalkCounters(fn func(name string, c *Counter)) {
+	for _, n := range sortedNames(r.counters) {
+		fn(n, r.counters[n])
+	}
+}
+
+// WalkGauges invokes fn for every registered gauge in name order.
+func (r *Registry) WalkGauges(fn func(name string, g *Gauge)) {
+	for _, n := range sortedNames(r.gauges) {
+		fn(n, r.gauges[n])
+	}
+}
+
+// WalkHistograms invokes fn for every registered histogram in name order.
+func (r *Registry) WalkHistograms(fn func(name string, h *Histogram)) {
+	for _, n := range sortedNames(r.histograms) {
+		fn(n, r.histograms[n])
+	}
+}
+
 // sortedNames returns the keys of a map in lexical order.
 func sortedNames[V any](m map[string]V) []string {
 	names := make([]string, 0, len(m))

@@ -84,6 +84,21 @@ func (tb *TokenBucket) Tokens(now sim.Time) float64 {
 	return tb.tokens
 }
 
+// Level computes the token count in bytes at now WITHOUT advancing the
+// bucket state. Observers (flight-recorder probes) must use this instead
+// of Tokens: an early refill changes the floating-point rounding of later
+// ones, so a probing run would diverge from a bare one.
+func (tb *TokenBucket) Level(now sim.Time) float64 {
+	t := tb.tokens
+	if now > tb.last {
+		t += float64(tb.Rate) / 8 * (now - tb.last).Seconds()
+		if t > float64(tb.Burst) {
+			t = float64(tb.Burst)
+		}
+	}
+	return t
+}
+
 // Config assembles a Qdisc.
 type Config struct {
 	// Queues is the number of per-class FIFO queues.
@@ -248,6 +263,12 @@ func (q *Qdisc) Instrument(r *obs.Registry, label string) *obs.PortObs {
 
 // Buffer exposes the buffer for tests.
 func (q *Qdisc) Buffer() *queue.Buffer { return q.buf }
+
+// Bucket exposes the shaper, for read-only probing via Level.
+func (q *Qdisc) Bucket() *TokenBucket { return q.bucket }
+
+// Engine exposes the qdisc's event engine.
+func (q *Qdisc) Engine() *sim.Engine { return q.eng }
 
 // NumQueues implements core.PortState.
 func (q *Qdisc) NumQueues() int { return q.buf.NumQueues() }
