@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain go tooling underneath.
+
+GO ?= go
+
+.PHONY: build test race lint bench bench-smoke fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/tcnlint ./...
+
+# bench captures the perf baseline the PRs track: engine core, packet path,
+# and the parallel sweep at workers=1/2/4, written as JSON for comparison.
+bench:
+	$(GO) run ./cmd/tcnbench -o BENCH_pr4.json
+
+# bench-smoke runs every benchmark once — cheap regression/compile coverage
+# for the bench suite itself (CI runs this on every push).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# fuzz-smoke mirrors the CI fuzz job: every native fuzz target, bounded.
+fuzz-smoke:
+	$(GO) test -tags=invariants -run '^$$' -fuzz FuzzBucketMapping   -fuzztime 10s ./internal/obs/
+	$(GO) test -tags=invariants -run '^$$' -fuzz FuzzHistogramRecord -fuzztime 10s ./internal/obs/
+	$(GO) test -tags=invariants -run '^$$' -fuzz FuzzDWRRAccounting  -fuzztime 10s ./internal/sched/
+	$(GO) test -tags=invariants -run '^$$' -fuzz FuzzWFQAccounting   -fuzztime 10s ./internal/sched/
+	$(GO) test -tags=invariants -run '^$$' -fuzz FuzzMarkProbability -fuzztime 10s ./internal/core/
+	$(GO) test -tags=invariants -run '^$$' -fuzz FuzzREDDecide       -fuzztime 10s ./internal/aqm/

@@ -6,6 +6,7 @@
 package tcn
 
 import (
+	"fmt"
 	"testing"
 
 	"tcn/internal/aqm"
@@ -271,6 +272,51 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		c.CC = transport.DCTCP
 		experiments.RunLeafSpine(c)
 	}
+}
+
+// BenchmarkSweepParallel measures the fig6 bench sweep (8 independent
+// cells) at increasing worker counts. The results are byte-identical at
+// every width (test-enforced in internal/experiments); this bench shows the
+// wall-clock side of the trade. On a single-core machine the widths tie —
+// the speedup needs real CPUs, not goroutines.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchSweep(experiments.SchemeTCN, experiments.SchemeRED)
+				cfg.Loads = []float64{0.3, 0.5, 0.7, 0.9}
+				cfg.Flows = 400
+				cfg.Workers = workers
+				experiments.RunFig6(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkPacketPathSteadyState drives one long DCTCP flow through a star
+// switch past slow start, then measures a millisecond of simulated traffic
+// per iteration. With the event freelist and packet pool warm this is
+// allocation-free (asserted in internal/sim and internal/transport tests);
+// allocs/op here should read 0 on normal builds.
+func BenchmarkPacketPathSteadyState(b *testing.B) {
+	eng := sim.NewEngine()
+	star := fabric.NewStar(eng, fabric.StarConfig{
+		Hosts: 2,
+		Rate:  10 * fabric.Gbps,
+		Prop:  10 * sim.Microsecond,
+		SwitchPort: func() fabric.PortConfig {
+			return fabric.PortConfig{Queues: 1}
+		},
+	})
+	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP}, star.Hosts)
+	st.Start(&transport.Flow{ID: st.NewFlowID(), Src: 0, Dst: 1, Size: 1 << 40})
+	eng.RunUntil(50 * sim.Millisecond) // warm pools past slow start
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+	}
+	b.ReportMetric(float64(eng.Executed)/float64(b.N), "events/op")
 }
 
 func max(a, b int) int {

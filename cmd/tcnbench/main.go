@@ -1,0 +1,130 @@
+// Command tcnbench captures a machine-readable performance baseline: it
+// runs the repository's benchmarks through `go test -bench`, parses the
+// standard benchmark output, and writes one JSON document with every
+// reported metric (ns/op, B/op, allocs/op, and the benches' custom
+// metrics). Committed snapshots (BENCH_pr4.json, ...) give future changes a
+// trajectory to compare against.
+//
+// Usage:
+//
+//	go run ./cmd/tcnbench [-bench REGEX] [-benchtime 1x] [-count 1] [-o FILE]
+//
+// The default selection runs the perf-critical benches — the engine core,
+// the steady-state packet path, and the parallel sweep at workers=1..4 —
+// rather than every figure reproduction, so a baseline capture stays in the
+// minutes range.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: its name (CPU suffix stripped), iteration
+// count, and every "value unit" metric pair that followed.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the document tcnbench writes.
+type Baseline struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Bench     string   `json:"bench_regex"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		benchRe = flag.String("bench",
+			"BenchmarkEngine|BenchmarkSweepParallel|BenchmarkPacketPathSteadyState|BenchmarkFig6IsolationDWRR",
+			"benchmark selection regex passed to go test")
+		benchTime = flag.String("benchtime", "1x", "value for -benchtime")
+		count     = flag.Int("count", 1, "value for -count")
+		out       = flag.String("o", "-", "output file ('-' = stdout)")
+		pkgs      = flag.String("pkgs", "./...", "packages to bench")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *benchRe, "-benchtime", *benchTime,
+		"-count", strconv.Itoa(*count), "-benchmem", *pkgs)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcnbench: go test: %v\n", err)
+		os.Exit(1)
+	}
+
+	base := Baseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Bench:     *benchRe,
+		BenchTime: *benchTime,
+		Results:   parseBench(raw),
+	}
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tcnbench: wrote %d results to %s\n", len(base.Results), *out)
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output. Each
+// line is "BenchmarkName[-P] <iters> <value> <unit> [<value> <unit>]...";
+// everything else (headers, PASS, ok) is ignored.
+func parseBench(raw []byte) []Result {
+	var out []Result
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -26,6 +26,7 @@ import (
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
+	"tcn/internal/parallel"
 	"tcn/internal/sim"
 	"tcn/internal/trace"
 )
@@ -40,6 +41,9 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments")
 		seeds = flag.Int("seeds", 1, "repeat FCT sweeps over this many seeds and aggregate")
 		csv   = flag.String("csv", "", "also write plot-friendly CSV files into this directory")
+
+		workers = flag.Int("workers", parallel.DefaultWorkers(),
+			"sweep points evaluated concurrently (results are identical at any count; forced to 1 when -stats/-trace/-serve/-timeseries/-flow-spans attach observers)")
 
 		statsFile = flag.String("stats", "", "write a JSON stats snapshot of every instrumented port to this file ('-' = stdout)")
 		statsText = flag.Bool("stats-text", false, "render -stats in tc(8)-style text instead of JSON")
@@ -95,7 +99,7 @@ func main() {
 		}
 		defer waitForShutdown(srv)
 	}
-	cfg := runConfig{flows: *flows, loads: parseLoads(*loads), seed: *seed, full: *full, seeds: *seeds}
+	cfg := runConfig{flows: *flows, loads: parseLoads(*loads), seed: *seed, full: *full, seeds: *seeds, workers: *workers}
 	run, ok := runners[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -182,17 +186,19 @@ func writeTo(path string, write func(io.Writer) error) error {
 }
 
 type runConfig struct {
-	flows int
-	loads []float64
-	seed  int64
-	seeds int
-	full  bool
+	flows   int
+	loads   []float64
+	seed    int64
+	seeds   int
+	full    bool
+	workers int
 }
 
 func (c runConfig) testbedSweep() experiments.SweepConfig {
 	sw := experiments.DefaultSweep()
 	sw.Seed = c.seed
 	sw.Obs = obsSink
+	sw.Workers = c.workers
 	if c.full {
 		sw.Flows = 5000
 	} else {
@@ -209,7 +215,7 @@ func (c runConfig) testbedSweep() experiments.SweepConfig {
 }
 
 func (c runConfig) leafSweep() experiments.LeafSpineSweepConfig {
-	ls := experiments.LeafSpineSweepConfig{Seed: c.seed, Obs: obsSink}
+	ls := experiments.LeafSpineSweepConfig{Seed: c.seed, Obs: obsSink, Workers: c.workers}
 	if c.full {
 		ls.Flows = 50_000
 		ls.Loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
@@ -246,6 +252,7 @@ func init() {
 		"fig11": func(c runConfig) { lsw := experiments.RunFig11(c.leafSweep()); printLeafSweep(lsw); csvLeafSweep(lsw) },
 		"fig12": func(c runConfig) { lsw := experiments.RunFig12(c.leafSweep()); printLeafSweep(lsw); csvLeafSweep(lsw) },
 		"fig13": func(c runConfig) { lsw := experiments.RunFig13(c.leafSweep()); printLeafSweep(lsw); csvLeafSweep(lsw) },
+		"dcqcn": runDCQCN,
 		"all-testbed": func(c runConfig) {
 			for _, f := range []string{"fig1", "fig2", "fig3", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9"} {
 				runners[f](c)
@@ -271,8 +278,10 @@ func usage() {
   fig6/7  isolation FCT sweep, DWRR / WFQ (testbed)
   fig8/9  prioritization (PIAS) FCT sweep, SP/DWRR / SP/WFQ (testbed)
   fig10+  leaf-spine FCT sweeps (DCTCP, WFQ, ECN*, 32 queues)
+  dcqcn   DCQCN fairness: cut-off vs probabilistic TCN marking (§4.3)
 
 Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)
+       -workers N (parallel sweep points; default GOMAXPROCS)
        -stats FILE [-stats-text]  -trace FILE [-trace-events N]
        -serve ADDR  -timeseries FILE[.json]  -flow-spans FILE
        -sample-period DUR`)
@@ -301,6 +310,7 @@ func runFig1(c runConfig) {
 		cfg.Scheme = scheme
 		cfg.Seed = c.seed
 		cfg.Obs = obsSink
+		cfg.Workers = c.workers
 		res := experiments.RunFig1(cfg)
 		fmt.Printf("\n%s:\n%-10s %12s %12s %10s\n", scheme, "svc2 flows", "svc1 Mbps", "svc2 Mbps", "svc2 share")
 		var rows [][]string
@@ -489,6 +499,33 @@ func printNormalized(sw experiments.FCTSweep) {
 		}
 		fmt.Println()
 	}
+}
+
+func runDCQCN(c runConfig) {
+	fmt.Println("== DCQCN under TCN marking: cut-off vs probabilistic (§4.3) ==")
+	cfg := experiments.DefaultDCQCNSweep()
+	cfg.Base.Seed = c.seed
+	cfg.Workers = c.workers
+	sw := experiments.RunDCQCNSweep(cfg)
+	fmt.Printf("%-14s %8s %8s %10s %12s %12s %8s\n",
+		"marker", "senders", "jain", "agg Gbps", "queue mean", "queue std", "CNPs")
+	var rows [][]string
+	for r, row := range [][]experiments.DCQCNMarkingResult{sw.CutOff, sw.Probabilistic} {
+		name := "cut-off"
+		if r == 1 {
+			name = "probabilistic"
+		}
+		for i, res := range row {
+			fmt.Printf("%-14s %8d %8.4f %10.2f %12.0f %12.0f %8d\n",
+				name, sw.Senders[i], res.Jain, res.AggGbps, res.QueueMean, res.QueueStd, res.CNPs)
+			rows = append(rows, []string{
+				name, strconv.Itoa(sw.Senders[i]), ftoa(res.Jain),
+				ftoa(res.AggGbps), ftoa(res.QueueMean), ftoa(res.QueueStd), strconv.Itoa(res.CNPs),
+			})
+		}
+	}
+	writeCSV("dcqcn.csv",
+		[]string{"marker", "senders", "jain", "agg_gbps", "queue_mean_bytes", "queue_std_bytes", "cnps"}, rows)
 }
 
 func printLeafSweep(sw experiments.LeafSpineSweep) {

@@ -102,6 +102,11 @@ type Stack struct {
 
 	// OnDeliver observes delivered payload bytes per flow.
 	OnDeliver func(now sim.Time, f pkt.FlowID, bytes int)
+
+	// pool recycles packets along this stack's path; deliver returns each
+	// packet once its handler has consumed it. Engine-local, never shared
+	// across goroutines.
+	pool pkt.Pool
 }
 
 // NewStack wires a DCQCN stack onto hosts, installing itself as their
@@ -151,6 +156,7 @@ func (s *Stack) deliver(p *pkt.Packet) {
 			}
 		}
 	}
+	s.pool.Put(p)
 }
 
 // Sender is the DCQCN reaction point.
@@ -172,6 +178,12 @@ type Sender struct {
 	increaseTimer sim.EventRef
 	stopped       bool
 
+	// Stored callbacks: pacing, alpha decay, and timer-stage ticks rearm
+	// themselves constantly, so each is created once per sender.
+	scheduleFn func()
+	decayFn    func()
+	tickFn     func()
+
 	// CNPs counts received congestion notifications.
 	CNPs int
 	// SentBytes counts transmitted payload.
@@ -187,6 +199,21 @@ func newSender(s *Stack, id pkt.FlowID, src, dst int, class uint8) *Sender {
 		class: class,
 		rc:    s.cfg.LineRate,
 		rt:    s.cfg.LineRate,
+	}
+	snd.scheduleFn = snd.schedule
+	snd.decayFn = func() {
+		snd.alpha *= 1 - snd.stack.cfg.G
+		if snd.alpha > 1e-6 && !snd.stopped {
+			snd.alphaTimer = snd.stack.eng.After(snd.stack.cfg.AlphaTimer, snd.decayFn)
+		}
+	}
+	snd.tickFn = func() {
+		if snd.stopped {
+			return
+		}
+		snd.timerStages++
+		snd.increase()
+		snd.increaseTimer = snd.stack.eng.After(snd.stack.cfg.IncreaseTimer, snd.tickFn)
 	}
 	snd.armIncrease()
 	return snd
@@ -211,7 +238,8 @@ func (snd *Sender) schedule() {
 		return
 	}
 	size := snd.stack.cfg.MTUBytes
-	p := &pkt.Packet{
+	p := snd.stack.pool.Get()
+	*p = pkt.Packet{
 		Flow:   snd.id,
 		Src:    snd.src,
 		Dst:    snd.dst,
@@ -223,10 +251,10 @@ func (snd *Sender) schedule() {
 		SentAt: snd.stack.eng.Now(),
 	}
 	snd.stack.hosts[snd.src].Send(p)
-	snd.SentBytes += int64(p.Len)
+	snd.SentBytes += int64(size - pkt.HeaderSize)
 	snd.onBytes(int64(size))
 	gap := snd.rc.Serialize(size)
-	snd.stack.eng.After(gap, snd.schedule)
+	snd.stack.eng.After(gap, snd.scheduleFn)
 }
 
 // onCNP applies the multiplicative decrease and restarts recovery.
@@ -248,14 +276,7 @@ func (snd *Sender) onCNP() {
 // armAlphaDecay restarts the no-CNP alpha decay timer.
 func (snd *Sender) armAlphaDecay() {
 	snd.stack.eng.Cancel(snd.alphaTimer)
-	var decay func()
-	decay = func() {
-		snd.alpha *= 1 - snd.stack.cfg.G
-		if snd.alpha > 1e-6 && !snd.stopped {
-			snd.alphaTimer = snd.stack.eng.After(snd.stack.cfg.AlphaTimer, decay)
-		}
-	}
-	snd.alphaTimer = snd.stack.eng.After(snd.stack.cfg.AlphaTimer, decay)
+	snd.alphaTimer = snd.stack.eng.After(snd.stack.cfg.AlphaTimer, snd.decayFn)
 }
 
 // onBytes advances the byte-counter stage machine.
@@ -271,16 +292,7 @@ func (snd *Sender) onBytes(n int64) {
 // armIncrease restarts the timer stage machine.
 func (snd *Sender) armIncrease() {
 	snd.stack.eng.Cancel(snd.increaseTimer)
-	var tick func()
-	tick = func() {
-		if snd.stopped {
-			return
-		}
-		snd.timerStages++
-		snd.increase()
-		snd.increaseTimer = snd.stack.eng.After(snd.stack.cfg.IncreaseTimer, tick)
-	}
-	snd.increaseTimer = snd.stack.eng.After(snd.stack.cfg.IncreaseTimer, tick)
+	snd.increaseTimer = snd.stack.eng.After(snd.stack.cfg.IncreaseTimer, snd.tickFn)
 }
 
 // increase performs one recovery/increase step: fast recovery averages
@@ -319,7 +331,8 @@ func (np *notifier) onData(p *pkt.Packet) {
 		return
 	}
 	np.lastCNP = now
-	cnp := &pkt.Packet{
+	cnp := np.stack.pool.Get()
+	*cnp = pkt.Packet{
 		Flow:   p.Flow,
 		Src:    p.Dst,
 		Dst:    p.Src,

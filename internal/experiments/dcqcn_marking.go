@@ -8,6 +8,7 @@ import (
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
 	"tcn/internal/obs/flight"
+	"tcn/internal/parallel"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -125,4 +126,51 @@ func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
 		res.CNPs += s.CNPs
 	}
 	return res
+}
+
+// DCQCNSweepConfig shapes the §4.3 comparison sweep: both marker variants
+// evaluated across a range of sender counts.
+type DCQCNSweepConfig struct {
+	// Senders lists the x-axis (sender counts sharing the bottleneck).
+	Senders []int
+	// Base provides every other parameter; Senders and Probabilistic are
+	// overridden per cell.
+	Base DCQCNMarkingConfig
+	// Workers bounds the number of cells evaluated concurrently; <= 1
+	// runs serially. Results are identical at any width.
+	Workers int
+}
+
+// DefaultDCQCNSweep returns the default comparison shape.
+func DefaultDCQCNSweep() DCQCNSweepConfig {
+	return DCQCNSweepConfig{
+		Senders: []int{2, 4, 8},
+		Base:    DefaultDCQCNMarking(),
+	}
+}
+
+// DCQCNSweep holds the two result rows, indexed like Senders.
+type DCQCNSweep struct {
+	Senders []int
+	// CutOff and Probabilistic are the plain-TCN and ProbTCN rows.
+	CutOff        []DCQCNMarkingResult
+	Probabilistic []DCQCNMarkingResult
+}
+
+// RunDCQCNSweep executes the comparison grid: cut-off and probabilistic
+// marking at every sender count, each cell an independent engine.
+func RunDCQCNSweep(cfg DCQCNSweepConfig) DCQCNSweep {
+	cols := len(cfg.Senders)
+	flat := parallel.Run(sweepWorkers(cfg.Workers, nil), 2*cols,
+		func(i int) DCQCNMarkingResult {
+			c := cfg.Base
+			c.Probabilistic = i/cols == 1
+			c.Senders = cfg.Senders[i%cols]
+			return RunDCQCNMarking(c)
+		})
+	return DCQCNSweep{
+		Senders:       cfg.Senders,
+		CutOff:        flat[:cols],
+		Probabilistic: flat[cols:],
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
+	"tcn/internal/parallel"
 	"tcn/internal/sim"
 	"tcn/internal/transport"
 )
@@ -25,8 +26,12 @@ type Fig1Config struct {
 	// Seed feeds all randomness.
 	Seed int64
 	// Obs, if non-nil, receives per-port stats and packet traces for
-	// every sweep point, labelled fig1.<scheme>.n<flows>.
+	// every sweep point, labelled fig1.<scheme>.n<flows>. Attaching any
+	// sink forces serial execution.
 	Obs *Obs
+	// Workers bounds the number of points evaluated concurrently; <= 1
+	// runs serially. Results are identical at any width.
+	Workers int
 }
 
 // DefaultFig1 returns the paper's configuration.
@@ -58,11 +63,11 @@ type Fig1Result struct {
 // a 1 GbE switch, DCTCP, DWRR with 2 equal-quantum queues, and a per-port
 // marking threshold of 30 KB as the DCTCP paper recommends.
 func RunFig1(cfg Fig1Config) Fig1Result {
-	res := Fig1Result{Scheme: cfg.Scheme}
-	for _, n := range cfg.FlowCounts {
-		res.Points = append(res.Points, runFig1Point(cfg, n))
+	return Fig1Result{
+		Scheme: cfg.Scheme,
+		Points: parallel.Run(sweepWorkers(cfg.Workers, cfg.Obs), len(cfg.FlowCounts),
+			func(i int) Fig1Point { return runFig1Point(cfg, cfg.FlowCounts[i]) }),
 	}
-	return res
 }
 
 func runFig1Point(cfg Fig1Config, n int) Fig1Point {

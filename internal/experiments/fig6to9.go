@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"tcn/internal/parallel"
+)
 
 // FCTSweep is a figure-shaped grid of FCT results: one row per scheme,
 // one column per load, as Figures 6-13 plot.
@@ -25,8 +29,13 @@ type SweepConfig struct {
 	// Schemes overrides the default scheme set (nil = paper's set).
 	Schemes []Scheme
 	// Obs, if non-nil, receives per-port stats and packet traces for
-	// every cell, labelled <figure>.<scheme>.load<load>.
+	// every cell, labelled <figure>.<scheme>.load<load>. Attaching any
+	// sink forces serial execution regardless of Workers.
 	Obs *Obs
+	// Workers bounds the number of cells evaluated concurrently; <= 1
+	// runs serially. Results are identical at any width because each cell
+	// owns its engine and randomness.
+	Workers int
 }
 
 // DefaultSweep returns the paper's sweep shape.
@@ -52,10 +61,11 @@ func runTestbedSweep(figure string, sched SchedKind, pias bool, cfg SweepConfig)
 		}
 	}
 	sw := FCTSweep{Figure: figure, Sched: sched, Loads: cfg.Loads, Schemes: kept}
-	for _, s := range kept {
-		var row []TestbedFCTResult
-		for _, load := range cfg.Loads {
-			row = append(row, RunTestbedFCT(TestbedFCTConfig{
+	cols := len(cfg.Loads)
+	flat := parallel.Run(sweepWorkers(cfg.Workers, cfg.Obs), len(kept)*cols,
+		func(i int) TestbedFCTResult {
+			s, load := kept[i/cols], cfg.Loads[i%cols]
+			return RunTestbedFCT(TestbedFCTConfig{
 				Scheme:   s,
 				Sched:    sched,
 				Load:     load,
@@ -64,10 +74,9 @@ func runTestbedSweep(figure string, sched SchedKind, pias bool, cfg SweepConfig)
 				Seed:     cfg.Seed,
 				Obs:      cfg.Obs,
 				ObsLabel: fmt.Sprintf("%s.%s.load%g", figure, s, load),
-			}))
-		}
-		sw.Cells = append(sw.Cells, row)
-	}
+			})
+		})
+	sw.Cells = gridRows(flat, len(kept), cols)
 	return sw
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
+	"tcn/internal/parallel"
 	"tcn/internal/pias"
 	"tcn/internal/sim"
 	"tcn/internal/transport"
@@ -204,8 +205,9 @@ type LeafSpineSweep struct {
 	Cells   [][]LeafSpineResult
 }
 
-// runLeafSpineSweep executes a figure's grid over the base config.
-func runLeafSpineSweep(figure string, base LeafSpineConfig, loads []float64, schemes []Scheme) LeafSpineSweep {
+// runLeafSpineSweep executes a figure's grid over the base config, fanning
+// cells out over workers (clamped to serial when base.Obs is attached).
+func runLeafSpineSweep(figure string, base LeafSpineConfig, loads []float64, schemes []Scheme, workers int) LeafSpineSweep {
 	kept := schemes[:0:0]
 	for _, s := range schemes {
 		if base.Sched.SupportsScheme(s) {
@@ -213,16 +215,15 @@ func runLeafSpineSweep(figure string, base LeafSpineConfig, loads []float64, sch
 		}
 	}
 	sw := LeafSpineSweep{Figure: figure, Sched: base.Sched, Loads: loads, Schemes: kept}
-	for _, s := range kept {
-		var row []LeafSpineResult
-		for _, load := range loads {
+	cols := len(loads)
+	flat := parallel.Run(sweepWorkers(workers, base.Obs), len(kept)*cols,
+		func(i int) LeafSpineResult {
 			c := base
-			c.Scheme = s
-			c.Load = load
-			row = append(row, RunLeafSpine(c))
-		}
-		sw.Cells = append(sw.Cells, row)
-	}
+			c.Scheme = kept[i/cols]
+			c.Load = loads[i%cols]
+			return RunLeafSpine(c)
+		})
+	sw.Cells = gridRows(flat, len(kept), cols)
 	return sw
 }
 
@@ -236,8 +237,11 @@ type LeafSpineSweepConfig struct {
 	// 12/12/12).
 	Leaves, Spines, HostsPerLeaf int
 	// Obs, if non-nil, receives per-port stats and packet traces for
-	// every cell.
+	// every cell. Attaching any sink forces serial execution.
 	Obs *Obs
+	// Workers bounds the number of cells evaluated concurrently; <= 1
+	// runs serially. Results are identical at any width.
+	Workers int
 }
 
 func (c LeafSpineSweepConfig) base() LeafSpineConfig {
@@ -266,14 +270,14 @@ func (c LeafSpineSweepConfig) schemes() []Scheme {
 func RunFig10(c LeafSpineSweepConfig) LeafSpineSweep {
 	b := c.base()
 	b.Sched = SchedSPDWRR
-	return runLeafSpineSweep("fig10", b, c.Loads, c.schemes())
+	return runLeafSpineSweep("fig10", b, c.Loads, c.schemes(), c.Workers)
 }
 
 // RunFig11 is SP/WFQ with DCTCP (Figure 11).
 func RunFig11(c LeafSpineSweepConfig) LeafSpineSweep {
 	b := c.base()
 	b.Sched = SchedSPWFQ
-	return runLeafSpineSweep("fig11", b, c.Loads, c.schemes())
+	return runLeafSpineSweep("fig11", b, c.Loads, c.schemes(), c.Workers)
 }
 
 // RunFig12 is SP/DWRR with ECN* (Figure 12).
@@ -281,7 +285,7 @@ func RunFig12(c LeafSpineSweepConfig) LeafSpineSweep {
 	b := c.base()
 	b.Sched = SchedSPDWRR
 	b.CC = transport.ECNStar
-	return runLeafSpineSweep("fig12", b, c.Loads, c.schemes())
+	return runLeafSpineSweep("fig12", b, c.Loads, c.schemes(), c.Workers)
 }
 
 // RunFig13 is SP/DWRR with ECN* and 32 queues (Figure 13).
@@ -290,7 +294,7 @@ func RunFig13(c LeafSpineSweepConfig) LeafSpineSweep {
 	b.Sched = SchedSPDWRR
 	b.CC = transport.ECNStar
 	b.Services = 31
-	return runLeafSpineSweep("fig13", b, c.Loads, c.schemes())
+	return runLeafSpineSweep("fig13", b, c.Loads, c.schemes(), c.Workers)
 }
 
 // Cell returns the result for a scheme at a load, or nil.

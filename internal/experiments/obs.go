@@ -22,6 +22,14 @@ type Obs struct {
 	Flight   *flight.Recorder
 }
 
+// Active reports whether any sink is attached. Parallel sweep runners use
+// it to clamp fan-out to serial execution: the registry, tracer, and flight
+// recorder are shared mutable state across every cell that attaches to
+// them, unlike the cells' own engines.
+func (o *Obs) Active() bool {
+	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Flight != nil)
+}
+
 // instrumenter is implemented by the markers that can record their
 // decisions and internal state into a registry (TCN, RED variants, CoDel,
 // MQ-ECN, ...).

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tcn/internal/obs"
+	"tcn/internal/obs/flight"
+	"tcn/internal/trace"
+)
+
+// snapshotJSON serializes a sweep result so runs can be compared byte for
+// byte: any divergence in any cell — stats, records, drops — shows up.
+func snapshotJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestTestbedSweepParallelDeterminism asserts that the testbed sweep's
+// output is byte-identical at any worker count: every cell owns its engine
+// and randomness, so scheduling cannot leak into results.
+func TestTestbedSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	cfg := SweepConfig{
+		Loads:   []float64{0.5, 0.8},
+		Flows:   300,
+		Seed:    7,
+		Schemes: []Scheme{SchemeTCN, SchemeRED},
+	}
+	serialCfg, parallelCfg := cfg, cfg
+	serialCfg.Workers = 1
+	parallelCfg.Workers = 8
+	serial := snapshotJSON(t, RunFig6(serialCfg))
+	par := snapshotJSON(t, RunFig6(parallelCfg))
+	if serial != par {
+		t.Fatal("fig6 sweep diverged between workers=1 and workers=8")
+	}
+}
+
+// TestLeafSpineSweepParallelDeterminism covers the leaf-spine runner the
+// same way on a CI-sized fabric.
+func TestLeafSpineSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	cfg := LeafSpineSweepConfig{
+		Loads: []float64{0.5, 0.9},
+		Flows: 200,
+		Seed:  7,
+		Schemes: []Scheme{
+			SchemeTCN, SchemeRED,
+		},
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+	}
+	serialCfg, parallelCfg := cfg, cfg
+	serialCfg.Workers = 1
+	parallelCfg.Workers = 8
+	serial := snapshotJSON(t, RunFig10(serialCfg))
+	par := snapshotJSON(t, RunFig10(parallelCfg))
+	if serial != par {
+		t.Fatal("fig10 sweep diverged between workers=1 and workers=8")
+	}
+}
+
+// TestFig1ParallelDeterminism covers the Figure 1 point sweep.
+func TestFig1ParallelDeterminism(t *testing.T) {
+	cfg := DefaultFig1()
+	cfg.FlowCounts = []int{1, 2, 4}
+	cfg.Duration /= 4
+	serialCfg, parallelCfg := cfg, cfg
+	serialCfg.Workers = 1
+	parallelCfg.Workers = 8
+	serial := snapshotJSON(t, RunFig1(serialCfg))
+	par := snapshotJSON(t, RunFig1(parallelCfg))
+	if serial != par {
+		t.Fatal("fig1 sweep diverged between workers=1 and workers=8")
+	}
+}
+
+// TestDCQCNSweepParallelDeterminism covers the DCQCN marking comparison.
+func TestDCQCNSweepParallelDeterminism(t *testing.T) {
+	cfg := DefaultDCQCNSweep()
+	cfg.Senders = []int{2, 4}
+	cfg.Base.Warmup /= 4
+	cfg.Base.Measure /= 4
+	serialCfg, parallelCfg := cfg, cfg
+	serialCfg.Workers = 1
+	parallelCfg.Workers = 8
+	serial := snapshotJSON(t, RunDCQCNSweep(serialCfg))
+	par := snapshotJSON(t, RunDCQCNSweep(parallelCfg))
+	if serial != par {
+		t.Fatal("dcqcn sweep diverged between workers=1 and workers=8")
+	}
+}
+
+// TestObsInstrumentedParallelRunMatchesBare asserts two things at once:
+// attaching the full observability bundle does not perturb sweep results,
+// and requesting workers alongside an Obs bundle (which clamps to serial)
+// still yields the exact bare-parallel output.
+func TestObsInstrumentedParallelRunMatchesBare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	cfg := SweepConfig{
+		Loads:   []float64{0.7},
+		Flows:   300,
+		Seed:    3,
+		Schemes: []Scheme{SchemeTCN},
+		Workers: 8,
+	}
+	bare := snapshotJSON(t, RunFig6(cfg))
+
+	instrumented := cfg
+	instrumented.Obs = &Obs{
+		Registry: obs.NewRegistry(),
+		Tracer:   trace.New(1 << 12),
+		Flight:   flight.New(flight.Config{}),
+	}
+	withObs := snapshotJSON(t, RunFig6(instrumented))
+	if bare != withObs {
+		t.Fatal("obs-instrumented sweep diverged from bare sweep")
+	}
+}
+
+// TestSweepWorkersClamp pins the clamp rule: observers force serial, bare
+// sweeps honor the request, and zero means serial.
+func TestSweepWorkersClamp(t *testing.T) {
+	if got := sweepWorkers(8, nil); got != 8 {
+		t.Fatalf("sweepWorkers(8, nil) = %d, want 8", got)
+	}
+	if got := sweepWorkers(0, nil); got != 1 {
+		t.Fatalf("sweepWorkers(0, nil) = %d, want 1", got)
+	}
+	if got := sweepWorkers(8, &Obs{}); got != 8 {
+		t.Fatalf("sweepWorkers(8, empty Obs) = %d, want 8 (no sinks attached)", got)
+	}
+	withReg := &Obs{Registry: obs.NewRegistry()}
+	if got := sweepWorkers(8, withReg); got != 1 {
+		t.Fatalf("sweepWorkers(8, Obs with registry) = %d, want 1", got)
+	}
+}

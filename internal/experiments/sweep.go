@@ -1,0 +1,27 @@
+package experiments
+
+// sweepWorkers resolves the fan-out width for a sweep: the requested count
+// (<= 1 and 0 both mean serial), clamped to serial whenever an Obs bundle is
+// attached. Each sweep cell builds its own engine, rand, and stacks from its
+// config, so any worker count yields byte-identical results — but cells
+// attaching to a shared registry/tracer/flight recorder would interleave
+// writes into those sinks, so instrumented sweeps stay serial.
+func sweepWorkers(requested int, o *Obs) int {
+	if o.Active() {
+		return 1
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// grid maps a flat parallel point index back to (row, column) for sweeps
+// shaped rows × cols, and reassembles the flat result slice into rows.
+func gridRows[T any](flat []T, rows, cols int) [][]T {
+	out := make([][]T, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = flat[r*cols : (r+1)*cols : (r+1)*cols]
+	}
+	return out
+}

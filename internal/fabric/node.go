@@ -19,12 +19,18 @@ type Host struct {
 	// Handler receives every packet addressed to this host, after the
 	// processing delay. The transport stack installs it.
 	Handler func(p *pkt.Packet)
+
+	// deliverFn is the stored delay-line callback, so per-packet
+	// scheduling in Receive goes through AfterArg without a closure.
+	deliverFn func(any)
 }
 
 // NewHost returns a host; the NIC port is attached later via SetNIC
 // because the port needs its peer (the switch) first.
 func NewHost(eng *sim.Engine, id int, delay sim.Time) *Host {
-	return &Host{ID: id, eng: eng, delay: delay}
+	h := &Host{ID: id, eng: eng, delay: delay}
+	h.deliverFn = func(v any) { h.deliver(v.(*pkt.Packet)) }
+	return h
 }
 
 // SetNIC installs the host's egress port.
@@ -45,7 +51,7 @@ func (h *Host) Send(p *pkt.Packet) {
 // processing delay.
 func (h *Host) Receive(p *pkt.Packet) {
 	if h.delay > 0 {
-		h.eng.After(h.delay, func() { h.deliver(p) })
+		h.eng.AfterArg(h.delay, h.deliverFn, p)
 		return
 	}
 	h.deliver(p)

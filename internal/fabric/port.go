@@ -71,6 +71,12 @@ type Port struct {
 	classify Classifier
 	busy     bool
 
+	// deliverFn and txFn are the two link callbacks, created once at
+	// construction so per-packet scheduling goes through AfterArg with no
+	// closure allocation.
+	deliverFn func(any)
+	txFn      func()
+
 	// TxPackets and TxBytes count transmissions per queue.
 	TxPackets []int64
 	TxBytes   []int64
@@ -121,6 +127,8 @@ func NewPort(eng *sim.Engine, cfg PortConfig, peer Receiver) *Port {
 		TxBytes:   make([]int64, cfg.Queues),
 	}
 	s.Bind(p.buf)
+	p.deliverFn = func(v any) { p.peer.Receive(v.(*pkt.Packet)) }
+	p.txFn = p.transmitNext
 	return p
 }
 
@@ -187,9 +195,8 @@ func (pt *Port) transmitNext() {
 	pt.busy = true
 	txDone := pt.rate.Serialize(p.Size)
 	arrival := txDone + pt.prop
-	peer := pt.peer
-	pt.eng.After(arrival, func() { peer.Receive(p) })
-	pt.eng.After(txDone, pt.transmitNext)
+	pt.eng.AfterArg(arrival, pt.deliverFn, p)
+	pt.eng.After(txDone, pt.txFn)
 }
 
 // Instrument attaches the standard per-queue stats bundle (enqueue/

@@ -1,0 +1,124 @@
+// Package goshare forbids sharing single-owner simulator state across
+// goroutines.
+//
+// The zero-alloc event core leans on single-goroutine ownership: each
+// sim.Engine recycles event nodes through a freelist, each transport stack
+// recycles packets through a pkt.Pool, and each sweep point draws from its
+// own seeded rand. None of these carry locks — the parallel sweep executor
+// is only correct because every point owns its engine, pool, and rand
+// outright (see internal/parallel). Handing any of them to a goroutine
+// therefore silently breaks both memory safety and determinism.
+//
+// The analyzer flags any `go` statement that references an engine, packet
+// pool, or rand source declared outside the spawned function: captured in
+// a closure, passed as an argument, or used as a call receiver. Values
+// constructed inside the spawned function are goroutine-local and legal. A
+// deliberate hand-off (e.g. a test that proves the race detector fires)
+// can be waived line by line with a `//tcnlint:goshare` comment.
+package goshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the goshare check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goshare",
+	Doc:  "forbid sharing a sim.Engine, pkt.Pool, or rand source with a goroutine; each must stay single-owner",
+	Run:  run,
+}
+
+// sharedKind names the single-owner type an expression resolves to, or ""
+// if the type is freely shareable. Matching covers both the real module
+// paths and the bare fixture package names so the rule itself is testable.
+func sharedKind(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "tcn/internal/sim", "sim":
+		switch obj.Name() {
+		case "Engine":
+			return "sim.Engine (event freelist)"
+		case "Rand":
+			return "sim.Rand"
+		}
+	case "tcn/internal/pkt", "pkt":
+		if obj.Name() == "Pool" {
+			return "pkt.Pool (packet freelist)"
+		}
+	case "math/rand", "math/rand/v2":
+		if obj.Name() == "Rand" {
+			return "rand.Rand"
+		}
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, file, g)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkGo reports every distinct single-owner variable the go statement
+// hands to the spawned goroutine.
+func checkGo(pass *analysis.Pass, file *ast.File, g *ast.GoStmt) {
+	// If the goroutine body is a literal, anything declared inside it
+	// (locals and parameters) belongs to the new goroutine.
+	var litPos, litEnd token.Pos
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		litPos, litEnd = lit.Pos(), lit.End()
+	}
+	reported := map[*types.Var]bool{}
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || reported[v] {
+			return true
+		}
+		kind := sharedKind(v.Type())
+		if kind == "" {
+			return true
+		}
+		if litPos.IsValid() && v.Pos() >= litPos && v.Pos() <= litEnd {
+			return true // declared by the spawned function itself
+		}
+		if analysis.LineCommentDirective(pass.Fset, file, id.Pos(), "goshare") {
+			return true
+		}
+		reported[v] = true
+		pass.Reportf(id.Pos(), "%q (%s) is shared with a goroutine: engines, packet pools, and rand sources are single-owner; construct one inside the goroutine instead",
+			v.Name(), kind)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package goshare_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/goshare"
+	"tcn/internal/lint/linttest"
+)
+
+func TestGoshare(t *testing.T) {
+	linttest.Run(t, goshare.Analyzer, "goshare")
+}

@@ -6,6 +6,7 @@ package lint
 import (
 	"tcn/internal/lint/analysis"
 	"tcn/internal/lint/floatcmp"
+	"tcn/internal/lint/goshare"
 	"tcn/internal/lint/maporder"
 	"tcn/internal/lint/seededrand"
 	"tcn/internal/lint/simclock"
@@ -16,6 +17,7 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		floatcmp.Analyzer,
+		goshare.Analyzer,
 		maporder.Analyzer,
 		seededrand.Analyzer,
 		simclock.Analyzer,

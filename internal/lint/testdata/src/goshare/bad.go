@@ -1,0 +1,58 @@
+package goshare
+
+import (
+	"math/rand"
+	"pkt"
+	"sim"
+)
+
+// Each case hands single-owner state to a goroutine and must be flagged,
+// whether the value is captured by a closure, passed as an argument, or
+// used as a call receiver.
+
+// capturedEngine leaks the caller's engine into a closure goroutine.
+func capturedEngine() {
+	eng := sim.NewEngine()
+	go func() {
+		_ = eng.Now() // want `"eng" \(sim\.Engine \(event freelist\)\) is shared with a goroutine`
+	}()
+}
+
+// engineArg passes the engine as a goroutine argument — same bug, no
+// closure needed.
+func engineArg() {
+	eng := sim.NewEngine()
+	go drain(eng) // want `"eng" \(sim\.Engine \(event freelist\)\)`
+}
+
+func drain(e *sim.Engine) { e.Run() }
+
+// engineReceiver spawns a method of a shared engine.
+func engineReceiver() {
+	eng := sim.NewEngine()
+	go eng.Run() // want `"eng" \(sim\.Engine \(event freelist\)\)`
+}
+
+// capturedRand shares a seeded source: concurrent draws race and replay
+// order becomes schedule-dependent.
+func capturedRand() {
+	r := sim.NewRand(7)
+	go func() {
+		_ = r.Intn(10) // want `"r" \(sim\.Rand\)`
+	}()
+}
+
+// rawRand catches the underlying math/rand type too.
+func rawRand(src *rand.Rand) {
+	go func() {
+		_ = src.Int63() // want `"src" \(rand\.Rand\)`
+	}()
+}
+
+// sharedPool hands the packet freelist to a goroutine.
+func sharedPool() {
+	var pool pkt.Pool
+	go func() {
+		pool.Put(pool.Get()) // want `"pool" \(pkt\.Pool \(packet freelist\)\)`
+	}()
+}

@@ -1,0 +1,52 @@
+package goshare
+
+import (
+	"pkt"
+	"sim"
+)
+
+// True negatives: goroutine-local construction, hand-off of a value the
+// parent never retains, shareable plain state, and the explicit waiver.
+
+// localEngine builds its engine inside the goroutine: sole owner, legal.
+func localEngine(done chan struct{}) {
+	go func() {
+		eng := sim.NewEngine()
+		eng.Run()
+		_ = eng.Now()
+		close(done)
+	}()
+}
+
+// localPool likewise owns its freelist outright.
+func localPool(done chan struct{}) {
+	go func() {
+		var pool pkt.Pool
+		pool.Put(pool.Get())
+		close(done)
+	}()
+}
+
+// freshArg constructs the engine in the argument list: ownership transfers
+// to the goroutine and the parent keeps no reference.
+func freshArg() {
+	go func(e *sim.Engine) { e.Run() }(sim.NewEngine())
+}
+
+// plainState shares only ordinary values (a result slot, a channel); the
+// rule is scoped to the single-owner freelist/rand types.
+func plainState(out []sim.Time, done chan struct{}) {
+	go func() {
+		out[0] = sim.Nanosecond
+		close(done)
+	}()
+}
+
+// waived documents a deliberate share with the line directive — e.g. a
+// test that exists to prove the race detector catches exactly this.
+func waived() {
+	eng := sim.NewEngine()
+	go func() {
+		eng.Run() //tcnlint:goshare race-detector fixture needs a genuine share
+	}()
+}

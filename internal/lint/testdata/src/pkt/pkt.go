@@ -1,0 +1,23 @@
+// Package pkt is a self-contained stand-in for tcn/internal/pkt, so the
+// goshare fixtures can exercise the packet-pool matching rule (a type
+// named Pool in a package named pkt) without importing the module.
+package pkt
+
+// Packet mirrors the real packet skeleton.
+type Packet struct{ Seq int64 }
+
+// Pool mirrors tcn/internal/pkt.Pool: a single-owner packet freelist.
+type Pool struct{ free []*Packet }
+
+// Get pops a recycled packet or allocates a fresh one.
+func (p *Pool) Get() *Packet {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free = p.free[:n-1]
+		return x
+	}
+	return &Packet{}
+}
+
+// Put returns a packet to the freelist.
+func (p *Pool) Put(x *Packet) { p.free = append(p.free, x) }

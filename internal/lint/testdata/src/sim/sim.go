@@ -13,3 +13,17 @@ const (
 	Millisecond Time = 1000 * Microsecond
 	Second      Time = 1000 * Millisecond
 )
+
+// Engine mirrors tcn/internal/sim.Engine — a single-owner event loop with
+// a node freelist — so the goshare fixtures can exercise the real matching
+// rules.
+type Engine struct{ now Time }
+
+// NewEngine returns a fresh engine owned by the calling goroutine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the engine clock.
+func (e *Engine) Now() Time { return e.now }
+
+// Run drains the event loop (fixture stub).
+func (e *Engine) Run() {}

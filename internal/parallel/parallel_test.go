@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+)
+
+func square(i int) int { return i * i }
+
+func TestRunOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		got := Run(workers, 37, square)
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: %d results, want 37", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunMatchesSerial(t *testing.T) {
+	// A point function with internal state per call but no shared state:
+	// parallel output must equal serial output element for element.
+	point := func(i int) string {
+		var sb strings.Builder
+		for j := 0; j <= i%7; j++ {
+			sb.WriteByte(byte('a' + j))
+		}
+		return sb.String()
+	}
+	serial := Run(1, 100, point)
+	parallel := Run(8, 100, point)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("point %d: serial %q != parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(4, 0, square); got != nil {
+		t.Fatalf("Run with n=0 returned %v, want nil", got)
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v does not carry the point's message", r)
+		}
+	}()
+	Run(4, 16, func(i int) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := make(map[int64]bool)
+	for base := int64(0); base < 4; base++ {
+		for i := 0; i < 256; i++ {
+			s := DeriveSeed(base, i)
+			if seen[s] {
+				t.Fatalf("collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+			if s != DeriveSeed(base, i) {
+				t.Fatal("DeriveSeed is not deterministic")
+			}
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

@@ -1,0 +1,60 @@
+package pkt
+
+// Pool recycles Packet structs along one simulation's packet path. The
+// transport stacks allocate every data segment and ACK from their pool and
+// return each packet once it has been consumed at its destination, so a
+// steady-state run stops allocating on the packet path entirely.
+//
+// A Pool is deliberately not safe for concurrent use and must never be
+// shared across goroutines (the tcnlint goshare analyzer enforces this):
+// like the event freelist in sim.Engine, it belongs to exactly one engine,
+// which is what lets the parallel sweep executor run one fully independent
+// simulation per worker without locks.
+//
+// Ownership rules mirror the Packet contract: a packet handed to Put must
+// be dead — owned by no queue, link, or pending event. Packets dropped in
+// the network never come back (they fall to the garbage collector), which
+// only costs fresh allocations at the rare drop sites. Get may return a
+// dirty packet; callers must initialize every field, which the `*p =
+// Packet{...}` whole-struct literal at each send site does by construction.
+type Pool struct {
+	free []*Packet
+
+	// Allocs counts packets created fresh because the freelist was empty;
+	// Reuses counts recycled hand-outs. Diagnostics only.
+	Allocs, Reuses int64
+}
+
+// Get returns a packet for the caller to initialize fully. The packet may
+// contain stale field values from a previous life.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		pl.Reuses++
+		return p
+	}
+	pl.Allocs++
+	return &Packet{}
+}
+
+// Put returns a dead packet to the pool. Put(nil) and puts on a nil pool
+// are no-ops.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// Live returns the number of packets currently parked in the pool.
+func (pl *Pool) Live() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.free)
+}

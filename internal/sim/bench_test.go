@@ -1,0 +1,94 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleFire measures the schedule+fire round trip for a
+// closure-free event once the freelist is warm. This is the hot loop of
+// every simulation; it must be allocation-free.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	e.At(0, fn)
+	e.Run() // warm the freelist
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now(), fn)
+		e.RunUntil(e.Now())
+	}
+}
+
+// BenchmarkEngineScheduleFireArg measures the AtArg variant used by the
+// per-packet paths (link delivery, host delay lines).
+func BenchmarkEngineScheduleFireArg(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	arg := &struct{ x int }{}
+	e.AtArg(0, fn, arg)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AtArg(e.Now(), fn, arg)
+		e.RunUntil(e.Now())
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the arm/disarm cycle that RTO
+// timers exercise on every ACK.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	e.Cancel(e.At(Nanosecond, fn))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.At(Nanosecond, fn))
+	}
+}
+
+// BenchmarkEngineHeapChurn keeps a deep heap and measures pop+push against
+// it, exercising the inlined sift paths rather than the trivial 1-element
+// case.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	r := NewRand(1)
+	for i := 0; i < 1024; i++ {
+		e.At(Time(r.Range(0, 1<<20)), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.events[0].at)
+		e.At(e.Now()+Time(r.Range(1, 1<<20)), fn)
+	}
+}
+
+// TestEngineScheduleFireAllocFree pins the zero-alloc property with
+// AllocsPerRun so a regression fails tests, not just benchmarks.
+func TestEngineScheduleFireAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	arg := &struct{ x int }{}
+	afn := func(any) {}
+	e.At(0, fn)
+	e.Run()
+	if n := testing.AllocsPerRun(1000, func() {
+		e.At(e.Now(), fn)
+		e.RunUntil(e.Now())
+	}); n != 0 { //tcnlint:floatexact AllocsPerRun must be exactly zero
+		t.Fatalf("At+fire allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		e.AtArg(e.Now(), afn, arg)
+		e.RunUntil(e.Now())
+	}); n != 0 { //tcnlint:floatexact AllocsPerRun must be exactly zero
+		t.Fatalf("AtArg+fire allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		e.Cancel(e.At(Nanosecond, fn))
+	}); n != 0 { //tcnlint:floatexact AllocsPerRun must be exactly zero
+		t.Fatalf("At+Cancel allocates %.1f per op, want 0", n)
+	}
+}

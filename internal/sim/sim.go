@@ -5,10 +5,26 @@
 // of pending events. Events scheduled for the same instant fire in the order
 // they were scheduled (a monotonically increasing sequence number breaks
 // ties), which makes every simulation fully deterministic for a given seed.
+//
+// The event store is allocation-free in steady state: fired and canceled
+// events return to a per-engine freelist and are handed out again by the
+// next At/After call, and the heap is a hand-inlined sift-up/sift-down over
+// a plain slice (no container/heap interface dispatch). Event structs must
+// keep stable addresses so EventRef can refer to them across heap moves,
+// which is why the heap holds pointers into the freelist's nodes rather
+// than event values; a generation counter on each node keeps stale
+// references (to events that have since fired, been canceled, and been
+// reissued) from acting on the wrong event.
+//
+// An Engine and everything scheduled on it belong to exactly one goroutine.
+// Engines, their freelists, and the *Rand feeding an experiment must never
+// be shared across goroutines — the tcnlint goshare analyzer enforces this,
+// and the parallel sweep executor (internal/parallel) relies on it: one
+// fully independent Engine per sweep point is what makes concurrent points
+// byte-identical to serial execution.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -52,62 +68,46 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Nodes are owned by one engine and recycled
+// through its freelist: gen increments every time a node is retired (fired
+// or canceled), invalidating any EventRef still pointing at it. Exactly one
+// of fn and afn is set; afn carries its argument in arg so per-packet
+// scheduling needs no closure allocation.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 when popped
+	at    Time
+	seq   uint64
+	gen   uint64
+	index int // heap index; -1 when not queued
+	fn    func()
+	afn   func(any)
+	arg   any
 }
 
 // EventRef refers to a scheduled event so it can be canceled or inspected.
-// The zero value is an invalid reference.
-type EventRef struct{ ev *event }
+// The zero value is an invalid reference. References stay cheap to copy and
+// safe to keep: once the event fires or is canceled the reference goes
+// stale (Pending reports false) and every operation on it is a no-op, even
+// after the engine reissues the underlying storage to a new event.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
-// Valid reports whether the reference points at a scheduled event.
+// Valid reports whether the reference ever pointed at an event (the zero
+// value did not). A valid reference may still be stale; see Pending.
 func (r EventRef) Valid() bool { return r.ev != nil }
 
 // Pending reports whether the event is still waiting to fire (not canceled,
-// not yet executed).
-func (r EventRef) Pending() bool { return r.ev != nil && !r.ev.canceled && r.ev.index >= 0 }
+// not yet executed, not superseded by a recycled node).
+func (r EventRef) Pending() bool { return r.ev != nil && r.ev.gen == r.gen }
 
-// At reports the instant the event is scheduled for.
+// At reports the instant the event is scheduled for, or 0 once the
+// reference is stale.
 func (r EventRef) At() Time {
-	if r.ev == nil {
+	if !r.Pending() {
 		return 0
 	}
 	return r.ev.at
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
@@ -115,7 +115,8 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*event // binary min-heap ordered by (at, seq)
+	free    []*event // retired nodes awaiting reuse
 	stopped bool
 
 	// Executed counts events that have fired, for progress reporting and
@@ -129,9 +130,129 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len returns the number of pending events (including canceled ones that
-// have not been popped yet).
+// Len returns the number of pending events. Canceled events are removed
+// from the heap eagerly, so they are never counted.
 func (e *Engine) Len() int { return len(e.events) }
+
+// alloc hands out an event node, reusing a retired one when available.
+func (e *Engine) alloc(t Time) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// retire invalidates every outstanding EventRef to ev and returns the node
+// to the freelist. The callback fields are cleared so the freelist does not
+// pin closures or packet arguments beyond the event's life.
+func (e *Engine) retire(ev *event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.gen++
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// eventLess orders the heap by (at, seq): time first, scheduling order
+// within the same instant.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap by sifting it up.
+func (e *Engine) push(ev *event) {
+	e.events = append(e.events, ev)
+	e.siftUp(len(e.events) - 1)
+}
+
+// siftUp moves the node at index i toward the root until its parent is not
+// later than it.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// siftDown moves the node at index i toward the leaves until both children
+// are not earlier than it.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			c = r
+		}
+		if !eventLess(h[c], ev) {
+			break
+		}
+		h[i] = h[c]
+		h[i].index = i
+		i = c
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// popRoot removes and returns the earliest event.
+func (e *Engine) popRoot() *event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		h[0] = last
+		e.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+// remove deletes the event at heap index i.
+func (e *Engine) remove(i int) {
+	h := e.events
+	ev := h[i]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if i < n {
+		h[i] = last
+		h[i].index = i
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	ev.index = -1
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a logic error in a model.
@@ -139,10 +260,10 @@ func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return EventRef{ev}
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.push(ev)
+	return EventRef{ev, ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -153,16 +274,39 @@ func (e *Engine) After(d Time, fn func()) EventRef {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel prevents a pending event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// AtArg schedules fn(arg) at absolute time t. Unlike At with a closure over
+// arg, the argument rides inside the event node, so callers that schedule
+// per-packet work (links, host delay lines) can hold one long-lived fn and
+// stay allocation-free: boxing a pointer into the arg interface does not
+// allocate.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) EventRef {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc(t)
+	ev.afn = fn
+	ev.arg = arg
+	e.push(ev)
+	return EventRef{ev, ev.gen}
+}
+
+// AfterArg schedules fn(arg) to run d nanoseconds from now; see AtArg.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.AtArg(e.now+d, fn, arg)
+}
+
+// Cancel prevents a pending event from firing by removing it from the heap
+// immediately (its node is recycled at once). Canceling an already-fired,
+// already-canceled, or zero reference is a no-op.
 func (e *Engine) Cancel(r EventRef) {
-	if r.ev == nil || r.ev.canceled {
+	if r.ev == nil || r.ev.gen != r.gen {
 		return
 	}
-	r.ev.canceled = true
-	if r.ev.index >= 0 {
-		heap.Remove(&e.events, r.ev.index)
-	}
+	e.remove(r.ev.index)
+	e.retire(r.ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -174,6 +318,13 @@ func (e *Engine) Run() { e.RunUntil(MaxTime) }
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline (if the queue drained earlier the clock stays at the
 // last event). It returns the number of events executed during this call.
+//
+// Cancellation is eager (Cancel removes events from the heap on the spot),
+// so every event popped here is live — there is no canceled-event skip.
+// Each node is retired before its callback runs: the callback may reuse
+// the storage for the events it schedules, and a self-referencing
+// EventRef (a timer canceling itself from its own handler) is already
+// stale by the time the handler executes.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
 	var n uint64
@@ -182,12 +333,15 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
-		if next.canceled {
-			continue
-		}
+		e.popRoot()
 		e.now = next.at
-		next.fn()
+		fn, afn, arg := next.fn, next.afn, next.arg
+		e.retire(next)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		n++
 		e.Executed++
 	}

@@ -97,7 +97,8 @@ func (r *receiver) sendAck(trigger *pkt.Packet, ce, dup bool) {
 	if f := r.stack.cfg.AckDSCP; f != nil {
 		dscp = f(r.flow)
 	}
-	ack := &pkt.Packet{
+	ack := r.stack.pool.Get()
+	*ack = pkt.Packet{
 		Flow:   r.flow.ID,
 		Src:    r.flow.Dst,
 		Dst:    r.flow.Src,

@@ -39,6 +39,7 @@ type Sender struct {
 	srtt, rttvar sim.Time
 	backoff      int
 	rtoTimer     sim.EventRef
+	rtoFn        func() // stored onRTO callback, so arming allocates nothing
 
 	done bool // all bytes acked
 
@@ -65,6 +66,7 @@ func newSender(s *Stack, f *Flow) *Sender {
 		cwnd:     float64(s.cfg.InitWindow),
 		ssthresh: float64(s.cfg.MaxWindow),
 	}
+	snd.rtoFn = snd.onRTO
 	return snd
 }
 
@@ -124,7 +126,8 @@ func (snd *Sender) transmit(offset int64) {
 		snd.RetransmitBytes += n
 	}
 	snd.lastTx = snd.stack.eng.Now()
-	p := &pkt.Packet{
+	p := snd.stack.pool.Get()
+	*p = pkt.Packet{
 		Flow:   snd.flow.ID,
 		Src:    snd.flow.Src,
 		Dst:    snd.flow.Dst,
@@ -301,7 +304,7 @@ func (snd *Sender) armRTO() {
 	if snd.sndUna >= snd.sndNxt || snd.done {
 		return
 	}
-	snd.rtoTimer = snd.stack.eng.After(snd.rto(), snd.onRTO)
+	snd.rtoTimer = snd.stack.eng.After(snd.rto(), snd.rtoFn)
 }
 
 // resume restarts transmission after new bytes were appended to the

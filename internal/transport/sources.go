@@ -16,12 +16,13 @@ import (
 // exactly that regime. Delivered bytes are observable through the stack's
 // OnDeliver hook via a pseudo-flow.
 type CBR struct {
-	stack *Stack
-	flow  *Flow
-	rate  fabric.Rate
-	seg   int64
-	off   int64
-	stop  bool
+	stack  *Stack
+	flow   *Flow
+	rate   fabric.Rate
+	seg    int64
+	off    int64
+	stop   bool
+	emitFn func() // stored pacing callback; rescheduling allocates nothing
 }
 
 // StartCBR begins a paced stream of the given application rate from
@@ -41,6 +42,7 @@ func (s *Stack) StartCBR(src, dst int, class uint8, rate fabric.Rate) *CBR {
 		Start: s.eng.Now(),
 	}
 	c := &CBR{stack: s, flow: f, rate: rate, seg: int64(s.cfg.MSS)}
+	c.emitFn = c.emit
 	// Register a counting receiver: the stream is unreliable, so every
 	// arriving byte counts as delivered and no ACKs flow back.
 	s.receivers[f.ID] = newCountingReceiver(s, f)
@@ -58,7 +60,8 @@ func (c *CBR) emit() {
 	if c.stop {
 		return
 	}
-	p := &pkt.Packet{
+	p := c.stack.pool.Get()
+	*p = pkt.Packet{
 		Flow:   c.flow.ID,
 		Src:    c.flow.Src,
 		Dst:    c.flow.Dst,
@@ -74,7 +77,7 @@ func (c *CBR) emit() {
 	c.stack.send(c.flow.Src, p)
 	// Pace the next segment so the payload rate matches.
 	gap := c.rate.Serialize(int(c.seg) + pkt.HeaderSize)
-	c.stack.eng.After(gap, c.emit)
+	c.stack.eng.After(gap, c.emitFn)
 }
 
 // Pinger measures per-class RTT the way the paper does for Figure 5b:
@@ -88,6 +91,7 @@ type Pinger struct {
 	stop     bool
 	seq      int64
 	sent     map[int64]sim.Time
+	probeFn  func() // stored rescheduling callback
 
 	// Samples holds measured round-trip times in send order.
 	Samples []sim.Time
@@ -110,6 +114,7 @@ func (s *Stack) StartPinger(src, dst int, class uint8, interval sim.Time) *Pinge
 		size:     64,
 		sent:     make(map[int64]sim.Time),
 	}
+	pg.probeFn = pg.probe
 	s.pingers[f.ID] = pg
 	pg.probe()
 	return pg
@@ -125,7 +130,8 @@ func (pg *Pinger) probe() {
 	now := pg.stack.eng.Now()
 	pg.seq++
 	pg.sent[pg.seq] = now
-	p := &pkt.Packet{
+	p := pg.stack.pool.Get()
+	*p = pkt.Packet{
 		Flow:   pg.flow.ID,
 		Src:    pg.flow.Src,
 		Dst:    pg.flow.Dst,
@@ -136,7 +142,7 @@ func (pg *Pinger) probe() {
 		SentAt: now,
 	}
 	pg.stack.send(pg.flow.Src, p)
-	pg.stack.eng.After(pg.interval, pg.probe)
+	pg.stack.eng.After(pg.interval, pg.probeFn)
 }
 
 func (pg *Pinger) onPong(p *pkt.Packet) {
@@ -172,7 +178,8 @@ func (pg *Pinger) Mean() sim.Time {
 
 // echoPing bounces a probe back to its source through the same class.
 func (s *Stack) echoPing(p *pkt.Packet) {
-	pong := &pkt.Packet{
+	pong := s.pool.Get()
+	*pong = pkt.Packet{
 		Flow:   p.Flow,
 		Src:    p.Dst,
 		Dst:    p.Src,

@@ -150,6 +150,19 @@ type Stack struct {
 	Timeouts int
 
 	pingers map[pkt.FlowID]*Pinger
+
+	// pool recycles packets along this stack's path: every segment, ACK,
+	// and probe is allocated from it, and deliver returns each packet once
+	// its handler has consumed it. Handlers copy the fields they need and
+	// never retain the pointer, so the packet is dead when deliver's
+	// dispatch returns. The pool is engine-local, like the engine's event
+	// freelist — never shared across goroutines.
+	pool pkt.Pool
+
+	// startFn is the stored StartAt callback; keeping one long-lived
+	// func(any) lets StartAt schedule through AtArg without a per-flow
+	// closure.
+	startFn func(any)
 }
 
 // NewStack wires a transport stack onto the given hosts, installing itself
@@ -163,11 +176,15 @@ func NewStack(eng *sim.Engine, cfg Config, hosts []*fabric.Host) *Stack {
 		receivers: make(map[pkt.FlowID]*receiver),
 		pingers:   make(map[pkt.FlowID]*Pinger),
 	}
+	s.startFn = func(v any) { s.Start(v.(*Flow)) }
 	for _, h := range hosts {
 		h.Handler = s.deliver
 	}
 	return s
 }
+
+// Pool exposes the stack's packet freelist (diagnostics and tests).
+func (s *Stack) Pool() *pkt.Pool { return &s.pool }
 
 // Config returns the stack's effective configuration.
 func (s *Stack) Config() Config { return s.cfg }
@@ -201,10 +218,12 @@ func (s *Stack) Start(f *Flow) *Sender {
 
 // StartAt schedules flow f to start at time t.
 func (s *Stack) StartAt(t sim.Time, f *Flow) {
-	s.eng.At(t, func() { s.Start(f) })
+	s.eng.AtArg(t, s.startFn, f)
 }
 
-// deliver dispatches a packet that reached its destination host.
+// deliver dispatches a packet that reached its destination host and then
+// recycles it: handlers copy out what they need, so after the dispatch the
+// packet is owned by no one and goes back to the pool.
 func (s *Stack) deliver(p *pkt.Packet) {
 	switch p.Kind {
 	case pkt.Data:
@@ -222,6 +241,7 @@ func (s *Stack) deliver(p *pkt.Packet) {
 			pg.onPong(p)
 		}
 	}
+	s.pool.Put(p)
 }
 
 // send pushes a packet into the network from host src.
