@@ -18,8 +18,9 @@ lint:
 
 # bench captures the perf baseline the PRs track: engine core, packet path,
 # and the parallel sweep at workers=1/2/4, written as JSON for comparison.
+# -diff fails on a packet-path regression against the previous baseline.
 bench:
-	$(GO) run ./cmd/tcnbench -o BENCH_pr4.json
+	$(GO) run ./cmd/tcnbench -count 3 -o BENCH_pr5.json -diff BENCH_pr4.json
 
 # bench-smoke runs every benchmark once — cheap regression/compile coverage
 # for the bench suite itself (CI runs this on every push).

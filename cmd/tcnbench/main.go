@@ -7,7 +7,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/tcnbench [-bench REGEX] [-benchtime 1x] [-count 1] [-o FILE]
+//	go run ./cmd/tcnbench [-bench REGEX] [-benchtime 1x] [-count 1] [-o FILE] [-diff BASELINE]
+//
+// With -diff, the fresh results are compared against a committed baseline
+// and the run fails on a regression in the steady-state packet path: any
+// growth in allocs/op (the hot path is pinned at zero), or more than 25%
+// in ns/op. The best (minimum) value across -count repeats is compared on
+// both sides, damping single-iteration noise.
 //
 // The default selection runs the perf-critical benches — the engine core,
 // the steady-state packet path, and the parallel sweep at workers=1..4 —
@@ -21,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
@@ -56,6 +63,7 @@ func main() {
 		count     = flag.Int("count", 1, "value for -count")
 		out       = flag.String("o", "-", "output file ('-' = stdout)")
 		pkgs      = flag.String("pkgs", "./...", "packages to bench")
+		diffBase  = flag.String("diff", "", "baseline JSON to diff against; exits nonzero on a packet-path regression")
 	)
 	flag.Parse()
 
@@ -86,13 +94,108 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tcnbench: wrote %d results to %s\n", len(base.Results), *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
-		os.Exit(1)
+	if *diffBase != "" {
+		old, err := loadBaseline(*diffBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := diffBaselines(os.Stderr, old, base); err != nil {
+			fmt.Fprintf(os.Stderr, "tcnbench: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "tcnbench: wrote %d results to %s\n", len(base.Results), *out)
+}
+
+// gateBench is the benchmark the -diff gate pins: the steady-state packet
+// path, whose zero-allocation property every observability layer (stats,
+// tracer, ledger, pipeline) is required to preserve.
+const gateBench = "BenchmarkPacketPathSteadyState"
+
+// gateTolerance is the allowed relative ns/op growth before -diff fails.
+// allocs/op gets no tolerance: the baseline is zero and must stay zero.
+const gateTolerance = 0.25
+
+// loadBaseline reads a committed tcnbench JSON document.
+func loadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// bestMetric returns the minimum value of one metric across every repeat
+// of a benchmark (with -count N a name appears N times). Minimum, not
+// mean: for ns/op the best repeat is the least noise-contaminated, and
+// for allocs/op the repeats agree anyway.
+func bestMetric(b Baseline, name, metric string) (float64, bool) {
+	best, found := 0.0, false
+	for _, r := range b.Results {
+		if r.Name != name {
+			continue
+		}
+		v, ok := r.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if !found || v < best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// diffBaselines prints an ns/op comparison for every benchmark present on
+// both sides and returns an error when the gate benchmark regressed.
+func diffBaselines(w io.Writer, old, cur Baseline) error {
+	fmt.Fprintf(w, "tcnbench diff (old %s, new %s):\n", old.GoVersion, cur.GoVersion)
+	seen := map[string]bool{}
+	for _, r := range cur.Results {
+		if seen[r.Name] {
+			continue
+		}
+		seen[r.Name] = true
+		oldNs, okO := bestMetric(old, r.Name, "ns/op")
+		curNs, okC := bestMetric(cur, r.Name, "ns/op")
+		if !okO || !okC || oldNs == 0 { //tcnlint:floatexact guard against dividing by a zero baseline
+			continue
+		}
+		fmt.Fprintf(w, "  %-44s ns/op %14.0f -> %14.0f  (%+.1f%%)\n",
+			r.Name, oldNs, curNs, 100*(curNs-oldNs)/oldNs)
+	}
+	oldNs, okO := bestMetric(old, gateBench, "ns/op")
+	curNs, okC := bestMetric(cur, gateBench, "ns/op")
+	if !okO {
+		return fmt.Errorf("%s missing from baseline", gateBench)
+	}
+	if !okC {
+		return fmt.Errorf("%s missing from current run", gateBench)
+	}
+	oldAllocs, _ := bestMetric(old, gateBench, "allocs/op")
+	curAllocs, okA := bestMetric(cur, gateBench, "allocs/op")
+	if okA && curAllocs > oldAllocs {
+		return fmt.Errorf("%s allocs/op grew %v -> %v (hot path must stay zero-alloc)",
+			gateBench, oldAllocs, curAllocs)
+	}
+	if oldNs > 0 && curNs > oldNs*(1+gateTolerance) {
+		return fmt.Errorf("%s ns/op grew %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+			gateBench, oldNs, curNs, 100*(curNs-oldNs)/oldNs, 100*gateTolerance)
+	}
+	fmt.Fprintf(w, "  gate %s ok: allocs/op %v -> %v, ns/op within %.0f%%\n",
+		gateBench, oldAllocs, curAllocs, 100*gateTolerance)
+	return nil
 }
 
 // parseBench extracts benchmark lines from `go test -bench` output. Each

@@ -43,14 +43,19 @@ func main() {
 		csv   = flag.String("csv", "", "also write plot-friendly CSV files into this directory")
 
 		workers = flag.Int("workers", parallel.DefaultWorkers(),
-			"sweep points evaluated concurrently (results are identical at any count; forced to 1 when -stats/-trace/-serve/-timeseries/-flow-spans attach observers)")
+			"sweep points evaluated concurrently (results are identical at any count; forced to 1 when -stats/-trace/-explain/-ledger/-perfetto/-serve/-timeseries/-flow-spans attach observers)")
 
 		statsFile = flag.String("stats", "", "write a JSON stats snapshot of every instrumented port to this file ('-' = stdout)")
 		statsText = flag.Bool("stats-text", false, "render -stats in tc(8)-style text instead of JSON")
 		traceFile = flag.String("trace", "", "write a JSONL packet-event trace to this file ('-' = stdout)")
 		traceCap  = flag.Int("trace-events", 1<<16, "packet events retained in the trace ring")
 
-		serveAddr    = flag.String("serve", "", "serve /metrics, /timeseries.csv, /flows.csv, and pprof on this address while running (e.g. :9090)")
+		explain      = flag.Bool("explain", false, "after the run, print a verdict-breakdown report: every mark/drop by (port, queue, reason)")
+		ledgerFile   = flag.String("ledger", "", "write the decision ledger (every mark/drop verdict with its inputs) as JSONL to this file ('-' = stdout)")
+		ledgerCap    = flag.Int("ledger-events", 1<<16, "verdicts retained in the ledger ring (exact counters never evict)")
+		perfettoFile = flag.String("perfetto", "", "write per-packet pipeline-stage spans as Chrome trace-event JSON (Perfetto-loadable) to this file ('-' = stdout)")
+		perfettoCap  = flag.Int("perfetto-events", 1<<16, "pipeline events retained in the Perfetto ring")
+		serveAddr    = flag.String("serve", "", "serve /metrics, /timeseries.csv, /flows.csv, /ledger.jsonl, /trace.perfetto.json, and pprof on this address while running (e.g. :9090)")
 		tsFile       = flag.String("timeseries", "", "write the flight-recorder time series to this file, CSV by default, JSON for a .json suffix ('-' = stdout)")
 		spansFile    = flag.String("flow-spans", "", "write per-flow lifecycle spans (FCT, bytes, marks, drops, max sojourn) as CSV to this file ('-' = stdout)")
 		samplePeriod = flag.Duration("sample-period", 100*time.Microsecond, "flight-recorder probe polling period (simulated time)")
@@ -70,15 +75,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-trace-events %d must be positive\n", *traceCap)
 		os.Exit(2)
 	}
+	if *ledgerCap <= 0 || *perfettoCap <= 0 {
+		fmt.Fprintf(os.Stderr, "-ledger-events %d and -perfetto-events %d must be positive\n", *ledgerCap, *perfettoCap)
+		os.Exit(2)
+	}
 	wantFlight := *serveAddr != "" || *tsFile != "" || *spansFile != ""
-	if *statsFile != "" || *traceFile != "" || wantFlight {
+	wantLedger := *explain || *ledgerFile != "" || *serveAddr != ""
+	wantPipeline := *perfettoFile != "" || *serveAddr != ""
+	if *statsFile != "" || *traceFile != "" || wantFlight || wantLedger || wantPipeline {
 		obsSink = &experiments.Obs{}
 		if *statsFile != "" || *serveAddr != "" {
 			// -serve needs a registry so /metrics has instruments to render.
 			obsSink.Registry = obs.NewRegistry()
 		}
-		if *traceFile != "" {
+		if *traceFile != "" || *explain {
+			// -explain keeps a tracer so it can reconcile the ledger's
+			// attribution against the transmission-side mark/drop counts.
 			obsSink.Tracer = trace.New(*traceCap)
+		}
+		if wantLedger {
+			obsSink.Ledger = trace.NewLedger(*ledgerCap)
+			if obsSink.Registry != nil {
+				obsSink.Ledger.Instrument(obsSink.Registry)
+			}
+		}
+		if wantPipeline {
+			obsSink.Pipeline = trace.NewPipeline(*perfettoCap)
 		}
 		if wantFlight {
 			if *samplePeriod <= 0 {
@@ -88,6 +110,8 @@ func main() {
 			obsSink.Flight = flight.New(flight.Config{
 				Period:   sim.Time(samplePeriod.Nanoseconds()),
 				Registry: obsSink.Registry,
+				Ledger:   obsSink.Ledger,
+				Pipeline: obsSink.Pipeline,
 			})
 		}
 	}
@@ -115,6 +139,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := writeFlightOutputs(*tsFile, *spansFile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := writeVerdictOutputs(*explain, *ledgerFile, *perfettoFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -165,6 +193,45 @@ func writeFlightOutputs(tsPath, spansPath string) error {
 	if spansPath != "" {
 		if err := writeTo(spansPath, obsSink.Flight.Spans().WriteCSV); err != nil {
 			return fmt.Errorf("writing flow spans: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeVerdictOutputs prints the -explain attribution report and flushes
+// the -ledger / -perfetto exports after the run.
+func writeVerdictOutputs(explain bool, ledgerPath, perfettoPath string) error {
+	if obsSink == nil {
+		return nil
+	}
+	if explain && obsSink.Ledger != nil {
+		fmt.Println("\n== explain: mark/drop attribution ==")
+		if err := obsSink.Ledger.WriteReport(os.Stdout); err != nil {
+			return fmt.Errorf("writing explain report: %w", err)
+		}
+		if t := obsSink.Tracer; t != nil {
+			lm, ld := obsSink.Ledger.Marked(), obsSink.Ledger.Dropped()
+			tm, td := t.Count(trace.Mark), t.Count(trace.Drop)
+			verdict := "exact"
+			if lm != tm || ld != td {
+				// Enqueue-marked packets still queued at the deadline have a
+				// verdict but no transmission; a multi-hop fabric transmits a
+				// CE packet once per hop, so the transmission-side counter
+				// can also exceed the decision count.
+				verdict = "residual: marks in flight at run end, or CE re-counted per hop"
+			}
+			fmt.Printf("reconcile: ledger marked=%d dropped=%d | trace mark=%d drop=%d (%s)\n",
+				lm, ld, tm, td, verdict)
+		}
+	}
+	if ledgerPath != "" && obsSink.Ledger != nil {
+		if err := writeTo(ledgerPath, obsSink.Ledger.WriteJSONL); err != nil {
+			return fmt.Errorf("writing ledger: %w", err)
+		}
+	}
+	if perfettoPath != "" && obsSink.Pipeline != nil {
+		if err := writeTo(perfettoPath, obsSink.Pipeline.WriteJSON); err != nil {
+			return fmt.Errorf("writing perfetto trace: %w", err)
 		}
 	}
 	return nil
@@ -283,6 +350,9 @@ func usage() {
 Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)
        -workers N (parallel sweep points; default GOMAXPROCS)
        -stats FILE [-stats-text]  -trace FILE [-trace-events N]
+       -explain (verdict-breakdown report: why each mark/drop happened)
+       -ledger FILE [-ledger-events N]  (decision ledger, JSONL)
+       -perfetto FILE [-perfetto-events N]  (pipeline spans, Perfetto JSON)
        -serve ADDR  -timeseries FILE[.json]  -flow-spans FILE
        -sample-period DUR`)
 }

@@ -78,6 +78,12 @@ func newServeMux(rec *flight.Recorder) *http.ServeMux {
 	mux.HandleFunc("/flows.csv",
 		exposeHandler(rec, "text/csv; charset=utf-8",
 			func(e *flight.Exposition) []byte { return e.Flows }))
+	mux.HandleFunc("/ledger.jsonl",
+		exposeHandler(rec, "application/x-ndjson; charset=utf-8",
+			func(e *flight.Exposition) []byte { return e.Ledger }))
+	mux.HandleFunc("/trace.perfetto.json",
+		exposeHandler(rec, "application/json; charset=utf-8",
+			func(e *flight.Exposition) []byte { return e.Perfetto }))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -88,7 +94,7 @@ func newServeMux(rec *flight.Recorder) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "tcnsim flight recorder\n\n/metrics\n/timeseries.csv\n/flows.csv\n/debug/pprof/\n")
+		fmt.Fprint(w, "tcnsim flight recorder\n\n/metrics\n/timeseries.csv\n/flows.csv\n/ledger.jsonl\n/trace.perfetto.json\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -102,7 +108,7 @@ func startServer(addr string, rec *flight.Recorder) (*http.Server, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: newServeMux(rec)}
-	fmt.Fprintf(os.Stderr, "serving flight recorder on http://%s (metrics, timeseries.csv, flows.csv, debug/pprof)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "serving flight recorder on http://%s (metrics, timeseries.csv, flows.csv, ledger.jsonl, trace.perfetto.json, debug/pprof)\n", ln.Addr())
 	go srv.Serve(ln)
 	return srv, nil
 }

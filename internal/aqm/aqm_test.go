@@ -36,11 +36,11 @@ func TestQueueREDEnqueueThreshold(t *testing.T) {
 	st := &fakePort{qbytes: []int{30_000, 50_000}, qlen: []int{20, 33}, rate: 1e9}
 
 	p := ectPacket()
-	m.OnEnqueue(0, 0, p, st)
+	m.OnEnqueue(0, 0, p, st, nil)
 	if p.ECN == pkt.CE {
 		t.Fatal("occupancy == K must not mark (strictly greater)")
 	}
-	m.OnEnqueue(0, 1, p, st)
+	m.OnEnqueue(0, 1, p, st, nil)
 	if p.ECN != pkt.CE {
 		t.Fatal("occupancy > K must mark")
 	}
@@ -49,7 +49,7 @@ func TestQueueREDEnqueueThreshold(t *testing.T) {
 	}
 	// Dequeue side must be inert for the enqueue variant.
 	q := ectPacket()
-	m.OnDequeue(0, 1, q, st)
+	m.OnDequeue(0, 1, q, st, nil)
 	if q.ECN == pkt.CE {
 		t.Fatal("enqueue-side RED must not mark at dequeue")
 	}
@@ -59,11 +59,11 @@ func TestDequeueREDMarksAtDequeueOnly(t *testing.T) {
 	m := NewDequeueRED(30_000)
 	st := &fakePort{qbytes: []int{50_000}, qlen: []int{33}, rate: 1e9}
 	p := ectPacket()
-	m.OnEnqueue(0, 0, p, st)
+	m.OnEnqueue(0, 0, p, st, nil)
 	if p.ECN == pkt.CE {
 		t.Fatal("dequeue-side RED must not mark at enqueue")
 	}
-	m.OnDequeue(0, 0, p, st)
+	m.OnDequeue(0, 0, p, st, nil)
 	if p.ECN != pkt.CE {
 		t.Fatal("dequeue-side RED should mark at dequeue")
 	}
@@ -76,7 +76,7 @@ func TestQueueREDIgnoresOtherQueues(t *testing.T) {
 	m := NewQueueRED(30_000)
 	st := &fakePort{qbytes: []int{100_000, 1_000}, qlen: []int{66, 1}, rate: 1e9}
 	p := ectPacket()
-	m.OnEnqueue(0, 1, p, st) // queue 1 is short
+	m.OnEnqueue(0, 1, p, st, nil) // queue 1 is short
 	if p.ECN == pkt.CE {
 		t.Fatal("per-queue RED must not react to other queues' occupancy")
 	}
@@ -86,7 +86,7 @@ func TestPortREDSumsQueues(t *testing.T) {
 	m := NewPortRED(30_000)
 	st := &fakePort{qbytes: []int{20_000, 15_000}, qlen: []int{14, 10}, rate: 1e9}
 	p := ectPacket()
-	m.OnEnqueue(0, 1, p, st)
+	m.OnEnqueue(0, 1, p, st, nil)
 	if p.ECN != pkt.CE {
 		t.Fatal("per-port RED marks on aggregate occupancy — the policy violation of Figure 1")
 	}
@@ -96,8 +96,8 @@ func TestOracleREDPerQueueThresholds(t *testing.T) {
 	m := NewOracleRED([]int{16_000, 8_000})
 	st := &fakePort{qbytes: []int{10_000, 10_000}, qlen: []int{7, 7}, rate: 1e9}
 	a, b := ectPacket(), ectPacket()
-	m.OnEnqueue(0, 0, a, st)
-	m.OnEnqueue(0, 1, b, st)
+	m.OnEnqueue(0, 0, a, st, nil)
+	m.OnEnqueue(0, 1, b, st, nil)
 	if a.ECN == pkt.CE {
 		t.Fatal("queue 0 below its threshold")
 	}
@@ -110,7 +110,7 @@ func TestNonECTNeverMarked(t *testing.T) {
 	m := NewQueueRED(1)
 	st := &fakePort{qbytes: []int{1_000_000}, qlen: []int{700}, rate: 1e9}
 	p := &pkt.Packet{ECN: pkt.NotECT, Size: 1500}
-	m.OnEnqueue(0, 0, p, st)
+	m.OnEnqueue(0, 0, p, st, nil)
 	if p.ECN != pkt.NotECT || m.Marks != 0 {
 		t.Fatal("Not-ECT packets must pass unmarked")
 	}
@@ -133,7 +133,7 @@ func TestPropertyREDDecision(t *testing.T) {
 		m := NewQueueRED(k)
 		st := &fakePort{qbytes: []int{int(occ % 200_000)}, qlen: []int{1}, rate: 1e9}
 		p := ectPacket()
-		m.OnEnqueue(0, 0, p, st)
+		m.OnEnqueue(0, 0, p, st, nil)
 		return (p.ECN == pkt.CE) == (st.qbytes[0] > k)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -207,7 +207,7 @@ func TestDynREDFallsBackToStandardThreshold(t *testing.T) {
 	// No rate samples yet: threshold = standard (125 KB), so 100 KB
 	// does not mark.
 	p := ectPacket()
-	d.OnEnqueue(0, 0, p, st)
+	d.OnEnqueue(0, 0, p, st, nil)
 	if p.ECN == pkt.CE {
 		t.Fatal("DynRED without samples must use the standard threshold")
 	}
@@ -219,12 +219,12 @@ func TestDynREDUsesMeasuredRate(t *testing.T) {
 	// Feed departures at ~5 Gbps: 1500B per 2.4us.
 	now := sim.Time(0)
 	for i := 0; i < 50; i++ {
-		d.OnDequeue(now, 0, &pkt.Packet{Size: 1500}, st)
+		d.OnDequeue(now, 0, &pkt.Packet{Size: 1500}, st, nil)
 		now += 2400
 	}
 	// Measured 5 Gbps -> K = 5e9/8 * 100us = 62.5 KB < 100 KB: mark.
 	p := ectPacket()
-	d.OnEnqueue(now, 0, p, st)
+	d.OnEnqueue(now, 0, p, st, nil)
 	if p.ECN != pkt.CE {
 		t.Fatal("DynRED should mark above the measured-rate threshold")
 	}
@@ -251,7 +251,7 @@ func TestMQECNDynamicThreshold(t *testing.T) {
 
 	fr.lastDeq = 0
 	p := ectPacket()
-	m.OnEnqueue(0, 0, p, st)
+	m.OnEnqueue(0, 0, p, st, nil)
 	// First observation seeds the EWMA directly with 28.8us ->
 	// K = 18KB * 100us/28.8us = 62.5KB < 80KB: mark.
 	if p.ECN != pkt.CE {
@@ -266,13 +266,13 @@ func TestMQECNCapsAtStandardThreshold(t *testing.T) {
 	m := NewMQECN(fr, 1, 100*sim.Microsecond, 0)
 	st := &fakePort{qbytes: []int{124_000}, qlen: []int{85}, rate: 10e9}
 	p := ectPacket()
-	m.OnEnqueue(0, 0, p, st)
+	m.OnEnqueue(0, 0, p, st, nil)
 	if p.ECN == pkt.CE {
 		t.Fatal("just below the standard threshold must not mark")
 	}
 	st.qbytes[0] = 126_000
 	q := ectPacket()
-	m.OnEnqueue(0, 0, q, st)
+	m.OnEnqueue(0, 0, q, st, nil)
 	if q.ECN != pkt.CE {
 		t.Fatal("above the standard threshold must mark")
 	}
@@ -286,7 +286,7 @@ func TestMQECNIdleReset(t *testing.T) {
 	// Busy queue: dynamic threshold applies, 50 KB > 6.25 KB marks.
 	fr.lastDeq = sim.Time(0)
 	p := ectPacket()
-	m.OnEnqueue(sim.Time(1000), 0, p, st)
+	m.OnEnqueue(sim.Time(1000), 0, p, st, nil)
 	if p.ECN != pkt.CE {
 		t.Fatal("busy queue should mark above dynamic threshold")
 	}
@@ -296,7 +296,7 @@ func TestMQECNIdleReset(t *testing.T) {
 	// reset is not immediately overwritten by a fresh observation.
 	fr.round = 0
 	q := ectPacket()
-	m.OnEnqueue(sim.Time(1_000_000), 0, q, st)
+	m.OnEnqueue(sim.Time(1_000_000), 0, q, st, nil)
 	if q.ECN == pkt.CE {
 		t.Fatal("idle-reset queue should fall back to the standard threshold")
 	}
@@ -311,7 +311,7 @@ func TestCoDelBelowTargetNeverMarks(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		p := ectPacket()
 		p.EnqueuedAt = now - 20*sim.Microsecond // sojourn 20us < target
-		c.OnDequeue(now, 0, p, st)
+		c.OnDequeue(now, 0, p, st, nil)
 		if p.ECN == pkt.CE {
 			t.Fatal("CoDel marked below target")
 		}
@@ -327,7 +327,7 @@ func TestCoDelMarksAfterInterval(t *testing.T) {
 	for i := 0; i < 3000; i++ {
 		p := ectPacket()
 		p.EnqueuedAt = now - 200*sim.Microsecond // persistently above target
-		c.OnDequeue(now, 0, p, st)
+		c.OnDequeue(now, 0, p, st, nil)
 		if p.ECN == pkt.CE && firstMark == 0 {
 			firstMark = now
 		}
@@ -354,7 +354,7 @@ func TestCoDelControlLawAccelerates(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		p := ectPacket()
 		p.EnqueuedAt = now - 200*sim.Microsecond
-		c.OnDequeue(now, 0, p, st)
+		c.OnDequeue(now, 0, p, st, nil)
 		if p.ECN == pkt.CE {
 			marks = append(marks, now)
 		}
@@ -380,7 +380,7 @@ func TestCoDelExitsMarkingWhenDelayDrops(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		p := ectPacket()
 		p.EnqueuedAt = now - 200*sim.Microsecond
-		c.OnDequeue(now, 0, p, st)
+		c.OnDequeue(now, 0, p, st, nil)
 		now += 10 * sim.Microsecond
 	}
 	if marking, _ := c.State(0); !marking {
@@ -388,7 +388,7 @@ func TestCoDelExitsMarkingWhenDelayDrops(t *testing.T) {
 	}
 	p := ectPacket()
 	p.EnqueuedAt = now - 10*sim.Microsecond // sojourn below target
-	c.OnDequeue(now, 0, p, st)
+	c.OnDequeue(now, 0, p, st, nil)
 	if marking, _ := c.State(0); marking {
 		t.Fatal("a below-target sojourn should end the marking state")
 	}
@@ -403,7 +403,7 @@ func TestCoDelSmallBacklogExempt(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		p := ectPacket()
 		p.EnqueuedAt = now - 500*sim.Microsecond
-		c.OnDequeue(now, 0, p, st)
+		c.OnDequeue(now, 0, p, st, nil)
 		if p.ECN == pkt.CE {
 			t.Fatal("CoDel marked with sub-MTU backlog")
 		}
@@ -418,7 +418,7 @@ func TestCoDelStateIsPerQueue(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		p := ectPacket()
 		p.EnqueuedAt = now - 200*sim.Microsecond
-		c.OnDequeue(now, 0, p, st)
+		c.OnDequeue(now, 0, p, st, nil)
 		now += 10 * sim.Microsecond
 	}
 	if m0, _ := c.State(0); !m0 {

@@ -50,9 +50,13 @@ func (c *CoDel) Instrument(r *obs.Registry, label string) {
 }
 
 // mark applies CE and updates instrumentation; q is the queue whose
-// state triggered the mark.
-func (c *CoDel) mark(p *pkt.Packet, q *codelQueue) {
-	if !p.Mark() {
+// state triggered the mark, sojourn the delay that kept it congested.
+func (c *CoDel) mark(p *pkt.Packet, q *codelQueue, v *core.Verdict, sojourn sim.Time) {
+	if v != nil {
+		v.Sojourn = sojourn
+		v.ThresholdTime = c.Target
+	}
+	if !v.Fire(core.ReasonCoDelSojournAboveTarget, p) {
 		return
 	}
 	c.Marks++
@@ -86,13 +90,14 @@ func (c *CoDel) Name() string { return "CoDel" }
 func (c *CoDel) MarkCount() int64 { return c.Marks }
 
 // OnEnqueue implements core.Marker. CoDel acts only at dequeue.
-func (c *CoDel) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState) {}
+func (c *CoDel) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {}
 
 // OnDequeue implements core.Marker: runs the CoDel state machine on the
 // departing packet's sojourn time.
-func (c *CoDel) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState) {
+func (c *CoDel) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
 	q := &c.qs[i]
-	okToMark := c.shouldMark(now, q, p.Sojourn(now), st.QueueBytes(i))
+	sojourn := p.Sojourn(now)
+	okToMark := c.shouldMark(now, q, sojourn, st.QueueBytes(i))
 
 	if q.marking {
 		if !okToMark {
@@ -101,7 +106,7 @@ func (c *CoDel) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState)
 			return
 		}
 		for now >= q.markNext {
-			c.mark(p, q)
+			c.mark(p, q, v, sojourn)
 			q.count++
 			q.markNext += c.controlLaw(q.count)
 			// Marking (unlike dropping) acts on this same packet,
@@ -115,7 +120,7 @@ func (c *CoDel) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState)
 		if c.oEntries != nil {
 			c.oEntries.Inc()
 		}
-		c.mark(p, q)
+		c.mark(p, q, v, sojourn)
 	}
 }
 

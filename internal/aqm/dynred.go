@@ -148,8 +148,15 @@ func (d *DynRED) threshold(i int, st core.PortState) int {
 }
 
 // OnEnqueue implements core.Marker.
-func (d *DynRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
-	if st.QueueBytes(i) > d.threshold(i, st) && p.Mark() {
+func (d *DynRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
+	k := d.threshold(i, st)
+	if st.QueueBytes(i) <= k {
+		return
+	}
+	if v != nil {
+		v.ThresholdBytes = k
+	}
+	if v.Fire(core.ReasonREDDynAboveK, p) {
 		d.Marks++
 		if d.oMarks != nil {
 			d.oMarks.Inc()
@@ -158,7 +165,7 @@ func (d *DynRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) 
 }
 
 // OnDequeue implements core.Marker: feeds the departure to Algorithm 1.
-func (d *DynRED) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState) {
+func (d *DynRED) OnDequeue(now sim.Time, i int, p *pkt.Packet, st core.PortState, _ *core.Verdict) {
 	d.meters[i].OnDeparture(now, p.Size, st.QueueBytes(i)+p.Size)
 	if d.oRate != nil {
 		d.oRate[i].Set(d.meters[i].Rate())

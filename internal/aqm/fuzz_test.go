@@ -22,7 +22,7 @@ func FuzzREDDecide(f *testing.F) {
 		p := &pkt.Packet{Size: 1500, ECN: pkt.ECN(ecn % 4)}
 		capable := p.ECN.ECNCapable()
 		wasCE := p.ECN == pkt.CE
-		m.decide(qbytes, p)
+		m.decide(qbytes, p, nil)
 		wantMark := qbytes > k && capable
 		if gotCE := p.ECN == pkt.CE; gotCE != (wasCE || wantMark) {
 			t.Fatalf("decide(qbytes=%d, K=%d, ecn=%v): CE=%v, want %v",

@@ -136,9 +136,16 @@ func (m *MQECN) observe(now sim.Time, i int) {
 
 // OnEnqueue implements core.Marker: per-queue comparison against the
 // dynamic threshold.
-func (m *MQECN) OnEnqueue(now sim.Time, i int, p *pkt.Packet, st core.PortState) {
+func (m *MQECN) OnEnqueue(now sim.Time, i int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
 	m.observe(now, i)
-	if st.QueueBytes(i) > m.threshold(now, i, st) && p.Mark() {
+	k := m.threshold(now, i, st)
+	if st.QueueBytes(i) <= k {
+		return
+	}
+	if v != nil {
+		v.ThresholdBytes = k
+	}
+	if v.Fire(core.ReasonMQECNAboveK, p) {
 		m.Marks++
 		if m.oMarks != nil {
 			m.oMarks.Inc()
@@ -148,6 +155,6 @@ func (m *MQECN) OnEnqueue(now sim.Time, i int, p *pkt.Packet, st core.PortState)
 
 // OnDequeue implements core.Marker: round samples become visible when the
 // scheduler grants turns, so fold them in here too.
-func (m *MQECN) OnDequeue(now sim.Time, i int, _ *pkt.Packet, _ core.PortState) {
+func (m *MQECN) OnDequeue(now sim.Time, i int, _ *pkt.Packet, _ core.PortState, _ *core.Verdict) {
 	m.observe(now, i)
 }

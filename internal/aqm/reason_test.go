@@ -1,0 +1,153 @@
+package aqm
+
+import (
+	"testing"
+
+	"tcn/internal/core"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// TestMarkerReasons pins each scheme's causal attribution: for hand-built
+// queue state that forces a mark, the verdict must carry exactly the
+// reason the ledger and -explain report key on.
+func TestMarkerReasons(t *testing.T) {
+	st := func(qbytes int) *fakePort {
+		return &fakePort{qbytes: []int{qbytes}, qlen: []int{qbytes / 1500}, rate: 1e9}
+	}
+	cases := []struct {
+		name string
+		run  func(v *core.Verdict)
+		want core.Reason
+	}{
+		{"queue-red-enqueue", func(v *core.Verdict) {
+			NewQueueRED(30_000).OnEnqueue(0, 0, ectPacket(), st(50_000), v)
+		}, core.ReasonREDQueueAboveK},
+		{"queue-red-dequeue", func(v *core.Verdict) {
+			NewDequeueRED(30_000).OnDequeue(0, 0, ectPacket(), st(50_000), v)
+		}, core.ReasonREDQueueAboveK},
+		{"port-red", func(v *core.Verdict) {
+			NewPortRED(30_000).OnEnqueue(0, 0, ectPacket(), st(50_000), v)
+		}, core.ReasonREDPortAboveK},
+		{"oracle-red", func(v *core.Verdict) {
+			NewOracleRED([]int{10_000}).OnEnqueue(0, 0, ectPacket(), st(20_000), v)
+		}, core.ReasonREDOracleAboveK},
+		{"pool-red", func(v *core.Verdict) {
+			m := NewPoolRED(30_000)
+			m.Register(st(50_000))
+			m.OnEnqueue(0, 0, ectPacket(), st(50_000), v)
+		}, core.ReasonREDPoolAboveK},
+		{"wred-avg-above-max", func(v *core.Verdict) {
+			m := NewWRED(1, 1_000, 2_000, 0.5, sim.NewRand(1))
+			m.Weight = 1 // make the EWMA jump straight to the instantaneous queue
+			m.OnEnqueue(0, 0, ectPacket(), st(5_000), v)
+		}, core.ReasonREDAvgAboveMax},
+		{"dynred-above-k", func(v *core.Verdict) {
+			// No rate sample yet: the threshold falls back to the standard
+			// whole-link K = 1 Gbps × 1 ms / 8 = 125 KB.
+			NewDynRED(1, 16*1500, sim.Millisecond).OnEnqueue(0, 0, ectPacket(), st(130_000), v)
+		}, core.ReasonREDDynAboveK},
+		{"mqecn-above-k", func(v *core.Verdict) {
+			m := NewMQECN(&fakeRound{quantum: 18_000}, 1, sim.Millisecond, 0)
+			m.OnEnqueue(0, 0, ectPacket(), st(130_000), v)
+		}, core.ReasonMQECNAboveK},
+		{"tcn-threshold", func(v *core.Verdict) {
+			p := ectPacket() // EnqueuedAt 0: sojourn at 200 us is 2× threshold
+			core.NewTCN(100*sim.Microsecond).OnDequeue(200*sim.Microsecond, 0, p, st(10_000), v)
+		}, core.ReasonTCNThreshold},
+		{"probtcn-saturated", func(v *core.Verdict) {
+			m := core.NewProbTCN(50*sim.Microsecond, 150*sim.Microsecond, 0.2, sim.NewRand(1))
+			m.OnDequeue(200*sim.Microsecond, 0, ectPacket(), st(10_000), v)
+		}, core.ReasonTCNThreshold},
+		{"hwtcn-threshold", func(v *core.Verdict) {
+			m := core.NewHWTCN(core.NewHWClock(sim.Microsecond), 100*sim.Microsecond)
+			m.OnDequeue(200*sim.Microsecond, 0, ectPacket(), st(10_000), v)
+		}, core.ReasonTCNThreshold},
+		{"codel-sojourn", func(v *core.Verdict) {
+			m := NewCoDel(1, 10*sim.Microsecond, 100*sim.Microsecond)
+			// First above-target dequeue only arms first_above_time ...
+			m.OnDequeue(50*sim.Microsecond, 0, ectPacket(), st(20_000), nil)
+			// ... a whole interval later CoDel enters marking state.
+			m.OnDequeue(200*sim.Microsecond, 0, ectPacket(), st(20_000), v)
+		}, core.ReasonCoDelSojournAboveTarget},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var v core.Verdict
+			v.Reset(core.StageEnqueue, 0, 0)
+			tc.run(&v)
+			if !v.Marked || v.Reason != tc.want {
+				t.Fatalf("marked=%v reason=%v, want a mark attributed to %v", v.Marked, v.Reason, tc.want)
+			}
+			if !v.Decisive() {
+				t.Fatal("a marked verdict must be decisive")
+			}
+		})
+	}
+}
+
+// TestProbabilisticReasons distinguishes the coin-flip attributions from
+// their saturated counterparts: marks fired inside the probability ramp
+// carry the Probabilistic reason and the probability that was rolled.
+func TestProbabilisticReasons(t *testing.T) {
+	t.Run("wred-ramp", func(t *testing.T) {
+		m := NewWRED(1, 1_000, 2_000, 0.5, sim.NewRand(1))
+		m.Weight = 1
+		st := &fakePort{qbytes: []int{1_500}, qlen: []int{1}, rate: 1e9}
+		for i := 0; i < 10_000; i++ {
+			var v core.Verdict
+			v.Reset(core.StageEnqueue, st.qbytes[0], st.qbytes[0])
+			m.OnEnqueue(0, 0, ectPacket(), st, &v)
+			if !v.Marked {
+				continue
+			}
+			if v.Reason != core.ReasonREDProbabilistic {
+				t.Fatalf("ramp mark attributed to %v", v.Reason)
+			}
+			if v.Prob <= 0 || v.Prob >= 1 {
+				t.Fatalf("ramp mark carries prob %v, want in (0,1)", v.Prob)
+			}
+			return
+		}
+		t.Fatal("ramp never marked in 10k tries")
+	})
+	t.Run("probtcn-ramp", func(t *testing.T) {
+		m := core.NewProbTCN(50*sim.Microsecond, 150*sim.Microsecond, 0.2, sim.NewRand(1))
+		st := &fakePort{qbytes: []int{10_000}, qlen: []int{7}, rate: 1e9}
+		for i := 0; i < 10_000; i++ {
+			var v core.Verdict
+			v.Reset(core.StageDequeue, st.qbytes[0], st.qbytes[0])
+			m.OnDequeue(100*sim.Microsecond, 0, ectPacket(), st, &v)
+			if !v.Marked {
+				continue
+			}
+			if v.Reason != core.ReasonTCNProbabilistic {
+				t.Fatalf("ramp mark attributed to %v", v.Reason)
+			}
+			if v.Prob <= 0 || v.Prob >= 1 {
+				t.Fatalf("ramp mark carries prob %v, want in (0,1)", v.Prob)
+			}
+			return
+		}
+		t.Fatal("ramp never marked in 10k tries")
+	})
+}
+
+// TestECNIncapableReason pins the fallback attribution: a threshold
+// crossing on a Not-ECT packet records ECNIncapable instead of a mark.
+func TestECNIncapableReason(t *testing.T) {
+	st := &fakePort{qbytes: []int{50_000}, qlen: []int{33}, rate: 1e9}
+	p := &pkt.Packet{Size: 1500} // Not-ECT
+	var v core.Verdict
+	v.Reset(core.StageEnqueue, st.qbytes[0], st.qbytes[0])
+	NewQueueRED(30_000).OnEnqueue(0, 0, p, st, &v)
+	if v.Marked {
+		t.Fatal("Not-ECT packet must not be marked")
+	}
+	if v.Reason != core.ReasonECNIncapable {
+		t.Fatalf("reason = %v, want ECNIncapable", v.Reason)
+	}
+	if !v.Decisive() {
+		t.Fatal("the incapable fallback must be decisive so the ledger sees it")
+	}
+}

@@ -68,7 +68,7 @@ func (m *QueueRED) Instrument(r *obs.Registry, label string) {
 }
 
 // decide runs the shared threshold comparison and instrumentation.
-func (m *QueueRED) decide(qbytes int, p *pkt.Packet) {
+func (m *QueueRED) decide(qbytes int, p *pkt.Packet, v *core.Verdict) {
 	if qbytes <= m.K {
 		return
 	}
@@ -76,7 +76,11 @@ func (m *QueueRED) decide(qbytes int, p *pkt.Packet) {
 		m.oOver.Inc()
 		m.oQBytes.Set(float64(qbytes))
 	}
-	if p.Mark() {
+	if v != nil {
+		v.QueueBytes = qbytes
+		v.ThresholdBytes = m.K
+	}
+	if v.Fire(core.ReasonREDQueueAboveK, p) {
 		m.Marks++
 		if m.oMarks != nil {
 			m.oMarks.Inc()
@@ -108,19 +112,19 @@ func (m *QueueRED) Name() string {
 }
 
 // OnEnqueue implements core.Marker.
-func (m *QueueRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+func (m *QueueRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
 	if m.Side != AtEnqueue {
 		return
 	}
-	m.decide(st.QueueBytes(i), p)
+	m.decide(st.QueueBytes(i), p, v)
 }
 
 // OnDequeue implements core.Marker.
-func (m *QueueRED) OnDequeue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+func (m *QueueRED) OnDequeue(_ sim.Time, i int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
 	if m.Side != AtDequeue {
 		return
 	}
-	m.decide(st.QueueBytes(i), p)
+	m.decide(st.QueueBytes(i), p, v)
 }
 
 // MarkCount implements core.MarkCounter.
@@ -171,7 +175,7 @@ func NewPortRED(k int) *PortRED {
 func (m *PortRED) Name() string { return "RED-port" }
 
 // OnEnqueue implements core.Marker.
-func (m *PortRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, st core.PortState) {
+func (m *PortRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
 	used := st.PortBytes()
 	if used <= m.K {
 		return
@@ -180,7 +184,11 @@ func (m *PortRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, st core.PortState)
 		m.oOver.Inc()
 		m.oPBytes.Set(float64(used))
 	}
-	if p.Mark() {
+	if v != nil {
+		v.PortBytes = used
+		v.ThresholdBytes = m.K
+	}
+	if v.Fire(core.ReasonREDPortAboveK, p) {
 		m.Marks++
 		if m.oMarks != nil {
 			m.oMarks.Inc()
@@ -189,7 +197,7 @@ func (m *PortRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, st core.PortState)
 }
 
 // OnDequeue implements core.Marker.
-func (m *PortRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+func (m *PortRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {}
 
 // MarkCount implements core.MarkCounter.
 func (m *PortRED) MarkCount() int64 { return m.Marks }
@@ -230,14 +238,20 @@ func NewOracleRED(k []int) *OracleRED {
 func (m *OracleRED) Name() string { return "RED-ideal" }
 
 // OnEnqueue implements core.Marker.
-func (m *OracleRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
-	if st.QueueBytes(i) > m.K[i] && p.Mark() {
+func (m *OracleRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
+	if st.QueueBytes(i) <= m.K[i] {
+		return
+	}
+	if v != nil {
+		v.ThresholdBytes = m.K[i]
+	}
+	if v.Fire(core.ReasonREDOracleAboveK, p) {
 		m.Marks++
 	}
 }
 
 // OnDequeue implements core.Marker.
-func (m *OracleRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+func (m *OracleRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {}
 
 // MarkCount implements core.MarkCounter.
 func (m *OracleRED) MarkCount() int64 { return m.Marks }

@@ -53,26 +53,33 @@ func (w *WRED) MarkCount() int64 { return w.Marks }
 func (w *WRED) AvgQueue(i int) float64 { return w.avg[i] }
 
 // OnEnqueue implements core.Marker.
-func (w *WRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState) {
+func (w *WRED) OnEnqueue(_ sim.Time, i int, p *pkt.Packet, st core.PortState, v *core.Verdict) {
 	w.avg[i] = (1-w.Weight)*w.avg[i] + w.Weight*float64(st.QueueBytes(i))
 	var prob float64
+	reason := core.ReasonREDProbabilistic
 	switch a := w.avg[i]; {
 	case a < float64(w.Kmin):
 		return
 	case a >= float64(w.Kmax):
 		prob = 1
+		reason = core.ReasonREDAvgAboveMax
 	default:
 		prob = w.Pmax * (a - float64(w.Kmin)) / float64(w.Kmax-w.Kmin)
 	}
 	if prob >= 1 || w.rng.Float64() < prob {
-		if p.Mark() {
+		if v != nil {
+			v.AvgBytes = w.avg[i]
+			v.ThresholdBytes = w.Kmax
+			v.Prob = prob
+		}
+		if v.Fire(reason, p) {
 			w.Marks++
 		}
 	}
 }
 
 // OnDequeue implements core.Marker.
-func (w *WRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+func (w *WRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {}
 
 // PoolRED is per-service-pool ECN/RED (§3.2): several egress ports draw
 // from one shared buffer pool and the marking decision compares the
@@ -121,11 +128,20 @@ func (m *PoolRED) MarkCount() int64 { return m.Marks }
 
 // OnEnqueue implements core.Marker: pool occupancy, not the packet's own
 // port, decides the mark.
-func (m *PoolRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, _ core.PortState) {
-	if m.PoolBytes() > m.K && p.Mark() {
+func (m *PoolRED) OnEnqueue(_ sim.Time, _ int, p *pkt.Packet, _ core.PortState, v *core.Verdict) {
+	pool := m.PoolBytes()
+	if pool <= m.K {
+		return
+	}
+	if v != nil {
+		// PortBytes carries the pool-wide occupancy the rule compared.
+		v.PortBytes = pool
+		v.ThresholdBytes = m.K
+	}
+	if v.Fire(core.ReasonREDPoolAboveK, p) {
 		m.Marks++
 	}
 }
 
 // OnDequeue implements core.Marker.
-func (m *PoolRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {}
+func (m *PoolRED) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {}

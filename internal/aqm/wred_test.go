@@ -12,7 +12,7 @@ func TestWREDBelowKminNeverMarks(t *testing.T) {
 	st := &fakePort{qbytes: []int{10_000}, qlen: []int{7}, rate: 1e9}
 	for i := 0; i < 10_000; i++ {
 		p := ectPacket()
-		w.OnEnqueue(0, 0, p, st)
+		w.OnEnqueue(0, 0, p, st, nil)
 		if p.ECN == pkt.CE {
 			t.Fatal("marked below Kmin")
 		}
@@ -24,13 +24,13 @@ func TestWREDAlwaysMarksAboveKmax(t *testing.T) {
 	st := &fakePort{qbytes: []int{200_000}, qlen: []int{140}, rate: 1e9}
 	// Warm the average past Kmax first (EWMA weight 0.002).
 	for i := 0; i < 5_000; i++ {
-		w.OnEnqueue(0, 0, ectPacket(), st)
+		w.OnEnqueue(0, 0, ectPacket(), st, nil)
 	}
 	if w.AvgQueue(0) < 9_000 {
 		t.Fatalf("average %f did not climb past Kmax", w.AvgQueue(0))
 	}
 	p := ectPacket()
-	w.OnEnqueue(0, 0, p, st)
+	w.OnEnqueue(0, 0, p, st, nil)
 	if p.ECN != pkt.CE {
 		t.Fatal("must mark above Kmax")
 	}
@@ -41,13 +41,13 @@ func TestWREDProbabilisticBand(t *testing.T) {
 	st := &fakePort{qbytes: []int{60_000}, qlen: []int{40}, rate: 1e9}
 	// Settle the average at 60 KB = midpoint -> p = 0.25.
 	for i := 0; i < 10_000; i++ {
-		w.OnEnqueue(0, 0, ectPacket(), st)
+		w.OnEnqueue(0, 0, ectPacket(), st, nil)
 	}
 	marked := 0
 	const n = 20_000
 	for i := 0; i < n; i++ {
 		p := ectPacket()
-		w.OnEnqueue(0, 0, p, st)
+		w.OnEnqueue(0, 0, p, st, nil)
 		if p.ECN == pkt.CE {
 			marked++
 		}
@@ -64,7 +64,7 @@ func TestWREDAverageSmoothsBursts(t *testing.T) {
 	st := &fakePort{qbytes: []int{200_000}, qlen: []int{140}, rate: 1e9}
 	for i := 0; i < 20; i++ {
 		p := ectPacket()
-		w.OnEnqueue(0, 0, p, st)
+		w.OnEnqueue(0, 0, p, st, nil)
 		if p.ECN == pkt.CE {
 			t.Fatal("WRED marked on a transient burst; averaging should absorb it")
 		}
@@ -99,7 +99,7 @@ func TestPoolREDCrossPortInterference(t *testing.T) {
 		t.Fatalf("pool bytes %d", pool.PoolBytes())
 	}
 	p := ectPacket()
-	pool.OnEnqueue(0, 0, p, a)
+	pool.OnEnqueue(0, 0, p, a, nil)
 	if p.ECN != pkt.CE {
 		t.Fatal("pool pressure must mark even on an idle port — the §3.2 violation")
 	}
@@ -107,7 +107,7 @@ func TestPoolREDCrossPortInterference(t *testing.T) {
 	// Drain port B: port A's packets pass again.
 	b.qbytes[0] = 0
 	q := ectPacket()
-	pool.OnEnqueue(0, 0, q, a)
+	pool.OnEnqueue(0, 0, q, a, nil)
 	if q.ECN == pkt.CE {
 		t.Fatal("no pool pressure, no mark")
 	}

@@ -26,7 +26,7 @@ func TestTCNMarksStrictlyAboveThreshold(t *testing.T) {
 	now := sim.Time(10 * sim.Millisecond)
 	for _, c := range cases {
 		p := ect(now - c.sojourn)
-		m.OnDequeue(now, 0, p, nil)
+		m.OnDequeue(now, 0, p, nil, nil)
 		if got := p.ECN == pkt.CE; got != c.want {
 			t.Errorf("sojourn %v: marked=%v, want %v", c.sojourn, got, c.want)
 		}
@@ -39,7 +39,7 @@ func TestTCNMarksStrictlyAboveThreshold(t *testing.T) {
 func TestTCNIgnoresNonECT(t *testing.T) {
 	m := NewTCN(10 * sim.Microsecond)
 	p := &pkt.Packet{ECN: pkt.NotECT, EnqueuedAt: 0}
-	m.OnDequeue(sim.Millisecond, 0, p, nil)
+	m.OnDequeue(sim.Millisecond, 0, p, nil, nil)
 	if p.ECN != pkt.NotECT || m.Marks != 0 {
 		t.Fatal("TCN must not alter Not-ECT packets")
 	}
@@ -48,7 +48,7 @@ func TestTCNIgnoresNonECT(t *testing.T) {
 func TestTCNEnqueueIsNoop(t *testing.T) {
 	m := NewTCN(10 * sim.Microsecond)
 	p := ect(0)
-	m.OnEnqueue(sim.Millisecond, 0, p, nil)
+	m.OnEnqueue(sim.Millisecond, 0, p, nil, nil)
 	if p.ECN == pkt.CE {
 		t.Fatal("TCN acts only at dequeue")
 	}
@@ -64,7 +64,7 @@ func TestTCNStateless(t *testing.T) {
 		for _, raw := range sojournsRaw {
 			sojourn := sim.Time(raw % 1_000_000)
 			p := ect(now - sojourn)
-			m.OnDequeue(now, 0, p, nil)
+			m.OnDequeue(now, 0, p, nil, nil)
 			// Regardless of everything that came before, the
 			// outcome equals the pure function.
 			if (p.ECN == pkt.CE) != Decide(sojourn, threshold) {
@@ -130,7 +130,7 @@ func TestProbTCNMarkingRate(t *testing.T) {
 	const n = 20000
 	for i := 0; i < n; i++ {
 		p := ect(now - 600) // midpoint: probability 0.25
-		m.OnDequeue(now, 0, p, nil)
+		m.OnDequeue(now, 0, p, nil, nil)
 		if p.ECN == pkt.CE {
 			marked++
 		}
@@ -214,8 +214,8 @@ func TestPropertyHWTCNMatchesIdealTCN(t *testing.T) {
 		sojourn := sim.Time(sojournRaw) % (c.Span() - 8)
 		now := enq + sojourn
 		p1, p2 := ect(enq), ect(enq)
-		hw.OnDequeue(now, 0, p1, nil)
-		ideal.OnDequeue(now, 0, p2, nil)
+		hw.OnDequeue(now, 0, p1, nil, nil)
+		ideal.OnDequeue(now, 0, p2, nil, nil)
 		if p1.ECN == p2.ECN {
 			return true
 		}
@@ -244,8 +244,8 @@ func TestHWTCNValidation(t *testing.T) {
 func TestNopMarker(t *testing.T) {
 	var m Marker = Nop{}
 	p := ect(0)
-	m.OnEnqueue(100*sim.Nanosecond, 0, p, nil)
-	m.OnDequeue(100*sim.Nanosecond, 0, p, nil)
+	m.OnEnqueue(100*sim.Nanosecond, 0, p, nil, nil)
+	m.OnDequeue(100*sim.Nanosecond, 0, p, nil, nil)
 	if p.ECN == pkt.CE || m.Name() != "none" {
 		t.Fatal("Nop must not mark")
 	}

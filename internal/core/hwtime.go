@@ -76,14 +76,22 @@ func NewHWTCN(clock HWClock, threshold sim.Time) *HWTCN {
 func (t *HWTCN) Name() string { return "TCN-hw" }
 
 // OnEnqueue implements Marker.
-func (t *HWTCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+func (t *HWTCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState, *Verdict) {}
 
 // OnDequeue implements Marker: stamps both ends with the 16-bit clock and
 // marks on the reconstructed sojourn.
-func (t *HWTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
+func (t *HWTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState, v *Verdict) {
 	enq := t.Clock.Stamp(p.EnqueuedAt)
 	deq := t.Clock.Stamp(now)
-	if Decide(t.Clock.Sojourn(enq, deq), t.Threshold) && p.Mark() {
+	sojourn := t.Clock.Sojourn(enq, deq)
+	if !Decide(sojourn, t.Threshold) {
+		return
+	}
+	if v != nil {
+		v.Sojourn = sojourn
+		v.ThresholdTime = t.Threshold
+	}
+	if v.Fire(ReasonTCNThreshold, p) {
 		t.Marks++
 		if t.oMarks != nil {
 			t.oMarks.Inc()

@@ -34,15 +34,20 @@ type PortState interface {
 // ever set the CE codepoint — per the paper's evaluation, all schemes
 // (including CoDel) are configured to mark rather than drop, and packet
 // loss happens only through buffer exhaustion.
+//
+// Every mark must be attributed: the pipeline passes a scratch Verdict
+// and the marker routes CE application through Verdict.Fire, filling in
+// the inputs its rule consulted. Callers may pass nil (Fire degrades to a
+// plain mark) but the pipelines never do.
 type Marker interface {
 	// Name identifies the scheme in logs and result tables.
 	Name() string
 	// OnEnqueue is called when packet p has been admitted to queue i,
 	// before the scheduler sees it. Enqueue-side schemes decide here.
-	OnEnqueue(now sim.Time, i int, p *pkt.Packet, st PortState)
+	OnEnqueue(now sim.Time, i int, p *pkt.Packet, st PortState, v *Verdict)
 	// OnDequeue is called when packet p leaves queue i, immediately
 	// before transmission. Dequeue-side schemes decide here.
-	OnDequeue(now sim.Time, i int, p *pkt.Packet, st PortState)
+	OnDequeue(now sim.Time, i int, p *pkt.Packet, st PortState, v *Verdict)
 }
 
 // MarkCounter is implemented by markers that count the CE marks they
@@ -73,7 +78,7 @@ type Nop struct{}
 func (Nop) Name() string { return "none" }
 
 // OnEnqueue implements Marker.
-func (Nop) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+func (Nop) OnEnqueue(sim.Time, int, *pkt.Packet, PortState, *Verdict) {}
 
 // OnDequeue implements Marker.
-func (Nop) OnDequeue(sim.Time, int, *pkt.Packet, PortState) {}
+func (Nop) OnDequeue(sim.Time, int, *pkt.Packet, PortState, *Verdict) {}

@@ -55,17 +55,22 @@ func (t *TCN) Name() string { return "TCN" }
 // OnEnqueue implements Marker. TCN does nothing at enqueue: the enqueue
 // timestamp that the sojourn computation needs is attached by the port to
 // every buffered packet (the 2-byte metadata of §4.2), not by the marker.
-func (t *TCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+func (t *TCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState, *Verdict) {}
 
 // OnDequeue implements Marker: instantaneous, stateless sojourn check.
-func (t *TCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
-	if !Decide(p.Sojourn(now), t.Threshold) {
+func (t *TCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState, v *Verdict) {
+	sojourn := p.Sojourn(now)
+	if !Decide(sojourn, t.Threshold) {
 		return
 	}
 	if t.oOver != nil {
 		t.oOver.Inc()
 	}
-	if p.Mark() {
+	if v != nil {
+		v.Sojourn = sojourn
+		v.ThresholdTime = t.Threshold
+	}
+	if v.Fire(ReasonTCNThreshold, p) {
 		t.Marks++
 		if t.oMarks != nil {
 			t.oMarks.Inc()
@@ -132,16 +137,27 @@ func NewProbTCN(tmin, tmax sim.Time, pmax float64, rng *sim.Rand) *ProbTCN {
 func (t *ProbTCN) Name() string { return "TCN-prob" }
 
 // OnEnqueue implements Marker.
-func (t *ProbTCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState) {}
+func (t *ProbTCN) OnEnqueue(sim.Time, int, *pkt.Packet, PortState, *Verdict) {}
 
 // OnDequeue implements Marker.
-func (t *ProbTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState) {
-	prob := MarkProbability(p.Sojourn(now), t.Tmin, t.Tmax, t.Pmax)
+func (t *ProbTCN) OnDequeue(now sim.Time, _ int, p *pkt.Packet, _ PortState, v *Verdict) {
+	sojourn := p.Sojourn(now)
+	prob := MarkProbability(sojourn, t.Tmin, t.Tmax, t.Pmax)
 	if prob <= 0 {
 		return
 	}
+	reason := ReasonTCNProbabilistic
+	if prob >= 1 {
+		// Above Tmax the ramp saturates: a deterministic TCN mark.
+		reason = ReasonTCNThreshold
+	}
 	if prob >= 1 || t.rng.Float64() < prob {
-		if p.Mark() {
+		if v != nil {
+			v.Sojourn = sojourn
+			v.ThresholdTime = t.Tmax
+			v.Prob = prob
+		}
+		if v.Fire(reason, p) {
 			t.Marks++
 			if t.oMarks != nil {
 				t.oMarks.Inc()

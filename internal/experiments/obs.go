@@ -20,14 +20,17 @@ type Obs struct {
 	Registry *obs.Registry
 	Tracer   *trace.Tracer
 	Flight   *flight.Recorder
+	Ledger   *trace.Ledger
+	Pipeline *trace.Pipeline
 }
 
 // Active reports whether any sink is attached. Parallel sweep runners use
-// it to clamp fan-out to serial execution: the registry, tracer, and flight
-// recorder are shared mutable state across every cell that attaches to
-// them, unlike the cells' own engines.
+// it to clamp fan-out to serial execution: the registry, tracer, flight
+// recorder, ledger, and pipeline are shared mutable state across every
+// cell that attaches to them, unlike the cells' own engines.
 func (o *Obs) Active() bool {
-	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Flight != nil)
+	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Flight != nil ||
+		o.Ledger != nil || o.Pipeline != nil)
 }
 
 // instrumenter is implemented by the markers that can record their
@@ -53,6 +56,12 @@ func (o *Obs) AttachPort(label string, p *fabric.Port) {
 	}
 	if o.Tracer != nil {
 		o.Tracer.AttachPort(label, p)
+	}
+	if o.Ledger != nil {
+		o.Ledger.AttachPort(label, p)
+	}
+	if o.Pipeline != nil {
+		o.Pipeline.AttachPort(label, p)
 	}
 	if o.Flight != nil {
 		flight.AttachPortProbes(o.Flight, label, p)

@@ -151,10 +151,10 @@ func TestPortMarkerPipelineOrder(t *testing.T) {
 type recordingMarker struct{ onEnq, onDeq func() }
 
 func (r *recordingMarker) Name() string { return "recording" }
-func (r *recordingMarker) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState) {
+func (r *recordingMarker) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {
 	r.onEnq()
 }
-func (r *recordingMarker) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState) {
+func (r *recordingMarker) OnDequeue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {
 	r.onDeq()
 }
 

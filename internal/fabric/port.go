@@ -87,6 +87,16 @@ type Port struct {
 	OnTransmit func(now sim.Time, qi int, p *pkt.Packet)
 	// OnDrop, if set, observes every packet rejected by the buffer.
 	OnDrop func(now sim.Time, qi int, p *pkt.Packet)
+	// OnVerdict, if set, observes every decisive marking/dropping
+	// decision (CE applied, buffer overflow, or an AQM rule firing on a
+	// non-ECT packet). The verdict is the port's scratch — consumers
+	// must copy what they keep.
+	OnVerdict func(now sim.Time, qi int, p *pkt.Packet, v *core.Verdict)
+
+	// verdict is the per-port scratch every marker call fills in; one
+	// suffices because each engine (and thus each port) is
+	// single-goroutine. Reusing it keeps attribution allocation-free.
+	verdict core.Verdict
 
 	// stats, when attached via Instrument, receives per-queue counters
 	// and histograms on every enqueue/drop/transmit. Nil = off, and the
@@ -145,6 +155,12 @@ func (pt *Port) Send(p *pkt.Packet) {
 		if pt.OnDrop != nil {
 			pt.OnDrop(now, qi, p)
 		}
+		if pt.OnVerdict != nil {
+			pt.verdict.Reset(core.StageAdmission, pt.buf.Bytes(qi), pt.buf.Used())
+			pt.verdict.Reason = core.ReasonBufferOverflow
+			pt.verdict.Dropped = true
+			pt.OnVerdict(now, qi, p, &pt.verdict)
+		}
 		return
 	}
 	if pt.stats != nil {
@@ -152,7 +168,11 @@ func (pt *Port) Send(p *pkt.Packet) {
 	}
 	p.EnqueuedAt = now
 	pt.sch.OnEnqueue(now, qi, p)
-	pt.marker.OnEnqueue(now, qi, p, pt)
+	pt.verdict.Reset(core.StageEnqueue, pt.buf.Bytes(qi), pt.buf.Used())
+	pt.marker.OnEnqueue(now, qi, p, pt, &pt.verdict)
+	if pt.OnVerdict != nil && pt.verdict.Decisive() {
+		pt.OnVerdict(now, qi, p, &pt.verdict)
+	}
 	if pt.OnEnqueue != nil {
 		pt.OnEnqueue(now, qi, p)
 	}
@@ -180,7 +200,11 @@ func (pt *Port) transmitNext() {
 			p.Sojourn(now), p.EnqueuedAt, now)
 	}
 	pt.sch.OnDequeue(now, qi, p)
-	pt.marker.OnDequeue(now, qi, p, pt)
+	pt.verdict.Reset(core.StageDequeue, pt.buf.Bytes(qi), pt.buf.Used())
+	pt.marker.OnDequeue(now, qi, p, pt, &pt.verdict)
+	if pt.OnVerdict != nil && pt.verdict.Decisive() {
+		pt.OnVerdict(now, qi, p, &pt.verdict)
+	}
 	pt.TxPackets[qi]++
 	pt.TxBytes[qi] += int64(p.Size)
 	if pt.stats != nil {

@@ -11,6 +11,7 @@ import (
 	"tcn/internal/lint/seededrand"
 	"tcn/internal/lint/simclock"
 	"tcn/internal/lint/unitcheck"
+	"tcn/internal/lint/verdict"
 )
 
 // All returns the full analyzer suite in stable (alphabetical) order.
@@ -22,5 +23,6 @@ func All() []*analysis.Analyzer {
 		seededrand.Analyzer,
 		simclock.Analyzer,
 		unitcheck.Analyzer,
+		verdict.Analyzer,
 	}
 }

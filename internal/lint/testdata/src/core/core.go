@@ -1,0 +1,32 @@
+// Package core is a self-contained stand-in for tcn/internal/core, so
+// the verdict fixtures can exercise the attribution rule (a type named
+// Verdict in a package named core) without importing the module.
+package core
+
+import "pkt"
+
+// Reason mirrors the real attribution enum.
+type Reason uint8
+
+// ReasonTCNThreshold is the one reason the fixtures fire.
+const ReasonTCNThreshold Reason = 1
+
+// Verdict mirrors the real decision record.
+type Verdict struct {
+	Reason Reason
+	Marked bool
+}
+
+// Fire mirrors the real attribution wrapper: the sanctioned home of the
+// direct Mark calls, waived exactly like the module's own.
+func (v *Verdict) Fire(r Reason, p *pkt.Packet) bool {
+	if v == nil {
+		return p.Mark() //tcnlint:verdict nil-verdict fallback
+	}
+	if p.Mark() { //tcnlint:verdict Fire is the attribution wrapper itself
+		v.Reason = r
+		v.Marked = true
+		return true
+	}
+	return false
+}

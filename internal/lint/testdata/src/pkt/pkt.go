@@ -3,8 +3,23 @@
 // named Pool in a package named pkt) without importing the module.
 package pkt
 
-// Packet mirrors the real packet skeleton.
-type Packet struct{ Seq int64 }
+// Packet mirrors the real packet skeleton, including the ECN bits the
+// verdict fixtures need.
+type Packet struct {
+	Seq int64
+	ECT bool // ECN-capable transport
+	CE  bool // congestion experienced
+}
+
+// Mark mirrors pkt.Packet.Mark: apply CE, reporting whether the packet
+// was ECN-capable.
+func (p *Packet) Mark() bool {
+	if !p.ECT {
+		return false
+	}
+	p.CE = true
+	return true
+}
 
 // Pool mirrors tcn/internal/pkt.Pool: a single-owner packet freelist.
 type Pool struct{ free []*Packet }

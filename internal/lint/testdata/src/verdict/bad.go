@@ -1,0 +1,61 @@
+package verdict
+
+import (
+	"core"
+	"pkt"
+)
+
+// Each case marks a packet directly while a verdict is in scope, so the
+// mark reaches the wire without a recorded reason and must be flagged.
+
+// directMark is the canonical bug: a marker receives the verdict and
+// ignores it.
+func directMark(p *pkt.Packet, v *core.Verdict) {
+	p.Mark() // want `"p"\.Mark\(\) bypasses verdict attribution`
+}
+
+// conditionalMark hides the direct mark behind marker-style control
+// flow, the shape of a real OnDequeue.
+func conditionalMark(sojourn, threshold int64, p *pkt.Packet, v *core.Verdict) bool {
+	if sojourn < threshold {
+		return false
+	}
+	return p.Mark() // want `"p"\.Mark\(\) bypasses verdict attribution`
+}
+
+// closureMark buries the call in a helper closure; the enclosing marker
+// still owns the verdict.
+func closureMark(p *pkt.Packet, v *core.Verdict) {
+	mark := func() {
+		p.Mark() // want `"p"\.Mark\(\) bypasses verdict attribution`
+	}
+	mark()
+}
+
+// litVerdict declares the verdict on the closure itself.
+var litVerdict = func(p *pkt.Packet, v *core.Verdict) {
+	p.Mark() // want `"p"\.Mark\(\) bypasses verdict attribution`
+}
+
+// markerState shows the receiver position counts too.
+type markerState struct{ marks int }
+
+// fire is a method whose parameter list carries the verdict.
+func (m *markerState) fire(p *pkt.Packet, v *core.Verdict) {
+	m.marks++
+	p.Mark() // want `"p"\.Mark\(\) bypasses verdict attribution`
+}
+
+// onVerdict has the verdict as the receiver, like core.Verdict's own
+// methods; an unwaived direct mark there is just as unattributed.
+type myVerdict = core.Verdict
+
+func helperOn(v *core.Verdict, p *pkt.Packet) {
+	if fresh(p).Mark() { // want `"packet"\.Mark\(\) bypasses verdict attribution`
+		v.Marked = true
+	}
+}
+
+// fresh returns its argument; it exists so a non-ident receiver
+// exercises the "packet" fallback in the diagnostic.
+func fresh(p *pkt.Packet) *pkt.Packet { return p }

@@ -1,0 +1,43 @@
+package verdict
+
+import (
+	"core"
+	"pkt"
+)
+
+// Legal shapes: routing through Fire, marking with no verdict in scope,
+// and an explicitly waived direct mark.
+
+// fired routes the mark through the attribution wrapper — the intended
+// marker shape.
+func fired(p *pkt.Packet, v *core.Verdict) {
+	v.Fire(core.ReasonTCNThreshold, p)
+}
+
+// noVerdict has no verdict in scope, so the rule leaves it alone (this
+// is how pkt's own tests exercise Mark).
+func noVerdict(p *pkt.Packet) bool {
+	return p.Mark()
+}
+
+// waived documents a sanctioned direct mark line by line.
+func waived(p *pkt.Packet, v *core.Verdict) {
+	p.Mark() //tcnlint:verdict fixture-sanctioned direct mark
+}
+
+// notAPacket proves the rule keys on the packet type, not the method
+// name: unrelated Mark methods stay legal.
+type gauge struct{ n int }
+
+func (g *gauge) Mark() bool { g.n++; return true }
+
+func otherMark(g *gauge, v *core.Verdict) {
+	g.Mark()
+}
+
+// markWithArgs is out of shape (pkt.Packet.Mark takes no arguments), so
+// a same-named helper with arguments is not matched.
+func verdictless(p *pkt.Packet) {
+	helper := func() { _ = p.Mark() }
+	helper()
+}

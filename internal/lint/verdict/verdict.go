@@ -1,0 +1,150 @@
+// Package verdict enforces causal mark attribution: a marker that holds
+// a *core.Verdict must not call pkt.Packet.Mark directly.
+//
+// Every marking decision in the simulator is supposed to carry a reason
+// — the decision ledger, the -explain report, and the Perfetto instants
+// all read it off the verdict the marker filled in. A direct p.Mark()
+// inside a marker applies CE without attribution: the packet shows up in
+// the transmission-side counters but the ledger has no idea why, and the
+// acceptance invariant "every mark carries a non-Unknown reason" breaks
+// silently. Routing the mark through (*core.Verdict).Fire records the
+// reason and the ECN-incapable fallback in one place.
+//
+// The analyzer flags any zero-argument Mark() call on a pkt.Packet made
+// inside a function (or a closure nested in one) whose signature —
+// receiver included — carries a *core.Verdict. Functions without a
+// verdict in scope are out of reach: pkt's own tests exercise Mark
+// directly and stay legal. The attribution wrapper itself waives its two
+// calls line by line with `//tcnlint:verdict` comments, the same escape
+// hatch available to any deliberate bypass.
+package verdict
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the verdict check.
+var Analyzer = &analysis.Analyzer{
+	Name: "verdict",
+	Doc:  "forbid direct pkt.Packet.Mark calls in functions holding a *core.Verdict; marks must route through Verdict.Fire so they carry a reason",
+	Run:  run,
+}
+
+// isPacket reports whether t is (a pointer to) pkt.Packet. Matching
+// covers both the real module path and the bare fixture package name so
+// the rule itself is testable.
+func isPacket(t types.Type) bool {
+	return isNamed(t, "Packet", "tcn/internal/pkt", "pkt")
+}
+
+// isVerdict reports whether t is (a pointer to) core.Verdict.
+func isVerdict(t types.Type) bool {
+	return isNamed(t, "Verdict", "tcn/internal/core", "core")
+}
+
+// isNamed dereferences pointers and matches a named type by name and
+// package path.
+func isNamed(t types.Type, name string, paths ...string) bool {
+	if t == nil {
+		return false
+	}
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	for _, p := range paths {
+		if obj.Pkg().Path() == p {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		file := f
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCall(pass, file, call, stack)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall flags a Mark() call on a packet when an enclosing function
+// carries a verdict the mark should have been routed through.
+func checkCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Mark" || len(call.Args) != 0 {
+		return
+	}
+	if !isPacket(pass.TypesInfo.TypeOf(sel.X)) {
+		return
+	}
+	if !verdictInScope(pass, stack) {
+		return
+	}
+	if analysis.LineCommentDirective(pass.Fset, file, call.Pos(), "verdict") {
+		return
+	}
+	recv := "packet"
+	if id, ok := sel.X.(*ast.Ident); ok {
+		recv = id.Name
+	}
+	pass.Reportf(call.Pos(), "%q.Mark() bypasses verdict attribution: this function holds a *core.Verdict, so the mark must route through Verdict.Fire to carry a reason",
+		recv)
+}
+
+// verdictInScope reports whether any enclosing function in the stack —
+// the innermost FuncLit up through the FuncDecl, receiver included —
+// declares a *core.Verdict.
+func verdictInScope(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			if fieldsHaveVerdict(pass, fn.Type.Params) {
+				return true
+			}
+		case *ast.FuncDecl:
+			if fieldsHaveVerdict(pass, fn.Recv) || fieldsHaveVerdict(pass, fn.Type.Params) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldsHaveVerdict reports whether any field in the list is a verdict.
+func fieldsHaveVerdict(pass *analysis.Pass, fl *ast.FieldList) bool {
+	if fl == nil {
+		return false
+	}
+	for _, f := range fl.List {
+		if isVerdict(pass.TypesInfo.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package verdict_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/linttest"
+	"tcn/internal/lint/verdict"
+)
+
+func TestVerdict(t *testing.T) {
+	linttest.Run(t, verdict.Analyzer, "verdict")
+}

@@ -39,6 +39,7 @@ import (
 
 	"tcn/internal/obs"
 	"tcn/internal/sim"
+	"tcn/internal/trace"
 )
 
 // Config parameterizes a Recorder. Zero values select the defaults.
@@ -55,6 +56,12 @@ type Config struct {
 	Seed int64
 	// Registry, if set, is rendered into the Prometheus exposition.
 	Registry *obs.Registry
+	// Ledger, if set, is rendered into the exposition as JSONL (the
+	// /ledger.jsonl endpoint).
+	Ledger *trace.Ledger
+	// Pipeline, if set, is rendered into the exposition as Chrome
+	// trace-event JSON (the /trace.perfetto.json endpoint).
+	Pipeline *trace.Pipeline
 }
 
 // withDefaults fills unset fields.
@@ -205,6 +212,12 @@ type Exposition struct {
 	Timeseries []byte
 	// Flows is the CSV export of the tracked flow spans.
 	Flows []byte
+	// Ledger is the JSONL export of the decision ledger (empty when the
+	// recorder has no ledger).
+	Ledger []byte
+	// Perfetto is the Chrome trace-event JSON export of the pipeline
+	// recorder (empty when the recorder has no pipeline).
+	Perfetto []byte
 }
 
 // RequestPublish asks the simulation goroutine to render a fresh
@@ -241,6 +254,17 @@ func (r *Recorder) publish() {
 	buf.Reset()
 	_ = r.Spans().WriteCSV(&buf)
 	e.Flows = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if r.cfg.Ledger != nil {
+		// Rendering into a bytes.Buffer cannot fail.
+		_ = r.cfg.Ledger.WriteJSONL(&buf)
+		e.Ledger = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+	}
+	if r.cfg.Pipeline != nil {
+		_ = r.cfg.Pipeline.WriteJSON(&buf)
+		e.Perfetto = append([]byte(nil), buf.Bytes()...)
+	}
 	r.pub.Store(e)
 }
 

@@ -135,6 +135,22 @@ type Qdisc struct {
 	busy    bool
 	waiting bool
 
+	// OnTransmit, if set, observes every packet leaving the qdisc after
+	// dequeue-side marking, before the Transmit callback.
+	OnTransmit func(now sim.Time, qi int, p *pkt.Packet)
+	// OnDrop, if set, observes every packet rejected by the buffer.
+	OnDrop func(now sim.Time, qi int, p *pkt.Packet)
+	// OnVerdict, if set, observes every decisive marking/dropping
+	// decision. The verdict is the qdisc's scratch — copy to keep.
+	OnVerdict func(now sim.Time, qi int, p *pkt.Packet, v *core.Verdict)
+	// OnShaperWait, if set, observes every token-bucket stall: the head
+	// of queue qi must wait `wait` before enough tokens accrue.
+	OnShaperWait func(now sim.Time, qi int, wait sim.Time)
+
+	// verdict is the per-qdisc scratch every marker call fills in
+	// (single-goroutine per engine, so one suffices; see fabric.Port).
+	verdict core.Verdict
+
 	// stats, when attached via Instrument, receives per-queue counters
 	// and histograms; nil = off.
 	stats *obs.PortObs
@@ -200,6 +216,16 @@ func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
 		if q.stats != nil {
 			q.stats.Drop(qi, p.Size)
 		}
+		if q.OnDrop != nil {
+			q.OnDrop(now, qi, p)
+		}
+		if q.OnVerdict != nil {
+			q.verdict.Reset(core.StageAdmission, q.buf.Bytes(qi), q.buf.Used())
+			q.verdict.Reason = core.ReasonBufferOverflow
+			q.verdict.Dropped = true
+			q.verdict.TokensBytes = q.bucket.Level(now)
+			q.OnVerdict(now, qi, p, &q.verdict)
+		}
 		return false
 	}
 	if q.stats != nil {
@@ -207,7 +233,12 @@ func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
 	}
 	p.EnqueuedAt = now
 	q.sch.OnEnqueue(now, qi, p)
-	q.marker.OnEnqueue(now, qi, p, q)
+	q.verdict.Reset(core.StageEnqueue, q.buf.Bytes(qi), q.buf.Used())
+	q.verdict.TokensBytes = q.bucket.Level(now)
+	q.marker.OnEnqueue(now, qi, p, q, &q.verdict)
+	if q.OnVerdict != nil && q.verdict.Decisive() {
+		q.OnVerdict(now, qi, p, &q.verdict)
+	}
 	if !q.busy && !q.waiting {
 		q.dequeue()
 	}
@@ -225,6 +256,9 @@ func (q *Qdisc) dequeue() {
 	head := q.buf.Head(qi)
 	if ok, wait := q.bucket.Take(now, head.Size); !ok {
 		// Not enough tokens: retry when they have accrued.
+		if q.OnShaperWait != nil {
+			q.OnShaperWait(now, qi, wait)
+		}
 		q.busy = false
 		q.waiting = true
 		q.eng.After(wait, func() {
@@ -242,10 +276,18 @@ func (q *Qdisc) dequeue() {
 			p.Sojourn(now), p.EnqueuedAt, now)
 	}
 	q.sch.OnDequeue(now, qi, p)
-	q.marker.OnDequeue(now, qi, p, q)
+	q.verdict.Reset(core.StageDequeue, q.buf.Bytes(qi), q.buf.Used())
+	q.verdict.TokensBytes = q.bucket.Level(now)
+	q.marker.OnDequeue(now, qi, p, q, &q.verdict)
+	if q.OnVerdict != nil && q.verdict.Decisive() {
+		q.OnVerdict(now, qi, p, &q.verdict)
+	}
 	q.Sent++
 	if q.stats != nil {
 		q.stats.Transmit(qi, p.Size, p.Sojourn(now), p.ECN == pkt.CE)
+	}
+	if q.OnTransmit != nil {
+		q.OnTransmit(now, qi, p)
 	}
 	q.transmit(now, p)
 	// The wire is busy for the serialization time; then pull the next

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Perfetto golden file")
+
+// goldenScenario runs the deterministic mark-and-drop port with a
+// pipeline recorder attached and returns the exported bytes.
+func goldenScenario(t *testing.T, capacity int) ([]byte, *Pipeline) {
+	t.Helper()
+	eng := sim.NewEngine()
+	port := marksAndDropsPort(eng)
+	pl := NewPipeline(capacity)
+	pl.AttachPort("sw.p0", port)
+	for i := 0; i < 10; i++ {
+		port.Send(&pkt.Packet{Size: 1500, ECN: pkt.ECT0, Flow: 1, Seq: int64(i)})
+	}
+	eng.Run()
+	var buf bytes.Buffer
+	if err := pl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), pl
+}
+
+// TestPerfettoGolden pins the exported Chrome trace-event JSON byte for
+// byte: the document Perfetto loads must not drift silently. Regenerate
+// with `go test ./internal/trace -run Golden -update` and re-load the new
+// file in https://ui.perfetto.dev before committing it.
+func TestPerfettoGolden(t *testing.T) {
+	got, _ := goldenScenario(t, 1<<10)
+	path := filepath.Join("testdata", "perfetto_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Perfetto export drifted from golden (%d vs %d bytes); rerun with -update and re-validate in the Perfetto UI", len(got), len(want))
+	}
+}
+
+// TestPerfettoDocumentShape validates the export semantically: parseable
+// JSON, the trace-event envelope, named tracks, and well-formed spans and
+// instants carrying the attribution args.
+func TestPerfettoDocumentShape(t *testing.T) {
+	raw, _ := goldenScenario(t, 1<<10)
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			S    string   `json:"s"`
+			Args *struct {
+				Name   string `json:"name"`
+				Reason string `json:"reason"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	var meta, spans, marks, drops int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Args == nil || e.Args.Name == "" {
+				t.Fatalf("metadata without a name: %+v", e)
+			}
+		case "X":
+			spans++
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("span without duration: %+v", e)
+			}
+		case "i":
+			if e.S != "t" {
+				t.Fatalf("instant without thread scope: %+v", e)
+			}
+			if e.Args == nil || e.Args.Reason == "" {
+				t.Fatalf("instant without a reason: %+v", e)
+			}
+			switch e.Name {
+			case "mark":
+				marks++
+			case "drop":
+				drops++
+			default:
+				t.Fatalf("unknown instant %q", e.Name)
+			}
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+		if e.Pid < 1 || e.Tid < 0 {
+			t.Fatalf("bad track ids: %+v", e)
+		}
+	}
+	// One process_name + wire + q0 thread_name records for the one port.
+	if meta != 3 {
+		t.Fatalf("metadata events = %d, want 3", meta)
+	}
+	if spans == 0 || marks == 0 || drops == 0 {
+		t.Fatalf("spans=%d marks=%d drops=%d: scenario should produce all three", spans, marks, drops)
+	}
+}
+
+// TestPipelineRingEviction bounds retention while Recorded stays exact.
+func TestPipelineRingEviction(t *testing.T) {
+	raw, pl := goldenScenario(t, 4)
+	if pl.Recorded() <= 4 {
+		t.Fatalf("recorded %d events, scenario should overflow capacity 4", pl.Recorded())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var payload int
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			payload++
+		}
+	}
+	if payload != 4 {
+		t.Fatalf("exported %d payload events, want exactly the ring capacity 4", payload)
+	}
+}
+
+// TestPerfettoEmptyPipeline keeps the empty export loadable: traceEvents
+// must render as [] and metadata for attached tracks still appears.
+func TestPerfettoEmptyPipeline(t *testing.T) {
+	pl := NewPipeline(8)
+	var buf bytes.Buffer
+	if err := pl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Fatalf("empty export: %s", buf.String())
+	}
+}
+
+func TestNewPipelineValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPipeline(0)
+}

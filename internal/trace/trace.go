@@ -7,37 +7,26 @@ package trace
 import (
 	"fmt"
 
+	"tcn/internal/core"
 	"tcn/internal/fabric"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
 
-// Kind classifies an event.
-type Kind uint8
+// Kind classifies an event. It is an alias of core.EventKind, the single
+// source of truth for the "tx"/"mark"/"drop" naming shared with the
+// decision ledger, Perfetto instants, and flight-recorder spans.
+type Kind = core.EventKind
 
-// Event kinds.
+// Event kinds, re-exported under their traditional trace names.
 const (
 	// Transmit is a packet leaving a port onto its link.
-	Transmit Kind = iota
+	Transmit = core.EventTx
 	// Mark is a transmit whose packet carried CE.
-	Mark
+	Mark = core.EventMark
 	// Drop is a packet rejected at admission.
-	Drop
-	nKinds
+	Drop = core.EventDrop
 )
-
-func (k Kind) String() string {
-	switch k {
-	case Transmit:
-		return "tx"
-	case Mark:
-		return "mark"
-	case Drop:
-		return "drop"
-	default:
-		return fmt.Sprintf("kind(%d)", uint8(k))
-	}
-}
 
 // Event is one recorded occurrence. The packet is summarized by value so
 // the trace stays valid after the packet moves on.
@@ -71,7 +60,7 @@ type Tracer struct {
 	ring   []Event
 	next   int
 	filled bool
-	counts [nKinds]int64
+	counts [core.NumEventKinds]int64
 }
 
 // New returns a tracer holding up to capacity events.

@@ -19,10 +19,10 @@ func twoHostStar(eng *sim.Engine, marker func() core.Marker) *fabric.Star {
 // markAll CE-marks every ECT packet unconditionally.
 type markAll struct{}
 
-func (markAll) Name() string                                         { return "mark-all" }
-func (markAll) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState) {}
-func (markAll) OnDequeue(_ sim.Time, _ int, p *pkt.Packet, _ core.PortState) {
-	p.Mark()
+func (markAll) Name() string                                                        { return "mark-all" }
+func (markAll) OnEnqueue(sim.Time, int, *pkt.Packet, core.PortState, *core.Verdict) {}
+func (markAll) OnDequeue(_ sim.Time, _ int, p *pkt.Packet, _ core.PortState, v *core.Verdict) {
+	v.Fire(core.ReasonTCNThreshold, p)
 }
 
 func TestDCTCPAlphaConvergesUnderFullMarking(t *testing.T) {
