@@ -20,7 +20,7 @@ lint:
 # and the parallel sweep at workers=1/2/4, written as JSON for comparison.
 # -diff fails on a packet-path regression against the previous baseline.
 bench:
-	$(GO) run ./cmd/tcnbench -count 3 -o BENCH_pr5.json -diff BENCH_pr4.json
+	$(GO) run ./cmd/tcnbench -count 3 -o BENCH_pr6.json -diff BENCH_pr5.json
 
 # bench-smoke runs every benchmark once — cheap regression/compile coverage
 # for the bench suite itself (CI runs this on every push).

@@ -16,6 +16,7 @@ import (
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
+	"tcn/internal/obs/perf"
 	"tcn/internal/pkt"
 	"tcn/internal/qdisc"
 	"tcn/internal/sim"
@@ -313,10 +314,20 @@ func BenchmarkPacketPathSteadyState(b *testing.B) {
 	eng.RunUntil(50 * sim.Millisecond) // warm pools past slow start
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := eng.Executed
 	for i := 0; i < b.N; i++ {
 		eng.RunUntil(eng.Now() + sim.Millisecond)
 	}
 	b.ReportMetric(float64(eng.Executed)/float64(b.N), "events/op")
+	// events/sec is ROADMAP item 2's ratchet metric; the tcnbench -diff
+	// gate fails on a >25% regression once a baseline records it.
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(eng.Executed-start)/el, "events/sec")
+	}
+	pool := st.Pool()
+	if tot := pool.Allocs + pool.Reuses; tot > 0 {
+		b.ReportMetric(100*float64(pool.Reuses)/float64(tot), "pool-hit-%")
+	}
 }
 
 func max(a, b int) int {
@@ -528,4 +539,69 @@ func BenchmarkFlightSpanEvent(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		event()
 	}
+}
+
+// BenchmarkPerfCampaignRecord measures the self-telemetry per-cell path:
+// a tracker claim/finish pair plus the end-of-cell engine and pool
+// report. Like the flight recorder's hot paths it must stay
+// allocation-free — the campaign observes the simulator without ever
+// perturbing it, so everything is a handful of atomic ops. The fake
+// clock keeps this bench wall-clock free and deterministic.
+func BenchmarkPerfCampaignRecord(b *testing.B) {
+	var fakeNow int64
+	camp := perf.NewCampaign(func() int64 { fakeNow += 1000; return fakeNow })
+	camp.SweepStart(4, 1<<30)
+	eng := sim.NewEngine()
+	eng.SetMeter(camp.Meter())
+	eng.At(0, func() {})
+	eng.Run() // touch the counters so ReportEngine folds real values
+	var pool pkt.Pool
+	pool.Put(pool.Get())
+	i := 0
+	record := func() {
+		w := i & 3
+		camp.CellStart(w, i)
+		camp.ReportEngine(eng)
+		camp.ReportPool(&pool)
+		camp.CellDone(w, i)
+		i++
+	}
+	if a := testing.AllocsPerRun(1000, record); a != 0 { //tcnlint:floatexact zero-alloc assertion, exact by definition
+		b.Fatalf("perf campaign record path allocates: %v allocs/op", a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record()
+	}
+}
+
+// BenchmarkTDigestAdd measures the streaming FCT sketch's per-sample
+// path, including the periodic sort+compress flushes as the buffer
+// cycles. The digest replaces per-flow slice accumulation in the sweep
+// runners, so its record path must not allocate either — all merge
+// scratch space is preallocated at construction.
+func BenchmarkTDigestAdd(b *testing.B) {
+	d := metrics.NewTDigest(metrics.DefaultCompression)
+	x := 17.0
+	add := func() {
+		// A deterministic spread wide enough to exercise compression.
+		x = x*1.7 + 3
+		if x > 1e9 {
+			x = 17
+		}
+		d.Add(x)
+	}
+	for i := 0; i < 1<<14; i++ {
+		add() // warm past the first flushes
+	}
+	if a := testing.AllocsPerRun(10000, add); a != 0 { //tcnlint:floatexact zero-alloc assertion, exact by definition
+		b.Fatalf("t-digest record path allocates: %v allocs/op", a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		add()
+	}
+	b.ReportMetric(d.Quantile(0.99), "p99-estimate")
 }

@@ -11,9 +11,11 @@
 //
 // With -diff, the fresh results are compared against a committed baseline
 // and the run fails on a regression in the steady-state packet path: any
-// growth in allocs/op (the hot path is pinned at zero), or more than 25%
-// in ns/op. The best (minimum) value across -count repeats is compared on
-// both sides, damping single-iteration noise.
+// growth in allocs/op (the hot path is pinned at zero), more than 25% in
+// ns/op, or more than a 25% drop in events/sec (ROADMAP item 2's ratchet
+// metric; skipped with a note against baselines that predate it). The
+// best value across -count repeats is compared on both sides (minimum
+// for costs, maximum for throughput), damping single-iteration noise.
 //
 // The default selection runs the perf-critical benches — the engine core,
 // the steady-state packet path, and the parallel sweep at workers=1..4 —
@@ -57,7 +59,7 @@ type Baseline struct {
 func main() {
 	var (
 		benchRe = flag.String("bench",
-			"BenchmarkEngine|BenchmarkSweepParallel|BenchmarkPacketPathSteadyState|BenchmarkFig6IsolationDWRR",
+			"BenchmarkEngine|BenchmarkSweepParallel|BenchmarkPacketPathSteadyState|BenchmarkFig6IsolationDWRR|BenchmarkPerfCampaignRecord|BenchmarkTDigestAdd",
 			"benchmark selection regex passed to go test")
 		benchTime = flag.String("benchtime", "1x", "value for -benchtime")
 		count     = flag.Int("count", 1, "value for -count")
@@ -157,6 +159,26 @@ func bestMetric(b Baseline, name, metric string) (float64, bool) {
 	return best, found
 }
 
+// peakMetric is bestMetric's higher-is-better twin: the maximum value of
+// one metric across repeats, for throughput numbers like events/sec where
+// the best repeat is the one least slowed by scheduling noise.
+func peakMetric(b Baseline, name, metric string) (float64, bool) {
+	best, found := 0.0, false
+	for _, r := range b.Results {
+		if r.Name != name {
+			continue
+		}
+		v, ok := r.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if !found || v > best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
 // diffBaselines prints an ns/op comparison for every benchmark present on
 // both sides and returns an error when the gate benchmark regressed.
 func diffBaselines(w io.Writer, old, cur Baseline) error {
@@ -193,7 +215,18 @@ func diffBaselines(w io.Writer, old, cur Baseline) error {
 		return fmt.Errorf("%s ns/op grew %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
 			gateBench, oldNs, curNs, 100*(curNs-oldNs)/oldNs, 100*gateTolerance)
 	}
-	fmt.Fprintf(w, "  gate %s ok: allocs/op %v -> %v, ns/op within %.0f%%\n",
+	oldEv, okOE := peakMetric(old, gateBench, "events/sec")
+	curEv, okCE := peakMetric(cur, gateBench, "events/sec")
+	switch {
+	case !okOE:
+		fmt.Fprintf(w, "  note: baseline has no events/sec for %s (predates the metric); gate skipped this round\n", gateBench)
+	case !okCE:
+		return fmt.Errorf("%s stopped reporting events/sec (baseline had %.0f)", gateBench, oldEv)
+	case curEv < oldEv*(1-gateTolerance):
+		return fmt.Errorf("%s events/sec fell %.0f -> %.0f (%.1f%%, tolerance %.0f%%)",
+			gateBench, oldEv, curEv, 100*(curEv-oldEv)/oldEv, 100*gateTolerance)
+	}
+	fmt.Fprintf(w, "  gate %s ok: allocs/op %v -> %v, ns/op and events/sec within %.0f%%\n",
 		gateBench, oldAllocs, curAllocs, 100*gateTolerance)
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
+	"tcn/internal/obs/perf"
 	"tcn/internal/parallel"
 	"tcn/internal/sim"
 	"tcn/internal/trace"
@@ -44,6 +45,10 @@ func main() {
 
 		workers = flag.Int("workers", parallel.DefaultWorkers(),
 			"sweep points evaluated concurrently (results are identical at any count; forced to 1 when -stats/-trace/-explain/-ledger/-perfetto/-serve/-timeseries/-flow-spans attach observers)")
+		progress = flag.Bool("progress", false,
+			"print a periodic progress line to stderr: cells done/total, live events/sec, sim time, ETA (works at any -workers)")
+		exactFCT = flag.Bool("exact-fct", false,
+			"retain every per-flow FCT record and compute exact P99 instead of the default bounded-memory streaming t-digest")
 
 		statsFile = flag.String("stats", "", "write a JSON stats snapshot of every instrumented port to this file ('-' = stdout)")
 		statsText = flag.Bool("stats-text", false, "render -stats in tc(8)-style text instead of JSON")
@@ -55,7 +60,7 @@ func main() {
 		ledgerCap    = flag.Int("ledger-events", 1<<16, "verdicts retained in the ledger ring (exact counters never evict)")
 		perfettoFile = flag.String("perfetto", "", "write per-packet pipeline-stage spans as Chrome trace-event JSON (Perfetto-loadable) to this file ('-' = stdout)")
 		perfettoCap  = flag.Int("perfetto-events", 1<<16, "pipeline events retained in the Perfetto ring")
-		serveAddr    = flag.String("serve", "", "serve /metrics, /timeseries.csv, /flows.csv, /ledger.jsonl, /trace.perfetto.json, and pprof on this address while running (e.g. :9090)")
+		serveAddr    = flag.String("serve", "", "serve /metrics, /timeseries.csv, /flows.csv, /ledger.jsonl, /trace.perfetto.json, /perf.json, /campaign.json, and pprof on this address while running (e.g. :9090)")
 		tsFile       = flag.String("timeseries", "", "write the flight-recorder time series to this file, CSV by default, JSON for a .json suffix ('-' = stdout)")
 		spansFile    = flag.String("flow-spans", "", "write per-flow lifecycle spans (FCT, bytes, marks, drops, max sojourn) as CSV to this file ('-' = stdout)")
 		samplePeriod = flag.Duration("sample-period", 100*time.Microsecond, "flight-recorder probe polling period (simulated time)")
@@ -79,12 +84,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-ledger-events %d and -perfetto-events %d must be positive\n", *ledgerCap, *perfettoCap)
 		os.Exit(2)
 	}
-	wantFlight := *serveAddr != "" || *tsFile != "" || *spansFile != ""
-	wantLedger := *explain || *ledgerFile != "" || *serveAddr != ""
-	wantPipeline := *perfettoFile != "" || *serveAddr != ""
+	// The flight-recorder/registry/ledger sinks are shared mutable state
+	// and force a sweep serial, so -serve only attaches them at -workers 1.
+	// At higher worker counts -serve still exposes the atomics-backed
+	// /perf.json and /campaign.json (the campaign dashboard), which work
+	// mid-run at any fan-out; the network-observability endpoints answer
+	// 503 in that mode.
+	serveFull := *serveAddr != "" && *workers <= 1
+	wantFlight := serveFull || *tsFile != "" || *spansFile != ""
+	wantLedger := *explain || *ledgerFile != "" || serveFull
+	wantPipeline := *perfettoFile != "" || serveFull
 	if *statsFile != "" || *traceFile != "" || wantFlight || wantLedger || wantPipeline {
 		obsSink = &experiments.Obs{}
-		if *statsFile != "" || *serveAddr != "" {
+		if *statsFile != "" || serveFull {
 			// -serve needs a registry so /metrics has instruments to render.
 			obsSink.Registry = obs.NewRegistry()
 		}
@@ -115,22 +127,38 @@ func main() {
 			})
 		}
 	}
+	if *progress || *serveAddr != "" {
+		// The self-telemetry campaign is atomics-only and never forces a
+		// sweep serial, so -progress composes with -workers N. The wall
+		// clock is injected here: internal packages may not call time.Now
+		// (simclock lint).
+		if obsSink == nil {
+			obsSink = &experiments.Obs{}
+		}
+		obsSink.Perf = perf.NewCampaign(func() int64 { return time.Now().UnixNano() })
+	}
 	if *serveAddr != "" {
-		srv, err := startServer(*serveAddr, obsSink.Flight)
+		srv, err := startServer(*serveAddr, obsSink.Flight, obsSink.Perf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer waitForShutdown(srv)
 	}
-	cfg := runConfig{flows: *flows, loads: parseLoads(*loads), seed: *seed, full: *full, seeds: *seeds, workers: *workers}
+	cfg := runConfig{flows: *flows, loads: parseLoads(*loads), seed: *seed, full: *full, seeds: *seeds, workers: *workers, exactFCT: *exactFCT}
 	run, ok := runners[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		usage()
 		os.Exit(2)
 	}
-	run(cfg)
+	if *progress {
+		stop := startProgress(obsSink.Perf)
+		run(cfg)
+		stop()
+	} else {
+		run(cfg)
+	}
 	if obsSink != nil && obsSink.Flight != nil {
 		obsSink.Flight.Seal()
 	}
@@ -253,12 +281,13 @@ func writeTo(path string, write func(io.Writer) error) error {
 }
 
 type runConfig struct {
-	flows   int
-	loads   []float64
-	seed    int64
-	seeds   int
-	full    bool
-	workers int
+	flows    int
+	loads    []float64
+	seed     int64
+	seeds    int
+	full     bool
+	workers  int
+	exactFCT bool
 }
 
 func (c runConfig) testbedSweep() experiments.SweepConfig {
@@ -266,6 +295,7 @@ func (c runConfig) testbedSweep() experiments.SweepConfig {
 	sw.Seed = c.seed
 	sw.Obs = obsSink
 	sw.Workers = c.workers
+	sw.ExactFCT = c.exactFCT
 	if c.full {
 		sw.Flows = 5000
 	} else {
@@ -282,7 +312,7 @@ func (c runConfig) testbedSweep() experiments.SweepConfig {
 }
 
 func (c runConfig) leafSweep() experiments.LeafSpineSweepConfig {
-	ls := experiments.LeafSpineSweepConfig{Seed: c.seed, Obs: obsSink, Workers: c.workers}
+	ls := experiments.LeafSpineSweepConfig{Seed: c.seed, Obs: obsSink, Workers: c.workers, ExactFCT: c.exactFCT}
 	if c.full {
 		ls.Flows = 50_000
 		ls.Loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
@@ -349,6 +379,8 @@ func usage() {
 
 Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)
        -workers N (parallel sweep points; default GOMAXPROCS)
+       -progress (periodic stderr line: cells, events/sec, ETA)
+       -exact-fct (per-flow records + exact P99 instead of streaming t-digest)
        -stats FILE [-stats-text]  -trace FILE [-trace-events N]
        -explain (verdict-breakdown report: why each mark/drop happened)
        -ledger FILE [-ledger-events N]  (decision ledger, JSONL)
@@ -575,6 +607,7 @@ func runDCQCN(c runConfig) {
 	fmt.Println("== DCQCN under TCN marking: cut-off vs probabilistic (§4.3) ==")
 	cfg := experiments.DefaultDCQCNSweep()
 	cfg.Base.Seed = c.seed
+	cfg.Base.Obs = obsSink
 	cfg.Workers = c.workers
 	sw := experiments.RunDCQCNSweep(cfg)
 	fmt.Printf("%-14s %8s %8s %10s %12s %12s %8s\n",

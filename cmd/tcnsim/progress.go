@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tcn/internal/obs/perf"
+)
+
+// progressPeriod is how often -progress prints to stderr.
+const progressPeriod = 2 * time.Second
+
+// startProgress launches the -progress reporter against the campaign's
+// live atomics and returns a stop function that prints one final line.
+// The reporter runs on its own goroutine and never touches simulator
+// state — it reads the same snapshot /perf.json serves.
+func startProgress(c *perf.Campaign) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(progressPeriod)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				printProgressLine(c)
+				return
+			case <-t.C:
+				printProgressLine(c)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+func printProgressLine(c *perf.Campaign) {
+	s := c.SnapshotNow(false)
+	eta := "--"
+	if s.ETASeconds > 0 {
+		d := time.Duration(s.ETASeconds * float64(time.Second))
+		eta = d.Truncate(time.Second).String()
+	}
+	fmt.Fprintf(os.Stderr, "progress: cells %d/%d  events %s (%s/s)  sim %.1fs  wall %.0fs  eta %s\n",
+		s.CellsDone, s.CellsTotal,
+		humanCount(float64(s.LiveEvents)), humanCount(s.EventsPerSecond),
+		s.SimSeconds, s.WallSeconds, eta)
+}
+
+// humanCount renders a count with a k/M/G suffix for the progress line.
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tcn/internal/obs/flight"
+	"tcn/internal/obs/perf"
 )
 
 // The -serve endpoint. The simulation itself is single-goroutine and
@@ -53,9 +54,16 @@ func latestExposition(rec *flight.Recorder) *flight.Exposition {
 	return rec.Latest()
 }
 
-// exposeHandler serves one Exposition field with a content type.
+// exposeHandler serves one Exposition field with a content type. rec is
+// nil when -serve runs alongside a parallel sweep (-workers > 1): the
+// flight recorder would force the sweep serial, so only the perf
+// endpoints are live in that mode.
 func exposeHandler(rec *flight.Recorder, contentType string, field func(*flight.Exposition) []byte) http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) {
+		if rec == nil {
+			http.Error(w, "flight recorder not attached (rerun with -workers 1 for network-observability endpoints)", http.StatusServiceUnavailable)
+			return
+		}
 		e := latestExposition(rec)
 		if e == nil {
 			http.Error(w, "no telemetry published yet", http.StatusServiceUnavailable)
@@ -66,8 +74,30 @@ func exposeHandler(rec *flight.Recorder, contentType string, field func(*flight.
 	}
 }
 
-// newServeMux wires /metrics, /timeseries.csv, /flows.csv, and pprof.
-func newServeMux(rec *flight.Recorder) *http.ServeMux {
+// perfHandler serves a self-telemetry JSON document rendered straight
+// from the campaign's atomics. Unlike the flight-recorder endpoints it
+// needs no simulation-goroutine tick, so it answers instantly mid-cell
+// and at any -workers count — the flight handoff would stall until the
+// next sampler tick, which a parallel sweep never runs.
+func perfHandler(camp *perf.Campaign, render func(*perf.Campaign) ([]byte, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if camp == nil {
+			http.Error(w, "no perf campaign attached", http.StatusServiceUnavailable)
+			return
+		}
+		b, err := render(camp)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(b)
+	}
+}
+
+// newServeMux wires /metrics, /timeseries.csv, /flows.csv, /perf.json,
+// /campaign.json, and pprof.
+func newServeMux(rec *flight.Recorder, camp *perf.Campaign) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics",
 		exposeHandler(rec, "text/plain; version=0.0.4; charset=utf-8",
@@ -84,6 +114,8 @@ func newServeMux(rec *flight.Recorder) *http.ServeMux {
 	mux.HandleFunc("/trace.perfetto.json",
 		exposeHandler(rec, "application/json; charset=utf-8",
 			func(e *flight.Exposition) []byte { return e.Perfetto }))
+	mux.HandleFunc("/perf.json", perfHandler(camp, (*perf.Campaign).PerfJSON))
+	mux.HandleFunc("/campaign.json", perfHandler(camp, (*perf.Campaign).CampaignJSON))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -94,7 +126,7 @@ func newServeMux(rec *flight.Recorder) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "tcnsim flight recorder\n\n/metrics\n/timeseries.csv\n/flows.csv\n/ledger.jsonl\n/trace.perfetto.json\n/debug/pprof/\n")
+		fmt.Fprint(w, "tcnsim flight recorder\n\n/metrics\n/timeseries.csv\n/flows.csv\n/ledger.jsonl\n/trace.perfetto.json\n/perf.json\n/campaign.json\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -102,13 +134,13 @@ func newServeMux(rec *flight.Recorder) *http.ServeMux {
 // startServer begins serving the recorder on addr and returns once the
 // listener is bound, so a caller racing curl in CI cannot hit a closed
 // port.
-func startServer(addr string, rec *flight.Recorder) (*http.Server, error) {
+func startServer(addr string, rec *flight.Recorder, camp *perf.Campaign) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: newServeMux(rec)}
-	fmt.Fprintf(os.Stderr, "serving flight recorder on http://%s (metrics, timeseries.csv, flows.csv, ledger.jsonl, trace.perfetto.json, debug/pprof)\n", ln.Addr())
+	srv := &http.Server{Handler: newServeMux(rec, camp)}
+	fmt.Fprintf(os.Stderr, "serving flight recorder on http://%s (metrics, timeseries.csv, flows.csv, ledger.jsonl, trace.perfetto.json, perf.json, campaign.json, debug/pprof)\n", ln.Addr())
 	go srv.Serve(ln)
 	return srv, nil
 }

@@ -128,6 +128,9 @@ func NewStack(eng *sim.Engine, cfg Config, hosts []*fabric.Host) *Stack {
 // Config returns the effective configuration.
 func (s *Stack) Config() Config { return s.cfg }
 
+// Pool exposes the stack's packet pool for self-telemetry reporting.
+func (s *Stack) Pool() *pkt.Pool { return &s.pool }
+
 // Start opens an endless DCQCN stream from src to dst in the given
 // service class and returns its sender.
 func (s *Stack) Start(src, dst int, class uint8) *Sender {

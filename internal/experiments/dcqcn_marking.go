@@ -34,6 +34,9 @@ type DCQCNMarkingConfig struct {
 	Pmax       float64
 	// Seed feeds the marker's coin flips.
 	Seed int64
+	// Obs carries the self-telemetry campaign, if any; the DCQCN runs
+	// attach no per-port sinks, so only the Perf field is consulted.
+	Obs *Obs
 }
 
 // DefaultDCQCNMarking returns the experiment defaults.
@@ -65,6 +68,7 @@ type DCQCNMarkingResult struct {
 // RunDCQCNMarking executes one run.
 func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
 	eng := sim.NewEngine()
+	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
 
 	recv := cfg.Senders
@@ -125,6 +129,7 @@ func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
 	for _, s := range snds {
 		res.CNPs += s.CNPs
 	}
+	cfg.Obs.ReportCell(eng, st.Pool())
 	return res
 }
 
@@ -161,7 +166,7 @@ type DCQCNSweep struct {
 // marking at every sender count, each cell an independent engine.
 func RunDCQCNSweep(cfg DCQCNSweepConfig) DCQCNSweep {
 	cols := len(cfg.Senders)
-	flat := parallel.Run(sweepWorkers(cfg.Workers, nil), 2*cols,
+	flat := parallel.RunTracked(sweepWorkers(cfg.Workers, nil), 2*cols, cfg.Base.Obs.Tracker(),
 		func(i int) DCQCNMarkingResult {
 			c := cfg.Base
 			c.Probabilistic = i/cols == 1

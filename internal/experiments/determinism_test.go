@@ -13,6 +13,8 @@ func TestRunsAreDeterministic(t *testing.T) {
 	cfg := TestbedFCTConfig{
 		Scheme: SchemeTCN, Sched: SchedSPDWRR, PIAS: true,
 		Load: 0.8, Flows: 600, Seed: 42,
+		// Exact mode retains the per-flow records this test compares.
+		ExactFCT: true,
 	}
 	a := RunTestbedFCT(cfg)
 	b := RunTestbedFCT(cfg)

@@ -65,13 +65,14 @@ type Fig1Result struct {
 func RunFig1(cfg Fig1Config) Fig1Result {
 	return Fig1Result{
 		Scheme: cfg.Scheme,
-		Points: parallel.Run(sweepWorkers(cfg.Workers, cfg.Obs), len(cfg.FlowCounts),
+		Points: parallel.RunTracked(sweepWorkers(cfg.Workers, cfg.Obs), len(cfg.FlowCounts), cfg.Obs.Tracker(),
 			func(i int) Fig1Point { return runFig1Point(cfg, cfg.FlowCounts[i]) }),
 	}
 }
 
 func runFig1Point(cfg Fig1Config, n int) Fig1Point {
 	eng := sim.NewEngine()
+	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
 
 	pp := PortParams{
@@ -119,6 +120,7 @@ func runFig1Point(cfg Fig1Config, n int) Fig1Point {
 	if total > 0 {
 		share = s2 / total
 	}
+	cfg.Obs.ReportCell(eng, st.Pool())
 	return Fig1Point{
 		Service2Flows: n,
 		Service1Mbps:  s1,

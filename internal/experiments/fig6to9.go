@@ -28,6 +28,9 @@ type SweepConfig struct {
 	Seed int64
 	// Schemes overrides the default scheme set (nil = paper's set).
 	Schemes []Scheme
+	// ExactFCT switches every cell to exact per-flow record retention
+	// (see TestbedFCTConfig.ExactFCT).
+	ExactFCT bool
 	// Obs, if non-nil, receives per-port stats and packet traces for
 	// every cell, labelled <figure>.<scheme>.load<load>. Attaching any
 	// sink forces serial execution regardless of Workers.
@@ -62,7 +65,7 @@ func runTestbedSweep(figure string, sched SchedKind, pias bool, cfg SweepConfig)
 	}
 	sw := FCTSweep{Figure: figure, Sched: sched, Loads: cfg.Loads, Schemes: kept}
 	cols := len(cfg.Loads)
-	flat := parallel.Run(sweepWorkers(cfg.Workers, cfg.Obs), len(kept)*cols,
+	flat := parallel.RunTracked(sweepWorkers(cfg.Workers, cfg.Obs), len(kept)*cols, cfg.Obs.Tracker(),
 		func(i int) TestbedFCTResult {
 			s, load := kept[i/cols], cfg.Loads[i%cols]
 			return RunTestbedFCT(TestbedFCTConfig{
@@ -72,6 +75,7 @@ func runTestbedSweep(figure string, sched SchedKind, pias bool, cfg SweepConfig)
 				Flows:    cfg.Flows,
 				PIAS:     pias,
 				Seed:     cfg.Seed,
+				ExactFCT: cfg.ExactFCT,
 				Obs:      cfg.Obs,
 				ObsLabel: fmt.Sprintf("%s.%s.load%g", figure, s, load),
 			})

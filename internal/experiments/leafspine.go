@@ -38,6 +38,9 @@ type LeafSpineConfig struct {
 	Seed int64
 	// Deadline bounds the run (0 = generous default).
 	Deadline sim.Time
+	// ExactFCT retains per-flow records and exact P99 instead of the
+	// default streaming t-digest (see TestbedFCTConfig.ExactFCT).
+	ExactFCT bool
 	// Obs, if non-nil, receives per-port stats and packet traces,
 	// labelled <scheme>.<sched>.load<load>.sw<id>.p<i>.
 	Obs *Obs
@@ -90,6 +93,7 @@ func RunLeafSpine(cfg LeafSpineConfig) LeafSpineResult {
 		panic(err)
 	}
 	eng := sim.NewEngine()
+	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
 
 	// Thresholds per §6.2: DCTCP uses 65 packets / 78 us; ECN* uses 84
@@ -155,7 +159,7 @@ func RunLeafSpine(cfg LeafSpineConfig) LeafSpineResult {
 		Class:      func(r *sim.Rand) uint8 { return uint8(r.Intn(cfg.Services)) },
 	})
 
-	col := metrics.NewFCTCollector()
+	col := newFCTCollector(cfg.ExactFCT)
 	st.OnDone = func(f *transport.Flow) {
 		col.Record(metrics.FlowRecord{Size: f.Size, FCT: f.FCT(), Class: f.Class, Timeouts: f.Timeouts})
 	}
@@ -193,6 +197,8 @@ func RunLeafSpine(cfg LeafSpineConfig) LeafSpineResult {
 	for _, p := range net.SwitchPorts() {
 		res.Drops += p.Buffer().TotalDrops()
 	}
+	cfg.Obs.ReportCell(eng, st.Pool())
+	cfg.Obs.ReportFCT(col)
 	return res
 }
 
@@ -216,7 +222,7 @@ func runLeafSpineSweep(figure string, base LeafSpineConfig, loads []float64, sch
 	}
 	sw := LeafSpineSweep{Figure: figure, Sched: base.Sched, Loads: loads, Schemes: kept}
 	cols := len(loads)
-	flat := parallel.Run(sweepWorkers(workers, base.Obs), len(kept)*cols,
+	flat := parallel.RunTracked(sweepWorkers(workers, base.Obs), len(kept)*cols, base.Obs.Tracker(),
 		func(i int) LeafSpineResult {
 			c := base
 			c.Scheme = kept[i/cols]
@@ -236,6 +242,9 @@ type LeafSpineSweepConfig struct {
 	// Leaves/Spines/HostsPerLeaf shrink the fabric for CI (0 = paper's
 	// 12/12/12).
 	Leaves, Spines, HostsPerLeaf int
+	// ExactFCT switches every cell to exact per-flow record retention
+	// (see LeafSpineConfig.ExactFCT).
+	ExactFCT bool
 	// Obs, if non-nil, receives per-port stats and packet traces for
 	// every cell. Attaching any sink forces serial execution.
 	Obs *Obs
@@ -255,6 +264,7 @@ func (c LeafSpineSweepConfig) base() LeafSpineConfig {
 	if c.Leaves > 0 {
 		b.Leaves, b.Spines, b.HostsPerLeaf = c.Leaves, c.Spines, c.HostsPerLeaf
 	}
+	b.ExactFCT = c.ExactFCT
 	b.Obs = c.Obs
 	return b
 }

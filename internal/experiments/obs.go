@@ -7,6 +7,10 @@ import (
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
+	"tcn/internal/obs/perf"
+	"tcn/internal/parallel"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
 	"tcn/internal/trace"
 )
 
@@ -22,15 +26,73 @@ type Obs struct {
 	Flight   *flight.Recorder
 	Ledger   *trace.Ledger
 	Pipeline *trace.Pipeline
+
+	// Perf is the simulator self-telemetry campaign. Unlike the sinks
+	// above it is atomics-only and deliberately share-safe, so it does
+	// NOT count toward Active() and never forces a sweep serial.
+	Perf *perf.Campaign
 }
 
-// Active reports whether any sink is attached. Parallel sweep runners use
-// it to clamp fan-out to serial execution: the registry, tracer, flight
-// recorder, ledger, and pipeline are shared mutable state across every
-// cell that attaches to them, unlike the cells' own engines.
+// Active reports whether any simulated-network sink is attached. Parallel
+// sweep runners use it to clamp fan-out to serial execution: the
+// registry, tracer, flight recorder, ledger, and pipeline are shared
+// mutable state across every cell that attaches to them, unlike the
+// cells' own engines. Perf is excluded: it observes the simulator, not
+// the simulation, through atomics that tolerate any worker count.
 func (o *Obs) Active() bool {
 	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Flight != nil ||
 		o.Ledger != nil || o.Pipeline != nil)
+}
+
+// Tracker returns the perf campaign as a parallel.Tracker, or nil when no
+// campaign is attached — never a typed nil, so RunTracked's nil check
+// works.
+func (o *Obs) Tracker() parallel.Tracker {
+	if o == nil || o.Perf == nil {
+		return nil
+	}
+	return o.Perf
+}
+
+// AttachEngine hooks a cell's engine into the campaign's live meter so
+// -progress and /perf.json see events and sim time as they happen.
+// Call it right after sim.NewEngine; a nil *Obs or nil Perf is a no-op.
+func (o *Obs) AttachEngine(eng *sim.Engine) {
+	if o != nil && o.Perf != nil {
+		eng.SetMeter(o.Perf.Meter())
+	}
+}
+
+// ReportCell folds a finished cell's engine and packet-pool counters into
+// the campaign totals. Call it once per cell, after the last RunUntil,
+// from the goroutine that owns the engine.
+func (o *Obs) ReportCell(eng *sim.Engine, pools ...*pkt.Pool) {
+	if o == nil || o.Perf == nil {
+		return
+	}
+	o.Perf.ReportEngine(eng)
+	for _, p := range pools {
+		o.Perf.ReportPool(p)
+	}
+}
+
+// ReportFCT hands a finished cell's small-flow FCT digest (streaming
+// collectors only) to the campaign for /campaign.json quantiles.
+func (o *Obs) ReportFCT(col *metrics.FCTCollector) {
+	if o == nil || o.Perf == nil || col == nil {
+		return
+	}
+	o.Perf.ReportDigest(col.SmallDigest())
+}
+
+// newFCTCollector picks the collector mode for a runner: streaming
+// (bounded memory, digest P99) by default, exact per-flow records when
+// the caller needs them (determinism harness, record dumps).
+func newFCTCollector(exact bool) *metrics.FCTCollector {
+	if exact {
+		return metrics.NewFCTCollector()
+	}
+	return metrics.NewStreamingFCTCollector(metrics.DefaultCompression)
 }
 
 // instrumenter is implemented by the markers that can record their

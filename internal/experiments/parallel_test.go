@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"encoding/json"
+	"math"
+	"sort"
 	"testing"
 
+	"tcn/internal/metrics"
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
+	"tcn/internal/obs/perf"
 	"tcn/internal/trace"
 )
 
@@ -126,6 +130,118 @@ func TestObsInstrumentedParallelRunMatchesBare(t *testing.T) {
 	if bare != withObs {
 		t.Fatal("obs-instrumented sweep diverged from bare sweep")
 	}
+}
+
+// TestStreamingSweepWithCampaignDeterminism is satellite coverage for the
+// streaming FCT default: with per-cell t-digests feeding a perf.Campaign,
+// the sweep output must still be byte-identical at any worker count (the
+// campaign is atomics-only, so unlike the rest of the Obs bundle it does
+// not clamp the sweep serial), and the campaign must have seen every cell.
+func TestStreamingSweepWithCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	cfg := LeafSpineSweepConfig{
+		Loads:   []float64{0.5, 0.9},
+		Flows:   200,
+		Seed:    7,
+		Schemes: []Scheme{SchemeTCN, SchemeRED},
+		Leaves:  2, Spines: 2, HostsPerLeaf: 2,
+	}
+	serialCfg, parallelCfg := cfg, cfg
+	serialCfg.Workers = 1
+	serialCfg.Obs = &Obs{Perf: perf.NewCampaign(nil)}
+	parallelCfg.Workers = 8
+	parallelCfg.Obs = &Obs{Perf: perf.NewCampaign(nil)}
+
+	serial := snapshotJSON(t, RunFig10(serialCfg))
+	par := snapshotJSON(t, RunFig10(parallelCfg))
+	if serial != par {
+		t.Fatal("fig10 streaming sweep diverged between workers=1 and workers=8 with campaigns attached")
+	}
+
+	for name, c := range map[string]*perf.Campaign{
+		"serial": serialCfg.Obs.Perf, "parallel": parallelCfg.Obs.Perf,
+	} {
+		s := c.SnapshotNow(true)
+		if s.CellsTotal == 0 || s.CellsDone != s.CellsTotal {
+			t.Errorf("%s campaign: cells %d/%d", name, s.CellsDone, s.CellsTotal)
+		}
+		if s.EventsExecuted == 0 || s.LiveEvents == 0 {
+			t.Errorf("%s campaign: no engine events folded in (%+v)", name, s)
+		}
+		if s.PoolAllocs == 0 {
+			t.Errorf("%s campaign: no pool counters folded in", name)
+		}
+		if s.Percentiles == nil {
+			t.Errorf("%s campaign: no FCT digest percentiles", name)
+		}
+	}
+}
+
+// TestStreamingStatsMatchExact runs one real testbed cell in both FCT
+// collector modes. The contract: every count and integer-sum average is
+// bit-identical; only P99Small is an estimate, bounded by the t-digest's
+// rank-error guarantee (±1% of rank against the exact sample).
+func TestStreamingStatsMatchExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	cfg := TestbedFCTConfig{
+		Scheme: SchemeTCN,
+		Sched:  SchedDWRR,
+		Load:   0.8,
+		Flows:  600,
+		Seed:   7,
+	}
+	exactCfg := cfg
+	exactCfg.ExactFCT = true
+	exact := RunTestbedFCT(exactCfg)
+	stream := RunTestbedFCT(cfg)
+
+	if len(exact.Records) == 0 {
+		t.Fatal("exact mode retained no records")
+	}
+	if len(stream.Records) != 0 {
+		t.Fatalf("streaming mode retained %d records", len(stream.Records))
+	}
+	if exact.Drops != stream.Drops || exact.Marks != stream.Marks || exact.Unfinished != stream.Unfinished {
+		t.Fatalf("simulation outcomes diverged between modes: %+v vs %+v", exact, stream)
+	}
+
+	es, ss := exact.Stats, stream.Stats
+	esNoP99, ssNoP99 := es, ss
+	esNoP99.P99Small, ssNoP99.P99Small = 0, 0
+	if esNoP99 != ssNoP99 {
+		t.Fatalf("non-P99 stats diverged:\nexact  %+v\nstream %+v", esNoP99, ssNoP99)
+	}
+	if es.P99Small <= 0 || ss.P99Small <= 0 {
+		t.Fatalf("P99Small missing: exact %v, stream %v", es.P99Small, ss.P99Small)
+	}
+	// The digest's guarantee is on rank: its P99 estimate must land
+	// within ±1% of rank 0.99 in the exact small-flow sample. (Relative
+	// value error depends on how sparse the tail is — on a few hundred
+	// small flows the nearest-rank vs interpolation conventions alone
+	// differ by a few percent, so rank is the meaningful bound.)
+	var small []float64
+	for _, r := range exact.Records {
+		if r.Size <= metrics.SmallFlowMax {
+			small = append(small, float64(r.FCT))
+		}
+	}
+	sort.Float64s(small)
+	rank := float64(sort.SearchFloat64s(small, float64(ss.P99Small))) / float64(len(small))
+	if math.Abs(rank-0.99) > 0.01 {
+		t.Fatalf("streaming P99Small %v lands at rank %.4f of the exact sample (want 0.99±0.01; exact P99 %v)",
+			ss.P99Small, rank, es.P99Small)
+	}
+	rel := math.Abs(float64(ss.P99Small-es.P99Small)) / float64(es.P99Small)
+	if rel > 0.10 {
+		t.Fatalf("streaming P99Small %v vs exact %v: relative error %.4f > 10%%",
+			ss.P99Small, es.P99Small, rel)
+	}
+	t.Logf("P99Small exact %v, streaming %v (rank %.4f, relative error %.4f)",
+		es.P99Small, ss.P99Small, rank, rel)
 }
 
 // TestSweepWorkersClamp pins the clamp rule: observers force serial, bare

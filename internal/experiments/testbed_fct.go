@@ -38,6 +38,11 @@ type TestbedFCTConfig struct {
 	// Seed feeds all randomness; identical seeds produce identical
 	// arrival plans across schemes, as in the paper's methodology.
 	Seed int64
+	// ExactFCT retains every per-flow record and computes P99 by exact
+	// nearest-rank instead of the default bounded-memory streaming
+	// t-digest. Averages and counts are identical either way; the
+	// determinism harness and record dumps set this.
+	ExactFCT bool
 	// Deadline bounds the run (0 = generous default).
 	Deadline sim.Time
 	// Obs, if non-nil, receives per-port stats and packet traces.
@@ -79,6 +84,7 @@ func RunTestbedFCT(cfg TestbedFCTConfig) TestbedFCTResult {
 		panic(err)
 	}
 	eng := sim.NewEngine()
+	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
 
 	const (
@@ -150,7 +156,7 @@ func RunTestbedFCT(cfg TestbedFCTConfig) TestbedFCTResult {
 		Class:      func(r *sim.Rand) uint8 { return uint8(r.Intn(services)) },
 	})
 
-	col := metrics.NewFCTCollector()
+	col := newFCTCollector(cfg.ExactFCT)
 	st.OnMessage = func(m *transport.Message) {
 		col.Record(metrics.FlowRecord{Size: m.Size, FCT: m.FCT(), Class: m.Class, Timeouts: m.Timeouts})
 	}
@@ -208,5 +214,7 @@ func RunTestbedFCT(cfg TestbedFCTConfig) TestbedFCTResult {
 		res.Drops += net.Switch.Port(i).Buffer().TotalDrops()
 	}
 	res.Marks = markCount(net.Switch.Port(recv).Marker())
+	cfg.Obs.ReportCell(eng, st.Pool())
+	cfg.Obs.ReportFCT(col)
 	return res
 }

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tcn/internal/sim"
@@ -27,27 +28,83 @@ type FlowRecord struct {
 	Timeouts int
 }
 
-// FCTCollector accumulates completed flows.
+// FCTCollector accumulates completed flows. It has two modes:
+//
+//   - Exact (NewFCTCollector): every FlowRecord is retained and Stats
+//     sorts the small-flow sample for an exact nearest-rank P99. Memory
+//     grows with the flow count; the determinism harness uses this mode
+//     to compare per-flow records across runs.
+//   - Streaming (NewStreamingFCTCollector): records are folded into
+//     running integer sums plus a t-digest of small-flow FCTs, so memory
+//     stays bounded at millions of flows. Averages and counts are
+//     bit-exact (int64 sums are commutative); only P99Small becomes a
+//     digest estimate, within the quantile error documented on TDigest.
 type FCTCollector struct {
-	records []FlowRecord
+	records   []FlowRecord
+	streaming bool
+
+	flows                              int
+	sumAll, sumSmall, sumMid, sumLarge sim.Time
+	smallFlows, midFlows, largeFlows   int
+	timeouts, timeoutsSmall            int
+	small                              *TDigest
 }
 
-// NewFCTCollector returns an empty collector.
+// NewFCTCollector returns an empty collector in exact mode.
 func NewFCTCollector() *FCTCollector { return &FCTCollector{} }
+
+// NewStreamingFCTCollector returns a collector that aggregates into
+// running sums and a small-flow t-digest instead of retaining records.
+func NewStreamingFCTCollector(compression float64) *FCTCollector {
+	return &FCTCollector{streaming: true, small: NewTDigest(compression)}
+}
+
+// Streaming reports whether the collector discards per-flow records.
+func (c *FCTCollector) Streaming() bool { return c.streaming }
 
 // Record adds one completed flow.
 func (c *FCTCollector) Record(r FlowRecord) {
 	if r.FCT <= 0 {
 		panic(fmt.Sprintf("metrics: non-positive FCT %v for flow of %d bytes", r.FCT, r.Size))
 	}
-	c.records = append(c.records, r)
+	if !c.streaming {
+		c.records = append(c.records, r)
+		return
+	}
+	c.flows++
+	c.sumAll += r.FCT
+	c.timeouts += r.Timeouts
+	switch {
+	case r.Size <= SmallFlowMax:
+		c.smallFlows++
+		c.sumSmall += r.FCT
+		c.timeoutsSmall += r.Timeouts
+		c.small.Add(float64(r.FCT))
+	case r.Size > LargeFlowMin:
+		c.largeFlows++
+		c.sumLarge += r.FCT
+	default:
+		c.midFlows++
+		c.sumMid += r.FCT
+	}
 }
 
 // Count returns the number of recorded flows.
-func (c *FCTCollector) Count() int { return len(c.records) }
+func (c *FCTCollector) Count() int {
+	if c.streaming {
+		return c.flows
+	}
+	return len(c.records)
+}
 
-// Records returns the raw records (not a copy; do not mutate).
+// Records returns the raw records (not a copy; do not mutate). Nil in
+// streaming mode.
 func (c *FCTCollector) Records() []FlowRecord { return c.records }
+
+// SmallDigest returns the small-flow FCT t-digest in streaming mode, nil
+// otherwise. The digest is single-owner like the collector; aggregate
+// finished digests across cells with MergeAll.
+func (c *FCTCollector) SmallDigest() *TDigest { return c.small }
 
 // FCTStats is the paper's reporting row: average FCT over all flows,
 // average and 99th percentile for small flows, and average for large
@@ -68,6 +125,9 @@ type FCTStats struct {
 
 // Stats computes the summary over all recorded flows.
 func (c *FCTCollector) Stats() FCTStats {
+	if c.streaming {
+		return c.streamingStats()
+	}
 	var st FCTStats
 	st.Flows = len(c.records)
 	var sumAll, sumSmall, sumMid, sumLarge sim.Time
@@ -101,6 +161,34 @@ func (c *FCTCollector) Stats() FCTStats {
 	}
 	if st.LargeFlows > 0 {
 		st.AvgLarge = sumLarge / sim.Time(st.LargeFlows)
+	}
+	return st
+}
+
+// streamingStats assembles FCTStats from the running sums. Every field
+// except P99Small is computed from exact integer accumulators and so
+// matches exact mode bit-for-bit; P99Small interpolates the digest.
+func (c *FCTCollector) streamingStats() FCTStats {
+	st := FCTStats{
+		Flows:         c.flows,
+		SmallFlows:    c.smallFlows,
+		MidFlows:      c.midFlows,
+		LargeFlows:    c.largeFlows,
+		Timeouts:      c.timeouts,
+		TimeoutsSmall: c.timeoutsSmall,
+	}
+	if st.Flows > 0 {
+		st.AvgAll = c.sumAll / sim.Time(st.Flows)
+	}
+	if st.SmallFlows > 0 {
+		st.AvgSmall = c.sumSmall / sim.Time(st.SmallFlows)
+		st.P99Small = sim.Time(math.Round(c.small.Quantile(0.99)))
+	}
+	if st.MidFlows > 0 {
+		st.AvgMid = c.sumMid / sim.Time(st.MidFlows)
+	}
+	if st.LargeFlows > 0 {
+		st.AvgLarge = c.sumLarge / sim.Time(st.LargeFlows)
 	}
 	return st
 }

@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"slices"
+)
+
+// TDigest is a merging t-digest (Dunning & Ertl) over float64 samples,
+// used to stream quantile sketches of per-flow FCT distributions so that
+// sweep campaigns stay bounded-memory at millions of flows (ROADMAP
+// item 5). It uses the k1 scale function k(q) = δ/(2π)·asin(2q−1), which
+// concentrates centroid resolution at the tails — exactly where the
+// paper's P99 small-flow metric lives.
+//
+// Determinism contract: Add/flush/Quantile are deterministic functions of
+// the sample sequence, and MergeAll is invariant to the order of its
+// input digests (all centroids are gathered and re-sorted under a total
+// order before one compression pass). Centroid ordering breaks mean ties
+// by weight, so equal samples cannot reorder results.
+//
+// The hot path is allocation-free: Add appends into a fixed-capacity
+// buffer and flushes through preallocated scratch space, mirroring the
+// zero-alloc rule the engine and pool counters follow (pinned by
+// AllocsPerRun in bench_test.go). A TDigest is single-owner like the
+// engine that feeds it; cross-worker aggregation happens only through
+// MergeAll over finished digests.
+type TDigest struct {
+	compression float64
+
+	centroids []centroid // merged, sorted by (mean, weight)
+	buf       []centroid // unmerged samples
+	work      []centroid // scratch for the sort+compress pass
+
+	count    float64 // total weight in centroids (excludes buf)
+	bufCount float64
+	min, max float64
+}
+
+type centroid struct {
+	mean   float64
+	weight float64
+}
+
+// cmpCentroid is the total order used everywhere centroids are sorted:
+// by mean, ties broken by weight. A total order is what makes MergeAll
+// order-invariant — identical (mean, weight) pairs are interchangeable.
+func cmpCentroid(a, b centroid) int {
+	switch {
+	case a.mean < b.mean:
+		return -1
+	case a.mean > b.mean:
+		return 1
+	case a.weight < b.weight:
+		return -1
+	case a.weight > b.weight:
+		return 1
+	}
+	return 0
+}
+
+// DefaultCompression is the δ used by the FCT collectors: ~0.1–0.5%
+// relative quantile error at P99 on the fig10/fig11 FCT distributions
+// (bounded by the t-digest accuracy tests in tdigest_test.go).
+const DefaultCompression = 200
+
+// NewTDigest returns an empty digest with the given compression δ
+// (larger δ → more centroids → tighter quantiles). All internal buffers
+// are preallocated here so Add never allocates.
+func NewTDigest(compression float64) *TDigest {
+	if compression < 20 {
+		compression = 20
+	}
+	maxCentroids := 2*int(math.Ceil(compression)) + 32
+	bufCap := 4 * maxCentroids
+	return &TDigest{
+		compression: compression,
+		centroids:   make([]centroid, 0, maxCentroids+bufCap),
+		buf:         make([]centroid, 0, bufCap),
+		work:        make([]centroid, 0, maxCentroids+bufCap),
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Add records one sample with weight 1.
+func (t *TDigest) Add(x float64) { t.AddWeighted(x, 1) }
+
+// AddWeighted records a sample with the given positive weight. NaN
+// samples and non-positive weights are ignored.
+func (t *TDigest) AddWeighted(x, w float64) {
+	if math.IsNaN(x) || w <= 0 {
+		return
+	}
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	t.buf = append(t.buf, centroid{mean: x, weight: w})
+	t.bufCount += w
+	if len(t.buf) == cap(t.buf) {
+		t.flush()
+	}
+}
+
+// Count returns the total weight recorded so far.
+func (t *TDigest) Count() float64 { return t.count + t.bufCount }
+
+// Min returns the smallest sample seen, or +Inf if empty.
+func (t *TDigest) Min() float64 { return t.min }
+
+// Max returns the largest sample seen, or -Inf if empty.
+func (t *TDigest) Max() float64 { return t.max }
+
+// CentroidCount returns the current number of merged centroids (after
+// flushing pending samples); exposed for the memory-bound tests.
+func (t *TDigest) CentroidCount() int {
+	t.flush()
+	return len(t.centroids)
+}
+
+// flush sorts the pending buffer into the merged centroids and runs one
+// compression pass. Allocation-free while the output fits the
+// preallocated scratch (the compression bound guarantees it does).
+func (t *TDigest) flush() {
+	if len(t.buf) == 0 {
+		return
+	}
+	t.work = t.work[:0]
+	t.work = append(t.work, t.centroids...)
+	t.work = append(t.work, t.buf...)
+	slices.SortFunc(t.work, cmpCentroid)
+	total := t.count + t.bufCount
+	t.centroids = compressInto(t.centroids[:0], t.work, total, t.compression)
+	t.count = total
+	t.buf = t.buf[:0]
+	t.bufCount = 0
+}
+
+// compressInto merges the sorted centroid stream `in` (total weight
+// `total`) into `out` under the k1 size bound for compression δ. `in`
+// must be sorted by cmpCentroid; the result is too.
+func compressInto(out, in []centroid, total, compression float64) []centroid {
+	if len(in) == 0 {
+		return out
+	}
+	sigma := in[0]
+	wSoFar := 0.0
+	qLimit := k1Inv(k1(0, compression)+1, compression)
+	for _, c := range in[1:] {
+		q := (wSoFar + sigma.weight + c.weight) / total
+		if q <= qLimit {
+			// Fold c into sigma; the weighted mean is evaluated in
+			// stream order, which the caller's sort made deterministic.
+			sigma.mean += (c.mean - sigma.mean) * c.weight / (sigma.weight + c.weight)
+			sigma.weight += c.weight
+			continue
+		}
+		out = append(out, sigma)
+		wSoFar += sigma.weight
+		qLimit = k1Inv(k1(wSoFar/total, compression)+1, compression)
+		sigma = c
+	}
+	return append(out, sigma)
+}
+
+// k1 is the t-digest scale function k(q) = δ/(2π)·asin(2q−1).
+func k1(q, compression float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// k1Inv inverts k1: q = (sin(2πk/δ)+1)/2, clamped to [0, 1].
+func k1Inv(k, compression float64) float64 {
+	x := 2 * math.Pi * k / compression
+	if x < -math.Pi/2 {
+		return 0
+	}
+	if x > math.Pi/2 {
+		return 1
+	}
+	return (math.Sin(x) + 1) / 2
+}
+
+// Quantile returns the estimated q-quantile (q in [0, 1]) by linear
+// interpolation between centroid midpoints, clamped to the exact
+// min/max. Returns NaN on an empty digest.
+func (t *TDigest) Quantile(q float64) float64 {
+	t.flush()
+	n := len(t.centroids)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return t.min
+	}
+	if q >= 1 {
+		return t.max
+	}
+	target := q * t.count
+	prevMean, prevPos := t.min, 0.0
+	cum := 0.0
+	for i := 0; i < n; i++ {
+		c := t.centroids[i]
+		pos := cum + c.weight/2
+		if target < pos {
+			if pos > prevPos {
+				frac := (target - prevPos) / (pos - prevPos)
+				return prevMean + frac*(c.mean-prevMean)
+			}
+			return c.mean
+		}
+		cum += c.weight
+		prevMean, prevPos = c.mean, pos
+	}
+	if t.count > prevPos {
+		frac := (target - prevPos) / (t.count - prevPos)
+		return prevMean + frac*(t.max-prevMean)
+	}
+	return t.max
+}
+
+// MergeAll combines any number of digests into a fresh one with the
+// given compression. The result is invariant to the order of ds: every
+// centroid (including pending buffers) is gathered, sorted under the
+// total centroid order, and compressed in a single pass. Nil entries are
+// skipped. MergeAll allocates; it is meant for end-of-sweep or
+// snapshot-time aggregation, not the per-sample hot path.
+func MergeAll(compression float64, ds ...*TDigest) *TDigest {
+	out := NewTDigest(compression)
+	var all []centroid
+	total := 0.0
+	for _, d := range ds {
+		if d == nil {
+			continue
+		}
+		all = append(all, d.centroids...)
+		all = append(all, d.buf...)
+		total += d.count + d.bufCount
+		if d.min < out.min {
+			out.min = d.min
+		}
+		if d.max > out.max {
+			out.max = d.max
+		}
+	}
+	if len(all) == 0 {
+		return out
+	}
+	slices.SortFunc(all, cmpCentroid)
+	out.centroids = compressInto(out.centroids[:0], all, total, out.compression)
+	out.count = total
+	return out
+}
+
+// tdigestJSON is the deterministic wire form: centroids in sorted order,
+// so two byte-identical sample streams marshal byte-identically.
+type tdigestJSON struct {
+	Compression float64      `json:"compression"`
+	Count       float64      `json:"count"`
+	Min         float64      `json:"min"`
+	Max         float64      `json:"max"`
+	Centroids   [][2]float64 `json:"centroids"`
+}
+
+// MarshalJSON implements json.Marshaler. The digest is flushed first so
+// the output depends only on the recorded samples.
+func (t *TDigest) MarshalJSON() ([]byte, error) {
+	t.flush()
+	j := tdigestJSON{
+		Compression: t.compression,
+		Count:       t.count,
+		Min:         t.min,
+		Max:         t.max,
+		Centroids:   make([][2]float64, len(t.centroids)),
+	}
+	if t.count == 0 { //tcnlint:floatexact zero means literally no samples
+		j.Min, j.Max = 0, 0 // avoid ±Inf, which JSON cannot carry
+	}
+	for i, c := range t.centroids {
+		j.Centroids[i] = [2]float64{c.mean, c.weight}
+	}
+	return json.Marshal(j)
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+)
+
+// tdLCG is a tiny deterministic generator for test sample streams; the
+// simclock lint keeps wall-clock seeding out, and determinism here means
+// failures reproduce exactly.
+type tdLCG uint64
+
+func (g *tdLCG) next() float64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*g)>>11) / float64(1<<53)
+}
+
+// fctLikeSamples draws n samples from a mixture shaped like the fig10/
+// fig11 FCT distributions: a dense body of small-flow completions in the
+// tens-to-hundreds of microseconds and a heavy tail of queue-building
+// completions out to hundreds of milliseconds (nanosecond units).
+func fctLikeSamples(g *tdLCG, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		u := g.next()
+		var x float64
+		switch {
+		case u < 0.70: // small flows: ~40–400 µs
+			x = 40e3 + 360e3*g.next()
+		case u < 0.95: // mid flows: ~0.4–20 ms
+			x = 400e3 + 19.6e6*g.next()
+		default: // tail: exponential-ish out to ~300 ms
+			x = 20e6 * math.Exp(2.7*g.next())
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// exactQuantile is the reference: midpoint-rank interpolation over the
+// sorted sample slice (matches the digest's midpoint convention).
+func exactQuantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	idx := q * float64(n-1)
+	lo := int(idx)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// rankOf returns the fraction of samples <= x, the quantity t-digest
+// bounds: its guarantee is on rank error, not value error.
+func rankOf(sorted []float64, x float64) float64 {
+	i := sort.SearchFloat64s(sorted, x)
+	return float64(i) / float64(len(sorted))
+}
+
+func TestTDigestQuantileRankError(t *testing.T) {
+	g := tdLCG(1)
+	samples := fctLikeSamples(&g, 200_000)
+	d := NewTDigest(DefaultCompression)
+	for _, x := range samples {
+		d.Add(x)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	// δ=200 gives ~1/δ worst-case rank error at the median and far
+	// tighter at the tails (the k1 scale concentrates centroids there).
+	// The documented bound the FCT collectors rely on: ≤0.5% rank error
+	// everywhere, ≤0.1% at P99.
+	cases := []struct {
+		q, maxRankErr float64
+	}{
+		{0.50, 0.005},
+		{0.90, 0.003},
+		{0.99, 0.001},
+		{0.999, 0.001},
+	}
+	for _, c := range cases {
+		est := d.Quantile(c.q)
+		gotRank := rankOf(sorted, est)
+		if err := math.Abs(gotRank - c.q); err > c.maxRankErr {
+			t.Errorf("q=%v: estimate %.0f lands at rank %.5f (rank error %.5f > %.5f)",
+				c.q, est, gotRank, err, c.maxRankErr)
+		}
+		// Sanity-check value error too: the FCT distributions are smooth
+		// enough that bounded rank error implies small relative value
+		// error at the quantiles the experiments report.
+		exact := exactQuantile(sorted, c.q)
+		if rel := math.Abs(est-exact) / exact; rel > 0.05 {
+			t.Errorf("q=%v: estimate %.0f vs exact %.0f (relative error %.4f > 5%%)",
+				c.q, est, exact, rel)
+		}
+	}
+}
+
+func TestTDigestExtremesExact(t *testing.T) {
+	g := tdLCG(7)
+	d := NewTDigest(100)
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 50_000; i++ {
+		x := g.next() * 1e9
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		d.Add(x)
+	}
+	if d.Quantile(0) != min || d.Min() != min { //tcnlint:floatexact min is stored, not estimated
+		t.Fatalf("min: got %v/%v want %v", d.Quantile(0), d.Min(), min)
+	}
+	if d.Quantile(1) != max || d.Max() != max { //tcnlint:floatexact max is stored, not estimated
+		t.Fatalf("max: got %v/%v want %v", d.Quantile(1), d.Max(), max)
+	}
+	if d.Count() != 50_000 { //tcnlint:floatexact integer-valued weight
+		t.Fatalf("count %v", d.Count())
+	}
+}
+
+func TestTDigestEmptyAndDegenerate(t *testing.T) {
+	d := NewTDigest(100)
+	if !math.IsNaN(d.Quantile(0.5)) {
+		t.Fatalf("empty digest quantile = %v, want NaN", d.Quantile(0.5))
+	}
+	d.Add(math.NaN()) // ignored
+	d.AddWeighted(5, -1)
+	d.AddWeighted(5, 0)
+	if d.Count() != 0 { //tcnlint:floatexact nothing valid was added
+		t.Fatalf("count after invalid adds: %v", d.Count())
+	}
+	d.Add(42)
+	for q := 0.0; q <= 1.0; q += 0.25 {
+		if d.Quantile(q) != 42 { //tcnlint:floatexact single sample: every quantile is it
+			t.Fatalf("single-sample quantile(%v) = %v", q, d.Quantile(q))
+		}
+	}
+}
+
+func TestTDigestCentroidBound(t *testing.T) {
+	for _, compression := range []float64{50, 100, DefaultCompression} {
+		g := tdLCG(3)
+		d := NewTDigest(compression)
+		for i := 0; i < 500_000; i++ {
+			d.Add(g.next() * 1e6)
+		}
+		bound := 2*int(math.Ceil(compression)) + 32
+		if got := d.CentroidCount(); got > bound {
+			t.Errorf("δ=%v: %d centroids exceeds preallocated bound %d", compression, got, bound)
+		}
+	}
+}
+
+// TestTDigestMergeOrderInvariance is the determinism contract the sweep
+// runners depend on: cells finish in a worker-count-dependent order, so
+// the merged campaign digest must not care how its inputs are arranged.
+func TestTDigestMergeOrderInvariance(t *testing.T) {
+	g := tdLCG(11)
+	const parts = 7
+	digests := make([]*TDigest, parts)
+	for i := range digests {
+		digests[i] = NewTDigest(DefaultCompression)
+		// Uneven part sizes, overlapping ranges, and duplicated values
+		// across parts — the cases where an order-sensitive merge drifts.
+		for j := 0; j < 1000*(i+1); j++ {
+			digests[i].Add(fctLikeSamples(&g, 1)[0])
+		}
+		digests[i].Add(123456) // identical sample in every part
+	}
+
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 1, 5, 2, 4},
+		{1, 1, 0, 2, 3, 4, 5, 6}, // duplicate entry: same centroids twice differs...
+	}
+	// ...so only compare the true permutations; the duplicated case just
+	// must not panic and must see doubled weight for part 1.
+	var ref []byte
+	for i, p := range perms[:3] {
+		in := make([]*TDigest, 0, len(p)+1)
+		for _, idx := range p {
+			in = append(in, digests[idx])
+		}
+		in = append(in, nil) // nil entries are skipped
+		m := MergeAll(DefaultCompression, in...)
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(ref, b) {
+			t.Fatalf("merge order %v produced different digest:\n%s\nvs\n%s", p, ref, b)
+		}
+	}
+
+	m := MergeAll(DefaultCompression, digests[perms[3][0]], digests[perms[3][1]])
+	if want := 2 * digests[1].Count(); m.Count() != want { //tcnlint:floatexact integer-valued weights
+		t.Fatalf("duplicated input: count %v want %v", m.Count(), want)
+	}
+}
+
+func TestTDigestMergeMatchesSingle(t *testing.T) {
+	// A merge of shards must estimate like a single digest over the
+	// union — same rank-error budget, just one extra compression pass.
+	g := tdLCG(19)
+	samples := fctLikeSamples(&g, 120_000)
+	single := NewTDigest(DefaultCompression)
+	shards := make([]*TDigest, 8)
+	for i := range shards {
+		shards[i] = NewTDigest(DefaultCompression)
+	}
+	for i, x := range samples {
+		single.Add(x)
+		shards[i%len(shards)].Add(x)
+	}
+	merged := MergeAll(DefaultCompression, shards...)
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		mRank := rankOf(sorted, merged.Quantile(q))
+		if err := math.Abs(mRank - q); err > 0.005 {
+			t.Errorf("merged q=%v: rank error %.5f > 0.005", q, err)
+		}
+	}
+	if merged.Count() != single.Count() { //tcnlint:floatexact integer-valued weights
+		t.Fatalf("merged count %v, single %v", merged.Count(), single.Count())
+	}
+}
+
+func TestTDigestJSONDeterministic(t *testing.T) {
+	build := func() *TDigest {
+		g := tdLCG(23)
+		d := NewTDigest(100)
+		for i := 0; i < 30_000; i++ {
+			d.Add(g.next() * 1e6)
+		}
+		return d
+	}
+	a, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical sample streams marshaled differently")
+	}
+	empty, err := json.Marshal(NewTDigest(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(empty, &parsed); err != nil {
+		t.Fatalf("empty digest JSON is not valid JSON (±Inf leak?): %v", err)
+	}
+}
+
+func TestTDigestAddNoAllocs(t *testing.T) {
+	g := tdLCG(29)
+	d := NewTDigest(DefaultCompression)
+	for i := 0; i < 1<<14; i++ { // warm past the first flushes
+		d.Add(g.next() * 1e6)
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		d.Add(g.next() * 1e6)
+	})
+	if allocs != 0 { //tcnlint:floatexact the pin is exactly zero
+		t.Fatalf("Add allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,348 @@
+// Package perf is the simulator's self-telemetry layer: where the rest
+// of internal/obs watches the simulated network, perf watches the
+// simulator itself — engine event throughput, heap and freelist
+// behaviour, packet-pool recycling, and per-worker sweep progress — so a
+// campaign over thousands of cells reports its own speed and resource
+// envelope alongside its results (ROADMAP item 2's events/sec ratchet
+// needs an in-run measurement to ratchet).
+//
+// Design rules, in order:
+//
+//  1. Zero allocations on every per-cell path (Tracker callbacks,
+//     ReportEngine, ReportPool) — pinned by AllocsPerRun in
+//     bench_test.go, same as the PR-4/PR-5 counters.
+//  2. Observation never coordinates. Everything here is atomics; no
+//     lock is ever held while a worker runs simulation code, so a
+//     Campaign cannot perturb byte-identical sweep output and — unlike
+//     the rest of the Obs bundle — does not force a sweep serial.
+//  3. No wall clock of its own. The simclock analyzer bans time.Now in
+//     internal packages; the binary injects one as a Clock, and sim
+//     time arrives through the shared sim.Meter.
+package perf
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"tcn/internal/metrics"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// Clock returns wall time in nanoseconds (e.g. time.Now().UnixNano
+// wrapped by cmd/tcnsim). Injected because internal packages may not
+// touch the wall clock directly. A nil Clock disables wall-derived
+// rates and ETA but keeps all counters live.
+type Clock func() int64
+
+// Campaign aggregates self-telemetry for one sweep campaign. Create one
+// per tcnsim invocation, hand it to the sweep runner as a
+// parallel.Tracker (it satisfies the interface structurally), and have
+// each cell report its engine and pools when it finishes. All methods
+// are safe for concurrent use.
+type Campaign struct {
+	clock Clock
+	meter sim.Meter // shared live event/sim-time accumulator
+
+	startWall  atomic.Int64
+	workers    atomic.Int64
+	cellsTotal atomic.Int64
+
+	cellsClaimed atomic.Int64
+	cellsDone    atomic.Int64
+	busyWall     atomic.Int64 // Σ per-cell wall ns across workers
+
+	// Engine totals, folded in by ReportEngine at cell end.
+	evScheduled atomic.Uint64
+	evExecuted  atomic.Uint64
+	evCanceled  atomic.Uint64
+	evRecycled  atomic.Uint64
+	heapMax     atomic.Int64 // max across cells
+	freelist    atomic.Int64 // Σ final freelist lengths
+
+	// Pool totals, folded in by ReportPool at cell end.
+	poolAllocs atomic.Int64
+	poolReuses atomic.Int64
+
+	slots atomic.Pointer[[]workerSlot]
+
+	mu      sync.Mutex
+	digests []*metrics.TDigest // finished per-cell small-FCT digests
+}
+
+// workerSlot is one worker's progress, all atomics so a snapshot reader
+// never blocks a worker.
+type workerSlot struct {
+	cell      atomic.Int64 // point being run, -1 when idle
+	cellStart atomic.Int64 // wall ns when the current cell was claimed
+	done      atomic.Int64 // cells finished by this worker
+	busy      atomic.Int64 // Σ wall ns spent inside cells
+}
+
+// NewCampaign returns a Campaign using clock for wall time (nil is
+// allowed; see Clock).
+func NewCampaign(clock Clock) *Campaign {
+	c := &Campaign{clock: clock}
+	c.startWall.Store(c.wallNow())
+	return c
+}
+
+// Meter returns the campaign's shared sim.Meter; attach it to every
+// cell's engine with SetMeter so live events/sec covers all workers.
+func (c *Campaign) Meter() *sim.Meter { return &c.meter }
+
+func (c *Campaign) wallNow() int64 {
+	if c.clock == nil {
+		return 0
+	}
+	return c.clock()
+}
+
+// SweepStart implements parallel.Tracker. It may be called again for a
+// follow-up sweep in the same campaign; cell totals accumulate.
+func (c *Campaign) SweepStart(workers, points int) {
+	c.workers.Store(int64(workers))
+	c.cellsTotal.Add(int64(points))
+	old := c.slots.Load()
+	if old == nil || len(*old) < workers {
+		fresh := make([]workerSlot, workers)
+		for i := range fresh {
+			fresh[i].cell.Store(-1)
+			if old != nil && i < len(*old) {
+				fresh[i].done.Store((*old)[i].done.Load())
+				fresh[i].busy.Store((*old)[i].busy.Load())
+			}
+		}
+		c.slots.Store(&fresh)
+	}
+}
+
+// CellStart implements parallel.Tracker. Zero allocations.
+func (c *Campaign) CellStart(worker, point int) {
+	c.cellsClaimed.Add(1)
+	if s := c.slot(worker); s != nil {
+		s.cell.Store(int64(point))
+		s.cellStart.Store(c.wallNow())
+	}
+}
+
+// CellDone implements parallel.Tracker. Zero allocations.
+func (c *Campaign) CellDone(worker, point int) {
+	c.cellsDone.Add(1)
+	if s := c.slot(worker); s != nil {
+		s.cell.Store(-1)
+		s.done.Add(1)
+		if start := s.cellStart.Load(); start > 0 {
+			d := c.wallNow() - start
+			s.busy.Add(d)
+			c.busyWall.Add(d)
+		}
+	}
+}
+
+func (c *Campaign) slot(worker int) *workerSlot {
+	sl := c.slots.Load()
+	if sl == nil || worker < 0 || worker >= len(*sl) {
+		return nil
+	}
+	return &(*sl)[worker]
+}
+
+// ReportEngine folds a finished cell's engine counters into the campaign
+// totals. Call it from the goroutine that owns the engine, after its
+// last RunUntil. Zero allocations.
+func (c *Campaign) ReportEngine(e *sim.Engine) {
+	if e == nil {
+		return
+	}
+	c.evScheduled.Add(e.Scheduled())
+	c.evExecuted.Add(e.Executed)
+	c.evCanceled.Add(e.Canceled())
+	c.evRecycled.Add(e.Recycled())
+	c.freelist.Add(int64(e.FreelistLen()))
+	hw := int64(e.HeapHighWater())
+	for {
+		cur := c.heapMax.Load()
+		if hw <= cur || c.heapMax.CompareAndSwap(cur, hw) {
+			return
+		}
+	}
+}
+
+// ReportPool folds a pool's alloc/reuse counters into the campaign
+// totals. Zero allocations.
+func (c *Campaign) ReportPool(p *pkt.Pool) {
+	if p == nil {
+		return
+	}
+	c.poolAllocs.Add(p.Allocs)
+	c.poolReuses.Add(p.Reuses)
+}
+
+// ReportDigest hands over a finished cell's small-flow FCT digest for
+// campaign-level quantiles. The campaign takes ownership; the caller
+// must not Add to it afterwards. Nil digests are ignored. This is the
+// one per-cell call that may allocate (slice growth under a mutex) —
+// once per cell, never per event or per flow.
+func (c *Campaign) ReportDigest(d *metrics.TDigest) {
+	if d == nil {
+		return
+	}
+	c.mu.Lock()
+	c.digests = append(c.digests, d)
+	c.mu.Unlock()
+}
+
+// WorkerSnapshot is one worker's progress at snapshot time.
+type WorkerSnapshot struct {
+	Worker      int     `json:"worker"`
+	Cell        int64   `json:"cell"` // -1 when idle
+	CellsDone   int64   `json:"cellsDone"`
+	BusySeconds float64 `json:"busySeconds"`
+	Utilization float64 `json:"utilization"` // busy / campaign wall, 0..1
+}
+
+// Snapshot is a self-consistent-enough view of the campaign: each field
+// is an atomic load, so totals may straddle a cell boundary, but every
+// value is monotone and within one cell of the truth — fine for a
+// progress line or a dashboard poll, and it never blocks a worker.
+type Snapshot struct {
+	WallSeconds float64 `json:"wallSeconds"`
+
+	CellsTotal   int64 `json:"cellsTotal"`
+	CellsClaimed int64 `json:"cellsClaimed"`
+	CellsDone    int64 `json:"cellsDone"`
+	Workers      int64 `json:"workers"`
+
+	LiveEvents      uint64  `json:"liveEvents"`      // fired, via the shared meter
+	SimSeconds      float64 `json:"simSeconds"`      // simulated time advanced
+	EventsPerSecond float64 `json:"eventsPerSecond"` // wall-time rate
+	SimPerWall      float64 `json:"simPerWall"`      // sim seconds per wall second
+
+	EventsScheduled uint64 `json:"eventsScheduled"`
+	EventsExecuted  uint64 `json:"eventsExecuted"`
+	EventsCanceled  uint64 `json:"eventsCanceled"`
+	EventsRecycled  uint64 `json:"eventsRecycled"`
+	HeapHighWater   int64  `json:"heapHighWater"`
+	FreelistParked  int64  `json:"freelistParked"`
+
+	PoolAllocs int64   `json:"poolAllocs"`
+	PoolReuses int64   `json:"poolReuses"`
+	PoolHitPct float64 `json:"poolHitPct"`
+
+	ETASeconds float64 `json:"etaSeconds"` // 0 until one cell finishes
+
+	Percentiles map[string]float64 `json:"fctSmallPercentilesUs,omitempty"`
+}
+
+// SnapshotNow assembles a Snapshot from the live atomics. Safe to call
+// from any goroutine at any time, including mid-sweep at any worker
+// count. includeDigest additionally merges the per-cell FCT digests
+// (which allocates and takes the digest mutex — cheap, but /perf.json
+// skips it).
+func (c *Campaign) SnapshotNow(includeDigest bool) Snapshot {
+	var s Snapshot
+	wall := c.wallNow() - c.startWall.Load()
+	if wall > 0 {
+		s.WallSeconds = float64(wall) / 1e9
+	}
+	s.CellsTotal = c.cellsTotal.Load()
+	s.CellsClaimed = c.cellsClaimed.Load()
+	s.CellsDone = c.cellsDone.Load()
+	s.Workers = c.workers.Load()
+
+	s.LiveEvents = c.meter.Events()
+	s.SimSeconds = float64(c.meter.SimNanos()) / 1e9
+	if s.WallSeconds > 0 {
+		s.EventsPerSecond = float64(s.LiveEvents) / s.WallSeconds
+		s.SimPerWall = s.SimSeconds / s.WallSeconds
+	}
+
+	s.EventsScheduled = c.evScheduled.Load()
+	s.EventsExecuted = c.evExecuted.Load()
+	s.EventsCanceled = c.evCanceled.Load()
+	s.EventsRecycled = c.evRecycled.Load()
+	s.HeapHighWater = c.heapMax.Load()
+	s.FreelistParked = c.freelist.Load()
+
+	s.PoolAllocs = c.poolAllocs.Load()
+	s.PoolReuses = c.poolReuses.Load()
+	if tot := s.PoolAllocs + s.PoolReuses; tot > 0 {
+		s.PoolHitPct = 100 * float64(s.PoolReuses) / float64(tot)
+	}
+
+	// ETA: remaining cells at the observed per-cell wall cost, spread
+	// over the workers. Claimed-but-unfinished cells count as remaining.
+	if done, total := s.CellsDone, s.CellsTotal; done > 0 && total > done && s.Workers > 0 {
+		perCell := float64(c.busyWall.Load()) / float64(done)
+		s.ETASeconds = perCell * float64(total-done) / float64(s.Workers) / 1e9
+	}
+
+	if includeDigest {
+		c.mu.Lock()
+		merged := metrics.MergeAll(metrics.DefaultCompression, c.digests...)
+		c.mu.Unlock()
+		if merged.Count() > 0 {
+			s.Percentiles = map[string]float64{
+				"p50": merged.Quantile(0.50) / 1e3,
+				"p90": merged.Quantile(0.90) / 1e3,
+				"p99": merged.Quantile(0.99) / 1e3,
+			}
+		}
+	}
+	return s
+}
+
+// WorkerSnapshots returns per-worker progress rows, ordered by worker.
+func (c *Campaign) WorkerSnapshots() []WorkerSnapshot {
+	sl := c.slots.Load()
+	if sl == nil {
+		return nil
+	}
+	wall := float64(c.wallNow()-c.startWall.Load()) / 1e9
+	out := make([]WorkerSnapshot, len(*sl))
+	for i := range *sl {
+		w := &(*sl)[i]
+		busy := w.busy.Load()
+		// A worker mid-cell is busy since its claim even though the
+		// cell hasn't folded into busy yet.
+		if start := w.cellStart.Load(); w.cell.Load() >= 0 && start > 0 {
+			if now := c.wallNow(); now > start {
+				busy += now - start
+			}
+		}
+		out[i] = WorkerSnapshot{
+			Worker:      i,
+			Cell:        w.cell.Load(),
+			CellsDone:   w.done.Load(),
+			BusySeconds: float64(busy) / 1e9,
+		}
+		if wall > 0 {
+			out[i].Utilization = out[i].BusySeconds / wall
+		}
+	}
+	return out
+}
+
+// PerfJSON renders the engine/pool view served at /perf.json.
+func (c *Campaign) PerfJSON() ([]byte, error) {
+	return json.MarshalIndent(c.SnapshotNow(false), "", "  ")
+}
+
+// campaignJSON is the /campaign.json document: the snapshot plus
+// per-worker rows.
+type campaignJSON struct {
+	Snapshot
+	PerWorker []WorkerSnapshot `json:"perWorker"`
+}
+
+// CampaignJSON renders the sweep-progress view served at /campaign.json,
+// including per-worker rows and merged FCT digest percentiles.
+func (c *Campaign) CampaignJSON() ([]byte, error) {
+	doc := campaignJSON{
+		Snapshot:  c.SnapshotNow(true),
+		PerWorker: c.WorkerSnapshots(),
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,308 @@
+package perf
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"tcn/internal/metrics"
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// fakeClock is a hand-advanced wall clock: the simclock lint keeps
+// time.Now out of internal packages, and a deterministic clock makes the
+// rate/ETA arithmetic exactly checkable.
+type fakeClock struct{ now int64 }
+
+func (f *fakeClock) fn() Clock { return func() int64 { return f.now } }
+
+func TestCampaignCellAccounting(t *testing.T) {
+	clk := &fakeClock{now: 1e9}
+	c := NewCampaign(clk.fn())
+	c.SweepStart(2, 4)
+
+	s := c.SnapshotNow(false)
+	if s.Workers != 2 || s.CellsTotal != 4 || s.CellsDone != 0 {
+		t.Fatalf("after SweepStart: %+v", s)
+	}
+	if s.ETASeconds != 0 { //tcnlint:floatexact no cell finished yet, ETA must be exactly unset
+		t.Fatalf("ETA before any cell: %v", s.ETASeconds)
+	}
+
+	// Worker 0 runs cell 0 for 2 s; worker 1 runs cell 1 for 4 s,
+	// overlapping. Campaign wall advances 1e9 → 6e9.
+	c.CellStart(0, 0)
+	c.CellStart(1, 1)
+	clk.now = 3e9
+	c.CellDone(0, 0)
+	c.CellStart(0, 2)
+	clk.now = 5e9
+	c.CellDone(1, 1)
+	clk.now = 6e9
+
+	s = c.SnapshotNow(false)
+	if s.CellsDone != 2 || s.CellsClaimed != 3 {
+		t.Fatalf("mid-sweep: done=%d claimed=%d", s.CellsDone, s.CellsClaimed)
+	}
+	// busyWall = 2s + 4s = 6s over 2 done cells → 3 s/cell; 2 cells
+	// remain across 2 workers → ETA 3 s.
+	if s.ETASeconds != 3 { //tcnlint:floatexact exact under the fake clock
+		t.Fatalf("ETA = %v, want 3", s.ETASeconds)
+	}
+	if s.WallSeconds != 5 { //tcnlint:floatexact exact under the fake clock
+		t.Fatalf("wall = %v, want 5", s.WallSeconds)
+	}
+
+	ws := c.WorkerSnapshots()
+	if len(ws) != 2 {
+		t.Fatalf("worker rows: %d", len(ws))
+	}
+	// Worker 0: finished cell 0 (2 s busy) and has been inside cell 2
+	// since t=3s → 3 s in flight → 5 s busy over 5 s wall.
+	if ws[0].Cell != 2 || ws[0].CellsDone != 1 {
+		t.Fatalf("worker 0 row: %+v", ws[0])
+	}
+	if ws[0].BusySeconds != 5 || ws[0].Utilization != 1 { //tcnlint:floatexact exact under the fake clock
+		t.Fatalf("worker 0 busy/util: %+v", ws[0])
+	}
+	// Worker 1: one 4 s cell, idle since → utilization 0.8.
+	if ws[1].Cell != -1 || ws[1].BusySeconds != 4 || ws[1].Utilization != 0.8 { //tcnlint:floatexact exact under the fake clock
+		t.Fatalf("worker 1 row: %+v", ws[1])
+	}
+}
+
+func TestCampaignSweepRestartCarriesTotals(t *testing.T) {
+	clk := &fakeClock{now: 1}
+	c := NewCampaign(clk.fn())
+	c.SweepStart(1, 2)
+	c.CellStart(0, 0)
+	clk.now = 1e9 + 1
+	c.CellDone(0, 0)
+
+	// A follow-up sweep with more workers reallocates slots but must not
+	// lose finished-cell accounting; cell totals accumulate.
+	c.SweepStart(3, 5)
+	s := c.SnapshotNow(false)
+	if s.CellsTotal != 7 || s.CellsDone != 1 || s.Workers != 3 {
+		t.Fatalf("after second SweepStart: %+v", s)
+	}
+	ws := c.WorkerSnapshots()
+	if len(ws) != 3 || ws[0].CellsDone != 1 || ws[0].BusySeconds != 1 { //tcnlint:floatexact exact under the fake clock
+		t.Fatalf("carried worker rows: %+v", ws)
+	}
+
+	// Out-of-range workers (tracker misuse) must not panic or miscount.
+	c.CellStart(99, 3)
+	c.CellDone(99, 3)
+	c.CellDone(-1, 4)
+	if got := c.SnapshotNow(false).CellsDone; got != 3 {
+		t.Fatalf("done after out-of-range workers: %d", got)
+	}
+}
+
+func TestCampaignEngineAndPoolTotals(t *testing.T) {
+	c := NewCampaign(nil) // nil clock: counters live, rates/ETA off
+
+	for cell := 0; cell < 3; cell++ {
+		eng := sim.NewEngine()
+		eng.SetMeter(c.Meter())
+		var fired int
+		var tick func()
+		tick = func() {
+			fired++
+			if fired < 100 {
+				eng.At(eng.Now()+10, tick)
+			}
+		}
+		eng.At(0, tick)
+		ev := eng.At(5*sim.Microsecond, func() { t.Fatal("canceled event fired") })
+		eng.Cancel(ev)
+		eng.RunUntil(5 * sim.Microsecond)
+		fired = 0
+		c.ReportEngine(eng)
+	}
+	c.ReportEngine(nil) // ignored
+
+	s := c.SnapshotNow(false)
+	if s.EventsExecuted != 300 {
+		t.Fatalf("executed %d, want 300", s.EventsExecuted)
+	}
+	if s.EventsScheduled != 303 { // 100 ticks + 1 canceled per cell
+		t.Fatalf("scheduled %d, want 303", s.EventsScheduled)
+	}
+	if s.EventsCanceled != 3 {
+		t.Fatalf("canceled %d, want 3", s.EventsCanceled)
+	}
+	if s.HeapHighWater < 1 {
+		t.Fatalf("heap high water %d", s.HeapHighWater)
+	}
+	if s.LiveEvents != 300 {
+		t.Fatalf("meter events %d, want 300", s.LiveEvents)
+	}
+	if s.WallSeconds != 0 || s.EventsPerSecond != 0 || s.ETASeconds != 0 { //tcnlint:floatexact nil clock disables wall-derived rates entirely
+		t.Fatalf("nil clock leaked wall-derived values: %+v", s)
+	}
+
+	pool := &pkt.Pool{Allocs: 10, Reuses: 990}
+	c.ReportPool(pool)
+	c.ReportPool(nil) // ignored
+	s = c.SnapshotNow(false)
+	if s.PoolAllocs != 10 || s.PoolReuses != 990 {
+		t.Fatalf("pool totals: %+v", s)
+	}
+	if s.PoolHitPct != 99 { //tcnlint:floatexact 990/1000 is exact in float64
+		t.Fatalf("pool hit %% = %v", s.PoolHitPct)
+	}
+}
+
+func TestCampaignRates(t *testing.T) {
+	clk := &fakeClock{now: 0}
+	c := NewCampaign(clk.fn())
+	eng := sim.NewEngine()
+	eng.SetMeter(c.Meter())
+	var n int
+	var tick func()
+	tick = func() {
+		n++
+		if n < 2000 {
+			eng.At(eng.Now()+sim.Microsecond, tick)
+		}
+	}
+	eng.At(0, tick)
+	eng.RunUntil(4 * sim.Millisecond)
+
+	clk.now = 2e9 // 2 wall seconds elapsed
+	s := c.SnapshotNow(false)
+	if s.LiveEvents != 2000 {
+		t.Fatalf("live events %d", s.LiveEvents)
+	}
+	if s.EventsPerSecond != 1000 { //tcnlint:floatexact exact under the fake clock
+		t.Fatalf("events/sec = %v, want 1000", s.EventsPerSecond)
+	}
+	// RunUntil advances sim time to the 4 ms deadline; over 2 s of wall.
+	if want := (4e-3) / 2; s.SimPerWall != want { //tcnlint:floatexact exact under the fake clock
+		t.Fatalf("sim/wall = %v, want %v", s.SimPerWall, want)
+	}
+}
+
+func TestCampaignDigestPercentiles(t *testing.T) {
+	c := NewCampaign(nil)
+	d1 := metrics.NewTDigest(metrics.DefaultCompression)
+	d2 := metrics.NewTDigest(metrics.DefaultCompression)
+	for i := 1; i <= 1000; i++ {
+		d1.Add(float64(i) * 1e3) // 1–1000 µs in ns
+	}
+	d2.Add(5000e3) // one 5 ms outlier
+	c.ReportDigest(d1)
+	c.ReportDigest(d2)
+	c.ReportDigest(nil) // ignored
+
+	s := c.SnapshotNow(true)
+	if s.Percentiles == nil {
+		t.Fatal("no percentiles with digests reported")
+	}
+	p50 := s.Percentiles["p50"]
+	if p50 < 400 || p50 > 600 {
+		t.Fatalf("p50 = %v µs, want ~500", p50)
+	}
+	if plain := c.SnapshotNow(false); plain.Percentiles != nil {
+		t.Fatal("includeDigest=false must omit percentiles")
+	}
+}
+
+func TestCampaignJSONRenders(t *testing.T) {
+	clk := &fakeClock{now: 1e9}
+	c := NewCampaign(clk.fn())
+	c.SweepStart(2, 3)
+	c.CellStart(0, 0)
+	clk.now = 2e9
+	c.CellDone(0, 0)
+
+	b, err := c.PerfJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("perf.json invalid: %v", err)
+	}
+	for _, k := range []string{"cellsTotal", "eventsPerSecond", "poolHitPct", "etaSeconds"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("perf.json missing %q", k)
+		}
+	}
+
+	b, err = c.CampaignJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var camp struct {
+		CellsTotal int64            `json:"cellsTotal"`
+		PerWorker  []map[string]any `json:"perWorker"`
+	}
+	if err := json.Unmarshal(b, &camp); err != nil {
+		t.Fatalf("campaign.json invalid: %v", err)
+	}
+	if camp.CellsTotal != 3 || len(camp.PerWorker) != 2 {
+		t.Fatalf("campaign.json: total=%d workers=%d", camp.CellsTotal, len(camp.PerWorker))
+	}
+}
+
+// TestCampaignConcurrentSnapshot races workers against snapshot readers;
+// run under -race this is the proof that observation never coordinates.
+func TestCampaignConcurrentSnapshot(t *testing.T) {
+	clk := &fakeClock{now: 1}
+	c := NewCampaign(clk.fn())
+	const workers, cells = 4, 64
+	c.SweepStart(workers, cells)
+
+	var readerWG, workerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.SnapshotNow(true)
+			c.WorkerSnapshots()
+			if _, err := c.CampaignJSON(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			for p := w; p < cells; p += workers {
+				c.CellStart(w, p)
+				eng := sim.NewEngine()
+				eng.SetMeter(c.Meter())
+				eng.At(0, func() {})
+				eng.RunUntil(sim.Microsecond)
+				c.ReportEngine(eng)
+				d := metrics.NewTDigest(40)
+				d.Add(float64(p + 1))
+				c.ReportDigest(d)
+				c.CellDone(w, p)
+			}
+		}(w)
+	}
+	workerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s := c.SnapshotNow(true)
+	if s.CellsDone != cells {
+		t.Fatalf("done %d, want %d", s.CellsDone, cells)
+	}
+	if s.EventsExecuted != cells || s.LiveEvents != cells {
+		t.Fatalf("events %d/%d, want %d", s.EventsExecuted, s.LiveEvents, cells)
+	}
+}

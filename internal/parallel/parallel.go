@@ -35,6 +35,27 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // nothing mutable with other points. A panic in any point is re-raised on
 // the caller's goroutine after the pool drains.
 func Run[T any](workers, n int, fn func(i int) T) []T {
+	return RunTracked[T](workers, n, nil, fn)
+}
+
+// Tracker observes sweep execution for progress reporting. Implementations
+// must be safe for concurrent calls from multiple workers (the perf
+// campaign implementation is atomics-only) and must not influence the
+// points themselves — tracking is observation, never coordination, so
+// attaching a tracker cannot perturb byte-identical results.
+type Tracker interface {
+	// SweepStart announces the fan-out shape before any point runs.
+	SweepStart(workers, points int)
+	// CellStart marks worker (0-based) claiming point i.
+	CellStart(worker, point int)
+	// CellDone marks worker finishing point i.
+	CellDone(worker, point int)
+}
+
+// RunTracked is Run with an optional Tracker receiving claim/finish
+// callbacks around every point. A nil tracker is exactly Run. The serial
+// path reports worker 0 for every point.
+func RunTracked[T any](workers, n int, tr Tracker, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -43,19 +64,31 @@ func Run[T any](workers, n int, fn func(i int) T) []T {
 		workers = n
 	}
 	if workers <= 1 {
+		if tr != nil {
+			tr.SweepStart(1, n)
+		}
 		for i := 0; i < n; i++ {
+			if tr != nil {
+				tr.CellStart(0, i)
+			}
 			out[i] = fn(i)
+			if tr != nil {
+				tr.CellDone(0, i)
+			}
 		}
 		return out
 	}
 
+	if tr != nil {
+		tr.SweepStart(workers, n)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
 	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -67,9 +100,15 @@ func Run[T any](workers, n int, fn func(i int) T) []T {
 				if i >= n {
 					return
 				}
+				if tr != nil {
+					tr.CellStart(worker, i)
+				}
 				out[i] = fn(i)
+				if tr != nil {
+					tr.CellDone(worker, i)
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicked != nil {

@@ -8,16 +8,24 @@ import (
 )
 
 // DWRR is deficit weighted round robin (Shreedhar & Varghese). Active
-// queues sit in a linked list; the head queue may send up to its
+// queues sit in a circular list; the head queue may send up to its
 // accumulated deficit, which grows by one quantum per visit. This is the
 // discipline the paper's qdisc prototype implements (§5), including the
 // per-queue round-time tracking that MQ-ECN consumes.
+//
+// The active list is a fixed-capacity ring over the n queues. Rotation
+// (the per-quantum operation, which runs millions of times per sweep
+// cell) moves only the head index — the earlier slice-and-append
+// implementation reallocated the backing array on nearly every rotation
+// and dominated whole-run allocations.
 type DWRR struct {
 	v        View
 	quantum  []int
 	deficit  []int
-	active   []int  // queue indices in service order (head first)
-	isActive []bool // membership in active
+	ring     []int  // circular active list, len == number of queues
+	head     int    // ring index of the queue in service
+	count    int    // active queues currently in the ring
+	isActive []bool // membership in the ring
 	inTurn   []bool // quantum already granted for the current visit
 
 	lastTurnStart []sim.Time // when queue i last began a service turn
@@ -60,6 +68,8 @@ func (s *DWRR) Bind(v View) {
 	s.v = v
 	n := len(s.quantum)
 	s.deficit = make([]int, n)
+	s.ring = make([]int, n)
+	s.head, s.count = 0, 0
 	s.isActive = make([]bool, n)
 	s.inTurn = make([]bool, n)
 	s.lastTurnStart = make([]sim.Time, n)
@@ -73,14 +83,15 @@ func (s *DWRR) OnEnqueue(now sim.Time, i int, _ *pkt.Packet) {
 	if !s.isActive[i] {
 		s.isActive[i] = true
 		s.inTurn[i] = false
-		s.active = append(s.active, i)
+		s.ring[(s.head+s.count)%len(s.ring)] = i
+		s.count++
 	}
 }
 
 // Next implements Scheduler.
 func (s *DWRR) Next(now sim.Time) int {
-	for len(s.active) > 0 {
-		i := s.active[0]
+	for s.count > 0 {
+		i := s.ring[s.head]
 		if s.v.Len(i) == 0 {
 			// Queue drained outside OnDequeue bookkeeping; retire it.
 			s.retire(i)
@@ -100,9 +111,11 @@ func (s *DWRR) Next(now sim.Time) int {
 		if s.v.Head(i).Size <= s.deficit[i] {
 			return i
 		}
-		// Quantum exhausted: rotate to the tail, keep the deficit.
-		s.active = s.active[1:]
-		s.active = append(s.active, i)
+		// Quantum exhausted: rotate to the tail, keep the deficit. When
+		// the ring is full the tail slot coincides with the head slot,
+		// so writing before advancing is still correct.
+		s.ring[(s.head+s.count)%len(s.ring)] = i
+		s.head = (s.head + 1) % len(s.ring)
 		s.inTurn[i] = false
 	}
 	return -1
@@ -118,17 +131,28 @@ func (s *DWRR) OnDequeue(now sim.Time, i int, p *pkt.Packet) {
 }
 
 // retire removes queue i from the active list and resets its deficit, per
-// the DWRR specification for queues that empty.
+// the DWRR specification for queues that empty. Retiring the head (the
+// common case: a queue drains while in service) is O(1); retiring from
+// the middle shifts the few remaining entries.
 func (s *DWRR) retire(i int) {
 	s.isActive[i] = false
 	s.inTurn[i] = false
 	s.deficit[i] = 0
 	s.lastTurnStart[i] = 0 // next round sample would span an idle gap
-	for k, q := range s.active {
-		if q == i {
-			s.active = append(s.active[:k], s.active[k+1:]...)
-			break
+	n := len(s.ring)
+	for k := 0; k < s.count; k++ {
+		if s.ring[(s.head+k)%n] != i {
+			continue
 		}
+		if k == 0 {
+			s.head = (s.head + 1) % n
+		} else {
+			for j := k; j < s.count-1; j++ {
+				s.ring[(s.head+j)%n] = s.ring[(s.head+j+1)%n]
+			}
+		}
+		s.count--
+		break
 	}
 }
 

@@ -1,0 +1,55 @@
+package sim
+
+import "sync/atomic"
+
+// meterBatch is how many fired events an engine accumulates locally
+// before flushing them to its Meter. Batching keeps the hot loop at one
+// predictable branch and increment per event; the atomic add happens
+// once per batch (and once at RunUntil exit), so live readers lag by at
+// most meterBatch events.
+const meterBatch = 1024
+
+// Meter is the one deliberately shareable window into engine progress: a
+// pair of atomic accumulators that many engines — each owned by its own
+// sweep worker — add into in batches, and that a progress reporter on any
+// other goroutine may read at any time. It carries no engine state and
+// feeds nothing back into the simulation, so sharing one Meter across a
+// whole campaign cannot perturb results (unlike the engine itself, whose
+// single-owner rule the goshare analyzer enforces).
+type Meter struct {
+	events   atomic.Uint64
+	simNanos atomic.Int64
+}
+
+// Events returns the total events fired by all metered engines, batched
+// (lagging the truth by at most meterBatch events per running engine).
+func (m *Meter) Events() uint64 { return m.events.Load() }
+
+// SimNanos returns the total simulated time advanced by all metered
+// engines, in nanoseconds, batched like Events.
+func (m *Meter) SimNanos() int64 { return m.simNanos.Load() }
+
+// SetMeter attaches m to the engine; every subsequent RunUntil flushes
+// batched event counts and sim-time progress into it. Passing nil
+// detaches. The meter may be shared across engines; the engine itself
+// must not be.
+func (e *Engine) SetMeter(m *Meter) {
+	if e.meter != nil {
+		e.flushMeter()
+	}
+	e.meter = m
+	e.meterPend = 0
+	e.meterLastNow = e.now
+}
+
+// flushMeter publishes the locally batched progress to the meter.
+func (e *Engine) flushMeter() {
+	if e.meterPend > 0 {
+		e.meter.events.Add(e.meterPend)
+		e.meterPend = 0
+	}
+	if d := e.now - e.meterLastNow; d > 0 {
+		e.meter.simNanos.Add(int64(d))
+		e.meterLastNow = e.now
+	}
+}

@@ -122,6 +122,21 @@ type Engine struct {
 	// Executed counts events that have fired, for progress reporting and
 	// runaway detection in tests.
 	Executed uint64
+
+	// Self-telemetry counters (internal/obs/perf reads them). All are
+	// plain fields bumped inline on the hot path — no atomics, no
+	// allocations — and belong to the engine's owning goroutine like
+	// everything else here.
+	scheduled uint64 // events handed out by At/AtArg
+	canceled  uint64 // live events removed by Cancel
+	recycled  uint64 // alloc calls satisfied from the freelist
+	heapMax   int    // heap length high-water mark
+
+	// meter, when set, receives batched event counts so another
+	// goroutine can watch progress live; see Meter.
+	meter        *Meter
+	meterPend    uint64
+	meterLastNow Time
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -137,10 +152,12 @@ func (e *Engine) Len() int { return len(e.events) }
 // alloc hands out an event node, reusing a retired one when available.
 func (e *Engine) alloc(t Time) *event {
 	var ev *event
+	e.scheduled++
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		e.recycled++
 	} else {
 		ev = &event{}
 	}
@@ -174,6 +191,9 @@ func eventLess(a, b *event) bool {
 // push appends ev and restores the heap by sifting it up.
 func (e *Engine) push(ev *event) {
 	e.events = append(e.events, ev)
+	if len(e.events) > e.heapMax {
+		e.heapMax = len(e.events)
+	}
 	e.siftUp(len(e.events) - 1)
 }
 
@@ -305,6 +325,7 @@ func (e *Engine) Cancel(r EventRef) {
 	if r.ev == nil || r.ev.gen != r.gen {
 		return
 	}
+	e.canceled++
 	e.remove(r.ev.index)
 	e.retire(r.ev)
 }
@@ -344,9 +365,41 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		}
 		n++
 		e.Executed++
+		if e.meter != nil {
+			e.meterPend++
+			if e.meterPend >= meterBatch {
+				e.flushMeter()
+			}
+		}
 	}
 	if deadline != MaxTime && e.now < deadline && !e.stopped {
 		e.now = deadline
 	}
+	if e.meter != nil {
+		e.flushMeter()
+	}
 	return n
 }
+
+// Self-telemetry accessors; see internal/obs/perf for the layer that
+// aggregates them across a campaign.
+
+// Scheduled returns the number of events handed out by At/After/AtArg/
+// AfterArg since the engine was created.
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Canceled returns the number of live events removed by Cancel.
+func (e *Engine) Canceled() uint64 { return e.canceled }
+
+// Recycled returns the number of scheduled events whose node came from
+// the freelist rather than a fresh allocation. Scheduled-Recycled is the
+// engine's total event allocations.
+func (e *Engine) Recycled() uint64 { return e.recycled }
+
+// HeapHighWater returns the largest number of simultaneously pending
+// events observed.
+func (e *Engine) HeapHighWater() int { return e.heapMax }
+
+// FreelistLen returns the number of retired event nodes currently parked
+// for reuse.
+func (e *Engine) FreelistLen() int { return len(e.free) }
