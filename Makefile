@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-smoke fuzz-smoke
+.PHONY: build test race vet lint check bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+vet:
+	$(GO) vet ./...
+
+# lint runs the analyzer suite module-wide, then the analyzers' own fixture
+# self-tests (multi-package fixtures, fact goldens, loader error paths).
 lint:
 	$(GO) run ./cmd/tcnlint ./...
+	$(GO) test ./internal/lint/...
+
+# check is the full local gate: what CI requires before merge.
+check: build vet lint test
 
 # bench captures the perf baseline the PRs track: engine core, packet path,
 # and the parallel sweep at workers=1/2/4, written as JSON for comparison.

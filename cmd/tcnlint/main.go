@@ -5,30 +5,45 @@
 //
 //	go run ./cmd/tcnlint ./...
 //
-// Flags select analyzers (-run) and control whether test files are
-// included (-tests, default true). The tool is built on the stdlib-only
-// framework in internal/lint/analysis; it mirrors the x/tools multichecker
-// interface closely enough that migrating to `go vet -vettool` is a
-// mechanical swap once x/tools can be vendored.
+// Flags select analyzers (-run, which pulls in their Requires
+// automatically), control whether test files are included (-tests, default
+// true), and switch to machine-readable output (-json, one object per
+// diagnostic). The tool is built on the stdlib-only cross-package engine
+// in internal/lint/analysis: packages load module-wide in import order,
+// analyzers run with their Requires resolved first, and facts (call
+// graphs, ownership leaks, taint summaries) flow between packages. It
+// mirrors the x/tools multichecker interface closely enough that migrating
+// to `go vet -vettool` is a mechanical swap once x/tools can be vendored.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"tcn/internal/lint"
 	"tcn/internal/lint/analysis"
 )
 
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		tests = flag.Bool("tests", true, "analyze test files too")
-		run   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		list  = flag.Bool("list", false, "list available analyzers and exit")
+		tests    = flag.Bool("tests", true, "analyze test files too")
+		run      = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as JSON objects, one per line")
+		exitZero = flag.Bool("exit-zero", false, "always exit 0, even with diagnostics (for reporting pipelines)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: tcnlint [flags] [packages]\n\n")
@@ -65,59 +80,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	type finding struct {
-		file      string
-		line, col int
-		analyzer  string
-		message   string
-	}
-	var findings []finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-			}
-			name := a.Name
-			pass.Report = func(d analysis.Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				file := pos.Filename
-				if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-					file = rel
-				}
-				findings = append(findings, finding{file, pos.Line, pos.Column, name, d.Message})
-			}
-			if _, err := a.Run(pass); err != nil {
-				fatal(fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err))
-			}
-		}
+	result, err := analysis.Execute(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
 	}
 
-	// Diagnostics print in deterministic position order regardless of
-	// package load or map iteration order.
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range result.Findings {
+		file := f.Position.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:     file,
+				Line:     f.Position.Line,
+				Column:   f.Position.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			}); err != nil {
+				fatal(err)
+			}
+			continue
 		}
-		if a.col != b.col {
-			return a.col < b.col
-		}
-		return a.analyzer < b.analyzer
-	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+		fmt.Printf("%s:%d:%d: %s: %s\n", file, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "tcnlint: %d issue(s)\n", len(findings))
-		os.Exit(1)
+	if len(result.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tcnlint: %d issue(s)\n", len(result.Findings))
+		if !*exitZero {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -138,7 +138,9 @@ func main() {
 		obsSink.Perf = perf.NewCampaign(func() int64 { return time.Now().UnixNano() })
 	}
 	if *serveAddr != "" {
-		srv, err := startServer(*serveAddr, obsSink.Flight, obsSink.Perf)
+		// The live endpoints read atomics-only snapshots; the flight
+		// recorder's reservoir rand is touched by the sim goroutine alone.
+		srv, err := startServer(*serveAddr, obsSink.Flight, obsSink.Perf) //tcnlint:goshare server reads atomic snapshots; the rand stays with the sim goroutine
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -2,12 +2,19 @@
 // golang.org/x/tools/go/analysis vocabulary, built entirely on the standard
 // library (go/ast, go/types, go/importer). The repository vendors no external
 // modules, so the real x/tools multichecker cannot be imported; this package
-// keeps the same shape — Analyzer, Pass, Diagnostic — so the tcnlint
-// analyzers can migrate to the upstream framework by swapping one import.
+// keeps the same shape — Analyzer, Pass, Diagnostic, Fact, Requires — so the
+// tcnlint analyzers can migrate to the upstream framework by swapping one
+// import.
 //
-// Deliberate simplifications relative to upstream: no Facts, no Requires
-// graph (every analyzer is self-contained), and no SuggestedFixes. Those are
-// not needed by the determinism and accounting analyzers this repo ships.
+// Since PR 7 the package is a cross-package engine rather than a
+// package-local one: the loader type-checks the whole module against one
+// shared importer (so a types.Object is the same value in the package that
+// declares it and in every package that imports it), the driver executes
+// analyzers over packages in import-graph order with Requires dependencies
+// resolved first, and analyzers exchange Facts attached to objects and
+// packages. Facts live in memory for the whole run — no gob encoding — which
+// is the one deliberate simplification left relative to upstream (besides
+// SuggestedFixes, which nothing here needs).
 package analysis
 
 import (
@@ -24,14 +31,18 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by `tcnlint help`.
 	Doc string
+	// Requires lists analyzers that must run before this one on every
+	// package. Their per-package results appear in Pass.ResultOf and
+	// their facts are readable through the Pass fact accessors.
+	Requires []*Analyzer
 	// Run applies the analyzer to one package and reports diagnostics
-	// through the pass. The result value is unused by the driver but
-	// kept for upstream signature compatibility.
+	// through the pass. The result value is stored by the driver and
+	// handed to dependent analyzers via Pass.ResultOf.
 	Run func(*Pass) (any, error)
 }
 
 // Pass is the interface between one (analyzer, package) pairing and the
-// driver: the syntax, type information, and the Report sink.
+// driver: the syntax, type information, fact accessors, and the Report sink.
 type Pass struct {
 	Analyzer *Analyzer
 
@@ -46,11 +57,117 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+	// ResultOf holds the results of this package's passes of every
+	// analyzer in Requires (transitively).
+	ResultOf map[*Analyzer]any
+
+	// facts is the module-wide store shared by all passes of one driver
+	// run; visible is the Requires closure (self included) whose facts
+	// this pass may read. Both are nil on a bare Pass constructed outside
+	// the driver, in which case the accessors degrade to no-ops.
+	facts   *factStore
+	visible map[*Analyzer]bool
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj for dependent packages to read.
+// The object must belong to this pass's package. One fact per (analyzer,
+// object, fact type); exporting again overwrites.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	p.facts.obj[objFactKey{p.Analyzer, obj, factType(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj (by this
+// analyzer or one in its Requires closure) into ptr, reporting whether one
+// was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	t := factType(ptr)
+	for a := range p.visibleSet() {
+		if f, ok := p.facts.obj[objFactKey{a, obj, t}]; ok {
+			copyFact(ptr, f)
+			return true
+		}
+	}
+	return false
+}
+
+// ExportPackageFact attaches fact to the pass's own package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.pkg[pkgFactKey{p.Analyzer, p.Pkg, factType(fact)}] = fact
+}
+
+// ImportPackageFact copies the fact of ptr's type attached to pkg into ptr,
+// reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	t := factType(ptr)
+	for a := range p.visibleSet() {
+		if f, ok := p.facts.pkg[pkgFactKey{a, pkg, t}]; ok {
+			copyFact(ptr, f)
+			return true
+		}
+	}
+	return false
+}
+
+// AllObjectFacts returns every object fact visible to this pass, in
+// deterministic order. Because the driver runs each analyzer over every
+// package before any dependent analyzer starts, a pass sees required
+// analyzers' facts for the whole module, not just its import cone.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.objectFacts(p.visibleSet(), p.Fset)
+}
+
+// AllPackageFacts returns every package fact visible to this pass, in
+// deterministic order.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.packageFacts(p.visibleSet())
+}
+
+// visibleSet returns the analyzers whose facts this pass may read: itself
+// plus its transitive Requires.
+func (p *Pass) visibleSet() map[*Analyzer]bool {
+	if p.visible != nil {
+		return p.visible
+	}
+	vis := map[*Analyzer]bool{}
+	var add func(a *Analyzer)
+	add = func(a *Analyzer) {
+		if vis[a] {
+			return
+		}
+		vis[a] = true
+		for _, r := range a.Requires {
+			add(r)
+		}
+	}
+	add(p.Analyzer)
+	p.visible = vis
+	return vis
 }
 
 // Diagnostic is one finding: a position and a human-readable message. The

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a typed datum an analyzer attaches to an object or package while
+// analyzing the package that declares it, and retrieves while analyzing a
+// package that imports it. Facts are what make the engine cross-package: a
+// goshare fact saying "this helper hands its first parameter to a
+// goroutine" is exported where the helper is defined and consulted at every
+// call site in every dependent package.
+//
+// Unlike upstream x/tools facts, these are held in memory for the whole
+// module run (the driver analyzes every package in one process), so fact
+// types need no gob encoding and may carry go/types objects directly. A
+// fact type must be a pointer to a struct and should implement fmt.Stringer
+// so the linttest golden assertions can render it.
+type Fact interface{ AFact() }
+
+// objFactKey identifies one object fact: which analyzer exported it, on
+// which object, and the fact's dynamic type (an analyzer may attach several
+// facts of distinct types to one object).
+type objFactKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+	typ      reflect.Type
+}
+
+// pkgFactKey identifies one package fact.
+type pkgFactKey struct {
+	analyzer *Analyzer
+	pkg      *types.Package
+	typ      reflect.Type
+}
+
+// factStore is the module-wide fact table shared by every pass of one
+// driver run. It is written only by the goroutine executing passes, so it
+// needs no locking.
+type factStore struct {
+	obj map[objFactKey]Fact
+	pkg map[pkgFactKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{obj: map[objFactKey]Fact{}, pkg: map[pkgFactKey]Fact{}}
+}
+
+// factType validates that f is a pointer-to-struct fact and returns its
+// dynamic type.
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T is not a pointer", f))
+	}
+	return t
+}
+
+// copyFact copies the stored fact's contents into the caller's pointer.
+func copyFact(dst, src Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+// ObjectFact is one exported object fact, as surfaced to linttest golden
+// assertions and `tcnlint -facts` style debugging.
+type ObjectFact struct {
+	Analyzer *Analyzer
+	Object   types.Object
+	Fact     Fact
+}
+
+// PackageFact is one exported package fact.
+type PackageFact struct {
+	Analyzer *Analyzer
+	Package  *types.Package
+	Fact     Fact
+}
+
+// objectFacts returns every object fact exported by one of the given
+// analyzers, sorted by object position then fact rendering so the order is
+// deterministic across runs.
+func (s *factStore) objectFacts(analyzers map[*Analyzer]bool, fset *token.FileSet) []ObjectFact {
+	var out []ObjectFact
+	//tcnlint:ordered the result is sorted before return
+	for k, f := range s.obj {
+		if analyzers[k.analyzer] {
+			out = append(out, ObjectFact{Analyzer: k.analyzer, Object: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Object.Pos()), fset.Position(out[j].Object.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return fmt.Sprint(out[i].Fact) < fmt.Sprint(out[j].Fact)
+	})
+	return out
+}
+
+// packageFacts returns every package fact exported by one of the given
+// analyzers, in deterministic (package path, fact) order.
+func (s *factStore) packageFacts(analyzers map[*Analyzer]bool) []PackageFact {
+	var out []PackageFact
+	//tcnlint:ordered the result is sorted before return
+	for k, f := range s.pkg {
+		if analyzers[k.analyzer] {
+			out = append(out, PackageFact{Analyzer: k.analyzer, Package: k.pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].Package.Path(), out[j].Package.Path(); a != b {
+			return a < b
+		}
+		return fmt.Sprint(out[i].Fact) < fmt.Sprint(out[j].Fact)
+	})
+	return out
+}

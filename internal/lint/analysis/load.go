@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // Package is one loaded, type-checked unit of analysis. In-package test
@@ -24,6 +25,13 @@ type Package struct {
 	Path string
 	// Dir is the package directory on disk.
 	Dir string
+	// Imports lists the module-internal packages this unit imports
+	// (library and in-package test imports merged), sorted.
+	Imports []string
+	// Report marks a root package: one matched by the load patterns, whose
+	// diagnostics the driver surfaces. Dependency packages pulled in only
+	// for facts have Report false.
+	Report bool
 
 	Fset  *token.FileSet
 	Files []*ast.File
@@ -48,15 +56,27 @@ type listedPackage struct {
 	CgoFiles     []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Standard     bool
 	Incomplete   bool
 	DepOnly      bool
 	ForTest      string
+	Module       *struct{ Path string }
 	Error        *struct{ Err string }
 }
 
 // Load enumerates the packages matching patterns with the go command,
-// parses them, and type-checks them against a shared source-level importer.
-// All randomness-free: output order follows `go list`, which is sorted.
+// closes over their module-internal dependencies, and parses and
+// type-checks everything in import-graph order against one shared
+// importer, so a types.Object is the same value in the package that
+// declares it and in every package that imports it — the property the
+// fact store depends on.
+//
+// Everything is randomness-free: package order is a deterministic
+// topological sort (alphabetical among ready packages), and file order
+// within a package is sorted.
 func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -66,41 +86,248 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-
-	var pkgs []*Package
-	for _, lp := range listed {
-		if lp.DepOnly || lp.ForTest != "" {
+	// Index the match results and find the module path so the dependency
+	// closure stays inside the module (stdlib is the importer's problem).
+	byPath := map[string]*listedPackage{}
+	roots := map[string]bool{}
+	var modulePath string
+	var order []string
+	for i := range listed {
+		lp := &listed[i]
+		if lp.ForTest != "" || lp.Standard {
 			continue
 		}
 		if lp.Error != nil {
 			return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		units := []struct {
-			path  string
-			files []string
-		}{
-			{lp.ImportPath, mergeFiles(lp, cfg.Tests)},
+		if byPath[lp.ImportPath] != nil {
+			continue
 		}
-		if cfg.Tests && len(lp.XTestGoFiles) > 0 {
-			units = append(units, struct {
-				path  string
-				files []string
-			}{lp.ImportPath + "_test", append([]string(nil), lp.XTestGoFiles...)})
+		byPath[lp.ImportPath] = lp
+		order = append(order, lp.ImportPath)
+		if !lp.DepOnly {
+			roots[lp.ImportPath] = true
 		}
-		for _, u := range units {
-			if len(u.files) == 0 {
+		if modulePath == "" && lp.Module != nil {
+			modulePath = lp.Module.Path
+		}
+	}
+
+	inModule := func(path string) bool {
+		return modulePath != "" &&
+			(path == modulePath || strings.HasPrefix(path, modulePath+"/"))
+	}
+
+	// Close over module-internal imports (including test-only imports such
+	// as a shared testutil) so facts exist for every package an analyzed
+	// file references.
+	for {
+		var missing []string
+		seen := map[string]bool{}
+		for _, p := range order {
+			lp := byPath[p]
+			for _, imp := range allImports(lp, cfg.Tests) {
+				if inModule(imp) && byPath[imp] == nil && !seen[imp] {
+					seen[imp] = true
+					missing = append(missing, imp)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		sort.Strings(missing)
+		extra, err := goList(cfg.Dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		for i := range extra {
+			lp := &extra[i]
+			if lp.ForTest != "" || lp.Standard || byPath[lp.ImportPath] != nil {
 				continue
 			}
-			p, err := checkUnit(fset, imp, u.path, lp.Dir, u.files)
+			if lp.Error != nil {
+				return nil, fmt.Errorf("load %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			byPath[lp.ImportPath] = lp
+			order = append(order, lp.ImportPath)
+		}
+	}
+
+	// Topologically sort so every package is checked after its imports.
+	// Test-only imports are real edges when they keep the graph acyclic
+	// (they almost always do); a test-import cycle — legal in Go via the
+	// separate test binary — falls back to library edges only, and the
+	// leftover test imports resolve through the source-importer fallback.
+	edges := func(includeTests bool) map[string][]string {
+		g := map[string][]string{}
+		for _, p := range order {
+			lp := byPath[p]
+			imps := append([]string(nil), lp.Imports...)
+			if includeTests && cfg.Tests {
+				imps = append(imps, lp.TestImports...)
+			}
+			for _, imp := range imps {
+				if imp != p && byPath[imp] != nil {
+					g[p] = append(g[p], imp)
+				}
+			}
+		}
+		return g
+	}
+	sorted, err := topoSort(order, edges(true))
+	if err != nil {
+		sorted, err = topoSort(order, edges(false))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		pkgs:     map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	var pkgs []*Package
+	for _, path := range sorted {
+		lp := byPath[path]
+		files := mergeFiles(*lp, cfg.Tests)
+		if len(files) == 0 {
+			continue
+		}
+		p, err := checkUnit(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		p.Imports = moduleImports(lp, cfg.Tests, inModule)
+		p.Report = roots[path]
+		imp.pkgs[path] = p.Types
+		pkgs = append(pkgs, p)
+	}
+
+	// External test packages load last, once every library unit they might
+	// import (including the one they test) is registered.
+	if cfg.Tests {
+		for _, path := range sorted {
+			lp := byPath[path]
+			if len(lp.XTestGoFiles) == 0 || !roots[path] {
+				continue
+			}
+			files := append([]string(nil), lp.XTestGoFiles...)
+			sort.Strings(files)
+			p, err := checkUnit(fset, imp, lp.ImportPath+"_test", lp.Dir, files)
 			if err != nil {
 				return nil, err
 			}
+			p.Report = true
 			pkgs = append(pkgs, p)
 		}
 	}
 	return pkgs, nil
+}
+
+// allImports returns every import path a package's selected units mention.
+func allImports(lp *listedPackage, tests bool) []string {
+	imps := append([]string(nil), lp.Imports...)
+	if tests {
+		imps = append(imps, lp.TestImports...)
+		imps = append(imps, lp.XTestImports...)
+	}
+	return imps
+}
+
+// moduleImports returns the sorted, deduplicated module-internal imports of
+// the merged (library + in-package test) unit.
+func moduleImports(lp *listedPackage, tests bool, inModule func(string) bool) []string {
+	seen := map[string]bool{}
+	var out []string
+	imps := append([]string(nil), lp.Imports...)
+	if tests {
+		imps = append(imps, lp.TestImports...)
+	}
+	for _, imp := range imps {
+		if inModule(imp) && imp != lp.ImportPath && !seen[imp] {
+			seen[imp] = true
+			out = append(out, imp)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders paths so that every package's imports precede it,
+// breaking ties alphabetically (Kahn's algorithm over a sorted ready set).
+// It returns an error naming a package on a cycle.
+func topoSort(paths []string, edges map[string][]string) ([]string, error) {
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, p := range paths {
+		indeg[p] = 0
+	}
+	// Dependent lists are only used as a set for indegree decrements, and
+	// each ready round is sorted before emission.
+	//tcnlint:ordered output order is fixed by the per-round sort
+	for p, imps := range edges {
+		for _, imp := range imps {
+			indeg[p]++
+			dependents[imp] = append(dependents[imp], p)
+		}
+	}
+	var ready []string
+	for _, p := range paths {
+		if indeg[p] == 0 {
+			ready = append(ready, p)
+		}
+	}
+	sort.Strings(ready)
+	var out []string
+	for len(ready) > 0 {
+		p := ready[0]
+		ready = ready[1:]
+		out = append(out, p)
+		changed := false
+		for _, d := range dependents[p] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, p)
+				ready[len(ready)-1] = d
+				changed = true
+			}
+		}
+		if changed {
+			sort.Strings(ready)
+		}
+	}
+	if len(out) != len(paths) {
+		var stuck []string
+		for _, p := range paths {
+			if indeg[p] > 0 {
+				stuck = append(stuck, p)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("import cycle among packages %v", stuck)
+	}
+	return out, nil
+}
+
+// moduleImporter resolves imports from the units this run already checked,
+// falling back to the stdlib source importer for everything else. The map
+// is what gives the whole run one types world: package P's objects seen
+// from a dependent are identical to the ones P's own pass exported facts
+// on.
+type moduleImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
 }
 
 // mergeFiles joins library and in-package test files in sorted order.

@@ -1,0 +1,150 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"tcn/internal/lint/analysis"
+)
+
+const modfile = "module example.com/m\n\ngo 1.22\n"
+
+// writeModule lays out a throwaway module under a temp dir and returns it.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	names := make([]string, 0, len(files))
+	//tcnlint:ordered names are sorted before use
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadUnparsableFile(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   modfile,
+		"a/bad.go": "package a\n\nfunc broken( {\n",
+	})
+	_, err := analysis.Load(analysis.LoadConfig{Dir: dir}, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a syntax error")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error does not name the unparsable file: %v", err)
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a/a.go": "package a\n\nvar X int = \"not an int\"\n",
+	})
+	_, err := analysis.Load(analysis.LoadConfig{Dir: dir}, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a type error")
+	}
+	if !strings.Contains(err.Error(), "typecheck example.com/m/a") {
+		t.Errorf("error does not identify the failing package: %v", err)
+	}
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a/a.go": "package a\n\nimport _ \"example.com/m/b\"\n",
+		"b/b.go": "package b\n\nimport _ \"example.com/m/a\"\n",
+	})
+	_, err := analysis.Load(analysis.LoadConfig{Dir: dir}, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with an import cycle")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error does not mention the cycle: %v", err)
+	}
+}
+
+// TestLoadDeterministicOrder loads the same module twice and asserts an
+// identical package sequence, with every dependency preceding its
+// dependents — the property the fact store relies on.
+func TestLoadDeterministicOrder(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  modfile,
+		"a/a.go":  "package a\n\nconst A = 1\n",
+		"b/b.go":  "package b\n\nimport \"example.com/m/a\"\n\nconst B = a.A + 1\n",
+		"c/c.go":  "package c\n\nimport (\n\t\"example.com/m/a\"\n\t\"example.com/m/b\"\n)\n\nconst C = a.A + b.B\n",
+		"zz/z.go": "package zz\n\nimport \"example.com/m/a\"\n\nconst Z = a.A\n",
+	})
+	order := func() []string {
+		t.Helper()
+		pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir}, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		return paths
+	}
+	first, second := order(), order()
+	if strings.Join(first, " ") != strings.Join(second, " ") {
+		t.Fatalf("two loads disagree:\n  %v\n  %v", first, second)
+	}
+	index := map[string]int{}
+	for i, p := range first {
+		index[p] = i
+	}
+	for _, dep := range []struct{ before, after string }{
+		{"example.com/m/a", "example.com/m/b"},
+		{"example.com/m/a", "example.com/m/c"},
+		{"example.com/m/b", "example.com/m/c"},
+		{"example.com/m/a", "example.com/m/zz"},
+	} {
+		bi, ok1 := index[dep.before]
+		ai, ok2 := index[dep.after]
+		if !ok1 || !ok2 {
+			t.Fatalf("package missing from load: %v", first)
+		}
+		if bi >= ai {
+			t.Errorf("%s (pos %d) does not precede its dependent %s (pos %d)", dep.before, bi, dep.after, ai)
+		}
+	}
+}
+
+// TestLoadDependencyClosure loads a single root and asserts its in-module
+// dependencies come along as non-Report packages, so their facts exist.
+func TestLoadDependencyClosure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": modfile,
+		"a/a.go": "package a\n\nconst A = 1\n",
+		"c/c.go": "package c\n\nimport \"example.com/m/a\"\n\nconst C = a.A\n",
+	})
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir}, "./c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := map[string]bool{}
+	for _, p := range pkgs {
+		report[p.Path] = p.Report
+	}
+	if r, ok := report["example.com/m/c"]; !ok || !r {
+		t.Errorf("root package c missing or not Report: %v", report)
+	}
+	if r, ok := report["example.com/m/a"]; !ok || r {
+		t.Errorf("dependency a should load with Report=false: %v", report)
+	}
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic with its reporting analyzer and resolved
+// position, as produced by Execute.
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+// RunResult is the outcome of one Execute call: diagnostics from the root
+// packages plus the module-wide fact store, for linttest's fact golden
+// assertions.
+type RunResult struct {
+	// Findings holds diagnostics from packages with Report set, sorted by
+	// (file, line, column, analyzer, message).
+	Findings []Finding
+
+	fset      *token.FileSet
+	facts     *factStore
+	analyzers map[*Analyzer]bool
+}
+
+// ObjectFacts returns every object fact exported during the run, in
+// deterministic order.
+func (r *RunResult) ObjectFacts() []ObjectFact {
+	return r.facts.objectFacts(r.analyzers, r.fset)
+}
+
+// PackageFacts returns every package fact exported during the run, in
+// deterministic order.
+func (r *RunResult) PackageFacts() []PackageFact {
+	return r.facts.packageFacts(r.analyzers)
+}
+
+// Expand returns analyzers plus their transitive Requires, ordered so every
+// analyzer follows all of its requirements (ties broken by registration
+// order, so the result is deterministic). It errors on a Requires cycle.
+func Expand(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var order []*Analyzer
+	state := map[*Analyzer]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle through %q", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, r := range a.Requires {
+			if err := visit(r); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Execute runs the analyzers (plus their transitive Requires) over the
+// packages and collects diagnostics and facts.
+//
+// Packages must arrive in dependency order (Load and the linttest fixture
+// loader both guarantee it). The driver loops analyzers outermost: analyzer
+// A runs over every package before any analyzer requiring A runs at all.
+// That gives dependent analyzers a module-wide view of their requirements'
+// facts — in particular, a call-graph consumer analyzing package P can see
+// call edges from packages that import P, which strict import-cone
+// propagation would hide.
+//
+// Diagnostics are collected only from packages whose Report field is set
+// (the match patterns' roots); facts are collected from every package, so a
+// dep-only package still contributes ownership and call-graph knowledge.
+func Execute(pkgs []*Package, analyzers []*Analyzer) (*RunResult, error) {
+	order, err := Expand(analyzers)
+	if err != nil {
+		return nil, err
+	}
+
+	facts := newFactStore()
+	results := map[*Analyzer]map[*Package]any{}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	} else {
+		fset = token.NewFileSet()
+	}
+
+	var findings []Finding
+	for _, a := range order {
+		results[a] = map[*Package]any{}
+		for _, pkg := range pkgs {
+			resultOf := map[*Analyzer]any{}
+			for req := range requiresClosure(a) {
+				if req == a {
+					continue
+				}
+				resultOf[req] = results[req][pkg]
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				ResultOf:  resultOf,
+				facts:     facts,
+			}
+			report := pkg.Report
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				if !report {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Pos:      d.Pos,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+			results[a][pkg] = res
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	set := map[*Analyzer]bool{}
+	for _, a := range order {
+		set[a] = true
+	}
+	return &RunResult{Findings: findings, fset: fset, facts: facts, analyzers: set}, nil
+}
+
+// requiresClosure returns a plus its transitive requirements.
+func requiresClosure(a *Analyzer) map[*Analyzer]bool {
+	set := map[*Analyzer]bool{}
+	var add func(x *Analyzer)
+	add = func(x *Analyzer) {
+		if set[x] {
+			return
+		}
+		set[x] = true
+		for _, r := range x.Requires {
+			add(r)
+		}
+	}
+	add(a)
+	return set
+}

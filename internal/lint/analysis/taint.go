@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Taint is a small forward may-taint dataflow over one function body:
+// seed expressions are declared tainted by the client's IsSource, taint
+// propagates through assignments, arithmetic, conversions, field and index
+// reads, composite literals, and call results (a call with a tainted
+// argument or receiver is assumed to return taint — conservative but
+// cheap), and the client then asks Expr whether any expression may carry
+// taint. Analysis is flow-insensitive: assignments are iterated to a fixed
+// point, so taint flows through loops and out-of-order declarations.
+//
+// The helper is deliberately intraprocedural; interprocedural flows are the
+// caller's job via facts (see walltaint: functions returning taint get a
+// fact, and the caller's IsSource consults it).
+type Taint struct {
+	// Info is the pass's type information.
+	Info *types.Info
+	// IsSource reports whether e, by itself, introduces taint (e.g. a
+	// call to time.Now, or to a function carrying a tainted-result fact).
+	IsSource func(e ast.Expr) bool
+
+	tainted map[types.Object]bool
+}
+
+// Analyze runs the fixed-point over body, after which Expr may be queried.
+// A nil body (declaration without definition) is a no-op.
+func (t *Taint) Analyze(body ast.Node) {
+	t.tainted = map[types.Object]bool{}
+	if body == nil {
+		return
+	}
+	for i := 0; i < 16; i++ { // bound: nesting depth of value chains
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					var rhs ast.Expr
+					if len(s.Rhs) == len(s.Lhs) {
+						rhs = s.Rhs[i]
+					} else if len(s.Rhs) == 1 {
+						rhs = s.Rhs[0]
+					}
+					if rhs != nil && t.Expr(rhs) && t.markLHS(lhs) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					var rhs ast.Expr
+					if len(s.Values) == len(s.Names) {
+						rhs = s.Values[i]
+					} else if len(s.Values) == 1 {
+						rhs = s.Values[0]
+					}
+					if rhs != nil && t.Expr(rhs) {
+						if obj := t.Info.Defs[name]; obj != nil && !t.tainted[obj] {
+							t.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if s.X != nil && t.Expr(s.X) {
+					if s.Key != nil && t.markLHS(s.Key) {
+						changed = true
+					}
+					if s.Value != nil && t.markLHS(s.Value) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+// markLHS marks the storage behind an assignment target as tainted,
+// reporting whether that was new. Selector/index targets taint their root
+// object, so a write into one field taints the whole local — imprecise in
+// the safe direction.
+func (t *Taint) markLHS(lhs ast.Expr) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.Ident:
+			obj := t.Info.Defs[x]
+			if obj == nil {
+				obj = t.Info.Uses[x]
+			}
+			if obj == nil || t.tainted[obj] {
+				return false
+			}
+			t.tainted[obj] = true
+			return true
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// TaintedObject reports whether the analysis concluded obj may hold taint.
+func (t *Taint) TaintedObject(obj types.Object) bool { return t.tainted[obj] }
+
+// Expr reports whether e may carry taint.
+func (t *Taint) Expr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if t.IsSource != nil && t.IsSource(e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := t.Info.Uses[x]; obj != nil && t.tainted[obj] {
+			return true
+		}
+	case *ast.ParenExpr:
+		return t.Expr(x.X)
+	case *ast.UnaryExpr:
+		return t.Expr(x.X)
+	case *ast.StarExpr:
+		return t.Expr(x.X)
+	case *ast.BinaryExpr:
+		return t.Expr(x.X) || t.Expr(x.Y)
+	case *ast.SelectorExpr:
+		return t.Expr(x.X)
+	case *ast.IndexExpr:
+		return t.Expr(x.X)
+	case *ast.SliceExpr:
+		return t.Expr(x.X)
+	case *ast.TypeAssertExpr:
+		return t.Expr(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t.Expr(el) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		// A conversion or call propagates taint from any operand; a call
+		// on a tainted receiver is assumed to read it.
+		for _, a := range x.Args {
+			if t.Expr(a) {
+				return true
+			}
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && t.Expr(sel.X) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+// Package exhaustive requires switches over the core enums to be total.
+//
+// The attribution machinery keys everything on the core enums — core.Reason
+// names why a packet was marked or dropped, core.EventKind names what a
+// trace row records, core.Stage names where a verdict was taken. A switch
+// over one of them that silently falls through on an unlisted constant is
+// how a new reason added for one scheduler quietly vanishes from another's
+// accounting. The analyzer therefore requires every switch whose tag is a
+// core enum to either list every exported constant of the enum or carry an
+// explicit default case.
+//
+// Membership comes from an Enums package fact exported when the analyzer
+// visits the defining package, so dependents see exactly the constants the
+// core package declares (unexported sentinels such as numReasons are not
+// members); when no fact is available — the defining package was outside
+// the analyzed set — the analyzer falls back to scanning the imported
+// package scope. Coverage is judged by constant value, so aliasing
+// constants count for each other. A deliberate partial switch can be waived
+// line by line with a `//tcnlint:exhaustive` comment.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the exhaustive check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over core enums (Reason, Stage, EventKind) must cover every exported constant or carry a default",
+	Run:  run,
+}
+
+// Enums is the package fact listing an enum package's members: enum type
+// name to its exported constant names, in declaration-value order.
+type Enums struct {
+	Members map[string][]string
+}
+
+// AFact marks Enums as a fact.
+func (*Enums) AFact() {}
+
+func (e *Enums) String() string {
+	var names []string
+	//tcnlint:ordered names are sorted before rendering
+	for n := range e.Members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("enums(")
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(n + "=" + strings.Join(e.Members[n], "|"))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// enumPackage reports whether pkg is a core-style enum package: the real
+// module path or its bare fixture twin.
+func enumPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "tcn/internal/core" || pkg.Path() == "core"
+}
+
+// collectEnums scans a package scope for enum types: named types with a
+// basic integer underlying type and at least two exported constants of
+// exactly that type.
+func collectEnums(pkg *types.Package) map[string][]*types.Const {
+	enums := map[string][]*types.Const{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() != pkg {
+			continue
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			continue
+		}
+		enums[named.Obj().Name()] = append(enums[named.Obj().Name()], c)
+	}
+	for name, members := range enums {
+		if len(members) < 2 {
+			delete(enums, name)
+			continue
+		}
+		sort.SliceStable(members, func(i, j int) bool {
+			vi, _ := constant.Int64Val(members[i].Val())
+			vj, _ := constant.Int64Val(members[j].Val())
+			if vi != vj {
+				return vi < vj
+			}
+			return members[i].Name() < members[j].Name()
+		})
+	}
+	return enums
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Publish membership when visiting the defining package itself.
+	if enumPackage(pass.Pkg) {
+		fact := &Enums{Members: map[string][]string{}}
+		// Each name's member list comes from collectEnums pre-sorted; the
+		// outer map range only distributes lists to distinct keys.
+		//tcnlint:ordered per-key order comes from the sorted members slice
+		for name, members := range collectEnums(pass.Pkg) {
+			for _, m := range members {
+				fact.Members[name] = append(fact.Members[name], m.Name())
+			}
+		}
+		if len(fact.Members) > 0 {
+			pass.ExportPackageFact(fact)
+		}
+	}
+
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, file, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkSwitch verifies one tagged switch over a core enum.
+func checkSwitch(pass *analysis.Pass, file *ast.File, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	def := named.Obj()
+	if !enumPackage(def.Pkg()) || !def.Exported() {
+		return
+	}
+	members := enumMembers(pass, def)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: partial coverage is deliberate
+		}
+		for _, e := range cc.List {
+			if v, ok := pass.TypesInfo.Types[e]; ok && v.Value != nil {
+				covered[v.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if analysis.LineCommentDirective(pass.Fset, file, sw.Pos(), "exhaustive") {
+		return
+	}
+	pass.Reportf(sw.Pos(), "switch on %s.%s is not exhaustive: missing %s (add the cases or an explicit default)",
+		def.Pkg().Name(), def.Name(), strings.Join(missing, ", "))
+}
+
+// member pairs a constant name with its exact value rendering.
+type member struct {
+	name string
+	val  string
+}
+
+// enumMembers resolves the enum's exported constants, preferring the Enums
+// fact exported by the defining package's pass and falling back to a direct
+// scope scan.
+func enumMembers(pass *analysis.Pass, def *types.TypeName) []member {
+	pkg := def.Pkg()
+	byName := map[string]*types.Const{}
+	for name, members := range collectEnums(pkg) {
+		if name != def.Name() {
+			continue
+		}
+		for _, c := range members {
+			byName[c.Name()] = c
+		}
+	}
+
+	var fact Enums
+	if pass.ImportPackageFact(pkg, &fact) {
+		var out []member
+		for _, name := range fact.Members[def.Name()] {
+			if c, ok := byName[name]; ok {
+				out = append(out, member{name: name, val: c.Val().ExactString()})
+			}
+		}
+		return out
+	}
+	// No fact (defining package outside the run): scope scan only.
+	var out []member
+	// A single key survives the name filter, and its members slice comes
+	// from collectEnums pre-sorted.
+	//tcnlint:ordered one key passes the filter; members are pre-sorted
+	for name, members := range collectEnums(pkg) {
+		if name != def.Name() {
+			continue
+		}
+		for _, c := range members {
+			out = append(out, member{name: c.Name(), val: c.Val().ExactString()})
+		}
+	}
+	return out
+}

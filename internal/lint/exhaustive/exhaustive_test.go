@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/exhaustive"
+	"tcn/internal/lint/linttest"
+)
+
+func TestExhaustive(t *testing.T) {
+	linttest.Run(t, exhaustive.Analyzer, "exhaustive")
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestGoshare(t *testing.T) {
-	linttest.Run(t, goshare.Analyzer, "goshare")
+	linttest.Run(t, goshare.Analyzer, "goshare", "goshare2")
 }

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/hotpath"
+	"tcn/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "hotpath")
+}

@@ -5,24 +5,32 @@ package lint
 
 import (
 	"tcn/internal/lint/analysis"
+	"tcn/internal/lint/exhaustive"
 	"tcn/internal/lint/floatcmp"
 	"tcn/internal/lint/goshare"
+	"tcn/internal/lint/hotpath"
 	"tcn/internal/lint/maporder"
 	"tcn/internal/lint/seededrand"
 	"tcn/internal/lint/simclock"
 	"tcn/internal/lint/unitcheck"
 	"tcn/internal/lint/verdict"
+	"tcn/internal/lint/walltaint"
 )
 
 // All returns the full analyzer suite in stable (alphabetical) order.
+// Library analyzers pulled in only through Requires (callgraph) are not
+// listed; the driver adds them via analysis.Expand.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		exhaustive.Analyzer,
 		floatcmp.Analyzer,
 		goshare.Analyzer,
+		hotpath.Analyzer,
 		maporder.Analyzer,
 		seededrand.Analyzer,
 		simclock.Analyzer,
 		unitcheck.Analyzer,
 		verdict.Analyzer,
+		walltaint.Analyzer,
 	}
 }

@@ -1,15 +1,30 @@
 // Package linttest is the fixture harness for tcnlint analyzers, a
 // stdlib-only equivalent of golang.org/x/tools/go/analysis/analysistest.
 //
-// Fixture packages live under internal/lint/testdata/src/<name>. A fixture
-// file marks each line where a diagnostic is expected with a trailing
+// Fixture packages live under internal/lint/testdata/src/<name>; a fixture
+// may import sibling fixtures (including nested ones like "goshare2/helper"),
+// and the harness loads the whole dependency closure in import order through
+// the same Execute driver the real tool uses, so Requires analyzers run and
+// facts cross fixture-package boundaries exactly as they do on the module.
+//
+// A fixture file marks each line where a diagnostic is expected with a
+// trailing
 //
 //	// want "regexp"
 //
-// comment (several regexps may follow one want). The harness runs the
-// analyzer, then requires an exact correspondence: every want matched by a
-// diagnostic on its line, every diagnostic covered by a want. Files with no
-// want comments therefore serve as true-negative fixtures.
+// comment (several regexps may follow one want). Diagnostics are checked
+// for the named fixture's own files with exact correspondence: every want
+// matched by a diagnostic on its line, every diagnostic covered by a want.
+// Files with no want comments therefore serve as true-negative fixtures.
+//
+// Fact exports are asserted the same way with
+//
+//	// wantfact "regexp"
+//
+// comments, matched against the rendered facts (fmt.Sprint of the fact
+// value) attached to objects declared on that line — in any loaded fixture
+// package, so a dependency package can pin the facts the analyzer exports
+// for it.
 package linttest
 
 import (
@@ -40,42 +55,48 @@ func TestdataDir() string {
 	return filepath.Join(filepath.Dir(self), "..", "testdata", "src")
 }
 
-// Run applies the analyzer to each named fixture package and checks its
-// diagnostics against the fixtures' want comments.
+// Run applies the analyzer (with its Requires) to each named fixture
+// package and checks diagnostics and fact exports against the fixtures'
+// want/wantfact comments.
 func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	t.Helper()
 	root := TestdataDir()
+	for _, name := range fixtures {
+		runOne(t, a, root, name)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, root, name string) {
+	t.Helper()
 	fset := token.NewFileSet()
 	ld := &fixtureLoader{
 		root:     root,
 		fset:     fset,
-		cache:    map[string]*loadedFixture{},
+		cache:    map[string]*analysis.Package{},
 		fallback: importer.ForCompiler(fset, "source", nil),
 	}
-	for _, name := range fixtures {
-		fx, err := ld.load(name)
-		if err != nil {
-			t.Fatalf("loading fixture %q: %v", name, err)
-		}
-		checkFixture(t, a, fx)
+	target, err := ld.load(name)
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", name, err)
 	}
-}
+	target.Report = true
 
-// loadedFixture is one type-checked fixture package.
-type loadedFixture struct {
-	name  string
-	fset  *token.FileSet
-	files []*ast.File
-	pkg   *types.Package
-	info  *types.Info
+	result, err := analysis.Execute(ld.ordered, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s on fixture %q: %v", a.Name, name, err)
+	}
+	checkDiagnostics(t, target, result)
+	checkFacts(t, ld.ordered, result)
 }
 
 // fixtureLoader resolves imports among fixture packages first and falls
-// back to the source importer for the standard library.
+// back to the source importer for the standard library. Loaded packages
+// accumulate in ordered, dependencies first — the order Execute requires.
 type fixtureLoader struct {
 	root     string
 	fset     *token.FileSet
-	cache    map[string]*loadedFixture
+	cache    map[string]*analysis.Package
+	ordered  []*analysis.Package
 	fallback types.Importer
 	loading  []string
 }
@@ -87,12 +108,12 @@ func (l *fixtureLoader) Import(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		return fx.pkg, nil
+		return fx.Types, nil
 	}
 	return l.fallback.Import(path)
 }
 
-func (l *fixtureLoader) load(name string) (*loadedFixture, error) {
+func (l *fixtureLoader) load(name string) (*analysis.Package, error) {
 	if fx, ok := l.cache[name]; ok {
 		return fx, nil
 	}
@@ -134,8 +155,18 @@ func (l *fixtureLoader) load(name string) (*loadedFixture, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck fixture %q: %v", name, err)
 	}
-	fx := &loadedFixture{name: name, fset: l.fset, files: files, pkg: pkg, info: info}
+	fx := &analysis.Package{
+		Path:  name,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}
 	l.cache[name] = fx
+	// Imports finish loading before Check returns, so appending here puts
+	// dependencies ahead of their dependents.
+	l.ordered = append(l.ordered, fx)
 	return fx, nil
 }
 
@@ -155,27 +186,28 @@ type want struct {
 
 var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
 
-// collectWants extracts want comments from the fixture's files.
-func collectWants(t *testing.T, fx *loadedFixture) []*want {
+// collectWants extracts the given marker's comments ("// want " or
+// "// wantfact ") from a set of files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File, marker string) []*want {
 	t.Helper()
 	var wants []*want
-	for _, f := range fx.files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
-				i := strings.Index(text, "// want ")
+				i := strings.Index(text, marker)
 				if i < 0 {
 					continue
 				}
-				pos := fx.fset.Position(c.Pos())
-				for _, m := range wantRE.FindAllStringSubmatch(text[i+len("// want "):], -1) {
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[i+len(marker):], -1) {
 					raw := m[1]
 					if raw == "" {
 						raw = m[2]
 					}
 					re, err := regexp.Compile(raw)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						t.Fatalf("%s: bad %q regexp %q: %v", pos, marker, raw, err)
 					}
 					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
 				}
@@ -185,35 +217,31 @@ func collectWants(t *testing.T, fx *loadedFixture) []*want {
 	return wants
 }
 
-// checkFixture runs the analyzer over one fixture and diffs diagnostics
-// against wants.
-func checkFixture(t *testing.T, a *analysis.Analyzer, fx *loadedFixture) {
+// checkDiagnostics diffs the run's findings for the target package against
+// its want comments.
+func checkDiagnostics(t *testing.T, target *analysis.Package, result *analysis.RunResult) {
 	t.Helper()
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fx.fset,
-		Files:     fx.files,
-		Pkg:       fx.pkg,
-		TypesInfo: fx.info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s on fixture %q: %v", a.Name, fx.name, err)
-	}
+	// "// wantfact" contains "// want", so wants are collected from lines
+	// whose marker is exactly want followed by a space and a quote.
+	wants := collectWants(t, target.Fset, target.Files, "// want ")
 
-	wants := collectWants(t, fx)
-	for _, d := range diags {
-		pos := fx.fset.Position(d.Pos)
+	targetFiles := map[string]bool{}
+	for _, f := range target.Files {
+		targetFiles[target.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, d := range result.Findings {
+		if !targetFiles[d.Position.Filename] {
+			continue
+		}
 		var hit *want
 		for _, w := range wants {
-			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+			if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
 				hit = w
 				break
 			}
 		}
 		if hit == nil {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
 			continue
 		}
 		hit.matched = true
@@ -221,6 +249,61 @@ func checkFixture(t *testing.T, a *analysis.Analyzer, fx *loadedFixture) {
 	for _, w := range wants {
 		if !w.matched {
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// checkFacts diffs exported object facts against wantfact comments across
+// every loaded fixture package.
+func checkFacts(t *testing.T, pkgs []*analysis.Package, result *analysis.RunResult) {
+	t.Helper()
+	var files []*ast.File
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		files = append(files, p.Files...)
+		fset = p.Fset
+	}
+	if fset == nil {
+		return
+	}
+	wants := collectWants(t, fset, files, "// wantfact ")
+	if len(wants) == 0 {
+		return
+	}
+
+	type rendered struct {
+		file    string
+		line    int
+		text    string
+		matched bool
+	}
+	var facts []*rendered
+	for _, of := range result.ObjectFacts() {
+		pos := fset.Position(of.Object.Pos())
+		facts = append(facts, &rendered{file: pos.Filename, line: pos.Line, text: fmt.Sprint(of.Fact)})
+	}
+
+	for _, w := range wants {
+		hit := false
+		for _, f := range facts {
+			if f.file == w.file && f.line == w.line && w.re.MatchString(f.text) {
+				f.matched = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("%s:%d: no exported fact matching %q", w.file, w.line, w.raw)
+		}
+	}
+	// Facts on lines that carry wantfact comments must all be asserted, so
+	// a surprise fact next to an assertion cannot hide.
+	lines := map[string]bool{}
+	for _, w := range wants {
+		lines[fmt.Sprintf("%s:%d", w.file, w.line)] = true
+	}
+	for _, f := range facts {
+		if !f.matched && lines[fmt.Sprintf("%s:%d", f.file, f.line)] {
+			t.Errorf("%s:%d: unasserted fact %q on a wantfact line", f.file, f.line, f.text)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 // Package core is a self-contained stand-in for tcn/internal/core, so
-// the verdict fixtures can exercise the attribution rule (a type named
-// Verdict in a package named core) without importing the module.
+// the verdict, exhaustive, and walltaint fixtures can exercise the
+// attribution rules (a type named Verdict, enums like Reason, in a package
+// named core) without importing the module.
 package core
 
 import "pkt"
@@ -8,13 +9,29 @@ import "pkt"
 // Reason mirrors the real attribution enum.
 type Reason uint8
 
-// ReasonTCNThreshold is the one reason the fixtures fire.
-const ReasonTCNThreshold Reason = 1
+// The fixture reasons: enough members for exhaustiveness to be a real
+// constraint.
+const (
+	ReasonUnknown      Reason = 0
+	ReasonTCNThreshold Reason = 1
+	ReasonDropTail     Reason = 2
+)
+
+// numReasons is the unexported sentinel; never a required case.
+const numReasons Reason = 3
+
+// Stage mirrors the real pipeline stage tag, with a single exported
+// constant: one member is not an enum, so switches over it are unchecked.
+type Stage uint8
+
+// StageEnqueue is the lone fixture stage.
+const StageEnqueue Stage = 0
 
 // Verdict mirrors the real decision record.
 type Verdict struct {
-	Reason Reason
-	Marked bool
+	Reason  Reason
+	Marked  bool
+	Sojourn int64
 }
 
 // Fire mirrors the real attribution wrapper: the sanctioned home of the
@@ -30,3 +47,5 @@ func (v *Verdict) Fire(r Reason, p *pkt.Packet) bool {
 	}
 	return false
 }
+
+var _ = numReasons

@@ -1,0 +1,78 @@
+// Package exhaustive exercises the enum-totality rule over the fixture
+// core package: switches on core.Reason must list every exported constant
+// or carry an explicit default.
+package exhaustive
+
+import "core"
+
+// name misses a member and has no default.
+func name(r core.Reason) string {
+	switch r { // want `switch on core\.Reason is not exhaustive: missing ReasonDropTail`
+	case core.ReasonUnknown:
+		return "unknown"
+	case core.ReasonTCNThreshold:
+		return "tcn"
+	}
+	return ""
+}
+
+// missingTwo lists the missing members in value order.
+func missingTwo(r core.Reason) bool {
+	switch r { // want `missing ReasonUnknown, ReasonDropTail`
+	case core.ReasonTCNThreshold:
+		return true
+	}
+	return false
+}
+
+// covered lists every exported member; the unexported sentinel is not
+// required.
+func covered(r core.Reason) string {
+	switch r {
+	case core.ReasonUnknown:
+		return "unknown"
+	case core.ReasonTCNThreshold:
+		return "tcn"
+	case core.ReasonDropTail:
+		return "droptail"
+	}
+	return ""
+}
+
+// defaulted opts out with an explicit default: partial coverage on purpose.
+func defaulted(r core.Reason) string {
+	switch r {
+	case core.ReasonTCNThreshold:
+		return "tcn"
+	default:
+		return "other"
+	}
+}
+
+// waived records a deliberately partial switch with the line directive.
+func waived(r core.Reason) bool {
+	//tcnlint:exhaustive only threshold marks matter to this probe
+	switch r {
+	case core.ReasonTCNThreshold:
+		return true
+	}
+	return false
+}
+
+// singleton switches over a one-constant type: not an enum, not checked.
+func singleton(s core.Stage) bool {
+	switch s {
+	case core.StageEnqueue:
+		return true
+	}
+	return false
+}
+
+// plainInt switches over a non-enum type: never checked.
+func plainInt(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

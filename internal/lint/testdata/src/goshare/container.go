@@ -1,0 +1,59 @@
+package goshare
+
+import (
+	"pkt"
+	"sim"
+)
+
+// The v2 rules: a struct holding single-owner state is itself single-owner,
+// and a channel send is an ownership transfer.
+
+// stack bundles an engine with its packet pool, as the transport fixtures
+// do for real.
+type stack struct {
+	eng  *sim.Engine
+	pool *pkt.Pool
+}
+
+// containerShare hands the whole stack to a goroutine: the engine inside
+// goes with it.
+func containerShare() {
+	s := &stack{eng: sim.NewEngine(), pool: &pkt.Pool{}}
+	go use(s) // want `"s" contains a sim\.Engine \(event freelist\) and is shared with a goroutine`
+}
+
+func use(*stack) {}
+
+// sendEngine pushes the engine itself through a channel; the receiver
+// becomes a second owner.
+func sendEngine(ch chan *sim.Engine) {
+	e := sim.NewEngine()
+	ch <- e // want `channel send hands a sim\.Engine \(event freelist\) to another goroutine`
+}
+
+// sendContainer is the same transfer hidden one struct layer down.
+func sendContainer(ch chan *stack) {
+	s := &stack{eng: sim.NewEngine()}
+	ch <- s // want `channel send hands a value containing a sim\.Engine \(event freelist\)`
+}
+
+// sendWaived documents a deliberate hand-off where the sender provably
+// drops its reference.
+func sendWaived(ch chan *sim.Engine) {
+	e := sim.NewEngine()
+	ch <- e //tcnlint:goshare ownership transfer; sender never touches e again
+}
+
+// localContainer builds the stack inside the goroutine: sole owner, legal.
+func localContainer(done chan struct{}) {
+	go func() {
+		s := &stack{eng: sim.NewEngine()}
+		use(s)
+		close(done)
+	}()
+}
+
+// plainSend shares only ordinary values over the channel.
+func plainSend(ch chan sim.Time) {
+	ch <- sim.Nanosecond
+}

@@ -1,0 +1,36 @@
+// Package goshare2 is the caller half of the cross-package ownership
+// fixture: every goroutine hand-off happens inside package helper, so the
+// PR-2 syntactic goshare (which only inspected go statements in the package
+// under analysis) provably reported nothing here. The v2 interprocedural
+// rules catch each escape at this call site via helper's Leaks facts.
+package goshare2
+
+import (
+	"goshare2/helper"
+	"sim"
+)
+
+// share hands its engine to helper.Attach, which spawns a goroutine over
+// it two layers down.
+func share() {
+	e := sim.NewEngine()
+	helper.Attach(e) // want `argument hands a sim\.Engine \(event freelist\) to another goroutine \(ownership leak via Attach\)`
+}
+
+// startShared leaks through a method receiver: the server containing the
+// engine is handed to Start's goroutine.
+func startShared() {
+	s := helper.Keep(sim.NewEngine())
+	s.Start() // want `receiver hands a value containing a sim\.Engine \(event freelist\) to another goroutine \(ownership leak via Start\)`
+}
+
+// keep stores the engine without any goroutine: no diagnostic.
+func keep() *helper.Server {
+	return helper.Keep(sim.NewEngine())
+}
+
+// waived documents a deliberate cross-package hand-off.
+func waived() {
+	e := sim.NewEngine()
+	helper.Attach(e) //tcnlint:goshare race-detector demo hands the engine off deliberately
+}

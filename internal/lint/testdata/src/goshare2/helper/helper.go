@@ -1,0 +1,33 @@
+// Package helper is the dependency half of the cross-package goshare
+// fixture: its functions hand their arguments to goroutines behind an API
+// boundary, which only the Leaks facts exported here make visible to the
+// caller's package.
+package helper
+
+import "sim"
+
+// Server stows an engine, as the telemetry servers do for real.
+type Server struct {
+	eng *sim.Engine
+}
+
+// Attach stores the engine in a server and spawns its loop: the engine
+// escapes to the new goroutine through a local carrier plus a method call —
+// two layers the old syntactic check could not see from the caller.
+func Attach(e *sim.Engine) { // wantfact `^leaks\(params=0\)$`
+	s := &Server{eng: e}
+	go s.loop()
+}
+
+func (s *Server) loop() { _ = s.eng.Now() }
+
+// Start spawns the receiver's loop, leaking the receiver itself.
+func (s *Server) Start() { // wantfact `^leaks\(recv\)$`
+	go s.loop()
+}
+
+// Keep merely stores the engine: storing is not leaking, and callers are
+// not flagged.
+func Keep(e *sim.Engine) *Server {
+	return &Server{eng: e}
+}

@@ -1,0 +1,16 @@
+// Package perf is a self-contained stand-in for tcn/internal/obs/perf, so
+// the walltaint fixtures can exercise the injected wall-clock rules (a
+// type named Clock in a package named perf) without importing the module.
+package perf
+
+// Clock mirrors perf.Clock: an injected wall-clock reading in nanoseconds.
+type Clock func() int64
+
+// Campaign mirrors the telemetry sink; wall time may land here freely.
+type Campaign struct {
+	WallLast int64
+}
+
+// Observe records a wall-clock sample. Telemetry is not simulator state,
+// so walltaint deliberately does not treat this as a sink.
+func (c *Campaign) Observe(ns int64) { c.WallLast = ns }

@@ -1,0 +1,14 @@
+package seededrand
+
+import randv2 "math/rand/v2"
+
+// The v2 package's top-level functions draw from the runtime-seeded global
+// source: calls are irreproducible and must be flagged just like v1's.
+
+func badV2() int {
+	a := randv2.IntN(10)      // want `math/rand/v2\.IntN uses an unseeded global source`
+	b := randv2.N(5)          // want `math/rand/v2\.N uses an unseeded global source`
+	c := int(randv2.Uint64()) // want `math/rand/v2\.Uint64 uses an unseeded global source`
+	d := randv2.Float64()     // want `math/rand/v2\.Float64 uses an unseeded global source`
+	return a + b + c + int(d)
+}

@@ -1,0 +1,15 @@
+package seededrand
+
+import randv2 "math/rand/v2"
+
+// Methods on an explicit v2 source are fine: the ban is on the shared
+// global, not on the algorithms. (Constructing the source is the sim
+// package's job; here one arrives as a parameter.)
+
+func goodV2(r *randv2.Rand) int {
+	return r.IntN(10)
+}
+
+func goodV2Typed(p *randv2.PCG) uint64 {
+	return p.Uint64()
+}

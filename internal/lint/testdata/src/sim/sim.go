@@ -1,6 +1,7 @@
 // Package sim is a self-contained stand-in for tcn/internal/sim, so the
-// unitcheck and seededrand fixtures can exercise the real matching rules
-// (a type named Time in a package named sim) without importing the module.
+// unitcheck, seededrand, goshare, hotpath, and walltaint fixtures can
+// exercise the real matching rules (a type named Time, an Engine with
+// scheduling methods, in a package named sim) without importing the module.
 package sim
 
 // Time mirrors tcn/internal/sim.Time.
@@ -15,9 +16,12 @@ const (
 )
 
 // Engine mirrors tcn/internal/sim.Engine — a single-owner event loop with
-// a node freelist — so the goshare fixtures can exercise the real matching
-// rules.
-type Engine struct{ now Time }
+// a node freelist — so the goshare, hotpath, and walltaint fixtures can
+// exercise the real matching rules.
+type Engine struct {
+	now Time
+	q   []func()
+}
 
 // NewEngine returns a fresh engine owned by the calling goroutine.
 func NewEngine() *Engine { return &Engine{} }
@@ -25,5 +29,19 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the engine clock.
 func (e *Engine) Now() Time { return e.now }
 
-// Run drains the event loop (fixture stub).
-func (e *Engine) Run() {}
+// At schedules fn at an absolute time (fixture: order of insertion).
+func (e *Engine) At(t Time, fn func()) {
+	e.now = t
+	e.q = append(e.q, fn)
+}
+
+// After schedules fn a delay after now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run drains the event loop, dispatching each scheduled callback — the
+// dynamic-call edge the hotpath fixtures root their reachability in.
+func (e *Engine) Run() {
+	for _, fn := range e.q {
+		fn()
+	}
+}

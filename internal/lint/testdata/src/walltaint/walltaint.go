@@ -1,0 +1,73 @@
+// Package walltaint exercises the wall-clock taint rules: time.Now and
+// perf.Clock readings must not become simulated time, event schedules,
+// rand seeds, or verdict fields — however many assignments or helper
+// calls launder them on the way.
+package walltaint
+
+import (
+	"time"
+
+	"core"
+	"perf"
+	"sim"
+)
+
+// wallNow launders the wall clock through a helper; the conversion is
+// flagged here and the function is marked so callers see taint too.
+func wallNow() sim.Time { // wantfact `^taintedResult$`
+	ns := time.Now().UnixNano()
+	return sim.Time(ns) // want `wall-clock value reaches a conversion to sim\.Time`
+}
+
+// schedule forwards its delay into the event loop: parameter 1 becomes a
+// sink for every caller.
+func schedule(e *sim.Engine, d sim.Time) { // wantfact `^sinkParams\(\[1\]\)$`
+	e.After(d, func() {})
+}
+
+// viaHelper trips both facts at once: a laundered wall reading into a
+// sink-forwarding helper.
+func viaHelper(e *sim.Engine) {
+	schedule(e, wallNow()) // want `wall-clock value reaches parameter 1 of schedule`
+}
+
+// direct schedules straight off a laundered reading.
+func direct(e *sim.Engine) {
+	w := wallNow()
+	e.After(w, func() {}) // want `wall-clock value reaches sim\.Engine\.After`
+}
+
+// viaClock taints through the injected clock type rather than the time
+// package.
+func viaClock(c perf.Clock) sim.Time {
+	return sim.Time(c()) // want `wall-clock value reaches a conversion to sim\.Time`
+}
+
+// seeded seeds determinism-bearing randomness from the wall clock.
+func seeded() *sim.Rand {
+	return sim.NewRand(time.Now().UnixNano()) // want `wall-clock value reaches a rand seed \(NewRand\)`
+}
+
+// stamp writes wall time into the attribution record.
+func stamp(v *core.Verdict, c perf.Clock) {
+	v.Sojourn = c() // want `wall-clock value reaches core\.Verdict field Sojourn`
+}
+
+// telemetry is the sanctioned consumer: wall time into the perf campaign
+// is what the observatory is for. No diagnostic.
+func telemetry(cam *perf.Campaign, c perf.Clock) {
+	cam.Observe(c())
+}
+
+// simTimeOnly derives everything from the simulated clock. No diagnostic.
+func simTimeOnly(e *sim.Engine) {
+	d := 2 * sim.Millisecond
+	e.After(d, func() {})
+}
+
+// waived documents a deliberate wall-clock flow with the line directive.
+func waived(e *sim.Engine) {
+	e.After(sim.Time(time.Since(start).Nanoseconds()), func() {}) //tcnlint:walltaint demo: soak test paces itself on wall time
+}
+
+var start = time.Now()

@@ -1,0 +1,427 @@
+// Package walltaint tracks wall-clock values into simulator state.
+//
+// simclock already bans the time package inside internal/ wholesale, but it
+// is a blunt instrument: cmd/ is blanket-exempt (the CLI legitimately
+// reports wall-clock progress), and the perf observatory injects wall time
+// on purpose through perf.Clock. What actually matters is narrower than
+// "who imports time": no wall-clock-derived VALUE may reach simulator
+// state, wherever the code lives. A wall-clock reading that seeds a rand
+// source, becomes a sim.Time, lands in a core.Verdict field, or schedules
+// an event makes runs unreproducible in a way no import ban can see once
+// the value has been laundered through a variable or a helper function.
+//
+// The analyzer runs a forward taint analysis per function: sources are
+// time.Now/Since/Until, calls through a perf.Clock value, and calls to any
+// function carrying a TaintedResult fact; sinks are sim.Engine scheduling
+// arguments (At/After/AtArg/AfterArg), conversions to sim.Time, rand
+// seeding (sim.NewRand, math/rand.NewSource, math/rand/v2 NewPCG /
+// NewChaCha8), and stores into core.Verdict fields. Telemetry is the
+// deliberate non-sink: writes into the perf observatory and sim.Meter
+// counters consume wall time legitimately and are simply not in the sink
+// set. Interprocedural flows travel as facts — TaintedResult marks a
+// function whose results carry wall-clock taint, SinkParams marks
+// parameters a function forwards into a sink, so the diagnostic fires at
+// the caller that supplied the tainted value. A deliberate flow can be
+// waived line by line with a `//tcnlint:walltaint` comment.
+package walltaint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"tcn/internal/lint/analysis"
+)
+
+// Analyzer is the walltaint check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltaint",
+	Doc:  "wall-clock values (time.Now, perf.Clock) must not reach sim state: event scheduling, sim.Time, rand seeds, or core.Verdict fields",
+	Run:  run,
+}
+
+// TaintedResult marks a function whose return values derive from the wall
+// clock.
+type TaintedResult struct{}
+
+// AFact marks TaintedResult as a fact.
+func (*TaintedResult) AFact() {}
+
+func (*TaintedResult) String() string { return "taintedResult" }
+
+// SinkParams marks the parameter indices a function forwards into a
+// simulator-state sink, so callers are diagnosed for supplying tainted
+// arguments.
+type SinkParams struct {
+	Params []int
+}
+
+// AFact marks SinkParams as a fact.
+func (*SinkParams) AFact() {}
+
+func (s *SinkParams) String() string {
+	return fmt.Sprintf("sinkParams(%v)", s.Params)
+}
+
+func simPkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "tcn/internal/sim" || pkg.Path() == "sim")
+}
+
+func corePkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "tcn/internal/core" || pkg.Path() == "core")
+}
+
+func perfPkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "tcn/internal/obs/perf" || pkg.Path() == "perf")
+}
+
+// namedIn reports whether t (through pointers) is the named type name
+// declared in a package matched by inPkg.
+func namedIn(t types.Type, name string, inPkg func(*types.Package) bool) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == name && inPkg(named.Obj().Pkg())
+}
+
+// scheduleMethods are the Engine methods whose arguments enter the event
+// loop.
+var scheduleMethods = map[string]bool{
+	"At": true, "After": true, "AtArg": true, "AfterArg": true,
+}
+
+// funcInfo is one function declaration under analysis.
+type funcInfo struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+	file *ast.File
+}
+
+// checker carries the per-package state: declared functions, plus the
+// in-flight fact maps used to reach the same-package fixed point before
+// anything is exported.
+type checker struct {
+	pass    *analysis.Pass
+	funcs   []*funcInfo
+	tainted map[*types.Func]bool
+	sinks   map[*types.Func]map[int]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:    pass,
+		tainted: map[*types.Func]bool{},
+		sinks:   map[*types.Func]map[int]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.funcs = append(c.funcs, &funcInfo{decl: fd, obj: obj, file: f})
+		}
+	}
+
+	// Same-package fixed point: helper chains (a calls b calls the sink)
+	// converge in as many rounds as the chain is deep.
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, fi := range c.funcs {
+			if c.updateFacts(fi) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fi := range c.funcs {
+		if c.tainted[fi.obj] {
+			pass.ExportObjectFact(fi.obj, &TaintedResult{})
+		}
+		if idx := c.sinks[fi.obj]; len(idx) > 0 {
+			var params []int
+			//tcnlint:ordered params are sorted below
+			for i := range idx {
+				params = append(params, i)
+			}
+			sort.Ints(params)
+			pass.ExportObjectFact(fi.obj, &SinkParams{Params: params})
+		}
+	}
+
+	// Diagnostics: re-run the real-source taint per function and report
+	// every sink it reaches.
+	for _, fi := range c.funcs {
+		t := &analysis.Taint{Info: pass.TypesInfo, IsSource: c.isWallSource}
+		t.Analyze(fi.decl.Body)
+		c.walkSinks(fi, t, true, nil)
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves a call to its static callee, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isWallSource reports whether the expression introduces wall-clock taint:
+// a time.Now/Since/Until call, a call through a perf.Clock value, or a call
+// to a function with a TaintedResult fact.
+func (c *checker) isWallSource(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok {
+		if tv.IsType() {
+			return false
+		}
+		if namedIn(tv.Type, "Clock", perfPkg) {
+			return true
+		}
+	}
+	obj := calleeFunc(c.pass.TypesInfo, call)
+	if obj == nil {
+		return false
+	}
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "time" {
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			return true
+		}
+	}
+	if c.tainted[obj] {
+		return true
+	}
+	var tr TaintedResult
+	return c.pass.ImportObjectFact(obj, &tr)
+}
+
+// updateFacts recomputes one function's TaintedResult and SinkParams state,
+// reporting whether anything changed.
+func (c *checker) updateFacts(fi *funcInfo) bool {
+	changed := false
+
+	// TaintedResult: does any return value carry wall taint?
+	if !c.tainted[fi.obj] {
+		t := &analysis.Taint{Info: c.pass.TypesInfo, IsSource: c.isWallSource}
+		t.Analyze(fi.decl.Body)
+		if c.returnsTainted(fi, t) {
+			c.tainted[fi.obj] = true
+			changed = true
+		}
+	}
+
+	// SinkParams: does parameter i, treated as the only source, reach a
+	// sink (directly or via a callee's SinkParams)?
+	sig := fi.obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if c.sinks[fi.obj][i] {
+			continue
+		}
+		param := sig.Params().At(i)
+		t := &analysis.Taint{Info: c.pass.TypesInfo, IsSource: func(e ast.Expr) bool {
+			id, ok := e.(*ast.Ident)
+			return ok && c.pass.TypesInfo.Uses[id] == param
+		}}
+		t.Analyze(fi.decl.Body)
+		hit := false
+		c.walkSinks(fi, t, false, func() { hit = true })
+		if hit {
+			if c.sinks[fi.obj] == nil {
+				c.sinks[fi.obj] = map[int]bool{}
+			}
+			c.sinks[fi.obj][i] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// returnsTainted reports whether any return path yields a tainted value.
+func (c *checker) returnsTainted(fi *funcInfo, t *analysis.Taint) bool {
+	sig := fi.obj.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, r := range ret.Results {
+			if t.Expr(r) {
+				found = true
+			}
+		}
+		if len(ret.Results) == 0 {
+			// Named results: consult the result objects directly.
+			for i := 0; i < sig.Results().Len(); i++ {
+				if t.TaintedObject(sig.Results().At(i)) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walkSinks scans one function body for sink expressions receiving taint.
+// With report set it emits diagnostics; otherwise it calls hit for each
+// reached sink (the SinkParams probe).
+func (c *checker) walkSinks(fi *funcInfo, t *analysis.Taint, report bool, hit func()) {
+	info := c.pass.TypesInfo
+	emit := func(pos ast.Node, what string) {
+		if !report {
+			if hit != nil {
+				hit()
+			}
+			return
+		}
+		if analysis.LineCommentDirective(c.pass.Fset, fi.file, pos.Pos(), "walltaint") {
+			return
+		}
+		c.pass.Reportf(pos.Pos(), "wall-clock value reaches %s; simulator state must derive from sim.Time (wall time is for telemetry only: perf observatory, sim.Meter)", what)
+	}
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(x, t, emit)
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				tv, ok := info.Types[sel.X]
+				if !ok || !namedIn(tv.Type, "Verdict", corePkg) {
+					continue
+				}
+				var rhs ast.Expr
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				} else if len(x.Rhs) == 1 {
+					rhs = x.Rhs[0]
+				}
+				if rhs != nil && t.Expr(rhs) {
+					emit(rhs, "core.Verdict field "+sel.Sel.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok && namedIn(tv.Type, "Verdict", corePkg) {
+				for _, el := range x.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if t.Expr(v) {
+						emit(v, "a core.Verdict literal")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall handles the call-shaped sinks: sim.Time conversions, engine
+// scheduling, rand seeding, and calls into functions with SinkParams facts.
+func (c *checker) checkCall(call *ast.CallExpr, t *analysis.Taint, emit func(ast.Node, string)) {
+	info := c.pass.TypesInfo
+
+	// Conversion to sim.Time.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if namedIn(tv.Type, "Time", simPkg) {
+			for _, a := range call.Args {
+				if t.Expr(a) {
+					emit(a, "a conversion to sim.Time")
+				}
+			}
+		}
+		return
+	}
+
+	obj := calleeFunc(info, call)
+	if obj == nil {
+		return
+	}
+
+	// Engine scheduling: every argument enters the deterministic event
+	// loop (the delay and the payload alike).
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil &&
+		namedIn(sig.Recv().Type(), "Engine", simPkg) && scheduleMethods[obj.Name()] {
+		for _, a := range call.Args {
+			if t.Expr(a) {
+				emit(a, "sim.Engine."+obj.Name())
+			}
+		}
+		return
+	}
+
+	// Rand seeding.
+	if pkg := obj.Pkg(); pkg != nil {
+		seed := false
+		switch {
+		case simPkg(pkg) && obj.Name() == "NewRand":
+			seed = true
+		case pkg.Path() == "math/rand" && obj.Name() == "NewSource":
+			seed = true
+		case pkg.Path() == "math/rand/v2" && (obj.Name() == "NewPCG" || obj.Name() == "NewChaCha8"):
+			seed = true
+		}
+		if seed {
+			for _, a := range call.Args {
+				if t.Expr(a) {
+					emit(a, "a rand seed ("+obj.Name()+")")
+				}
+			}
+			return
+		}
+	}
+
+	// A callee that forwards parameters into a sink.
+	idx := map[int]bool{}
+	for i := range c.sinks[obj] {
+		idx[i] = true
+	}
+	var sp SinkParams
+	if c.pass.ImportObjectFact(obj, &sp) {
+		for _, i := range sp.Params {
+			idx[i] = true
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	for i, a := range call.Args {
+		if idx[i] && t.Expr(a) {
+			emit(a, fmt.Sprintf("parameter %d of %s, which forwards it into simulator state", i, obj.Name()))
+		}
+	}
+}

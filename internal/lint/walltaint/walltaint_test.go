@@ -1,0 +1,12 @@
+package walltaint_test
+
+import (
+	"testing"
+
+	"tcn/internal/lint/linttest"
+	"tcn/internal/lint/walltaint"
+)
+
+func TestWalltaint(t *testing.T) {
+	linttest.Run(t, walltaint.Analyzer, "walltaint")
+}

@@ -31,7 +31,7 @@ func (g *GoodputMeter) Add(now sim.Time, class int, bytes int) {
 	}
 	i := int(now / g.bin)
 	for len(g.bins[class]) <= i {
-		g.bins[class] = append(g.bins[class], 0)
+		g.bins[class] = append(g.bins[class], 0) //tcnlint:hotpath grows once per elapsed time bin, not per packet
 	}
 	g.bins[class][i] += int64(bytes)
 }

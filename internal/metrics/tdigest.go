@@ -98,7 +98,7 @@ func (t *TDigest) AddWeighted(x, w float64) {
 	if x > t.max {
 		t.max = x
 	}
-	t.buf = append(t.buf, centroid{mean: x, weight: w})
+	t.buf = append(t.buf, centroid{mean: x, weight: w}) //tcnlint:hotpath buf is preallocated to the flush threshold; append stays within cap
 	t.bufCount += w
 	if len(t.buf) == cap(t.buf) {
 		t.flush()
@@ -129,8 +129,8 @@ func (t *TDigest) flush() {
 		return
 	}
 	t.work = t.work[:0]
-	t.work = append(t.work, t.centroids...)
-	t.work = append(t.work, t.buf...)
+	t.work = append(t.work, t.centroids...) //tcnlint:hotpath work is preallocated scratch; the compression bound keeps it within cap
+	t.work = append(t.work, t.buf...)       //tcnlint:hotpath work is preallocated scratch; the compression bound keeps it within cap
 	slices.SortFunc(t.work, cmpCentroid)
 	total := t.count + t.bufCount
 	t.centroids = compressInto(t.centroids[:0], t.work, total, t.compression)

@@ -52,7 +52,7 @@ func (s *Series) Record(at sim.Time, v float64) {
 	if len(s.pts) == cap(s.pts) {
 		s.compact()
 	}
-	s.pts = append(s.pts, Point{At: at, V: v})
+	s.pts = append(s.pts, Point{At: at, V: v}) //tcnlint:hotpath capacity-guarded: compact() above frees a slot before the ring is full
 	s.skip = s.stride - 1
 }
 

@@ -85,7 +85,7 @@ func (t *SpanTracker) slot(p *pkt.Packet) *FlowSpan {
 	t.seen++
 	if len(t.slots) < cap(t.slots) {
 		i := int32(len(t.slots))
-		t.slots = append(t.slots, FlowSpan{Flow: p.Flow})
+		t.slots = append(t.slots, FlowSpan{Flow: p.Flow}) //tcnlint:hotpath reservoir append is guarded by len < cap; slots never reallocate
 		t.index[p.Flow] = i
 		return &t.slots[i]
 	}

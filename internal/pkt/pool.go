@@ -48,7 +48,7 @@ func (pl *Pool) Put(p *Packet) {
 	if pl == nil || p == nil {
 		return
 	}
-	pl.free = append(pl.free, p)
+	pl.free = append(pl.free, p) //tcnlint:hotpath freelist grows only during warm-up; steady state recycles within cap
 }
 
 // Live returns the number of packets currently parked in the pool.

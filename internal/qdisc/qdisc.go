@@ -261,12 +261,7 @@ func (q *Qdisc) dequeue() {
 		}
 		q.busy = false
 		q.waiting = true
-		q.eng.After(wait, func() {
-			q.waiting = false
-			if !q.busy {
-				q.dequeue()
-			}
-		})
+		q.eng.AfterArg(wait, shaperRetry, q)
 		return
 	}
 	p := q.buf.Pop(qi)
@@ -294,6 +289,17 @@ func (q *Qdisc) dequeue() {
 	// packet.
 	q.busy = true
 	q.eng.After(q.rate.Serialize(p.Size), q.dequeue)
+}
+
+// shaperRetry resumes dequeueing once shaper tokens have accrued. It is the
+// AfterArg trampoline form — a package-level function plus the *Qdisc as
+// the argument — so scheduling a retry never allocates a closure.
+func shaperRetry(v any) {
+	q := v.(*Qdisc)
+	q.waiting = false
+	if !q.busy {
+		q.dequeue()
+	}
 }
 
 // Instrument attaches the standard per-queue stats bundle to the

@@ -176,7 +176,7 @@ func (e *Engine) retire(ev *event) {
 	ev.arg = nil
 	ev.gen++
 	ev.index = -1
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //tcnlint:hotpath freelist grows only until the event population peaks, then recycles
 }
 
 // eventLess orders the heap by (at, seq): time first, scheduling order
@@ -190,7 +190,7 @@ func eventLess(a, b *event) bool {
 
 // push appends ev and restores the heap by sifting it up.
 func (e *Engine) push(ev *event) {
-	e.events = append(e.events, ev)
+	e.events = append(e.events, ev) //tcnlint:hotpath heap grows to its high-water mark once, then reuses the backing array
 	if len(e.events) > e.heapMax {
 		e.heapMax = len(e.events)
 	}

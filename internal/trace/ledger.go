@@ -88,6 +88,7 @@ func (l *Ledger) cell(k ledgerKey) *ledgerCell {
 	}
 	c := &ledgerCell{}
 	if l.reg != nil {
+		//tcnlint:hotpath cell creation runs once per (where, queue, reason) key; steady state hits the map above
 		c.c = l.reg.Counter(fmt.Sprintf("%s.q%d.verdicts.%s", k.where, k.queue, k.reason))
 	}
 	l.cells[k] = c
@@ -114,7 +115,7 @@ func (l *Ledger) Record(now sim.Time, where string, qi int, p *pkt.Packet, v *co
 		V: *v,
 	}
 	if len(l.ring) < cap(l.ring) {
-		l.ring = append(l.ring, e)
+		l.ring = append(l.ring, e) //tcnlint:hotpath capacity-guarded; the ring never reallocates
 		return
 	}
 	l.ring[l.next] = e

@@ -82,7 +82,7 @@ func (pl *Pipeline) Recorded() int64 { return pl.recorded }
 func (pl *Pipeline) record(e pipeEvent) {
 	pl.recorded++
 	if len(pl.ring) < cap(pl.ring) {
-		pl.ring = append(pl.ring, e)
+		pl.ring = append(pl.ring, e) //tcnlint:hotpath capacity-guarded; the ring never reallocates
 		return
 	}
 	pl.ring[pl.next] = e

@@ -78,7 +78,7 @@ func (t *Tracer) Record(e Event) {
 	}
 	t.counts[e.Kind]++
 	if len(t.ring) < cap(t.ring) {
-		t.ring = append(t.ring, e)
+		t.ring = append(t.ring, e) //tcnlint:hotpath capacity-guarded; the ring never reallocates
 		return
 	}
 	t.ring[t.next] = e

@@ -85,8 +85,8 @@ func (c *Conn) Send(m *Message) {
 	c.cur = m
 	c.snd.flow.Size += m.Size
 	c.snd.flow.Class = m.Class
-	c.rcv.flow.Class = m.Class // ACK class follows the active message
-	c.rcv.boundaries = append(c.rcv.boundaries, m)
+	c.rcv.flow.Class = m.Class                     // ACK class follows the active message
+	c.rcv.boundaries = append(c.rcv.boundaries, m) //tcnlint:hotpath one append per queued message, not per packet
 	c.snd.msg = m
 	c.snd.resume(now)
 }

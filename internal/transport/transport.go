@@ -100,7 +100,7 @@ func (c Config) withDefaults() Config {
 type Tagger func(offset int64) uint8
 
 // StaticTag returns a Tagger that always yields class.
-func StaticTag(class uint8) Tagger { return func(int64) uint8 { return class } }
+func StaticTag(class uint8) Tagger { return func(int64) uint8 { return class } } //tcnlint:hotpath one closure per flow at setup; the returned Tagger itself is allocation-free
 
 // Flow describes one transfer.
 type Flow struct {
