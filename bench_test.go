@@ -11,6 +11,7 @@ import (
 
 	"tcn/internal/aqm"
 	"tcn/internal/core"
+	"tcn/internal/digest"
 	"tcn/internal/experiments"
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
@@ -328,6 +329,54 @@ func BenchmarkPacketPathSteadyState(b *testing.B) {
 	if tot := pool.Allocs + pool.Reuses; tot > 0 {
 		b.ReportMetric(100*float64(pool.Reuses)/float64(tot), "pool-hit-%")
 	}
+}
+
+// BenchmarkPacketPathFingerprinted is BenchmarkPacketPathSteadyState with
+// run fingerprinting attached: per-component digest chains snapshotted
+// every simulated millisecond plus the armed-but-dormant per-event fine
+// hook. The delta against the bare bench is the whole observability cost
+// of `-fingerprint`; allocs/op must still read 0.
+func BenchmarkPacketPathFingerprinted(b *testing.B) {
+	eng := sim.NewEngine()
+	star := fabric.NewStar(eng, fabric.StarConfig{
+		Hosts: 2,
+		Rate:  10 * fabric.Gbps,
+		Prop:  10 * sim.Microsecond,
+		SwitchPort: func() fabric.PortConfig {
+			return fabric.PortConfig{Queues: 1}
+		},
+	})
+	rec := digest.New(digest.Config{EpochNs: int64(sim.Millisecond), Fine: true, FineAtEpoch: 1 << 30})
+	sc := rec.ScopeFor(eng)
+	sc.Register(digest.ComponentEngine, "engine", eng)
+	for i := 0; i < star.Switch.NumPorts(); i++ {
+		label := "sw.p0"
+		if i == 1 {
+			label = "sw.p1"
+		}
+		sc.Register(digest.ComponentPort, label, star.Switch.Port(i))
+	}
+	var tick func()
+	tick = func() {
+		sc.Snapshot(int64(eng.Now()))
+		eng.After(sim.Millisecond, tick)
+	}
+	eng.After(0, tick)
+	eng.SetPostEvent(func() { sc.FineSnapshot(eng.Executed, int64(eng.Now())) })
+	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP}, star.Hosts)
+	st.Start(&transport.Flow{ID: st.NewFlowID(), Src: 0, Dst: 1, Size: 1 << 40})
+	eng.RunUntil(50 * sim.Millisecond) // warm pools past slow start
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := eng.Executed
+	for i := 0; i < b.N; i++ {
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+	}
+	b.ReportMetric(float64(eng.Executed)/float64(b.N), "events/op")
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(eng.Executed-start)/el, "events/sec")
+	}
+	b.ReportMetric(float64(len(rec.Records())), "digest-records")
 }
 
 func max(a, b int) int {

@@ -125,6 +125,13 @@ const gateBench = "BenchmarkPacketPathSteadyState"
 // allocs/op gets no tolerance: the baseline is zero and must stay zero.
 const gateTolerance = 0.25
 
+// isoGateBench is the secondary gate: the whole-experiment allocation
+// count of the figure-6 isolation run. It is not zero (setup allocates),
+// so it gets the same relative tolerance as ns/op rather than the strict
+// never-grow rule of the packet-path gate; baselines that predate the
+// metric skip with a note.
+const isoGateBench = "BenchmarkFig6IsolationDWRR"
+
 // loadBaseline reads a committed tcnbench JSON document.
 func loadBaseline(path string) (Baseline, error) {
 	var b Baseline
@@ -225,6 +232,17 @@ func diffBaselines(w io.Writer, old, cur Baseline) error {
 	case curEv < oldEv*(1-gateTolerance):
 		return fmt.Errorf("%s events/sec fell %.0f -> %.0f (%.1f%%, tolerance %.0f%%)",
 			gateBench, oldEv, curEv, 100*(curEv-oldEv)/oldEv, 100*gateTolerance)
+	}
+	oldIso, okOI := bestMetric(old, isoGateBench, "allocs/op")
+	curIso, okCI := bestMetric(cur, isoGateBench, "allocs/op")
+	switch {
+	case !okOI:
+		fmt.Fprintf(w, "  note: baseline has no allocs/op for %s (predates the gate); gate skipped this round\n", isoGateBench)
+	case !okCI:
+		return fmt.Errorf("%s stopped reporting allocs/op (baseline had %v)", isoGateBench, oldIso)
+	case oldIso > 0 && curIso > oldIso*(1+gateTolerance):
+		return fmt.Errorf("%s allocs/op grew %v -> %v (+%.1f%%, tolerance %.0f%%)",
+			isoGateBench, oldIso, curIso, 100*(curIso-oldIso)/oldIso, 100*gateTolerance)
 	}
 	fmt.Fprintf(w, "  gate %s ok: allocs/op %v -> %v, ns/op and events/sec within %.0f%%\n",
 		gateBench, oldAllocs, curAllocs, 100*gateTolerance)

@@ -1,0 +1,149 @@
+// Command tcndiff compares two simulator runs and localizes their first
+// divergence.
+//
+// Usage:
+//
+//	tcnsim -exp fig6 -seed 7 -fingerprint a.jsonl
+//	tcnsim -exp fig6 -seed 7 -fingerprint b.jsonl
+//	tcndiff a.jsonl b.jsonl
+//
+// The inputs are fingerprint timelines written by `tcnsim -fingerprint`:
+// per-component chained digests snapshotted at sim-time epochs. tcndiff
+// binary-searches each digest chain for the first mismatching epoch and
+// reports the earliest (epoch, component) divergence; when the timelines
+// carry per-event fine records (a `-fingerprint-fine` rerun bracketed
+// around that epoch), it also binary-searches those and reports the first
+// divergent event index.
+//
+// Optionally it also diffs flight-recorder time series CSVs
+// (-series-a/-series-b) and decision-ledger JSONL reason tables
+// (-ledger-a/-ledger-b), summarizing the largest per-series deltas.
+//
+// Exit status: 0 when every requested comparison matches, 1 when any
+// diverges, 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcn/internal/digest"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit the report as JSON instead of text")
+		seriesA = flag.String("series-a", "", "flight-recorder timeseries CSV of run A (from tcnsim -timeseries)")
+		seriesB = flag.String("series-b", "", "flight-recorder timeseries CSV of run B")
+		ledgerA = flag.String("ledger-a", "", "decision-ledger JSONL of run A (from tcnsim -ledger)")
+		ledgerB = flag.String("ledger-b", "", "decision-ledger JSONL of run B")
+	)
+	flag.Usage = usage
+	flag.Parse()
+
+	if (*seriesA == "") != (*seriesB == "") || (*ledgerA == "") != (*ledgerB == "") {
+		fmt.Fprintln(os.Stderr, "tcndiff: -series-a/-series-b and -ledger-a/-ledger-b must be given in pairs")
+		os.Exit(2)
+	}
+	haveFP := flag.NArg() == 2
+	if !haveFP && flag.NArg() != 0 {
+		usage()
+		os.Exit(2)
+	}
+	if !haveFP && *seriesA == "" && *ledgerA == "" {
+		usage()
+		os.Exit(2)
+	}
+
+	out := report{Identical: true}
+
+	if haveFP {
+		a, err := readTimeline(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		b, err := readTimeline(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		rep := digest.Compare(a, b)
+		out.RecordsA, out.RecordsB = rep.RecordsA, rep.RecordsB
+		out.FineA, out.FineB = len(a.Fine), len(b.Fine)
+		if !rep.Identical {
+			out.Identical = false
+			out.Divergence = rep.Divergence
+		}
+	}
+	if *seriesA != "" {
+		deltas, err := diffSeries(*seriesA, *seriesB)
+		if err != nil {
+			fatal(err)
+		}
+		out.Series = deltas
+		for _, d := range deltas {
+			if !d.clean() {
+				out.Identical = false
+			}
+		}
+	}
+	if *ledgerA != "" {
+		deltas, err := diffLedgers(*ledgerA, *ledgerB)
+		if err != nil {
+			fatal(err)
+		}
+		out.Ledger = deltas
+		if len(deltas) > 0 {
+			out.Identical = false
+		}
+	}
+
+	if *jsonOut {
+		if err := out.writeJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		out.writeText(os.Stdout, haveFP)
+	}
+	if !out.Identical {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tcndiff: %v\n", err)
+	os.Exit(2)
+}
+
+func readTimeline(path string) (*digest.Timeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tl, err := digest.ReadTimeline(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tl, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `tcndiff — localize the first divergence between two simulator runs
+
+  tcndiff [flags] a.jsonl b.jsonl
+
+The positional arguments are fingerprint timelines from
+`+"`tcnsim -fingerprint FILE`"+`. The first mismatching (epoch, component)
+is found by binary search over the chained digests; rerun both sides with
+`+"`-fingerprint-fine EPOCH`"+` at the reported epoch to narrow the divergence
+to an exact event index.
+
+Flags:
+  -json        machine-readable report on stdout
+  -series-a/-series-b FILE   diff flight-recorder timeseries CSVs
+                             (per-series max-delta summary)
+  -ledger-a/-ledger-b FILE   diff decision-ledger reason tables
+
+Exit: 0 identical, 1 divergent, 2 bad input.`)
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tcn/internal/digest"
+)
+
+// report aggregates every requested comparison.
+type report struct {
+	Identical          bool
+	RecordsA, RecordsB int
+	FineA, FineB       int
+	Divergence         *digest.Divergence
+	Series             []seriesDelta
+	Ledger             []ledgerDelta
+}
+
+// divergenceJSON is the machine-readable divergence. Digests travel as
+// 16-hex strings like the timeline wire form; epoch/event are -1 when the
+// divergence kind does not define them.
+type divergenceJSON struct {
+	Kind      string `json:"kind"`
+	Scope     string `json:"scope,omitempty"`
+	Component string `json:"component,omitempty"`
+	Label     string `json:"label,omitempty"`
+	Epoch     int64  `json:"epoch"`
+	AtNs      int64  `json:"at_ns"`
+	Event     int64  `json:"event"`
+	EventAtNs int64  `json:"event_at_ns"`
+	DigestA   string `json:"digest_a,omitempty"`
+	DigestB   string `json:"digest_b,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+type seriesDeltaJSON struct {
+	Series   string  `json:"series"`
+	PointsA  int     `json:"points_a"`
+	PointsB  int     `json:"points_b"`
+	MaxDelta float64 `json:"max_delta"`
+	AtNs     int64   `json:"max_delta_at_ns"`
+}
+
+type ledgerDeltaJSON struct {
+	Where  string `json:"where"`
+	Queue  int    `json:"queue"`
+	Reason string `json:"reason"`
+	NA     int64  `json:"n_a"`
+	NB     int64  `json:"n_b"`
+}
+
+type reportJSON struct {
+	Identical  bool              `json:"identical"`
+	RecordsA   int               `json:"records_a"`
+	RecordsB   int               `json:"records_b"`
+	FineA      int               `json:"fine_a,omitempty"`
+	FineB      int               `json:"fine_b,omitempty"`
+	Divergence *divergenceJSON   `json:"divergence,omitempty"`
+	Series     []seriesDeltaJSON `json:"series,omitempty"`
+	Ledger     []ledgerDeltaJSON `json:"ledger,omitempty"`
+}
+
+func (r report) writeJSON(w io.Writer) error {
+	j := reportJSON{
+		Identical: r.Identical,
+		RecordsA:  r.RecordsA, RecordsB: r.RecordsB,
+		FineA: r.FineA, FineB: r.FineB,
+	}
+	if d := r.Divergence; d != nil {
+		dj := &divergenceJSON{
+			Kind: d.Kind, Scope: d.Scope, Label: d.Label,
+			Epoch: d.Epoch, AtNs: d.At, Event: d.Event, EventAtNs: d.EventAt,
+			Detail: d.Detail,
+		}
+		switch d.Kind {
+		case "epoch", "shape":
+			dj.Component = d.Component.String()
+		}
+		if d.Kind == "epoch" {
+			dj.DigestA = fmt.Sprintf("%016x", d.DigestA)
+			dj.DigestB = fmt.Sprintf("%016x", d.DigestB)
+		} else if d.Kind == "header" || d.Kind == "fine" {
+			dj.Epoch = -1
+		}
+		j.Divergence = dj
+	}
+	for _, s := range r.Series {
+		j.Series = append(j.Series, seriesDeltaJSON{
+			Series: s.name, PointsA: s.pointsA, PointsB: s.pointsB,
+			MaxDelta: s.maxDelta, AtNs: s.maxAt,
+		})
+	}
+	for _, l := range r.Ledger {
+		j.Ledger = append(j.Ledger, ledgerDeltaJSON{
+			Where: l.where, Queue: l.queue, Reason: l.reason, NA: l.na, NB: l.nb,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+func (r report) writeText(w io.Writer, haveFP bool) {
+	if haveFP {
+		if r.Divergence == nil {
+			fmt.Fprintf(w, "fingerprints identical (%d records", r.RecordsA)
+			if r.FineA > 0 {
+				fmt.Fprintf(w, ", %d fine records", r.FineA)
+			}
+			fmt.Fprintln(w, ")")
+			if r.RecordsA == 0 {
+				fmt.Fprintln(w, "  warning: the timelines carry no epoch records — the experiment may not support fingerprinting")
+			}
+		} else {
+			d := r.Divergence
+			fmt.Fprintf(w, "runs diverge: %s\n", d)
+			if d.Kind == "epoch" && d.Event < 0 {
+				fmt.Fprintf(w, "  to localize the exact event, rerun both sides with: tcnsim ... -fingerprint-fine %d\n", d.Epoch)
+			}
+		}
+	}
+	if r.Series != nil {
+		dirty := 0
+		for _, s := range r.Series {
+			if !s.clean() {
+				dirty++
+			}
+		}
+		fmt.Fprintf(w, "timeseries: %d series compared, %d differ\n", len(r.Series), dirty)
+		for _, s := range r.Series {
+			if s.clean() {
+				continue
+			}
+			if s.pointsA != s.pointsB {
+				fmt.Fprintf(w, "  %-40s points %d vs %d", s.name, s.pointsA, s.pointsB)
+			} else {
+				fmt.Fprintf(w, "  %-40s", s.name)
+			}
+			if s.maxDelta > 0 {
+				fmt.Fprintf(w, "  max |Δ| %g at t=%dns", s.maxDelta, s.maxAt)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if r.Ledger != nil {
+		if len(r.Ledger) == 0 {
+			fmt.Fprintln(w, "ledger reason tables identical")
+		} else {
+			fmt.Fprintf(w, "ledger: %d (port, queue, reason) cells differ\n", len(r.Ledger))
+			for _, l := range r.Ledger {
+				fmt.Fprintf(w, "  %s q%d %-24s %d vs %d (Δ%+d)\n",
+					l.where, l.queue, l.reason, l.na, l.nb, l.nb-l.na)
+			}
+		}
+	}
+}

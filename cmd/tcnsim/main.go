@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"tcn/internal/digest"
 	"tcn/internal/experiments"
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
@@ -44,7 +45,7 @@ func main() {
 		csv   = flag.String("csv", "", "also write plot-friendly CSV files into this directory")
 
 		workers = flag.Int("workers", parallel.DefaultWorkers(),
-			"sweep points evaluated concurrently (results are identical at any count; forced to 1 when -stats/-trace/-explain/-ledger/-perfetto/-serve/-timeseries/-flow-spans attach observers)")
+			"sweep points evaluated concurrently (results are identical at any count; forced to 1 when -stats/-trace/-explain/-ledger/-perfetto/-serve/-timeseries/-flow-spans/-fingerprint attach observers)")
 		progress = flag.Bool("progress", false,
 			"print a periodic progress line to stderr: cells done/total, live events/sec, sim time, ETA (works at any -workers)")
 		exactFCT = flag.Bool("exact-fct", false,
@@ -64,6 +65,10 @@ func main() {
 		tsFile       = flag.String("timeseries", "", "write the flight-recorder time series to this file, CSV by default, JSON for a .json suffix ('-' = stdout)")
 		spansFile    = flag.String("flow-spans", "", "write per-flow lifecycle spans (FCT, bytes, marks, drops, max sojourn) as CSV to this file ('-' = stdout)")
 		samplePeriod = flag.Duration("sample-period", 100*time.Microsecond, "flight-recorder probe polling period (simulated time)")
+
+		fpFile  = flag.String("fingerprint", "", "write the run-fingerprint digest timeline (per-component chained digests per epoch) as JSONL to this file ('-' = stdout); diff two runs with tcndiff")
+		fpEpoch = flag.Duration("fingerprint-epoch", time.Millisecond, "fingerprint snapshot period (simulated time); both runs of a tcndiff pair must use the same period")
+		fpFine  = flag.Int64("fingerprint-fine", -1, "record per-event digests bracketed around this epoch index (-1 = off); set to the epoch tcndiff reported to localize the first divergent event")
 	)
 	flag.Parse()
 
@@ -127,6 +132,23 @@ func main() {
 			})
 		}
 	}
+	if *fpFile != "" {
+		if *fpEpoch <= 0 {
+			fmt.Fprintf(os.Stderr, "-fingerprint-epoch %v must be positive\n", *fpEpoch)
+			os.Exit(2)
+		}
+		if obsSink == nil {
+			obsSink = &experiments.Obs{}
+		}
+		// The digest seed is NOT the run seed: two runs with different
+		// -seed values must still be comparable, so tcndiff can localize
+		// where a seed perturbation first changes the simulation.
+		obsSink.Fingerprint = digest.New(digest.Config{
+			EpochNs:     fpEpoch.Nanoseconds(),
+			Fine:        *fpFine >= 0,
+			FineAtEpoch: *fpFine,
+		})
+	}
 	if *progress || *serveAddr != "" {
 		// The self-telemetry campaign is atomics-only and never forces a
 		// sweep serial, so -progress composes with -workers N. The wall
@@ -175,6 +197,12 @@ func main() {
 	if err := writeVerdictOutputs(*explain, *ledgerFile, *perfettoFile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *fpFile != "" {
+		if err := writeTo(*fpFile, obsSink.Fingerprint.WriteJSONL); err != nil {
+			fmt.Fprintf(os.Stderr, "writing fingerprint: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -388,7 +416,10 @@ Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)
        -ledger FILE [-ledger-events N]  (decision ledger, JSONL)
        -perfetto FILE [-perfetto-events N]  (pipeline spans, Perfetto JSON)
        -serve ADDR  -timeseries FILE[.json]  -flow-spans FILE
-       -sample-period DUR`)
+       -sample-period DUR
+       -fingerprint FILE [-fingerprint-epoch DUR] [-fingerprint-fine EPOCH]
+         (digest timeline for tcndiff; fine mode adds per-event digests
+          around the named epoch to localize the first divergent event)`)
 }
 
 func parseLoads(s string) []float64 {

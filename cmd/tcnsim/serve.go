@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -54,6 +55,22 @@ func latestExposition(rec *flight.Recorder) *flight.Exposition {
 	return rec.Latest()
 }
 
+// unavailableBody is the machine-readable 503 payload for endpoints that
+// need an observer the current run does not carry: it names the cause and
+// the exact flag change that fixes it, so a curl in CI fails with a
+// self-explanatory document instead of a bare status line.
+type unavailableBody struct {
+	Error  string `json:"error"`
+	Cause  string `json:"cause"`
+	Remedy string `json:"remedy"`
+}
+
+func writeUnavailable(w http.ResponseWriter, body unavailableBody) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(body)
+}
+
 // exposeHandler serves one Exposition field with a content type. rec is
 // nil when -serve runs alongside a parallel sweep (-workers > 1): the
 // flight recorder would force the sweep serial, so only the perf
@@ -61,7 +78,11 @@ func latestExposition(rec *flight.Recorder) *flight.Exposition {
 func exposeHandler(rec *flight.Recorder, contentType string, field func(*flight.Exposition) []byte) http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) {
 		if rec == nil {
-			http.Error(w, "flight recorder not attached (rerun with -workers 1 for network-observability endpoints)", http.StatusServiceUnavailable)
+			writeUnavailable(w, unavailableBody{
+				Error:  "flight recorder not attached",
+				Cause:  "this endpoint needs per-cell network telemetry, which a parallel sweep (-workers > 1) does not collect",
+				Remedy: "rerun tcnsim with -workers 1 to attach the flight recorder",
+			})
 			return
 		}
 		e := latestExposition(rec)

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tcn/internal/obs/flight"
+)
+
+// TestServeWithoutRecorder503 pins the parallel-sweep contract: the
+// flight endpoints answer 503 with a JSON body naming the cause and the
+// exact remedy (-workers 1), not a bare status line.
+func TestServeWithoutRecorder503(t *testing.T) {
+	mux := newServeMux(nil, nil)
+	for _, path := range []string{"/metrics", "/timeseries.csv", "/flows.csv", "/ledger.jsonl", "/trace.perfetto.json"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, req)
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d, want 503", path, rr.Code)
+		}
+		if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s: content type %q, want JSON", path, ct)
+		}
+		var body struct {
+			Error  string `json:"error"`
+			Cause  string `json:"cause"`
+			Remedy string `json:"remedy"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: body is not JSON: %v\n%s", path, err, rr.Body.String())
+		}
+		if body.Error == "" || body.Cause == "" {
+			t.Fatalf("%s: body missing error/cause: %+v", path, body)
+		}
+		if !strings.Contains(body.Remedy, "-workers 1") {
+			t.Fatalf("%s: remedy does not name the fix: %q", path, body.Remedy)
+		}
+	}
+}
+
+// TestServeWithSealedRecorder200 is the positive half: a sealed recorder
+// serves its final exposition immediately.
+func TestServeWithSealedRecorder200(t *testing.T) {
+	rec := flight.New(flight.Config{})
+	rec.Series("test.series").Record(0, 1.0)
+	rec.Seal()
+	mux := newServeMux(rec, nil)
+	req := httptest.NewRequest(http.MethodGet, "/timeseries.csv", nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), "test.series") {
+		t.Fatalf("timeseries body missing the registered series:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,242 @@
+package digest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Divergence localizes the first difference between two timelines.
+type Divergence struct {
+	// Kind is "header" (incomparable parameters), "shape" (record
+	// streams differ structurally), "epoch" (a component's chained
+	// digest first differs at Epoch), or "fine" (located only by the
+	// per-event records).
+	Kind string
+
+	Scope     string
+	Component Component
+	Label     string
+	Epoch     int64
+	At        int64 // sim ns of the divergent epoch record
+
+	// Event is the first divergent event index (engine executed-event
+	// count), localized by binary search over the fine records; -1 when
+	// no fine records bracket the divergence — rerun both sides with the
+	// fine bracket set to Epoch to obtain it.
+	Event   int64
+	EventAt int64 // sim ns of the divergent event; 0 when Event is -1
+
+	DigestA uint64
+	DigestB uint64
+
+	// Detail carries the human explanation for header/shape kinds.
+	Detail string
+}
+
+// Report is the outcome of comparing two timelines.
+type Report struct {
+	Identical  bool
+	RecordsA   int
+	RecordsB   int
+	Divergence *Divergence // nil when Identical
+}
+
+// seriesKey identifies one digest chain across a timeline.
+type seriesKey struct {
+	scope string
+	comp  Component
+	label string
+}
+
+// Compare performs first-divergence search over two timelines. The
+// digests are chained, so a series that diverges at epoch E mismatches at
+// every epoch >= E; that monotonicity lets the search binary-search each
+// chain (and the fine records) instead of scanning, after one linear pass
+// that only checks structural alignment.
+func Compare(a, b *Timeline) Report {
+	rep := Report{RecordsA: len(a.Records), RecordsB: len(b.Records)}
+	if a.Seed != b.Seed || a.EpochNs != b.EpochNs {
+		rep.Divergence = &Divergence{
+			Kind:  "header",
+			Event: -1,
+			Detail: fmt.Sprintf("timelines are not comparable: seed %016x/%016x, epoch %dns/%dns",
+				a.Seed, b.Seed, a.EpochNs, b.EpochNs),
+		}
+		return rep
+	}
+
+	// Structural alignment over the common prefix: identical configs
+	// snapshot identical (scope, epoch, component, label) sequences even
+	// when the digests differ. A key mismatch truncates the aligned
+	// prefix but is NOT reported yet — a state divergence earlier in the
+	// prefix (e.g. a run that ends after fewer epochs because its state
+	// diverged long before) is the more useful localization, so the
+	// digest search below runs first and the shape mismatch is only the
+	// fallback.
+	n := len(a.Records)
+	if len(b.Records) < n {
+		n = len(b.Records)
+	}
+	var shape *Divergence
+	for i := 0; i < n; i++ {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.Scope != rb.Scope || ra.Epoch != rb.Epoch || ra.Component != rb.Component || ra.Label != rb.Label {
+			shape = &Divergence{
+				Kind: "shape", Scope: ra.Scope, Component: ra.Component, Label: ra.Label,
+				Epoch: ra.Epoch, At: ra.At, Event: -1,
+				Detail: fmt.Sprintf("record %d differs structurally: a=(%s %s %q epoch %d) b=(%s %s %q epoch %d)",
+					i, ra.Scope, ra.Component, ra.Label, ra.Epoch, rb.Scope, rb.Component, rb.Label, rb.Epoch),
+			}
+			n = i
+			break
+		}
+	}
+
+	// Group the aligned prefix into per-component chains, preserving
+	// first-appearance order so the reported divergence is deterministic
+	// without ranging a map.
+	byKey := map[seriesKey][]int{}
+	var order []seriesKey
+	for i := 0; i < n; i++ {
+		k := seriesKey{scope: a.Records[i].Scope, comp: a.Records[i].Component, label: a.Records[i].Label}
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+
+	// For each chain whose final digests disagree, binary-search the
+	// first mismatching epoch; keep the divergence with the smallest
+	// record index (the earliest epoch in file order).
+	best := -1
+	for _, k := range order {
+		idx := byKey[k]
+		last := idx[len(idx)-1]
+		if a.Records[last].Digest == b.Records[last].Digest {
+			continue // chained: equal at the end means equal throughout
+		}
+		j := sort.Search(len(idx), func(j int) bool {
+			return a.Records[idx[j]].Digest != b.Records[idx[j]].Digest
+		})
+		if best < 0 || idx[j] < best {
+			best = idx[j]
+		}
+	}
+	if best >= 0 {
+		ra, rb := a.Records[best], b.Records[best]
+		d := &Divergence{
+			Kind: "epoch", Scope: ra.Scope, Component: ra.Component, Label: ra.Label,
+			Epoch: ra.Epoch, At: ra.At, Event: -1,
+			DigestA: ra.Digest, DigestB: rb.Digest,
+		}
+		if ev, at, ok := fineSearch(a, b, ra.Scope); ok {
+			d.Event, d.EventAt = ev, at
+		}
+		rep.Divergence = d
+		return rep
+	}
+
+	if shape != nil {
+		rep.Divergence = shape
+		return rep
+	}
+	if len(a.Records) != len(b.Records) {
+		longer := a.Records
+		if len(b.Records) > len(a.Records) {
+			longer = b.Records
+		}
+		r := longer[n]
+		rep.Divergence = &Divergence{
+			Kind: "shape", Scope: r.Scope, Component: r.Component, Label: r.Label,
+			Epoch: r.Epoch, At: r.At, Event: -1,
+			Detail: fmt.Sprintf("timelines agree for %d records, then lengths differ (a=%d, b=%d): one run took more epochs",
+				n, len(a.Records), len(b.Records)),
+		}
+		return rep
+	}
+
+	// Epoch chains agree end to end; fine records (if any) can still
+	// catch a transient divergence inside the bracket.
+	if ev, at, ok := fineDivergence(a, b); ok {
+		rep.Divergence = &Divergence{Kind: "fine", Event: ev, EventAt: at,
+			Detail: "epoch chains agree but the per-event fine records diverge"}
+		return rep
+	}
+
+	rep.Identical = true
+	return rep
+}
+
+// fineSearch binary-searches the fine records of one scope for the first
+// divergent event index. The fine digest is chained over the whole scope,
+// so mismatch is monotone in the event sequence.
+func fineSearch(a, b *Timeline, scope string) (event int64, at int64, ok bool) {
+	fa := fineOf(a, scope)
+	fb := fineOf(b, scope)
+	n := len(fa)
+	if len(fb) < n {
+		n = len(fb)
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	// Alignment: the two runs may execute different event counts inside
+	// the bracket; compare positionally only while the event indices
+	// agree.
+	for n > 0 && (fa[n-1].Event != fb[n-1].Event) {
+		n--
+	}
+	if n == 0 || fa[n-1].Digest == fb[n-1].Digest {
+		// Either no aligned prefix, or the aligned prefix agrees — then
+		// the first divergent event is the first unaligned one, if any.
+		if len(fa) > n && len(fb) > n {
+			return int64(fa[n].Event), fa[n].At, true
+		}
+		return 0, 0, false
+	}
+	j := sort.Search(n, func(j int) bool { return fa[j].Digest != fb[j].Digest })
+	return int64(fa[j].Event), fa[j].At, true
+}
+
+// fineDivergence scans every scope present in a for a fine divergence.
+func fineDivergence(a, b *Timeline) (event int64, at int64, ok bool) {
+	seen := map[string]bool{}
+	for _, f := range a.Fine {
+		if seen[f.Scope] {
+			continue
+		}
+		seen[f.Scope] = true
+		if ev, evAt, found := fineSearch(a, b, f.Scope); found {
+			return ev, evAt, true
+		}
+	}
+	return 0, 0, false
+}
+
+// fineOf filters a timeline's fine records to one scope. Fine records are
+// appended in event order per scope, so the filtered slice is sorted.
+func fineOf(t *Timeline, scope string) []FineRecord {
+	var out []FineRecord
+	for _, f := range t.Fine {
+		if f.Scope == scope {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// String renders the divergence for the human report.
+func (d *Divergence) String() string {
+	switch d.Kind {
+	case "header", "shape":
+		return d.Detail
+	case "fine":
+		return fmt.Sprintf("first divergent event %d (t=%dns): %s", d.Event, d.EventAt, d.Detail)
+	}
+	s := fmt.Sprintf("first divergence at epoch %d (t=%dns): %s %q in scope %s (a=%016x b=%016x)",
+		d.Epoch, d.At, d.Component, d.Label, d.Scope, d.DigestA, d.DigestB)
+	if d.Event >= 0 {
+		s += fmt.Sprintf("; first divergent event %d (t=%dns)", d.Event, d.EventAt)
+	}
+	return s
+}

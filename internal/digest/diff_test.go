@@ -1,0 +1,238 @@
+package digest
+
+import "testing"
+
+// makeTimeline builds a timeline with one scope, two components, and
+// nepochs epochs of chained digests derived from the state function.
+func makeTimeline(seed uint64, nepochs int, state func(epoch int, comp Component) int64) *Timeline {
+	rec := New(Config{Seed: seed, EpochNs: 1000})
+	sc := rec.ScopeFor("eng")
+	e := &counter{}
+	q := &counter{}
+	sc.Register(ComponentEngine, "engine", e)
+	sc.Register(ComponentQdisc, "q0", q)
+	for ep := 0; ep < nepochs; ep++ {
+		e.n = state(ep, ComponentEngine)
+		q.n = state(ep, ComponentQdisc)
+		sc.Snapshot(int64(ep) * 1000)
+	}
+	return rec.Timeline()
+}
+
+func TestCompareIdentical(t *testing.T) {
+	f := func(ep int, c Component) int64 { return int64(ep) * 7 }
+	a := makeTimeline(1, 50, f)
+	b := makeTimeline(1, 50, f)
+	rep := Compare(a, b)
+	if !rep.Identical {
+		t.Fatalf("identical runs diverged: %+v", rep.Divergence)
+	}
+	if rep.RecordsA != 100 || rep.RecordsB != 100 {
+		t.Fatalf("record counts %d/%d", rep.RecordsA, rep.RecordsB)
+	}
+}
+
+func TestCompareLocalizesEpochAndComponent(t *testing.T) {
+	f := func(ep int, c Component) int64 { return int64(ep) }
+	// b's qdisc state diverges starting at epoch 31; engine stays equal.
+	g := func(ep int, c Component) int64 {
+		if c == ComponentQdisc && ep >= 31 {
+			return int64(ep) + 1000
+		}
+		return int64(ep)
+	}
+	rep := Compare(makeTimeline(1, 50, f), makeTimeline(1, 50, g))
+	if rep.Identical {
+		t.Fatal("divergent runs compared identical")
+	}
+	d := rep.Divergence
+	if d.Kind != "epoch" {
+		t.Fatalf("kind %q", d.Kind)
+	}
+	if d.Epoch != 31 || d.Component != ComponentQdisc || d.Label != "q0" || d.Scope != "cell0" {
+		t.Fatalf("localized to epoch %d component %s label %q scope %s; want 31/qdisc/q0/cell0",
+			d.Epoch, d.Component, d.Label, d.Scope)
+	}
+	if d.At != 31000 {
+		t.Fatalf("At %d, want 31000", d.At)
+	}
+	if d.Event != -1 {
+		t.Fatalf("Event %d without fine records, want -1", d.Event)
+	}
+	if d.DigestA == d.DigestB {
+		t.Fatal("divergence digests equal")
+	}
+}
+
+func TestCompareEarliestAcrossComponents(t *testing.T) {
+	f := func(ep int, c Component) int64 { return int64(ep) }
+	// Engine diverges at epoch 10, qdisc at epoch 5: report qdisc@5.
+	g := func(ep int, c Component) int64 {
+		if c == ComponentEngine && ep >= 10 {
+			return -1
+		}
+		if c == ComponentQdisc && ep >= 5 {
+			return -2
+		}
+		return int64(ep)
+	}
+	rep := Compare(makeTimeline(1, 20, f), makeTimeline(1, 20, g))
+	d := rep.Divergence
+	if d == nil || d.Epoch != 5 || d.Component != ComponentQdisc {
+		t.Fatalf("divergence %+v, want qdisc at epoch 5", d)
+	}
+}
+
+func TestCompareHeaderMismatch(t *testing.T) {
+	f := func(ep int, c Component) int64 { return int64(ep) }
+	rep := Compare(makeTimeline(1, 5, f), makeTimeline(2, 5, f))
+	if rep.Identical || rep.Divergence.Kind != "header" {
+		t.Fatalf("seed mismatch not reported as header divergence: %+v", rep.Divergence)
+	}
+	a := makeTimeline(1, 5, f)
+	b := makeTimeline(1, 5, f)
+	b.EpochNs = 2000
+	rep = Compare(a, b)
+	if rep.Identical || rep.Divergence.Kind != "header" {
+		t.Fatalf("epoch period mismatch not reported: %+v", rep.Divergence)
+	}
+}
+
+func TestCompareShapeMismatch(t *testing.T) {
+	f := func(ep int, c Component) int64 { return int64(ep) }
+	rep := Compare(makeTimeline(1, 5, f), makeTimeline(1, 8, f))
+	if rep.Identical || rep.Divergence.Kind != "shape" {
+		t.Fatalf("length mismatch not reported as shape divergence: %+v", rep.Divergence)
+	}
+}
+
+// TestCompareDigestDivergenceBeatsLaterShapeMismatch is the real-world
+// perturbed-seed shape: run B's state diverges early AND its run ends
+// after fewer epochs, so the record streams also misalign structurally
+// partway through. The early epoch divergence is the useful answer; the
+// structural mismatch is only the fallback.
+func TestCompareDigestDivergenceBeatsLaterShapeMismatch(t *testing.T) {
+	f := func(ep int, c Component) int64 { return int64(ep) }
+	g := func(ep int, c Component) int64 {
+		if c == ComponentQdisc && ep >= 3 {
+			return -7
+		}
+		return int64(ep)
+	}
+	// Two serial cells per run, like a sweep: run B's first cell is both
+	// divergent from epoch 3 and ends after fewer epochs, so partway
+	// through the streams a cell0 record in A faces a cell1 record in B —
+	// the structural mismatch sits in the middle of the stream, after the
+	// digest divergence.
+	twoCells := func(n0 int, state func(int, Component) int64) *Timeline {
+		rec := New(Config{Seed: 1, EpochNs: 1000})
+		for cell, n := range []int{n0, 10} {
+			sc := rec.ScopeFor(cell)
+			c := &counter{}
+			sc.Register(ComponentQdisc, "q0", c)
+			for ep := 0; ep < n; ep++ {
+				if cell == 0 {
+					c.n = state(ep, ComponentQdisc)
+				} else {
+					c.n = int64(ep)
+				}
+				sc.Snapshot(int64(ep) * 1000)
+			}
+		}
+		return rec.Timeline()
+	}
+	rep := Compare(twoCells(50, f), twoCells(40, g))
+	d := rep.Divergence
+	if d == nil || d.Kind != "epoch" {
+		t.Fatalf("divergence %+v, want epoch kind despite the mid-stream misalignment", d)
+	}
+	if d.Epoch != 3 || d.Component != ComponentQdisc || d.Scope != "cell0" {
+		t.Fatalf("localized to epoch %d component %s scope %s, want 3/qdisc/cell0", d.Epoch, d.Component, d.Scope)
+	}
+
+	// Pure shape mismatch (no digest divergence in the aligned prefix)
+	// still reports shape.
+	rep = Compare(makeTimeline(1, 50, f), makeTimeline(1, 40, f))
+	if rep.Divergence == nil || rep.Divergence.Kind != "shape" {
+		t.Fatalf("divergence %+v, want shape when prefixes agree", rep.Divergence)
+	}
+}
+
+func TestCompareFineLocalizesEvent(t *testing.T) {
+	build := func(divergeAt uint64) *Timeline {
+		rec := New(Config{Seed: 3, Fine: true, FineAtEpoch: 0})
+		sc := rec.ScopeFor("eng")
+		c := &counter{}
+		sc.Register(ComponentEngine, "engine", c)
+		for ev := uint64(1); ev <= 100; ev++ {
+			c.n++
+			if divergeAt != 0 && ev >= divergeAt {
+				c.n += 1000
+			}
+			sc.FineSnapshot(ev, int64(ev)*10)
+		}
+		sc.Snapshot(1000) // epoch 0 closes; chains now differ too
+		return rec.Timeline()
+	}
+	rep := Compare(build(0), build(42))
+	if rep.Identical {
+		t.Fatal("fine-divergent runs compared identical")
+	}
+	d := rep.Divergence
+	if d.Event != 42 {
+		t.Fatalf("fine search localized event %d, want 42", d.Event)
+	}
+	if d.EventAt != 420 {
+		t.Fatalf("EventAt %d, want 420", d.EventAt)
+	}
+}
+
+func TestCompareFineOnlyDivergence(t *testing.T) {
+	// Transient divergence: states differ during the epoch but reconverge
+	// before the snapshot, so only the fine chains catch it.
+	build := func(perturb bool) *Timeline {
+		rec := New(Config{Seed: 3, Fine: true, FineAtEpoch: 0})
+		sc := rec.ScopeFor("eng")
+		c := &counter{}
+		sc.Register(ComponentEngine, "engine", c)
+		for ev := uint64(1); ev <= 10; ev++ {
+			c.n = int64(ev)
+			if perturb && ev == 5 {
+				c.n = 99
+			}
+			sc.FineSnapshot(ev, int64(ev))
+		}
+		c.n = 10 // reconverged
+		sc.Snapshot(1000)
+		return rec.Timeline()
+	}
+	rep := Compare(build(false), build(true))
+	if rep.Identical {
+		t.Fatal("transient divergence missed")
+	}
+	d := rep.Divergence
+	if d.Kind != "fine" || d.Event != 5 {
+		t.Fatalf("divergence %+v, want fine at event 5", d)
+	}
+}
+
+func TestDivergenceString(t *testing.T) {
+	d := &Divergence{Kind: "epoch", Scope: "cell0", Component: ComponentQdisc,
+		Label: "q0", Epoch: 31, At: 31000, Event: 512, EventAt: 31042,
+		DigestA: 0xaa, DigestB: 0xbb}
+	s := d.String()
+	for _, want := range []string{"epoch 31", "qdisc", "q0", "cell0", "event 512"} {
+		if !contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

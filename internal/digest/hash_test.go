@@ -1,0 +1,126 @@
+package digest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	write := func(h *Hash) {
+		h.WriteUint64(42)
+		h.WriteInt64(-7)
+		h.WriteInt(123456)
+		h.WriteBool(true)
+		h.WriteFloat64(3.14159)
+		h.WriteString("queue0")
+	}
+	a := NewHash(1)
+	b := NewHash(1)
+	write(&a)
+	write(&b)
+	if a.Sum64() != b.Sum64() {
+		t.Fatalf("same writes, different digests: %016x vs %016x", a.Sum64(), b.Sum64())
+	}
+}
+
+func TestHashSeedSensitivity(t *testing.T) {
+	a := NewHash(1)
+	b := NewHash(2)
+	a.WriteUint64(42)
+	b.WriteUint64(42)
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+func TestHashFieldWidth(t *testing.T) {
+	// Fixed-width fields: (1,2) must not collide with (513) or (2,1).
+	a := NewHash(1)
+	a.WriteUint64(1)
+	a.WriteUint64(2)
+	b := NewHash(1)
+	b.WriteUint64(513)
+	c := NewHash(1)
+	c.WriteUint64(2)
+	c.WriteUint64(1)
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("field boundaries not preserved")
+	}
+	if a.Sum64() == c.Sum64() {
+		t.Fatal("write order not significant")
+	}
+}
+
+func TestHashFloatCanonicalization(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	a := NewHash(1)
+	a.WriteFloat64(0)
+	b := NewHash(1)
+	b.WriteFloat64(negZero)
+	if a.Sum64() != b.Sum64() {
+		t.Fatal("-0 and +0 digest apart")
+	}
+
+	nan1 := math.NaN()
+	nan2 := math.Float64frombits(math.Float64bits(math.NaN()) ^ 1) // different payload
+	c := NewHash(1)
+	c.WriteFloat64(nan1)
+	d := NewHash(1)
+	d.WriteFloat64(nan2)
+	if c.Sum64() != d.Sum64() {
+		t.Fatal("NaN payloads digest apart")
+	}
+
+	// But distinct ordinary values must digest apart.
+	e := NewHash(1)
+	e.WriteFloat64(1.0)
+	f := NewHash(1)
+	f.WriteFloat64(1.0000000000000002)
+	if e.Sum64() == f.Sum64() {
+		t.Fatal("adjacent floats digest identically")
+	}
+}
+
+func TestHashStringLengthPrefix(t *testing.T) {
+	a := NewHash(1)
+	a.WriteString("ab")
+	a.WriteString("c")
+	b := NewHash(1)
+	b.WriteString("a")
+	b.WriteString("bc")
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("string boundaries not preserved")
+	}
+}
+
+func TestHashZeroAlloc(t *testing.T) {
+	var sink uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := NewHash(7)
+		h.WriteUint64(1)
+		h.WriteInt64(-2)
+		h.WriteFloat64(2.5)
+		h.WriteBool(false)
+		sink = h.Sum64()
+	})
+	if allocs != 0 { //tcnlint:floatexact AllocsPerRun of a zero-alloc run is exactly 0
+		t.Fatalf("hash writes allocate: %v allocs/op", allocs)
+	}
+	_ = sink
+}
+
+func TestComponentStringRoundTrip(t *testing.T) {
+	for c := Component(0); c < numComponents; c++ {
+		s := c.String()
+		if s == "component?" {
+			t.Fatalf("component %d has no name", c)
+		}
+		got, ok := ParseComponent(s)
+		if !ok || got != c {
+			t.Fatalf("ParseComponent(%q) = %v, %v; want %v", s, got, ok, c)
+		}
+	}
+	if _, ok := ParseComponent("nonsense"); ok {
+		t.Fatal("ParseComponent accepted garbage")
+	}
+}

@@ -1,0 +1,232 @@
+package digest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// counter is a minimal Digestable test double.
+type counter struct {
+	n int64
+}
+
+func (c *counter) DigestState(h *Hash) { h.WriteInt64(c.n) }
+
+func TestRecorderChaining(t *testing.T) {
+	rec := New(Config{Seed: 9})
+	sc := rec.ScopeFor("eng")
+	c := &counter{}
+	sc.Register(ComponentEngine, "engine", c)
+
+	sc.Snapshot(0)
+	c.n = 1
+	sc.Snapshot(1000)
+	c.n = 1 // same state as epoch 1
+	sc.Snapshot(2000)
+
+	recs := rec.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Chaining: identical component state at epochs 1 and 2 must still
+	// produce different digests because epoch 2 folds in epoch 1's.
+	if recs[1].Digest == recs[2].Digest {
+		t.Fatal("chain not folded: identical states produced identical chained digests")
+	}
+	for i, r := range recs {
+		if r.Epoch != int64(i) {
+			t.Fatalf("record %d has epoch %d", i, r.Epoch)
+		}
+		if r.Scope != "cell0" || r.Component != ComponentEngine || r.Label != "engine" {
+			t.Fatalf("record %d misidentified: %+v", i, r)
+		}
+	}
+}
+
+func TestRecorderScopeIdentity(t *testing.T) {
+	rec := New(Config{})
+	a := rec.ScopeFor("engA")
+	b := rec.ScopeFor("engB")
+	if a == b {
+		t.Fatal("distinct owners shared a scope")
+	}
+	if rec.ScopeFor("engA") != a {
+		t.Fatal("ScopeFor not idempotent")
+	}
+	if rec.ScopeOf("engA") != a || rec.ScopeOf("missing") != nil {
+		t.Fatal("ScopeOf lookup broken")
+	}
+	if a.Label() != "cell0" || b.Label() != "cell1" {
+		t.Fatalf("scope labels %q, %q", a.Label(), b.Label())
+	}
+}
+
+func TestRegisterAfterSnapshotPanics(t *testing.T) {
+	rec := New(Config{})
+	sc := rec.ScopeFor("eng")
+	sc.Register(ComponentEngine, "engine", &counter{})
+	sc.Snapshot(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late Register did not panic")
+		}
+	}()
+	sc.Register(ComponentRand, "rand", &counter{})
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	rec := New(Config{})
+	sc := rec.ScopeFor("eng")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Register did not panic")
+		}
+	}()
+	sc.Register(ComponentEngine, "engine", nil)
+}
+
+func TestFineBracket(t *testing.T) {
+	rec := New(Config{Fine: true, FineAtEpoch: 2})
+	sc := rec.ScopeFor("eng")
+	c := &counter{}
+	sc.Register(ComponentEngine, "engine", c)
+
+	ev := uint64(0)
+	step := func() {
+		ev++
+		c.n++
+		sc.FineSnapshot(ev, int64(ev))
+	}
+	// Epochs 0 and 1: bracket closed, no fine records.
+	step()
+	sc.Snapshot(10)
+	step()
+	sc.Snapshot(20)
+	if len(rec.FineRecords()) != 0 {
+		t.Fatalf("fine records before bracket: %d", len(rec.FineRecords()))
+	}
+	// After the 2nd snapshot, epoch counter is 2 == FineAtEpoch: open.
+	step()
+	step()
+	sc.Snapshot(30)
+	step()
+	sc.Snapshot(40)
+	inBracket := len(rec.FineRecords())
+	if inBracket != 3 {
+		t.Fatalf("fine records in bracket: %d, want 3", inBracket)
+	}
+	// Epoch counter is now 4 > FineAtEpoch+1: closed again.
+	step()
+	if len(rec.FineRecords()) != inBracket {
+		t.Fatal("fine records accrued after bracket closed")
+	}
+	// Fine digests chain: record events and monotone event indices.
+	f := rec.FineRecords()
+	if f[0].Event != 3 || f[1].Event != 4 || f[2].Event != 5 {
+		t.Fatalf("fine event indices %d,%d,%d", f[0].Event, f[1].Event, f[2].Event)
+	}
+	if f[0].Digest == f[1].Digest {
+		t.Fatal("fine chain not folded")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rec := New(Config{Seed: 77, EpochNs: 500, Fine: true, FineAtEpoch: 0})
+	sc := rec.ScopeFor("eng")
+	c := &counter{}
+	sc.Register(ComponentEngine, "engine", c)
+	sc.Register(ComponentRand, "flows", c)
+
+	sc.FineSnapshot(1, 100)
+	sc.Snapshot(500)
+	c.n = 5
+	sc.FineSnapshot(2, 700)
+	sc.Snapshot(1000)
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Seed != 77 || tl.EpochNs != 500 {
+		t.Fatalf("header round-trip: seed %d epoch %d", tl.Seed, tl.EpochNs)
+	}
+	if len(tl.Records) != len(rec.Records()) {
+		t.Fatalf("records: %d vs %d", len(tl.Records), len(rec.Records()))
+	}
+	for i, r := range rec.Records() {
+		if tl.Records[i] != r {
+			t.Fatalf("record %d: %+v vs %+v", i, tl.Records[i], r)
+		}
+	}
+	if len(tl.Fine) != len(rec.FineRecords()) {
+		t.Fatalf("fine: %d vs %d", len(tl.Fine), len(rec.FineRecords()))
+	}
+	for i, f := range rec.FineRecords() {
+		if tl.Fine[i] != f {
+			t.Fatalf("fine %d: %+v vs %+v", i, tl.Fine[i], f)
+		}
+	}
+}
+
+func TestReadTimelineErrors(t *testing.T) {
+	if _, err := ReadTimeline(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	noHeader := `{"scope":"cell0","epoch":0,"at_ns":0,"component":"engine","digest":"00000000000000aa"}` + "\n"
+	if _, err := ReadTimeline(bytes.NewReader([]byte(noHeader))); err == nil {
+		t.Fatal("headerless stream accepted")
+	}
+	badComp := `{"fingerprint":true,"seed":"0000000000000001","epoch_ns":1000,"epoch":0,"at_ns":0}` + "\n" +
+		`{"scope":"cell0","epoch":0,"at_ns":0,"component":"warpdrive","digest":"00000000000000aa"}` + "\n"
+	if _, err := ReadTimeline(bytes.NewReader([]byte(badComp))); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	badHex := `{"fingerprint":true,"seed":"0000000000000001","epoch_ns":1000,"epoch":0,"at_ns":0}` + "\n" +
+		`{"scope":"cell0","epoch":0,"at_ns":0,"component":"engine","digest":"zz"}` + "\n"
+	if _, err := ReadTimeline(bytes.NewReader([]byte(badHex))); err == nil {
+		t.Fatal("bad digest hex accepted")
+	}
+}
+
+func TestSnapshotZeroAlloc(t *testing.T) {
+	rec := New(Config{RecordCap: 1 << 15})
+	sc := rec.ScopeFor("eng")
+	comps := make([]*counter, 4)
+	for i := range comps {
+		comps[i] = &counter{}
+		sc.Register(ComponentPort, "port", comps[i])
+	}
+	at := int64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := range comps {
+			comps[i].n++
+		}
+		at += 1000
+		sc.Snapshot(at)
+	})
+	if allocs != 0 { //tcnlint:floatexact AllocsPerRun of a zero-alloc run is exactly 0
+		t.Fatalf("Snapshot allocates in steady state: %v allocs/op", allocs)
+	}
+}
+
+func TestFineSnapshotZeroAlloc(t *testing.T) {
+	rec := New(Config{Fine: true, FineAtEpoch: 0})
+	// Preallocate the fine store so append doesn't grow mid-measurement.
+	rec.fine = make([]FineRecord, 0, 1<<12)
+	sc := rec.ScopeFor("eng")
+	c := &counter{}
+	sc.Register(ComponentEngine, "engine", c)
+	ev := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		ev++
+		c.n++
+		sc.FineSnapshot(ev, int64(ev))
+	})
+	if allocs != 0 { //tcnlint:floatexact AllocsPerRun of a zero-alloc run is exactly 0
+		t.Fatalf("FineSnapshot allocates: %v allocs/op", allocs)
+	}
+}

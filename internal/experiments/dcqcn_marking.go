@@ -70,6 +70,7 @@ func RunDCQCNMarking(cfg DCQCNMarkingConfig) DCQCNMarkingResult {
 	eng := sim.NewEngine()
 	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
+	cfg.Obs.AttachRand(eng, rng)
 
 	recv := cfg.Senders
 	net := fabric.NewStar(eng, fabric.StarConfig{

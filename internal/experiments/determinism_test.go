@@ -1,11 +1,27 @@
 package experiments
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"tcn/internal/digest"
+)
+
+// fingerprintRun executes one testbed cell with a fingerprint recorder
+// attached and returns the recorder.
+func fingerprintRun(cfg TestbedFCTConfig, fp digest.Config) (*digest.Recorder, TestbedFCTResult) {
+	rec := digest.New(fp)
+	cfg.Obs = &Obs{Fingerprint: rec}
+	res := RunTestbedFCT(cfg)
+	return rec, res
+}
 
 // TestRunsAreDeterministic guards the repository's reproducibility
 // contract: the same seed must produce bit-identical results, run to run.
 // This catches accidental dependence on map iteration order or wall-clock
-// time anywhere in the simulator.
+// time anywhere in the simulator. The comparison runs on the fingerprint
+// digest timelines (the same machinery `tcndiff` uses), backed up by the
+// exact per-flow records.
 func TestRunsAreDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second workload run")
@@ -16,8 +32,36 @@ func TestRunsAreDeterministic(t *testing.T) {
 		// Exact mode retains the per-flow records this test compares.
 		ExactFCT: true,
 	}
-	a := RunTestbedFCT(cfg)
-	b := RunTestbedFCT(cfg)
+	fp := digest.Config{EpochNs: 1_000_000}
+	recA, a := fingerprintRun(cfg, fp)
+	recB, b := fingerprintRun(cfg, fp)
+
+	// The digest timelines must agree component by component...
+	rep := digest.Compare(recA.Timeline(), recB.Timeline())
+	if !rep.Identical {
+		t.Fatalf("identical seeds diverged: %s", rep.Divergence)
+	}
+	if rep.RecordsA == 0 {
+		t.Fatal("fingerprint recorder captured no epoch records")
+	}
+	// ...and so must the serialized wire form read back by tcndiff.
+	var bufA, bufB bytes.Buffer
+	if err := recA.WriteJSONL(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := recB.WriteJSONL(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("serialized fingerprint timelines are not byte-identical")
+	}
+	tlA, err := digest.ReadTimeline(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tlA.Records) != rep.RecordsA {
+		t.Fatalf("round-trip lost records: wrote %d, read %d", rep.RecordsA, len(tlA.Records))
+	}
 
 	if a.Stats != b.Stats {
 		t.Fatalf("identical seeds diverged:\n%+v\n%+v", a.Stats, b.Stats)
@@ -33,6 +77,56 @@ func TestRunsAreDeterministic(t *testing.T) {
 		if a.Records[i] != b.Records[i] {
 			t.Fatalf("record %d diverged: %+v vs %+v", i, a.Records[i], b.Records[i])
 		}
+	}
+}
+
+// TestFingerprintLocalizesSeedPerturbation is the two-phase tcndiff
+// workflow in miniature: a coarse pass localizes the first divergent
+// (epoch, component) between two seeds, then a fine rerun bracketed at
+// that epoch pins the exact event index.
+func TestFingerprintLocalizesSeedPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	base := TestbedFCTConfig{
+		Scheme: SchemeTCN, Sched: SchedDWRR, Load: 0.5, Flows: 300, Seed: 1,
+	}
+	coarse := digest.Config{EpochNs: 1_000_000}
+	recA, _ := fingerprintRun(base, coarse)
+	perturbed := base
+	perturbed.Seed = 2
+	recB, _ := fingerprintRun(perturbed, coarse)
+
+	rep := digest.Compare(recA.Timeline(), recB.Timeline())
+	if rep.Identical {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+	d := rep.Divergence
+	if d.Kind != "epoch" {
+		t.Fatalf("expected an epoch-kind divergence, got %q (%s)", d.Kind, d)
+	}
+	if d.Epoch < 0 || d.Component.String() == "" {
+		t.Fatalf("divergence not localized: %s", d)
+	}
+	if d.Event != -1 {
+		t.Fatalf("coarse pass should not name an event, got %d", d.Event)
+	}
+
+	// Phase two: rerun both sides with the fine bracket at the reported
+	// epoch; now the comparison must name the first divergent event.
+	fine := digest.Config{EpochNs: 1_000_000, Fine: true, FineAtEpoch: d.Epoch}
+	fineA, _ := fingerprintRun(base, fine)
+	fineB, _ := fingerprintRun(perturbed, fine)
+	if len(fineA.FineRecords()) == 0 {
+		t.Fatal("fine bracket recorded no per-event digests")
+	}
+	fineRep := digest.Compare(fineA.Timeline(), fineB.Timeline())
+	if fineRep.Identical {
+		t.Fatal("fine rerun no longer diverges")
+	}
+	fd := fineRep.Divergence
+	if fd.Event < 0 {
+		t.Fatalf("fine rerun did not localize an event: %s", fd)
 	}
 }
 

@@ -74,6 +74,7 @@ func runFig1Point(cfg Fig1Config, n int) Fig1Point {
 	eng := sim.NewEngine()
 	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
+	cfg.Obs.AttachRand(eng, rng)
 
 	pp := PortParams{
 		Queues:    2,

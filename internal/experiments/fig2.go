@@ -97,6 +97,8 @@ func itoa(n int) string {
 func runFig2Once(cfg Fig2Config, scheme Scheme, dqThresh int, name string) Fig2Trace {
 	eng := sim.NewEngine()
 	rng := sim.NewRand(cfg.Seed)
+	cfg.Obs.AttachEngine(eng)
+	cfg.Obs.AttachRand(eng, rng)
 	tr := Fig2Trace{Scheme: name}
 
 	const rttLambda = 100 * sim.Microsecond // ECN*: λ=1, RTT=100us

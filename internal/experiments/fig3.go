@@ -69,6 +69,8 @@ func RunFig3(cfg Fig3Config) Fig3Result {
 func runFig3Once(cfg Fig3Config, scheme Scheme) Fig3Trace {
 	eng := sim.NewEngine()
 	rng := sim.NewRand(cfg.Seed)
+	cfg.Obs.AttachEngine(eng)
+	cfg.Obs.AttachRand(eng, rng)
 
 	pp := PortParams{
 		Queues:    1,

@@ -95,6 +95,7 @@ func RunLeafSpine(cfg LeafSpineConfig) LeafSpineResult {
 	eng := sim.NewEngine()
 	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
+	cfg.Obs.AttachRand(eng, rng)
 
 	// Thresholds per §6.2: DCTCP uses 65 packets / 78 us; ECN* uses 84
 	// packets / 101 us (both at 10 Gbps).
@@ -160,6 +161,7 @@ func RunLeafSpine(cfg LeafSpineConfig) LeafSpineResult {
 	})
 
 	col := newFCTCollector(cfg.ExactFCT)
+	cfg.Obs.AttachFCT(eng, col)
 	st.OnDone = func(f *transport.Flow) {
 		col.Record(metrics.FlowRecord{Size: f.Size, FCT: f.FCT(), Class: f.Class, Timeouts: f.Timeouts})
 	}

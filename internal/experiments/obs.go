@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"tcn/internal/digest"
 	"tcn/internal/fabric"
 	"tcn/internal/metrics"
 	"tcn/internal/obs"
@@ -27,6 +28,11 @@ type Obs struct {
 	Ledger   *trace.Ledger
 	Pipeline *trace.Pipeline
 
+	// Fingerprint, when set, snapshots per-component digest chains at
+	// sim-time epochs so two runs can be diffed with tcndiff. Like the
+	// sinks above it is shared mutable state and forces sweeps serial.
+	Fingerprint *digest.Recorder
+
 	// Perf is the simulator self-telemetry campaign. Unlike the sinks
 	// above it is atomics-only and deliberately share-safe, so it does
 	// NOT count toward Active() and never forces a sweep serial.
@@ -41,7 +47,7 @@ type Obs struct {
 // the simulation, through atomics that tolerate any worker count.
 func (o *Obs) Active() bool {
 	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Flight != nil ||
-		o.Ledger != nil || o.Pipeline != nil)
+		o.Ledger != nil || o.Pipeline != nil || o.Fingerprint != nil)
 }
 
 // Tracker returns the perf campaign as a parallel.Tracker, or nil when no
@@ -55,11 +61,78 @@ func (o *Obs) Tracker() parallel.Tracker {
 }
 
 // AttachEngine hooks a cell's engine into the campaign's live meter so
-// -progress and /perf.json see events and sim time as they happen.
-// Call it right after sim.NewEngine; a nil *Obs or nil Perf is a no-op.
+// -progress and /perf.json see events and sim time as they happen, and —
+// when a fingerprint recorder is attached — opens the cell's digest scope,
+// registers the engine (and the shared ledger) in it, and schedules the
+// epoch snapshot ticker. Call it right after sim.NewEngine, before the
+// cell builds its fabric; a nil *Obs attaches nothing.
 func (o *Obs) AttachEngine(eng *sim.Engine) {
-	if o != nil && o.Perf != nil {
+	if o == nil {
+		return
+	}
+	if o.Perf != nil {
 		eng.SetMeter(o.Perf.Meter())
+	}
+	if o.Fingerprint != nil {
+		o.attachFingerprint(eng)
+	}
+}
+
+// attachFingerprint wires one cell's engine into the fingerprint recorder.
+// Registration order is the digest order, so the sequence here (engine,
+// then ledger, then whatever the runner registers via AttachPort/
+// AttachRand/AttachFCT in its own program order) must stay deterministic —
+// it is, because a fingerprinting sweep runs serially (Active) and cells
+// build their fabrics in program order.
+func (o *Obs) attachFingerprint(eng *sim.Engine) {
+	fp := o.Fingerprint
+	sc := fp.ScopeFor(eng)
+	sc.Register(digest.ComponentEngine, "engine", eng)
+	if o.Ledger != nil {
+		sc.Register(digest.ComponentLedger, "ledger", o.Ledger)
+	}
+	// Self-rescheduling epoch ticker, the flight-recorder idiom: the first
+	// snapshot fires at t=0 (after setup, when the run starts) and then
+	// every EpochNs of sim time, so two comparable runs snapshot at
+	// identical instants. The ticker adds events to the heap, which is why
+	// fingerprinted runs are only compared against fingerprinted runs.
+	period := sim.Time(fp.EpochNs())
+	var tick func()
+	tick = func() {
+		sc.Snapshot(int64(eng.Now()))
+		eng.After(period, tick)
+	}
+	eng.After(0, tick)
+	if fp.FineEnabled() {
+		// Fine mode: digest the whole scope after every executed event.
+		// Outside the requested two-epoch bracket this is one boolean
+		// test per event (plus the engine's nil check when disabled).
+		eng.SetPostEvent(func() { sc.FineSnapshot(eng.Executed, int64(eng.Now())) })
+	}
+}
+
+// AttachRand registers a cell's random stream in the cell's digest scope,
+// so a divergence in randomness consumption is localized to the "rand"
+// component. Call after AttachEngine, from the cell's own setup. No-op
+// without a fingerprint recorder.
+func (o *Obs) AttachRand(eng *sim.Engine, rng *sim.Rand) {
+	if o == nil || o.Fingerprint == nil {
+		return
+	}
+	if sc := o.Fingerprint.ScopeOf(eng); sc != nil {
+		sc.Register(digest.ComponentRand, "rand", rng)
+	}
+}
+
+// AttachFCT registers a cell's FCT collector (tallies plus the streaming
+// small-flow t-digest) in the cell's digest scope. No-op without a
+// fingerprint recorder.
+func (o *Obs) AttachFCT(eng *sim.Engine, col *metrics.FCTCollector) {
+	if o == nil || o.Fingerprint == nil || col == nil {
+		return
+	}
+	if sc := o.Fingerprint.ScopeOf(eng); sc != nil {
+		sc.Register(digest.ComponentTDigest, "fct", col)
 	}
 }
 
@@ -128,6 +201,11 @@ func (o *Obs) AttachPort(label string, p *fabric.Port) {
 	if o.Flight != nil {
 		flight.AttachPortProbes(o.Flight, label, p)
 		flight.AttachPortSpans(o.Flight, p)
+	}
+	if o.Fingerprint != nil {
+		if sc := o.Fingerprint.ScopeOf(p.Engine()); sc != nil {
+			sc.Register(digest.ComponentPort, label, p)
+		}
 	}
 }
 

@@ -86,6 +86,7 @@ func RunTestbedFCT(cfg TestbedFCTConfig) TestbedFCTResult {
 	eng := sim.NewEngine()
 	cfg.Obs.AttachEngine(eng)
 	rng := sim.NewRand(cfg.Seed)
+	cfg.Obs.AttachRand(eng, rng)
 
 	const (
 		services = 4
@@ -157,6 +158,7 @@ func RunTestbedFCT(cfg TestbedFCTConfig) TestbedFCTResult {
 	})
 
 	col := newFCTCollector(cfg.ExactFCT)
+	cfg.Obs.AttachFCT(eng, col)
 	st.OnMessage = func(m *transport.Message) {
 		col.Record(metrics.FlowRecord{Size: m.Size, FCT: m.FCT(), Class: m.Class, Timeouts: m.Timeouts})
 	}

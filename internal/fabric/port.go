@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tcn/internal/core"
+	"tcn/internal/digest"
 	"tcn/internal/invariant"
 	"tcn/internal/obs"
 	"tcn/internal/pkt"
@@ -261,6 +262,32 @@ func (pt *Port) checkStats(qi int) {
 	invariant.Checkf(buffered == int64(pt.buf.Bytes(qi)),
 		"fabric: obs enq−tx = %d bytes but queue %d holds %d",
 		buffered, qi, pt.buf.Bytes(qi))
+}
+
+// DigestState folds the port's state into a run fingerprint: the link
+// busy flag, per-queue transmit tallies, the buffer occupancy, and — when
+// they expose state — the scheduler's credit counters and the marker's
+// mark tally. Presence flags keep the digest shape fixed.
+func (pt *Port) DigestState(h *digest.Hash) {
+	h.WriteBool(pt.busy)
+	h.WriteInt(len(pt.TxPackets))
+	for i := range pt.TxPackets {
+		h.WriteInt64(pt.TxPackets[i])
+		h.WriteInt64(pt.TxBytes[i])
+	}
+	pt.buf.DigestState(h)
+	if d, ok := pt.sch.(digest.Digestable); ok {
+		h.WriteBool(true)
+		d.DigestState(h)
+	} else {
+		h.WriteBool(false)
+	}
+	if mc, ok := pt.marker.(core.MarkCounter); ok {
+		h.WriteBool(true)
+		h.WriteInt64(mc.MarkCount())
+	} else {
+		h.WriteBool(false)
+	}
 }
 
 // Buffer exposes the port's buffer for tests and metrics.

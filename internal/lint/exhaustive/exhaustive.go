@@ -7,7 +7,10 @@
 // how a new reason added for one scheduler quietly vanishes from another's
 // accounting. The analyzer therefore requires every switch whose tag is a
 // core enum to either list every exported constant of the enum or carry an
-// explicit default case.
+// explicit default case. The digest package's Component enum (which names
+// the per-component fingerprint chains tcndiff localizes divergences to)
+// is covered by the same rule: a Component missing from a switch is a
+// digest series that silently never renders.
 //
 // Membership comes from an Enums package fact exported when the analyzer
 // visits the defining package, so dependents see exactly the constants the
@@ -32,7 +35,7 @@ import (
 // Analyzer is the exhaustive check.
 var Analyzer = &analysis.Analyzer{
 	Name: "exhaustive",
-	Doc:  "switches over core enums (Reason, Stage, EventKind) must cover every exported constant or carry a default",
+	Doc:  "switches over core/digest enums (Reason, Stage, EventKind, Component) must cover every exported constant or carry a default",
 	Run:  run,
 }
 
@@ -64,13 +67,18 @@ func (e *Enums) String() string {
 	return b.String()
 }
 
-// enumPackage reports whether pkg is a core-style enum package: the real
-// module path or its bare fixture twin.
+// enumPackage reports whether pkg is an enum-defining package the
+// totality rule covers: core (Reason, Stage, EventKind) and digest
+// (Component), or their bare fixture twins.
 func enumPackage(pkg *types.Package) bool {
 	if pkg == nil {
 		return false
 	}
-	return pkg.Path() == "tcn/internal/core" || pkg.Path() == "core"
+	switch pkg.Path() {
+	case "tcn/internal/core", "core", "tcn/internal/digest", "digest":
+		return true
+	}
+	return false
 }
 
 // collectEnums scans a package scope for enum types: named types with a

@@ -8,5 +8,5 @@ import (
 )
 
 func TestExhaustive(t *testing.T) {
-	linttest.Run(t, exhaustive.Analyzer, "exhaustive")
+	linttest.Run(t, exhaustive.Analyzer, "exhaustive", "exhaustivedigest")
 }

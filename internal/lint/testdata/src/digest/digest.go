@@ -1,0 +1,20 @@
+// Package digest is a self-contained stand-in for tcn/internal/digest,
+// so the exhaustive fixture can exercise the Component totality rule
+// without importing the module.
+package digest
+
+// Component mirrors the real fingerprint-chain enum.
+type Component uint8
+
+// The fixture components: enough members for exhaustiveness to be a real
+// constraint.
+const (
+	ComponentEngine Component = 0
+	ComponentRand   Component = 1
+	ComponentQdisc  Component = 2
+)
+
+// numComponents is the unexported sentinel; never a required case.
+const numComponents Component = 3
+
+var _ = numComponents

@@ -1,0 +1,62 @@
+// Package exhaustivedigest exercises the enum-totality rule over the
+// fixture digest package: switches on digest.Component must list every
+// exported constant or carry an explicit default, exactly like the core
+// enums.
+package exhaustivedigest
+
+import "digest"
+
+// name misses a member and has no default.
+func name(c digest.Component) string {
+	switch c { // want `switch on digest\.Component is not exhaustive: missing ComponentQdisc`
+	case digest.ComponentEngine:
+		return "engine"
+	case digest.ComponentRand:
+		return "rand"
+	}
+	return ""
+}
+
+// missingTwo lists the missing members in value order.
+func missingTwo(c digest.Component) bool {
+	switch c { // want `missing ComponentEngine, ComponentQdisc`
+	case digest.ComponentRand:
+		return true
+	}
+	return false
+}
+
+// covered lists every exported member; the unexported sentinel is not
+// required.
+func covered(c digest.Component) string {
+	switch c {
+	case digest.ComponentEngine:
+		return "engine"
+	case digest.ComponentRand:
+		return "rand"
+	case digest.ComponentQdisc:
+		return "qdisc"
+	}
+	return ""
+}
+
+// defaulted opts out with an explicit default: partial coverage on
+// purpose.
+func defaulted(c digest.Component) string {
+	switch c {
+	case digest.ComponentEngine:
+		return "engine"
+	default:
+		return "other"
+	}
+}
+
+// waived records a deliberately partial switch with the line directive.
+func waived(c digest.Component) bool {
+	//tcnlint:exhaustive only the engine chain matters to this probe
+	switch c {
+	case digest.ComponentEngine:
+		return true
+	}
+	return false
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"tcn/internal/digest"
 	"tcn/internal/sim"
 )
 
@@ -62,14 +63,13 @@ func NewStreamingFCTCollector(compression float64) *FCTCollector {
 // Streaming reports whether the collector discards per-flow records.
 func (c *FCTCollector) Streaming() bool { return c.streaming }
 
-// Record adds one completed flow.
+// Record adds one completed flow. The running integer tallies are kept in
+// both modes (exact-mode Stats still recomputes from the records; the
+// tallies exist so the run fingerprint reacts to every completion), but
+// the t-digest only accrues in streaming mode.
 func (c *FCTCollector) Record(r FlowRecord) {
 	if r.FCT <= 0 {
 		panic(fmt.Sprintf("metrics: non-positive FCT %v for flow of %d bytes", r.FCT, r.Size))
-	}
-	if !c.streaming {
-		c.records = append(c.records, r) //tcnlint:hotpath exact mode trades one append per completed flow for exact percentiles; streaming mode is the alloc-free path
-		return
 	}
 	c.flows++
 	c.sumAll += r.FCT
@@ -79,13 +79,18 @@ func (c *FCTCollector) Record(r FlowRecord) {
 		c.smallFlows++
 		c.sumSmall += r.FCT
 		c.timeoutsSmall += r.Timeouts
-		c.small.Add(float64(r.FCT))
+		if c.streaming {
+			c.small.Add(float64(r.FCT))
+		}
 	case r.Size > LargeFlowMin:
 		c.largeFlows++
 		c.sumLarge += r.FCT
 	default:
 		c.midFlows++
 		c.sumMid += r.FCT
+	}
+	if !c.streaming {
+		c.records = append(c.records, r) //tcnlint:hotpath exact mode trades one append per completed flow for exact percentiles; streaming mode is the alloc-free path
 	}
 }
 
@@ -105,6 +110,32 @@ func (c *FCTCollector) Records() []FlowRecord { return c.records }
 // otherwise. The digest is single-owner like the collector; aggregate
 // finished digests across cells with MergeAll.
 func (c *FCTCollector) SmallDigest() *TDigest { return c.small }
+
+// DigestState folds the collector into a run fingerprint: the flow and
+// timeout tallies, the exact integer sums, the retained record count
+// (exact mode), and the small-flow sketch (streaming mode). A divergence
+// here means the two runs completed different flows — or the same flows
+// at different times.
+func (c *FCTCollector) DigestState(h *digest.Hash) {
+	h.WriteBool(c.streaming)
+	h.WriteInt(c.flows)
+	h.WriteInt(len(c.records))
+	h.WriteInt64(int64(c.sumAll))
+	h.WriteInt64(int64(c.sumSmall))
+	h.WriteInt64(int64(c.sumMid))
+	h.WriteInt64(int64(c.sumLarge))
+	h.WriteInt(c.smallFlows)
+	h.WriteInt(c.midFlows)
+	h.WriteInt(c.largeFlows)
+	h.WriteInt(c.timeouts)
+	h.WriteInt(c.timeoutsSmall)
+	if c.small != nil {
+		h.WriteBool(true)
+		c.small.DigestState(h)
+	} else {
+		h.WriteBool(false)
+	}
+}
 
 // FCTStats is the paper's reporting row: average FCT over all flows,
 // average and 99th percentile for small flows, and average for large

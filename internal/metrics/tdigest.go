@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"math"
 	"slices"
+
+	"tcn/internal/digest"
 )
 
 // TDigest is a merging t-digest (Dunning & Ertl) over float64 samples,
@@ -258,6 +260,29 @@ func MergeAll(compression float64, ds ...*TDigest) *TDigest {
 	out.centroids = compressInto(out.centroids[:0], all, total, out.compression)
 	out.count = total
 	return out
+}
+
+// DigestState folds the sketch into a run fingerprint: counts, extrema,
+// the merged centroids, and the unmerged buffer. The digest must NOT
+// flush — flushing early changes the compression boundaries of later
+// flushes, so a fingerprinted run would diverge from a bare one. The raw
+// (centroids, buf) pair is itself a deterministic function of the sample
+// stream, which is all the fingerprint needs.
+func (t *TDigest) DigestState(h *digest.Hash) {
+	h.WriteFloat64(t.count)
+	h.WriteFloat64(t.bufCount)
+	h.WriteFloat64(t.min)
+	h.WriteFloat64(t.max)
+	h.WriteInt(len(t.centroids))
+	for _, c := range t.centroids {
+		h.WriteFloat64(c.mean)
+		h.WriteFloat64(c.weight)
+	}
+	h.WriteInt(len(t.buf))
+	for _, c := range t.buf {
+		h.WriteFloat64(c.mean)
+		h.WriteFloat64(c.weight)
+	}
 }
 
 // tdigestJSON is the deterministic wire form: centroids in sorted order,

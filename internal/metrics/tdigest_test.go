@@ -144,6 +144,36 @@ func TestTDigestEmptyAndDegenerate(t *testing.T) {
 	}
 }
 
+// TestTDigestMergeAllEmptyInputs pins MergeAll's degenerate cases: no
+// inputs, nil entries, and empty digests must all yield a well-formed
+// empty result, and mixing them with one real digest must not disturb it.
+func TestTDigestMergeAllEmptyInputs(t *testing.T) {
+	if got := MergeAll(100); got.Count() != 0 { //tcnlint:floatexact nothing merged
+		t.Fatalf("MergeAll() count = %v, want 0", got.Count())
+	}
+	if q := MergeAll(100).Quantile(0.99); !math.IsNaN(q) {
+		t.Fatalf("empty merge quantile = %v, want NaN", q)
+	}
+	empty := NewTDigest(100)
+	if got := MergeAll(100, nil, empty, nil); got.Count() != 0 { //tcnlint:floatexact nothing merged
+		t.Fatalf("MergeAll(nil, empty, nil) count = %v, want 0", got.Count())
+	}
+	real := NewTDigest(100)
+	for i := 1; i <= 100; i++ {
+		real.Add(float64(i))
+	}
+	merged := MergeAll(100, nil, empty, real, NewTDigest(50), nil)
+	if merged.Count() != real.Count() { //tcnlint:floatexact counts must match exactly
+		t.Fatalf("count %v, want %v", merged.Count(), real.Count())
+	}
+	if merged.Min() != 1 || merged.Max() != 100 { //tcnlint:floatexact extremes are exact
+		t.Fatalf("extremes [%v, %v], want [1, 100]", merged.Min(), merged.Max())
+	}
+	if q := merged.Quantile(0.5); math.Abs(q-50.5) > 5 {
+		t.Fatalf("median %v too far from 50.5", q)
+	}
+}
+
 func TestTDigestCentroidBound(t *testing.T) {
 	for _, compression := range []float64{50, 100, DefaultCompression} {
 		g := tdLCG(3)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"tcn/internal/core"
+	"tcn/internal/digest"
 	"tcn/internal/fabric"
 	"tcn/internal/invariant"
 	"tcn/internal/obs"
@@ -82,6 +83,15 @@ func (tb *TokenBucket) Take(now sim.Time, size int) (ok bool, wait sim.Time) {
 func (tb *TokenBucket) Tokens(now sim.Time) float64 {
 	tb.refill(now)
 	return tb.tokens
+}
+
+// DigestState folds the shaper state into a run fingerprint: the stored
+// token count and the last refill instant. The stored fields — not a
+// refilled projection — are digested, because digesting must not perturb
+// the bucket (an early refill changes later floating-point rounding).
+func (tb *TokenBucket) DigestState(h *digest.Hash) {
+	h.WriteFloat64(tb.tokens)
+	h.WriteInt64(int64(tb.last))
 }
 
 // Level computes the token count in bytes at now WITHOUT advancing the
@@ -299,6 +309,32 @@ func shaperRetry(v any) {
 	q.waiting = false
 	if !q.busy {
 		q.dequeue()
+	}
+}
+
+// DigestState folds the whole pipeline's state into a run fingerprint:
+// the drop/sent tallies, the dequeue-loop flags, the shaper, the buffer,
+// and — when they expose state — the scheduler's credit counters and the
+// marker's mark tally. Presence flags keep the digest shape fixed even
+// when a scheduler or marker exposes nothing.
+func (q *Qdisc) DigestState(h *digest.Hash) {
+	h.WriteInt64(q.Drops)
+	h.WriteInt64(q.Sent)
+	h.WriteBool(q.busy)
+	h.WriteBool(q.waiting)
+	q.bucket.DigestState(h)
+	q.buf.DigestState(h)
+	if d, ok := q.sch.(digest.Digestable); ok {
+		h.WriteBool(true)
+		d.DigestState(h)
+	} else {
+		h.WriteBool(false)
+	}
+	if mc, ok := q.marker.(core.MarkCounter); ok {
+		h.WriteBool(true)
+		h.WriteInt64(mc.MarkCount())
+	} else {
+		h.WriteBool(false)
 	}
 }
 

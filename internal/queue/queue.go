@@ -8,6 +8,7 @@ package queue
 import (
 	"fmt"
 
+	"tcn/internal/digest"
 	"tcn/internal/invariant"
 	"tcn/internal/pkt"
 )
@@ -185,6 +186,24 @@ func (b *Buffer) totalLen() int {
 		n += q.Len()
 	}
 	return n
+}
+
+// DigestState folds the buffer occupancy into a run fingerprint: the
+// shared-pool counter, every queue's packet and byte counts, and the drop
+// tallies. Packet contents are not digested — occupancy plus the drop
+// history pins the buffer's externally observable state, and the engine
+// digest already covers the in-flight event timing.
+func (b *Buffer) DigestState(h *digest.Hash) {
+	h.WriteInt(b.used)
+	h.WriteInt(len(b.queues))
+	for _, q := range b.queues {
+		h.WriteInt(q.Len())
+		h.WriteInt(q.Bytes())
+	}
+	for i := range b.Drops {
+		h.WriteInt(b.Drops[i])
+		h.WriteInt(b.DroppedBytes[i])
+	}
 }
 
 // checkAccounting asserts the shared-pool identities after every

@@ -1,0 +1,56 @@
+package sched
+
+import "tcn/internal/digest"
+
+// Run-fingerprint support: every stateful scheduler folds its credit and
+// bookkeeping state into a digest.Hash so two runs can be compared
+// epoch-by-epoch. Implementations digest the stored fields only (never a
+// projection that would mutate state) in a fixed order; slices allocated
+// by Bind digest as empty before Bind, which is fine because both runs
+// bind at the same point in their histories.
+
+// DigestState folds the DWRR credit state into a run fingerprint: per-
+// queue deficits, active-list membership and layout, turn flags, and the
+// round-time bookkeeping MQ-ECN consumes. WRR shares this via embedding.
+func (s *DWRR) DigestState(h *digest.Hash) {
+	h.WriteInt(s.head)
+	h.WriteInt(s.count)
+	h.WriteInt(len(s.deficit))
+	for i := range s.deficit {
+		h.WriteInt(s.deficit[i])
+		h.WriteBool(s.isActive[i])
+		h.WriteBool(s.inTurn[i])
+		h.WriteInt(s.ring[i])
+		h.WriteInt64(int64(s.lastTurnStart[i]))
+		h.WriteInt64(int64(s.roundTime[i]))
+		h.WriteInt64(int64(s.lastDequeue[i]))
+	}
+}
+
+// DigestState folds the WFQ virtual-clock state into a run fingerprint:
+// the system virtual time and each queue's last finish tag.
+func (s *WFQ) DigestState(h *digest.Hash) {
+	h.WriteFloat64(s.vtime)
+	h.WriteInt(len(s.lastFinish))
+	for _, f := range s.lastFinish {
+		h.WriteFloat64(f)
+	}
+}
+
+// DigestState folds the composite's state into a run fingerprint. The
+// strict tier is stateless; only the inner discipline carries credit.
+func (s *SPOver) DigestState(h *digest.Hash) {
+	h.WriteInt(s.high)
+	if d, ok := s.inner.(digest.Digestable); ok {
+		h.WriteBool(true)
+		d.DigestState(h)
+	} else {
+		h.WriteBool(false)
+	}
+}
+
+// DigestState folds the PIFO tie-break sequence into a run fingerprint
+// (the rank function itself is pure; the sequence is the only state).
+func (s *PIFO) DigestState(h *digest.Hash) {
+	h.WriteFloat64(s.seq)
+}

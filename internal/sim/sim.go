@@ -27,6 +27,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"tcn/internal/digest"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -137,6 +139,11 @@ type Engine struct {
 	meter        *Meter
 	meterPend    uint64
 	meterLastNow Time
+
+	// postEvent, when set, runs after every executed event — the hook the
+	// run-fingerprinting fine mode uses to digest per-event state. Costs
+	// one nil check per event when unset; see SetPostEvent.
+	postEvent func()
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -333,6 +340,13 @@ func (e *Engine) Cancel(r EventRef) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetPostEvent installs fn to run after every executed event, replacing
+// any previous hook (nil uninstalls). The hook runs with the clock at the
+// event's timestamp, after the event's callback and counters; it must not
+// schedule, cancel, or otherwise perturb the model — it exists so the
+// fingerprint recorder's fine mode can digest state between events.
+func (e *Engine) SetPostEvent(fn func()) { e.postEvent = fn }
+
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() { e.RunUntil(MaxTime) }
 
@@ -365,6 +379,9 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		}
 		n++
 		e.Executed++
+		if e.postEvent != nil {
+			e.postEvent()
+		}
 		if e.meter != nil {
 			e.meterPend++
 			if e.meterPend >= meterBatch {
@@ -403,3 +420,28 @@ func (e *Engine) HeapHighWater() int { return e.heapMax }
 // FreelistLen returns the number of retired event nodes currently parked
 // for reuse.
 func (e *Engine) FreelistLen() int { return len(e.free) }
+
+// DigestState folds the engine's full scheduling state into a run
+// fingerprint: the clock, the counters, the heap's exact (at, seq) layout,
+// and the freelist's generation counters. The heap slice order is a
+// deterministic function of the push/pop history, so two byte-identical
+// runs digest identically and any divergence in event timing or ordering
+// shows up here at the epoch it happens.
+func (e *Engine) DigestState(h *digest.Hash) {
+	h.WriteInt64(int64(e.now))
+	h.WriteUint64(e.seq)
+	h.WriteUint64(e.Executed)
+	h.WriteUint64(e.scheduled)
+	h.WriteUint64(e.canceled)
+	h.WriteUint64(e.recycled)
+	h.WriteInt(e.heapMax)
+	h.WriteInt(len(e.events))
+	for _, ev := range e.events {
+		h.WriteInt64(int64(ev.at))
+		h.WriteUint64(ev.seq)
+	}
+	h.WriteInt(len(e.free))
+	for _, ev := range e.free {
+		h.WriteUint64(ev.gen)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"tcn/internal/core"
+	"tcn/internal/digest"
 	"tcn/internal/fabric"
 	"tcn/internal/obs"
 	"tcn/internal/pkt"
@@ -63,6 +64,11 @@ type Ledger struct {
 
 	marked  int64
 	dropped int64
+
+	// reasons totals every verdict by reason in a fixed-size array so the
+	// run fingerprint can digest exact decision counts without ranging the
+	// cells map (map order is nondeterministic; the array is not).
+	reasons [core.NumReasons]int64
 }
 
 // NewLedger returns a ledger retaining up to capacity verdicts.
@@ -100,6 +106,7 @@ func (l *Ledger) cell(k ledgerKey) *ledgerCell {
 func (l *Ledger) Record(now sim.Time, where string, qi int, p *pkt.Packet, v *core.Verdict) {
 	c := l.cell(ledgerKey{where: where, queue: qi, reason: v.Reason})
 	c.n++
+	l.reasons[v.Reason]++
 	if c.c != nil {
 		c.c.Inc()
 	}
@@ -161,6 +168,22 @@ func (l *Ledger) Marked() int64 { return l.marked }
 
 // Dropped returns the exact number of admission-drop verdicts.
 func (l *Ledger) Dropped() int64 { return l.dropped }
+
+// DigestState folds the ledger's exact decision totals into a run
+// fingerprint: marked/dropped, the per-reason totals array, and the ring
+// cursor. Retained events are not digested individually — the reason
+// totals change on every Record, so any divergence in decision history
+// moves the digest at the epoch it happens.
+func (l *Ledger) DigestState(h *digest.Hash) {
+	h.WriteInt64(l.marked)
+	h.WriteInt64(l.dropped)
+	for _, n := range l.reasons {
+		h.WriteInt64(n)
+	}
+	h.WriteInt(l.next)
+	h.WriteBool(l.filled)
+	h.WriteInt(len(l.ring))
+}
 
 // sortedKeys returns every populated cell key in (where, queue, reason)
 // order, so exports and reports are deterministic.
