@@ -267,12 +267,17 @@ func BenchmarkAblationHWTCN(b *testing.B) {
 // second on a saturated leaf-spine run, the cost driver of every
 // experiment above.
 func BenchmarkEngineThroughput(b *testing.B) {
+	camp := perf.NewCampaign(nil)
 	for i := 0; i < b.N; i++ {
 		c := experiments.DefaultLeafSpine()
 		c.Leaves, c.Spines, c.HostsPerLeaf = 2, 2, 2
 		c.Flows = 300
 		c.CC = transport.DCTCP
+		c.Obs = &experiments.Obs{Perf: camp}
 		experiments.RunLeafSpine(c)
+	}
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(camp.SnapshotNow(false).EventsExecuted)/el, "events/sec")
 	}
 }
 

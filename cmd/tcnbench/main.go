@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	go run ./cmd/tcnbench [-bench REGEX] [-benchtime 1x] [-count 1] [-o FILE] [-diff BASELINE]
+//	go run ./cmd/tcnbench [-bench REGEX] [-benchtime 1x] [-count 1] [-o FILE]
+//	    [-diff BASELINE] [-allow-config-drift] [-min-speedup Bench:metric:factor]...
 //
 // With -diff, the fresh results are compared against a committed baseline
 // and the run fails on a regression in the steady-state packet path: any
@@ -16,11 +17,24 @@
 // metric; skipped with a note against baselines that predate it). The
 // best value across -count repeats is compared on both sides (minimum
 // for costs, maximum for throughput), damping single-iteration noise.
+// The comparison itself is embedded in the written JSON as a "diff"
+// object, one speedup line per benchmark, so a committed snapshot records
+// not just its numbers but how they stood against the previous baseline.
+//
+// A baseline recorded under a different -bench regex or -benchtime is not
+// comparable number-for-number; -diff refuses such a baseline unless
+// -allow-config-drift is given (the drift is then recorded in the diff
+// object).
+//
+// Repeatable -min-speedup gates turn expected improvements into CI
+// failures when they evaporate: "-min-speedup BenchmarkEngineThroughput:ns/op:1.4"
+// fails the diff unless the current run is at least 1.4x faster than the
+// baseline on that metric (for /sec metrics the ratio is new/old instead).
 //
 // The default selection runs the perf-critical benches — the engine core,
-// the steady-state packet path, and the parallel sweep at workers=1..4 —
-// rather than every figure reproduction, so a baseline capture stays in the
-// minutes range.
+// the timing-wheel microbenches, the steady-state packet path, and the
+// parallel sweep at workers=1..4 — rather than every figure reproduction,
+// so a baseline capture stays in the minutes range.
 package main
 
 import (
@@ -38,35 +52,87 @@ import (
 )
 
 // Result is one benchmark line: its name (CPU suffix stripped), iteration
-// count, and every "value unit" metric pair that followed.
+// count, the benchtime it ran under, and every "value unit" metric pair
+// that followed.
 type Result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
+	BenchTime  string             `json:"benchtime,omitempty"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Speedup is one benchmark-vs-baseline comparison line. Speedup > 1 means
+// the current run improved: old/new for cost metrics (ns/op), new/old for
+// rate metrics (events/sec).
+type Speedup struct {
+	Name    string  `json:"name"`
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Speedup float64 `json:"speedup"`
+}
+
+// DiffReport is the embedded record of a -diff comparison.
+type DiffReport struct {
+	Baseline    string    `json:"baseline"`
+	ConfigDrift bool      `json:"config_drift,omitempty"`
+	Speedups    []Speedup `json:"speedups"`
+	GateError   string    `json:"gate_error,omitempty"`
 }
 
 // Baseline is the document tcnbench writes.
 type Baseline struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Bench     string   `json:"bench_regex"`
-	BenchTime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Bench     string      `json:"bench_regex"`
+	BenchTime string      `json:"benchtime"`
+	Results   []Result    `json:"results"`
+	Diff      *DiffReport `json:"diff,omitempty"`
+}
+
+// minGate is one parsed -min-speedup requirement.
+type minGate struct {
+	name   string
+	metric string
+	factor float64
+}
+
+// minGates collects repeatable -min-speedup flags.
+type minGates []minGate
+
+func (m *minGates) String() string { return fmt.Sprintf("%v", []minGate(*m)) }
+
+func (m *minGates) Set(s string) error {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("want Bench:metric:factor, got %q", s)
+	}
+	f, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || f <= 0 {
+		return fmt.Errorf("bad factor in %q", s)
+	}
+	*m = append(*m, minGate{parts[0], parts[1], f})
+	return nil
 }
 
 func main() {
+	var gates minGates
 	var (
 		benchRe = flag.String("bench",
-			"BenchmarkEngine|BenchmarkSweepParallel|BenchmarkPacketPathSteadyState|BenchmarkFig6IsolationDWRR|BenchmarkPerfCampaignRecord|BenchmarkTDigestAdd",
+			"BenchmarkEngine|BenchmarkWheel|BenchmarkSweepParallel|BenchmarkPacketPathSteadyState|BenchmarkFig6IsolationDWRR|BenchmarkPerfCampaignRecord|BenchmarkTDigestAdd",
 			"benchmark selection regex passed to go test")
-		benchTime = flag.String("benchtime", "1x", "value for -benchtime")
-		count     = flag.Int("count", 1, "value for -count")
-		out       = flag.String("o", "-", "output file ('-' = stdout)")
-		pkgs      = flag.String("pkgs", "./...", "packages to bench")
-		diffBase  = flag.String("diff", "", "baseline JSON to diff against; exits nonzero on a packet-path regression")
+		benchTime  = flag.String("benchtime", "1x", "value for -benchtime")
+		count      = flag.Int("count", 1, "value for -count")
+		out        = flag.String("o", "-", "output file ('-' = stdout)")
+		pkgs       = flag.String("pkgs", "./...", "packages to bench")
+		diffBase   = flag.String("diff", "", "baseline JSON to diff against; exits nonzero on a packet-path regression")
+		allowDrift = flag.Bool("allow-config-drift", false,
+			"permit -diff against a baseline recorded with a different bench regex or benchtime")
 	)
+	flag.Var(&gates, "min-speedup",
+		"repeatable Bench:metric:factor gate; the diff fails unless the current run beats the baseline by the factor")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -86,8 +152,33 @@ func main() {
 		NumCPU:    runtime.NumCPU(),
 		Bench:     *benchRe,
 		BenchTime: *benchTime,
-		Results:   parseBench(raw),
+		Results:   parseBench(raw, *benchTime),
 	}
+
+	// Diff before writing so the comparison is part of the document.
+	var diffErr error
+	if *diffBase != "" {
+		old, err := loadBaseline(*diffBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
+			os.Exit(1)
+		}
+		drift := old.Bench != base.Bench || old.BenchTime != base.BenchTime
+		if drift && !*allowDrift {
+			fmt.Fprintf(os.Stderr,
+				"tcnbench: baseline %s was recorded with bench=%q benchtime=%q, this run used bench=%q benchtime=%q;\n"+
+					"  numbers are not comparable — rerun with matching flags or pass -allow-config-drift\n",
+				*diffBase, old.Bench, old.BenchTime, base.Bench, base.BenchTime)
+			os.Exit(1)
+		}
+		rep := &DiffReport{Baseline: *diffBase, ConfigDrift: drift}
+		diffErr = diffBaselines(os.Stderr, old, base, gates, rep)
+		if diffErr != nil {
+			rep.GateError = diffErr.Error()
+		}
+		base.Diff = rep
+	}
+
 	enc, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
@@ -103,16 +194,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "tcnbench: wrote %d results to %s\n", len(base.Results), *out)
 	}
-	if *diffBase != "" {
-		old, err := loadBaseline(*diffBase)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
-			os.Exit(1)
-		}
-		if err := diffBaselines(os.Stderr, old, base); err != nil {
-			fmt.Fprintf(os.Stderr, "tcnbench: REGRESSION: %v\n", err)
-			os.Exit(1)
-		}
+	if diffErr != nil {
+		fmt.Fprintf(os.Stderr, "tcnbench: REGRESSION: %v\n", diffErr)
+		os.Exit(1)
 	}
 }
 
@@ -186,23 +270,53 @@ func peakMetric(b Baseline, name, metric string) (float64, bool) {
 	return best, found
 }
 
-// diffBaselines prints an ns/op comparison for every benchmark present on
-// both sides and returns an error when the gate benchmark regressed.
-func diffBaselines(w io.Writer, old, cur Baseline) error {
-	fmt.Fprintf(w, "tcnbench diff (old %s, new %s):\n", old.GoVersion, cur.GoVersion)
+// rateMetric reports whether a metric is higher-is-better (a rate like
+// events/sec) rather than lower-is-better (a cost like ns/op).
+func rateMetric(metric string) bool { return strings.HasSuffix(metric, "/sec") }
+
+// compareMetric returns the baseline value, current value, and speedup
+// factor (>1 = improvement) for one benchmark metric, honoring the
+// metric's direction.
+func compareMetric(old, cur Baseline, name, metric string) (oldV, curV, speedup float64, ok bool) {
+	if rateMetric(metric) {
+		oldV, okO := peakMetric(old, name, metric)
+		curV, okC := peakMetric(cur, name, metric)
+		if !okO || !okC || oldV == 0 { //tcnlint:floatexact guarding division by an exactly-zero baseline
+			return 0, 0, 0, false
+		}
+		return oldV, curV, curV / oldV, true
+	}
+	oldV, okO := bestMetric(old, name, metric)
+	curV, okC := bestMetric(cur, name, metric)
+	if !okO || !okC || curV == 0 { //tcnlint:floatexact guarding division by an exactly-zero current value
+		return 0, 0, 0, false
+	}
+	return oldV, curV, oldV / curV, true
+}
+
+// diffBaselines prints an ns/op (and events/sec) comparison for every
+// benchmark present on both sides, fills rep.Speedups, and returns an
+// error when the gate benchmark regressed or a -min-speedup requirement
+// is not met.
+func diffBaselines(w io.Writer, old, cur Baseline, gates minGates, rep *DiffReport) error {
+	fmt.Fprintf(w, "tcnbench diff vs %s (old %s, new %s):\n", rep.Baseline, old.GoVersion, cur.GoVersion)
 	seen := map[string]bool{}
 	for _, r := range cur.Results {
 		if seen[r.Name] {
 			continue
 		}
 		seen[r.Name] = true
-		oldNs, okO := bestMetric(old, r.Name, "ns/op")
-		curNs, okC := bestMetric(cur, r.Name, "ns/op")
-		if !okO || !okC || oldNs == 0 { //tcnlint:floatexact guard against dividing by a zero baseline
-			continue
+		for _, metric := range []string{"ns/op", "events/sec"} {
+			oldV, curV, speedup, ok := compareMetric(old, cur, r.Name, metric)
+			if !ok {
+				continue
+			}
+			rep.Speedups = append(rep.Speedups, Speedup{
+				Name: r.Name, Metric: metric, Old: oldV, New: curV, Speedup: speedup,
+			})
+			fmt.Fprintf(w, "  %-44s %-10s %14.0f -> %14.0f  (%.2fx)\n",
+				r.Name, metric, oldV, curV, speedup)
 		}
-		fmt.Fprintf(w, "  %-44s ns/op %14.0f -> %14.0f  (%+.1f%%)\n",
-			r.Name, oldNs, curNs, 100*(curNs-oldNs)/oldNs)
 	}
 	oldNs, okO := bestMetric(old, gateBench, "ns/op")
 	curNs, okC := bestMetric(cur, gateBench, "ns/op")
@@ -244,6 +358,17 @@ func diffBaselines(w io.Writer, old, cur Baseline) error {
 		return fmt.Errorf("%s allocs/op grew %v -> %v (+%.1f%%, tolerance %.0f%%)",
 			isoGateBench, oldIso, curIso, 100*(curIso-oldIso)/oldIso, 100*gateTolerance)
 	}
+	for _, g := range gates {
+		oldV, curV, speedup, ok := compareMetric(old, cur, g.name, g.metric)
+		if !ok {
+			return fmt.Errorf("min-speedup gate %s:%s: metric missing on one side", g.name, g.metric)
+		}
+		if speedup < g.factor {
+			return fmt.Errorf("min-speedup gate %s:%s: %.0f -> %.0f is %.2fx, want >= %.2fx",
+				g.name, g.metric, oldV, curV, speedup, g.factor)
+		}
+		fmt.Fprintf(w, "  min-speedup %s:%s ok: %.2fx >= %.2fx\n", g.name, g.metric, speedup, g.factor)
+	}
 	fmt.Fprintf(w, "  gate %s ok: allocs/op %v -> %v, ns/op and events/sec within %.0f%%\n",
 		gateBench, oldAllocs, curAllocs, 100*gateTolerance)
 	return nil
@@ -252,7 +377,7 @@ func diffBaselines(w io.Writer, old, cur Baseline) error {
 // parseBench extracts benchmark lines from `go test -bench` output. Each
 // line is "BenchmarkName[-P] <iters> <value> <unit> [<value> <unit>]...";
 // everything else (headers, PASS, ok) is ignored.
-func parseBench(raw []byte) []Result {
+func parseBench(raw []byte, benchTime string) []Result {
 	var out []Result
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	for sc.Scan() {
@@ -270,7 +395,7 @@ func parseBench(raw []byte) []Result {
 				name = name[:i]
 			}
 		}
-		r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		r := Result{Name: name, Iterations: iters, BenchTime: benchTime, Metrics: map[string]float64{}}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

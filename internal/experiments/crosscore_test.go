@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"tcn/internal/digest"
+	"tcn/internal/sim"
+)
+
+// TestCrossCoreFingerprintIdentical is the end-to-end form of the
+// wheel/heap equivalence property: a full fig6-style experiment cell run
+// under the timing-wheel core must produce a fingerprint timeline
+// byte-identical to the same cell under the binary-heap oracle. This is
+// the same comparison `tcndiff` performs on serialized runs, and the same
+// invariant CI's wheel-oracle job checks at the whole-figure level.
+func TestCrossCoreFingerprintIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second workload run")
+	}
+	orig := sim.DefaultCore()
+	defer sim.SetDefaultCore(orig)
+
+	cfg := TestbedFCTConfig{
+		Scheme: SchemeTCN, Sched: SchedSPDWRR, PIAS: true,
+		Load: 0.7, Flows: 400, Seed: 11,
+		ExactFCT: true,
+	}
+	fp := digest.Config{EpochNs: 1_000_000}
+
+	sim.SetDefaultCore(sim.CoreWheel)
+	recWheel, resWheel := fingerprintRun(cfg, fp)
+	sim.SetDefaultCore(sim.CoreHeap)
+	recHeap, resHeap := fingerprintRun(cfg, fp)
+
+	rep := digest.Compare(recWheel.Timeline(), recHeap.Timeline())
+	if !rep.Identical {
+		t.Fatalf("wheel and heap cores diverged: %s", rep.Divergence)
+	}
+	if rep.RecordsA == 0 {
+		t.Fatal("fingerprint recorder captured no epoch records")
+	}
+	if resWheel.Stats != resHeap.Stats {
+		t.Fatalf("cores diverged on summary stats:\nwheel %+v\nheap  %+v",
+			resWheel.Stats, resHeap.Stats)
+	}
+	if resWheel.Drops != resHeap.Drops || resWheel.Marks != resHeap.Marks {
+		t.Fatalf("drop/mark counters diverged: wheel %d/%d, heap %d/%d",
+			resWheel.Drops, resWheel.Marks, resHeap.Drops, resHeap.Marks)
+	}
+	for i := range resWheel.Records {
+		if resWheel.Records[i] != resHeap.Records[i] {
+			t.Fatalf("flow record %d diverged: wheel %+v, heap %+v",
+				i, resWheel.Records[i], resHeap.Records[i])
+		}
+	}
+}

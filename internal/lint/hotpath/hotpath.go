@@ -12,8 +12,11 @@
 // hotpath moves the check to the source. It consumes the callgraph
 // analyzer's module-wide facts and computes everything reachable from the
 // hot roots — sim.Engine.Run/RunUntil (including every scheduled callback,
-// via the call graph's conservative dynamic-call resolution),
-// fabric.Port.Send/transmitNext, and qdisc.Qdisc.Enqueue/dequeue — then
+// via the call graph's conservative dynamic-call resolution), the timing
+// wheel's cascade path (wheel.place/cascade/drainSpill/detachRun/
+// requeueRun, which relink whole slots mid-fire and must reuse their
+// scratch storage), fabric.Port.Send/transmitNext, and
+// qdisc.Qdisc.Enqueue/dequeue — then
 // flags the well-known allocation sources inside reachable functions:
 // closures capturing variables, concrete values boxed into interface
 // parameters, append through non-local slices, map iteration, and any fmt
@@ -61,6 +64,21 @@ func isRoot(n *callgraph.Node) bool {
 		return false
 	}
 	recv := recvName(n.Sig.Recv().Type())
+	if pkg.Name() == "sim" && recv == "wheel" {
+		// The timing wheel's cascade path: these redistribute whole slots
+		// (or the spill list) while the event loop is mid-fire, so they
+		// carry the same zero-allocation contract as the loop itself.
+		// They are rooted directly — not just reached through Engine.Run —
+		// so the check cannot silently lapse if the graph loses the edge
+		// through the engine's nilable wheel field. Matched by package
+		// name, not path, so the fixture twin (testdata path "wheelsim",
+		// package sim) exercises the same rule.
+		switch n.Obj.Name() {
+		case "place", "cascade", "drainSpill", "detachRun", "requeueRun":
+			return true
+		}
+		return false
+	}
 	switch pkg.Path() {
 	case "tcn/internal/sim", "sim":
 		return recv == "Engine" && (n.Obj.Name() == "Run" || n.Obj.Name() == "RunUntil")

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotpath(t *testing.T) {
-	linttest.Run(t, hotpath.Analyzer, "hotpath")
+	linttest.Run(t, hotpath.Analyzer, "hotpath", "wheelsim")
 }

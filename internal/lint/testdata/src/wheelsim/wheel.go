@@ -1,0 +1,55 @@
+// Package sim (fixture path "wheelsim") mirrors the timing-wheel core's
+// slot store. Its cascade-path methods (place, cascade, drainSpill,
+// detachRun, requeueRun) are direct hotpath roots — the analyzer checks
+// them even though nothing in the fixture calls them — because the real
+// wheel relinks whole slots while the event loop is mid-fire. It lives
+// apart from the shared "sim" fixture so its want comments do not leak
+// into the other analyzers that target that package.
+package sim
+
+// wheel is the fixture twin of the engine's hierarchical timing wheel.
+type wheel struct {
+	slots    [8][]func()
+	overflow []func()
+	names    map[int]string
+	run      []func()
+}
+
+// place is a true negative: indexing preallocated storage does not grow
+// anything and is allowed on the cascade path.
+func (w *wheel) place(i int, fn func()) {
+	w.slots[i&7][0] = fn
+}
+
+// cascade redistributes an overflow slot into lower levels; growing the
+// destination slot through its field is flagged, because each rollover
+// would then allocate inside the event loop.
+func (w *wheel) cascade(lvl, s int) {
+	for _, fn := range w.overflow {
+		w.slots[s&7] = append(w.slots[s&7], fn) // want `append through "w" may grow on the hot path`
+	}
+	_ = lvl
+}
+
+// drainSpill walks beyond-horizon timers back into the wheel; a map keyed
+// by timer id would randomize the re-insertion order on top of allocating.
+func (w *wheel) drainSpill() {
+	for id := range w.names { // want `map iteration on the hot path`
+		_ = id
+	}
+}
+
+// detachRun shows the waiver etiquette for the run scratch: the append
+// reuses capacity after warm-up, which the analyzer cannot prove, so the
+// real wheel records it with a line waiver.
+func (w *wheel) detachRun() {
+	w.run = append(w.run, nil) //tcnlint:hotpath run scratch reuses its capacity after warm-up
+}
+
+// requeueRun drains the scratch back into slot zero without growing it.
+func (w *wheel) requeueRun() {
+	for i, fn := range w.run {
+		w.slots[0][i] = fn
+	}
+	w.run = w.run[:0]
+}

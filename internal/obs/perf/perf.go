@@ -58,8 +58,10 @@ type Campaign struct {
 	evExecuted  atomic.Uint64
 	evCanceled  atomic.Uint64
 	evRecycled  atomic.Uint64
-	heapMax     atomic.Int64 // max across cells
-	freelist    atomic.Int64 // Σ final freelist lengths
+	evCascaded  atomic.Uint64 // Σ wheel cascade re-placements
+	evSpilled   atomic.Uint64 // Σ beyond-horizon spill placements
+	pendMax     atomic.Int64  // max pending events across cells
+	freelist    atomic.Int64  // Σ final freelist lengths
 
 	// Pool totals, folded in by ReportPool at cell end.
 	poolAllocs atomic.Int64
@@ -160,11 +162,13 @@ func (c *Campaign) ReportEngine(e *sim.Engine) {
 	c.evExecuted.Add(e.Executed)
 	c.evCanceled.Add(e.Canceled())
 	c.evRecycled.Add(e.Recycled())
+	c.evCascaded.Add(e.Cascades())
+	c.evSpilled.Add(e.Spills())
 	c.freelist.Add(int64(e.FreelistLen()))
-	hw := int64(e.HeapHighWater())
+	hw := int64(e.PendingHighWater())
 	for {
-		cur := c.heapMax.Load()
-		if hw <= cur || c.heapMax.CompareAndSwap(cur, hw) {
+		cur := c.pendMax.Load()
+		if hw <= cur || c.pendMax.CompareAndSwap(cur, hw) {
 			return
 		}
 	}
@@ -220,12 +224,14 @@ type Snapshot struct {
 	EventsPerSecond float64 `json:"eventsPerSecond"` // wall-time rate
 	SimPerWall      float64 `json:"simPerWall"`      // sim seconds per wall second
 
-	EventsScheduled uint64 `json:"eventsScheduled"`
-	EventsExecuted  uint64 `json:"eventsExecuted"`
-	EventsCanceled  uint64 `json:"eventsCanceled"`
-	EventsRecycled  uint64 `json:"eventsRecycled"`
-	HeapHighWater   int64  `json:"heapHighWater"`
-	FreelistParked  int64  `json:"freelistParked"`
+	EventsScheduled  uint64 `json:"eventsScheduled"`
+	EventsExecuted   uint64 `json:"eventsExecuted"`
+	EventsCanceled   uint64 `json:"eventsCanceled"`
+	EventsRecycled   uint64 `json:"eventsRecycled"`
+	WheelCascades    uint64 `json:"wheelCascades"`
+	WheelSpills      uint64 `json:"wheelSpills"`
+	PendingHighWater int64  `json:"pendingHighWater"`
+	FreelistParked   int64  `json:"freelistParked"`
 
 	PoolAllocs int64   `json:"poolAllocs"`
 	PoolReuses int64   `json:"poolReuses"`
@@ -263,7 +269,9 @@ func (c *Campaign) SnapshotNow(includeDigest bool) Snapshot {
 	s.EventsExecuted = c.evExecuted.Load()
 	s.EventsCanceled = c.evCanceled.Load()
 	s.EventsRecycled = c.evRecycled.Load()
-	s.HeapHighWater = c.heapMax.Load()
+	s.WheelCascades = c.evCascaded.Load()
+	s.WheelSpills = c.evSpilled.Load()
+	s.PendingHighWater = c.pendMax.Load()
 	s.FreelistParked = c.freelist.Load()
 
 	s.PoolAllocs = c.poolAllocs.Load()

@@ -134,8 +134,8 @@ func TestCampaignEngineAndPoolTotals(t *testing.T) {
 	if s.EventsCanceled != 3 {
 		t.Fatalf("canceled %d, want 3", s.EventsCanceled)
 	}
-	if s.HeapHighWater < 1 {
-		t.Fatalf("heap high water %d", s.HeapHighWater)
+	if s.PendingHighWater < 1 {
+		t.Fatalf("pending high water %d", s.PendingHighWater)
 	}
 	if s.LiveEvents != 300 {
 		t.Fatalf("meter events %d, want 300", s.LiveEvents)

@@ -244,7 +244,12 @@ func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
 	p.EnqueuedAt = now
 	q.sch.OnEnqueue(now, qi, p)
 	q.verdict.Reset(core.StageEnqueue, q.buf.Bytes(qi), q.buf.Used())
-	q.verdict.TokensBytes = q.bucket.Level(now)
+	if q.OnVerdict != nil {
+		// Level is a pure projection (no refill), so it is safe to skip
+		// entirely when nothing consumes the verdict; only the trace
+		// ledger reads TokensBytes.
+		q.verdict.TokensBytes = q.bucket.Level(now)
+	}
 	q.marker.OnEnqueue(now, qi, p, q, &q.verdict)
 	if q.OnVerdict != nil && q.verdict.Decisive() {
 		q.OnVerdict(now, qi, p, &q.verdict)
@@ -282,7 +287,9 @@ func (q *Qdisc) dequeue() {
 	}
 	q.sch.OnDequeue(now, qi, p)
 	q.verdict.Reset(core.StageDequeue, q.buf.Bytes(qi), q.buf.Used())
-	q.verdict.TokensBytes = q.bucket.Level(now)
+	if q.OnVerdict != nil {
+		q.verdict.TokensBytes = q.bucket.Level(now)
+	}
 	q.marker.OnDequeue(now, qi, p, q, &q.verdict)
 	if q.OnVerdict != nil && q.verdict.Decisive() {
 		q.OnVerdict(now, qi, p, &q.verdict)
@@ -296,9 +303,17 @@ func (q *Qdisc) dequeue() {
 	}
 	q.transmit(now, p)
 	// The wire is busy for the serialization time; then pull the next
-	// packet.
+	// packet. AfterArg with the dequeueStep trampoline instead of the
+	// method value q.dequeue: a method value is a fresh closure per
+	// evaluation, which would allocate once per transmitted packet.
 	q.busy = true
-	q.eng.After(q.rate.Serialize(p.Size), q.dequeue)
+	q.eng.AfterArg(q.rate.Serialize(p.Size), dequeueStep, q)
+}
+
+// dequeueStep resumes the dequeue loop when the wire frees up after a
+// serialization delay (the AfterArg trampoline form, like shaperRetry).
+func dequeueStep(v any) {
+	v.(*Qdisc).dequeue()
 }
 
 // shaperRetry resumes dequeueing once shaper tokens have accrued. It is the

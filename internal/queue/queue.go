@@ -21,7 +21,9 @@ type FIFO struct {
 	bytes int
 }
 
-// NewFIFO returns an empty queue.
+// NewFIFO returns an empty queue. The ring capacity starts at 8 and only
+// ever doubles, so len(buf) is always a power of two and the ring indices
+// reduce with a mask instead of a modulo.
 func NewFIFO() *FIFO { return &FIFO{buf: make([]*pkt.Packet, 8)} }
 
 // Len returns the number of queued packets.
@@ -46,7 +48,7 @@ func (q *FIFO) Push(p *pkt.Packet) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
 	q.n++
 	q.bytes += p.Size
 }
@@ -58,7 +60,7 @@ func (q *FIFO) Pop() *pkt.Packet {
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	q.bytes -= p.Size
 	return p
@@ -67,7 +69,7 @@ func (q *FIFO) Pop() *pkt.Packet {
 func (q *FIFO) grow() {
 	nb := make([]*pkt.Packet, 2*len(q.buf))
 	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
 	}
 	q.buf = nb
 	q.head = 0

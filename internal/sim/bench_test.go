@@ -47,9 +47,10 @@ func BenchmarkEngineScheduleCancel(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineHeapChurn keeps a deep heap and measures pop+push against
-// it, exercising the inlined sift paths rather than the trivial 1-element
-// case.
+// BenchmarkEngineHeapChurn keeps a deep pending set and measures pop+push
+// against it — the inlined sift paths on the heap core, slot relinks and
+// cascades on the wheel — rather than the trivial 1-element case. The name
+// predates the wheel and is kept so tcnbench baselines stay comparable.
 func BenchmarkEngineHeapChurn(b *testing.B) {
 	e := NewEngine()
 	fn := func() {}
@@ -60,8 +61,43 @@ func BenchmarkEngineHeapChurn(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.RunUntil(e.events[0].at)
+		next, _ := e.NextEventTime()
+		e.RunUntil(next)
 		e.At(e.Now()+Time(r.Range(1, 1<<20)), fn)
+	}
+}
+
+// BenchmarkWheelSchedule measures schedule+fire across the wheel's levels:
+// each batch files events at horizons from nanoseconds to milliseconds
+// (levels 0-2, with cascades) and then drains them.
+func BenchmarkWheelSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	r := NewRand(1)
+	e.At(0, fn)
+	e.Run() // warm the freelist
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			e.After(Time(r.Range(0, int(10*Millisecond))), fn)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkWheelCancel measures the arm/disarm cycle at an RTO-like
+// horizon (level 1 of the wheel): schedule far out, cancel immediately —
+// the churn every ACK inflicts on the engine.
+func BenchmarkWheelCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	e.Cancel(e.At(5*Millisecond, fn))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.At(5*Millisecond, fn))
 	}
 }
 

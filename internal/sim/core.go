@@ -1,0 +1,66 @@
+package sim
+
+import "os"
+
+// Core selects the engine's pending-event store. The wheel is the default
+// production core; the heap is kept as a differential oracle so the
+// equivalence fuzz test, the wheel-oracle CI job, and cross-core tcndiff
+// runs can prove the wheel preserves the exact (at, seq) total order.
+type Core uint8
+
+const (
+	// CoreWheel is a hierarchical timing wheel (calendar queue): O(1)
+	// schedule, cancel, and fire for the short-horizon events that
+	// dominate simulations, cascading overflow levels for far timers,
+	// and a sorted spill list beyond the wheel horizon. See wheel.go.
+	CoreWheel Core = iota
+	// CoreHeap is the original binary min-heap over (at, seq), retained
+	// as the differential oracle. Same observable semantics, O(log n).
+	CoreHeap
+)
+
+func (c Core) String() string {
+	if c == CoreHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// defaultCore is what NewEngine constructs. TCN_ENGINE_CORE=heap flips a
+// whole process onto the oracle (the wheel-oracle CI job runs the entire
+// determinism suite that way); SetDefaultCore does the same in-process.
+var defaultCore = coreFromEnv()
+
+func coreFromEnv() Core {
+	if os.Getenv("TCN_ENGINE_CORE") == "heap" {
+		return CoreHeap
+	}
+	return CoreWheel
+}
+
+// DefaultCore reports the core NewEngine currently constructs.
+func DefaultCore() Core { return defaultCore }
+
+// SetDefaultCore changes the core used by subsequent NewEngine calls.
+// Call it before any engines are built (e.g. from a flag or a test's
+// setup); it must not race with concurrent engine construction.
+func SetDefaultCore(c Core) { defaultCore = c }
+
+// NewEngineCore returns an engine on the requested core with the clock at
+// zero. Both cores execute events in the identical (at, seq) order and
+// share the freelist, EventRef, and telemetry machinery, so their digests
+// are byte-identical for the same schedule history.
+func NewEngineCore(c Core) *Engine {
+	if c == CoreHeap {
+		return &Engine{}
+	}
+	return &Engine{wheel: newWheel()}
+}
+
+// Core reports which event store this engine runs on.
+func (e *Engine) Core() Core {
+	if e.wheel != nil {
+		return CoreWheel
+	}
+	return CoreHeap
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"testing"
+
+	"tcn/internal/digest"
+)
+
+// The wheel core must be observationally identical to the heap core: same
+// (at, seq) execution order, same clock at every callback, same engine
+// digest afterward. These tests drive both cores with byte-identical
+// workloads — randomized schedule/cancel/reschedule streams with
+// same-tick bursts, cascade-crossing horizons, and beyond-horizon spills —
+// and compare the full execution logs.
+
+// equivFiring records one callback execution: which event fired and when.
+type equivFiring struct {
+	tag int64
+	at  Time
+}
+
+// equivMix derives per-event deterministic "randomness" from the event's
+// tag, so decisions made inside callbacks do not depend on a shared
+// generator (whose state would otherwise couple the two runs through the
+// very ordering property under test).
+func equivMix(tag int64) uint64 {
+	x := uint64(tag) * 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 32
+	return x
+}
+
+// equivDeltas are the horizon buckets a schedule op draws from: same tick,
+// sub-slot, level-0 direct, level-1, level-2, level-3, and past the wheel
+// horizon (spill list).
+var equivDeltas = [...]Time{
+	0,
+	1,
+	50,
+	5 * Microsecond,
+	500 * Microsecond,
+	50 * Millisecond,
+	20 * Second,
+	Time(1) << 41,
+	Time(1) << 45,
+}
+
+// runEquivWorkload drives one engine core through ops pseudo-random steps
+// plus a final drain, returning the firing log and the engine digest. All
+// control-flow decisions come from the op-stream generator r (outside
+// callbacks) or from equivMix (inside callbacks), so two runs with the
+// same seed see byte-identical workloads regardless of core.
+func runEquivWorkload(core Core, seed int64, ops int) ([]equivFiring, uint64) {
+	e := NewEngineCore(core)
+	r := NewRand(seed)
+	var log []equivFiring
+	var refs []EventRef
+	var nextTag int64
+
+	var fire func(v any)
+	schedule := func(d Time) {
+		tag := nextTag
+		nextTag++
+		refs = append(refs, e.AfterArg(d, fire, tag))
+	}
+	fire = func(v any) {
+		tag := v.(int64)
+		log = append(log, equivFiring{tag, e.Now()})
+		m := equivMix(tag)
+		// A third of events schedule a follow-up; horizons derived from
+		// the tag so both cores make the same choice.
+		if m%3 == 0 {
+			schedule(equivDeltas[(m>>8)%uint64(len(equivDeltas))])
+		}
+		// Some events cancel an arbitrary outstanding ref (often stale —
+		// that must be harmless and identical on both cores).
+		if m%7 == 0 && len(refs) > 0 {
+			e.Cancel(refs[(m>>16)%uint64(len(refs))])
+		}
+	}
+
+	for i := 0; i < ops; i++ {
+		switch c := r.Range(0, 100); {
+		case c < 55:
+			schedule(equivDeltas[r.Range(0, len(equivDeltas)-1)])
+		case c < 65:
+			// Same-tick burst: several events at one instant exercises
+			// the same-instant run drain.
+			d := equivDeltas[r.Range(0, len(equivDeltas)-1)]
+			for k := r.Range(2, 6); k > 0; k-- {
+				schedule(d)
+			}
+		case c < 80:
+			if len(refs) > 0 {
+				e.Cancel(refs[r.Range(0, len(refs)-1)])
+			}
+		default:
+			e.RunUntil(e.Now() + Time(r.Range(0, int(2*Millisecond))))
+		}
+	}
+	e.Run()
+
+	h := digest.NewHash(uint64(seed))
+	e.DigestState(&h)
+	return log, h.Sum64()
+}
+
+// TestWheelHeapEquivalence is the property test: across seeds, the wheel
+// and heap cores must produce identical firing logs (same events, same
+// order, same clock) and identical engine digests.
+func TestWheelHeapEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		wheelLog, wheelSum := runEquivWorkload(CoreWheel, seed, 2000)
+		heapLog, heapSum := runEquivWorkload(CoreHeap, seed, 2000)
+		if len(wheelLog) != len(heapLog) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(wheelLog), len(heapLog))
+		}
+		for i := range wheelLog {
+			if wheelLog[i] != heapLog[i] {
+				t.Fatalf("seed %d: firing %d diverged: wheel (tag %d at %v), heap (tag %d at %v)",
+					seed, i, wheelLog[i].tag, wheelLog[i].at, heapLog[i].tag, heapLog[i].at)
+			}
+		}
+		if wheelSum != heapSum {
+			t.Fatalf("seed %d: digest diverged: wheel %016x, heap %016x", seed, wheelSum, heapSum)
+		}
+		if len(wheelLog) == 0 {
+			t.Fatalf("seed %d: workload fired no events", seed)
+		}
+	}
+}
+
+// TestWheelHeapEquivalenceStop checks the equivalence across mid-run Stop:
+// a callback stops the engine, the wheel requeues its detached remainder,
+// and both cores must agree on what has and has not fired when the run
+// resumes.
+func TestWheelHeapEquivalenceStop(t *testing.T) {
+	run := func(core Core) ([]equivFiring, uint64) {
+		e := NewEngineCore(core)
+		var log []equivFiring
+		var tag int64
+		rec := func(v any) { log = append(log, equivFiring{v.(int64), e.Now()}) }
+		add := func(d Time) {
+			e.AfterArg(d, rec, tag)
+			tag++
+		}
+		// A same-instant burst with a Stop in the middle.
+		for i := 0; i < 5; i++ {
+			add(10 * Nanosecond)
+		}
+		stopTag := tag
+		e.AtArg(10*Nanosecond, func(v any) {
+			log = append(log, equivFiring{v.(int64), e.Now()})
+			e.Stop()
+		}, stopTag)
+		tag++
+		for i := 0; i < 4; i++ {
+			add(10 * Nanosecond)
+		}
+		add(20 * Nanosecond)
+		e.Run() // runs until the Stop
+		// Schedule more same-instant events while the remainder is parked,
+		// then drain: the requeued events must still fire first (smaller
+		// seq).
+		add(0)
+		e.Run()
+		h := digest.NewHash(7)
+		e.DigestState(&h)
+		return log, h.Sum64()
+	}
+	wheelLog, wheelSum := run(CoreWheel)
+	heapLog, heapSum := run(CoreHeap)
+	if len(wheelLog) != len(heapLog) {
+		t.Fatalf("wheel fired %d, heap %d", len(wheelLog), len(heapLog))
+	}
+	for i := range wheelLog {
+		if wheelLog[i] != heapLog[i] {
+			t.Fatalf("firing %d diverged: wheel %+v, heap %+v", i, wheelLog[i], heapLog[i])
+		}
+	}
+	if wheelSum != heapSum {
+		t.Fatalf("digest diverged: wheel %016x, heap %016x", wheelSum, heapSum)
+	}
+}
+
+// FuzzWheelHeapEquivalence interprets the fuzz input as an op stream and
+// cross-checks the cores on it. Each byte pair is one op: schedule at one
+// of the delta buckets, cancel an outstanding ref, or run a bounded chunk.
+func FuzzWheelHeapEquivalence(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x22, 0x53, 0x84, 0xb5, 0xe6, 0x17, 0x48, 0x79})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0xfc, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x10, 0x90, 0x20, 0xa0, 0x30, 0xb0, 0x40, 0xc0, 0x50, 0xd0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		run := func(core Core) ([]equivFiring, uint64) {
+			e := NewEngineCore(core)
+			var log []equivFiring
+			var refs []EventRef
+			var tag int64
+			rec := func(v any) { log = append(log, equivFiring{v.(int64), e.Now()}) }
+			for i := 0; i+1 < len(data); i += 2 {
+				op, arg := data[i], data[i+1]
+				switch op % 4 {
+				case 0, 1:
+					d := equivDeltas[int(arg)%len(equivDeltas)]
+					refs = append(refs, e.AfterArg(d, rec, tag))
+					tag++
+				case 2:
+					if len(refs) > 0 {
+						e.Cancel(refs[int(arg)%len(refs)])
+					}
+				case 3:
+					e.RunUntil(e.Now() + Time(arg)*Microsecond)
+				}
+			}
+			e.Run()
+			h := digest.NewHash(1)
+			e.DigestState(&h)
+			return log, h.Sum64()
+		}
+		wheelLog, wheelSum := run(CoreWheel)
+		heapLog, heapSum := run(CoreHeap)
+		if len(wheelLog) != len(heapLog) {
+			t.Fatalf("wheel fired %d events, heap %d", len(wheelLog), len(heapLog))
+		}
+		for i := range wheelLog {
+			if wheelLog[i] != heapLog[i] {
+				t.Fatalf("firing %d diverged: wheel %+v, heap %+v", i, wheelLog[i], heapLog[i])
+			}
+		}
+		if wheelSum != heapSum {
+			t.Fatalf("digest diverged: wheel %016x, heap %016x", wheelSum, heapSum)
+		}
+	})
+}

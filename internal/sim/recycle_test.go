@@ -160,7 +160,7 @@ func TestRecyclingHeapOrderProperty(t *testing.T) {
 	if fired < 5000 {
 		t.Fatalf("fired %d events, want >= 5000", fired)
 	}
-	if len(e.events) != 0 {
-		t.Fatalf("%d events left in heap", len(e.events))
+	if e.Len() != 0 {
+		t.Fatalf("%d events left pending", e.Len())
 	}
 }

@@ -1,20 +1,30 @@
 // Package sim provides the discrete-event simulation engine that underlies
 // every experiment in this repository.
 //
-// The engine keeps a virtual clock in integer nanoseconds and a binary heap
-// of pending events. Events scheduled for the same instant fire in the order
+// The engine keeps a virtual clock in integer nanoseconds and a store of
+// pending events. Events scheduled for the same instant fire in the order
 // they were scheduled (a monotonically increasing sequence number breaks
 // ties), which makes every simulation fully deterministic for a given seed.
 //
+// Two stores implement that contract. The default is a hierarchical timing
+// wheel (wheel.go): O(1) schedule, cancel, and fire for the short-horizon
+// events that dominate simulations — serialization, token refill, RTO
+// arm/disarm, sampler ticks — with cascading overflow levels for far
+// timers, a sorted spill list beyond the horizon, and a same-instant batch
+// drain so one cursor scan serves a whole burst. The original binary
+// min-heap (hand-inlined sift-up/sift-down, no container/heap dispatch) is
+// retained behind NewEngineCore/TCN_ENGINE_CORE as a differential oracle;
+// both cores produce byte-identical digests and execution orders, and the
+// equivalence fuzz test drives them against each other.
+//
 // The event store is allocation-free in steady state: fired and canceled
 // events return to a per-engine freelist and are handed out again by the
-// next At/After call, and the heap is a hand-inlined sift-up/sift-down over
-// a plain slice (no container/heap interface dispatch). Event structs must
-// keep stable addresses so EventRef can refer to them across heap moves,
-// which is why the heap holds pointers into the freelist's nodes rather
-// than event values; a generation counter on each node keeps stale
-// references (to events that have since fired, been canceled, and been
-// reissued) from acting on the wrong event.
+// next At/After call. Event structs must keep stable addresses so EventRef
+// can refer to them across store moves, which is why both stores hold
+// pointers into the freelist's nodes rather than event values; a
+// generation counter on each node keeps stale references (to events that
+// have since fired, been canceled, and been reissued) from acting on the
+// wrong event.
 //
 // An Engine and everything scheduled on it belong to exactly one goroutine.
 // Engines, their freelists, and the *Rand feeding an experiment must never
@@ -79,7 +89,11 @@ type event struct {
 	at    Time
 	seq   uint64
 	gen   uint64
-	index int // heap index; -1 when not queued
+	mix   uint64 // cached pendMix(at, seq); computed in alloc, spent in retire
+	index int    // heap core: heap index; -1 when not queued
+	slot  int32  // wheel core: flat slot index, or slotNone/slotSpill/slotRun
+	next  *event // wheel core: slot/spill list links
+	prev  *event
 	fn    func()
 	afn   func(any)
 	arg   any
@@ -117,7 +131,8 @@ func (r EventRef) At() Time {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  []*event // binary min-heap ordered by (at, seq)
+	wheel   *wheel   // timing-wheel store (nil on the heap core)
+	events  []*event // heap core: binary min-heap ordered by (at, seq)
 	free    []*event // retired nodes awaiting reuse
 	stopped bool
 
@@ -132,7 +147,14 @@ type Engine struct {
 	scheduled uint64 // events handed out by At/AtArg
 	canceled  uint64 // live events removed by Cancel
 	recycled  uint64 // alloc calls satisfied from the freelist
-	heapMax   int    // heap length high-water mark
+	pendMax   int    // pending-event high-water mark (both cores)
+
+	// pendSum is a commutative accumulator over the pending multiset:
+	// scheduling adds a mix of (at, seq), retiring subtracts it. Order-
+	// independent, so both cores produce the same value and DigestState
+	// stays O(1) in the pending count — which matters because fine-mode
+	// fingerprinting digests the engine after every event.
+	pendSum uint64
 
 	// meter, when set, receives batched event counts so another
 	// goroutine can watch progress live; see Meter.
@@ -146,15 +168,35 @@ type Engine struct {
 	postEvent func()
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an engine on the default core with the clock at zero.
+func NewEngine() *Engine { return NewEngineCore(defaultCore) }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Len returns the number of pending events. Canceled events are removed
-// from the heap eagerly, so they are never counted.
-func (e *Engine) Len() int { return len(e.events) }
+// from the store eagerly, so they are never counted. Events of the instant
+// currently executing that have not yet fired count as pending on both
+// cores, even though the wheel has already detached them into its run.
+func (e *Engine) Len() int {
+	if w := e.wheel; w != nil {
+		return w.pending + w.spillCount + w.inRun
+	}
+	return len(e.events)
+}
+
+// pendMix folds an event's identity into the pendSum accumulator. The
+// splitmix64-style finalizer spreads (at, seq) so colliding multisets
+// cancel only if they are equal.
+func pendMix(at Time, seq uint64) uint64 {
+	x := uint64(at)*0x9E3779B97F4A7C15 ^ seq
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
 
 // alloc hands out an event node, reusing a retired one when available.
 func (e *Engine) alloc(t Time) *event {
@@ -171,6 +213,8 @@ func (e *Engine) alloc(t Time) *event {
 	ev.at = t
 	ev.seq = e.seq
 	e.seq++
+	ev.mix = pendMix(ev.at, ev.seq)
+	e.pendSum += ev.mix
 	return ev
 }
 
@@ -178,12 +222,31 @@ func (e *Engine) alloc(t Time) *event {
 // to the freelist. The callback fields are cleared so the freelist does not
 // pin closures or packet arguments beyond the event's life.
 func (e *Engine) retire(ev *event) {
+	e.pendSum -= ev.mix
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
 	ev.gen++
 	ev.index = -1
+	ev.slot = slotNone
+	ev.next = nil
+	ev.prev = nil
 	e.free = append(e.free, ev) //tcnlint:hotpath freelist grows only until the event population peaks, then recycles
+}
+
+// enqueue files a freshly allocated event into the active store and
+// advances the pending high-water mark. Both cores compute the mark from
+// the same quantity (live pending events after the insert), so it digests
+// identically across them.
+func (e *Engine) enqueue(ev *event) {
+	if w := e.wheel; w != nil {
+		w.place(ev)
+		if l := w.pending + w.spillCount + w.inRun; l > e.pendMax {
+			e.pendMax = l
+		}
+		return
+	}
+	e.push(ev)
 }
 
 // eventLess orders the heap by (at, seq): time first, scheduling order
@@ -198,8 +261,8 @@ func eventLess(a, b *event) bool {
 // push appends ev and restores the heap by sifting it up.
 func (e *Engine) push(ev *event) {
 	e.events = append(e.events, ev) //tcnlint:hotpath heap grows to its high-water mark once, then reuses the backing array
-	if len(e.events) > e.heapMax {
-		e.heapMax = len(e.events)
+	if len(e.events) > e.pendMax {
+		e.pendMax = len(e.events)
 	}
 	e.siftUp(len(e.events) - 1)
 }
@@ -289,7 +352,7 @@ func (e *Engine) At(t Time, fn func()) EventRef {
 	}
 	ev := e.alloc(t)
 	ev.fn = fn
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{ev, ev.gen}
 }
 
@@ -313,7 +376,7 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) EventRef {
 	ev := e.alloc(t)
 	ev.afn = fn
 	ev.arg = arg
-	e.push(ev)
+	e.enqueue(ev)
 	return EventRef{ev, ev.gen}
 }
 
@@ -325,15 +388,21 @@ func (e *Engine) AfterArg(d Time, fn func(any), arg any) EventRef {
 	return e.AtArg(e.now+d, fn, arg)
 }
 
-// Cancel prevents a pending event from firing by removing it from the heap
-// immediately (its node is recycled at once). Canceling an already-fired,
-// already-canceled, or zero reference is a no-op.
+// Cancel prevents a pending event from firing by removing it from the
+// store immediately (its node is recycled at once). Canceling an already-
+// fired, already-canceled, or zero reference is a no-op. On the wheel core
+// this is O(1) — the RTO arm/disarm churn of every ACK pays two pointer
+// unlinks instead of a heap sift.
 func (e *Engine) Cancel(r EventRef) {
 	if r.ev == nil || r.ev.gen != r.gen {
 		return
 	}
 	e.canceled++
-	e.remove(r.ev.index)
+	if e.wheel != nil {
+		e.wheel.unqueue(r.ev)
+	} else {
+		e.remove(r.ev.index)
+	}
 	e.retire(r.ev)
 }
 
@@ -354,14 +423,31 @@ func (e *Engine) Run() { e.RunUntil(MaxTime) }
 // clock to deadline (if the queue drained earlier the clock stays at the
 // last event). It returns the number of events executed during this call.
 //
-// Cancellation is eager (Cancel removes events from the heap on the spot),
-// so every event popped here is live — there is no canceled-event skip.
-// Each node is retired before its callback runs: the callback may reuse
-// the storage for the events it schedules, and a self-referencing
+// Cancellation is eager (Cancel removes events from the store on the
+// spot), so every event executed here is live — there is no canceled-event
+// skip. Each node is retired before its callback runs: the callback may
+// reuse the storage for the events it schedules, and a self-referencing
 // EventRef (a timer canceling itself from its own handler) is already
 // stale by the time the handler executes.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
+	var n uint64
+	if e.wheel != nil {
+		n = e.runWheel(deadline)
+	} else {
+		n = e.runHeap(deadline)
+	}
+	if deadline != MaxTime && e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	if e.meter != nil {
+		e.flushMeter()
+	}
+	return n
+}
+
+// runHeap is RunUntil's heap-core loop: pop the root, fire, repeat.
+func (e *Engine) runHeap(deadline Time) uint64 {
 	var n uint64
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]
@@ -389,13 +475,21 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 			}
 		}
 	}
-	if deadline != MaxTime && e.now < deadline && !e.stopped {
-		e.now = deadline
-	}
-	if e.meter != nil {
-		e.flushMeter()
-	}
 	return n
+}
+
+// NextEventTime reports the timestamp of the earliest pending event. On
+// the wheel core the lookup may advance the scan cursor and cascade
+// windows, which never perturbs event order or digests; call it between
+// runs, not from inside a callback.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if e.wheel != nil {
+		return e.wheel.findNext(MaxTime)
+	}
+	if len(e.events) > 0 {
+		return e.events[0].at, true
+	}
+	return 0, false
 }
 
 // Self-telemetry accessors; see internal/obs/perf for the layer that
@@ -413,20 +507,43 @@ func (e *Engine) Canceled() uint64 { return e.canceled }
 // engine's total event allocations.
 func (e *Engine) Recycled() uint64 { return e.recycled }
 
-// HeapHighWater returns the largest number of simultaneously pending
-// events observed.
-func (e *Engine) HeapHighWater() int { return e.heapMax }
+// PendingHighWater returns the largest number of simultaneously pending
+// events observed (formerly the heap high-water mark; the wheel core
+// tracks the same quantity).
+func (e *Engine) PendingHighWater() int { return e.pendMax }
+
+// Cascades returns the number of events the wheel re-placed downward
+// while crossing window boundaries; 0 on the heap core.
+func (e *Engine) Cascades() uint64 {
+	if e.wheel != nil {
+		return e.wheel.cascaded
+	}
+	return 0
+}
+
+// Spills returns the number of events scheduled beyond the wheel horizon
+// onto the sorted spill list; 0 on the heap core.
+func (e *Engine) Spills() uint64 {
+	if e.wheel != nil {
+		return e.wheel.spilled
+	}
+	return 0
+}
 
 // FreelistLen returns the number of retired event nodes currently parked
 // for reuse.
 func (e *Engine) FreelistLen() int { return len(e.free) }
 
-// DigestState folds the engine's full scheduling state into a run
-// fingerprint: the clock, the counters, the heap's exact (at, seq) layout,
-// and the freelist's generation counters. The heap slice order is a
-// deterministic function of the push/pop history, so two byte-identical
-// runs digest identically and any divergence in event timing or ordering
-// shows up here at the epoch it happens.
+// DigestState folds the engine's scheduling state into a run fingerprint:
+// the clock, the counters, the pending multiset (via the commutative
+// pendSum accumulator plus its count and high-water mark), and the
+// freelist's generation counters. Every field is a function of the
+// schedule/fire/cancel history alone — not of the store's internal layout
+// — so the wheel and heap cores digest identically on the same history,
+// two byte-identical runs digest identically, and any divergence in event
+// timing or ordering shows up at the epoch it happens. The accumulator
+// keeps the digest O(1) in the pending count, which fine-mode
+// fingerprinting (one engine digest per event) depends on.
 func (e *Engine) DigestState(h *digest.Hash) {
 	h.WriteInt64(int64(e.now))
 	h.WriteUint64(e.seq)
@@ -434,12 +551,9 @@ func (e *Engine) DigestState(h *digest.Hash) {
 	h.WriteUint64(e.scheduled)
 	h.WriteUint64(e.canceled)
 	h.WriteUint64(e.recycled)
-	h.WriteInt(e.heapMax)
-	h.WriteInt(len(e.events))
-	for _, ev := range e.events {
-		h.WriteInt64(int64(ev.at))
-		h.WriteUint64(ev.seq)
-	}
+	h.WriteInt(e.pendMax)
+	h.WriteInt(e.Len())
+	h.WriteUint64(e.pendSum)
 	h.WriteInt(len(e.free))
 	for _, ev := range e.free {
 		h.WriteUint64(ev.gen)

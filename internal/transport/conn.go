@@ -56,8 +56,8 @@ func (s *Stack) NewConn(src, dst int) *Conn {
 	c.snd.done = true // nothing to send yet
 	c.rcv = newReceiver(s, f)
 	c.rcv.streaming = true
-	s.senders[f.ID] = c.snd
-	s.receivers[f.ID] = c.rcv
+	s.setSender(f.ID, c.snd)
+	s.setReceiver(f.ID, c.rcv)
 	// The wire-level tag resolves through the connection so each
 	// message can carry its own (possibly offset-dependent) DSCP.
 	f.Tag = c.tagAt

@@ -45,7 +45,7 @@ func (s *Stack) StartCBR(src, dst int, class uint8, rate fabric.Rate) *CBR {
 	c.emitFn = c.emit
 	// Register a counting receiver: the stream is unreliable, so every
 	// arriving byte counts as delivered and no ACKs flow back.
-	s.receivers[f.ID] = newCountingReceiver(s, f)
+	s.setReceiver(f.ID, newCountingReceiver(s, f))
 	c.emit()
 	return c
 }
@@ -115,7 +115,7 @@ func (s *Stack) StartPinger(src, dst int, class uint8, interval sim.Time) *Pinge
 		sent:     make(map[int64]sim.Time),
 	}
 	pg.probeFn = pg.probe
-	s.pingers[f.ID] = pg
+	s.setPinger(f.ID, pg)
 	pg.probe()
 	return pg
 }

@@ -133,8 +133,12 @@ type Stack struct {
 	cfg   Config
 	hosts []*fabric.Host
 
-	senders   map[pkt.FlowID]*Sender
-	receivers map[pkt.FlowID]*receiver
+	// senders/receivers/pingers are demux tables indexed directly by
+	// FlowID: NewFlowID hands out sequential IDs and endpoints are never
+	// unregistered, so dense slices replace map hashing on the per-packet
+	// deliver path. Holes are nil (no endpoint for that ID).
+	senders   []*Sender
+	receivers []*receiver
 	nextID    pkt.FlowID
 
 	// OnDone, if set, is called when a flow completes.
@@ -149,7 +153,7 @@ type Stack struct {
 	// Timeouts counts RTO expirations across all flows.
 	Timeouts int
 
-	pingers map[pkt.FlowID]*Pinger
+	pingers []*Pinger
 
 	// pool recycles packets along this stack's path: every segment, ACK,
 	// and probe is allocated from it, and deliver returns each packet once
@@ -169,12 +173,9 @@ type Stack struct {
 // as each host's packet handler.
 func NewStack(eng *sim.Engine, cfg Config, hosts []*fabric.Host) *Stack {
 	s := &Stack{
-		eng:       eng,
-		cfg:       cfg.withDefaults(),
-		hosts:     hosts,
-		senders:   make(map[pkt.FlowID]*Sender),
-		receivers: make(map[pkt.FlowID]*receiver),
-		pingers:   make(map[pkt.FlowID]*Pinger),
+		eng:   eng,
+		cfg:   cfg.withDefaults(),
+		hosts: hosts,
 	}
 	s.startFn = func(v any) { s.Start(v.(*Flow)) }
 	for _, h := range hosts {
@@ -196,6 +197,44 @@ func (s *Stack) NewFlowID() pkt.FlowID {
 	return id
 }
 
+// ensureLen grows sl to hold index n-1, zero-filling new entries. The
+// backing array at least doubles so sequential registration is amortized
+// O(1).
+func ensureLen[T any](sl []T, n int) []T {
+	if n <= cap(sl) {
+		return sl[:max(len(sl), n)]
+	}
+	nb := make([]T, n, 2*n)
+	copy(nb, sl)
+	return nb
+}
+
+// setSender registers snd under id, growing the demux table as needed.
+func (s *Stack) setSender(id pkt.FlowID, snd *Sender) {
+	s.senders = ensureLen(s.senders, int(id)+1)
+	s.senders[id] = snd
+}
+
+// setReceiver registers r under id.
+func (s *Stack) setReceiver(id pkt.FlowID, r *receiver) {
+	s.receivers = ensureLen(s.receivers, int(id)+1)
+	s.receivers[id] = r
+}
+
+// setPinger registers pg under id.
+func (s *Stack) setPinger(id pkt.FlowID, pg *Pinger) {
+	s.pingers = ensureLen(s.pingers, int(id)+1)
+	s.pingers[id] = pg
+}
+
+// sender returns the sender registered under id, or nil.
+func (s *Stack) sender(id pkt.FlowID) *Sender {
+	if uint(id) < uint(len(s.senders)) {
+		return s.senders[id]
+	}
+	return nil
+}
+
 // Start begins transmitting flow f at the current time. The flow must have
 // a fresh ID (use NewFlowID) and Src/Dst inside the host set.
 func (s *Stack) Start(f *Flow) *Sender {
@@ -205,13 +244,13 @@ func (s *Stack) Start(f *Flow) *Sender {
 	if f.Size <= 0 {
 		panic(fmt.Sprintf("transport: flow %d has size %d", f.ID, f.Size))
 	}
-	if _, dup := s.senders[f.ID]; dup {
+	if s.sender(f.ID) != nil {
 		panic(fmt.Sprintf("transport: duplicate flow id %d", f.ID))
 	}
 	f.Start = s.eng.Now()
 	snd := newSender(s, f)
-	s.senders[f.ID] = snd
-	s.receivers[f.ID] = newReceiver(s, f)
+	s.setSender(f.ID, snd)
+	s.setReceiver(f.ID, newReceiver(s, f))
 	snd.sendMore()
 	return snd
 }
@@ -227,18 +266,24 @@ func (s *Stack) StartAt(t sim.Time, f *Flow) {
 func (s *Stack) deliver(p *pkt.Packet) {
 	switch p.Kind {
 	case pkt.Data:
-		if r := s.receivers[p.Flow]; r != nil {
-			r.onData(p)
+		if id := uint(p.Flow); id < uint(len(s.receivers)) {
+			if r := s.receivers[id]; r != nil {
+				r.onData(p)
+			}
 		}
 	case pkt.Ack:
-		if snd := s.senders[p.Flow]; snd != nil {
-			snd.onAck(p)
+		if id := uint(p.Flow); id < uint(len(s.senders)) {
+			if snd := s.senders[id]; snd != nil {
+				snd.onAck(p)
+			}
 		}
 	case pkt.Ping:
 		s.echoPing(p)
 	case pkt.Pong:
-		if pg := s.pingers[p.Flow]; pg != nil {
-			pg.onPong(p)
+		if id := uint(p.Flow); id < uint(len(s.pingers)) {
+			if pg := s.pingers[id]; pg != nil {
+				pg.onPong(p)
+			}
 		}
 	}
 	s.pool.Put(p)
