@@ -18,6 +18,7 @@ import (
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
 	"tcn/internal/obs/perf"
+	"tcn/internal/obs/prof"
 	"tcn/internal/pkt"
 	"tcn/internal/qdisc"
 	"tcn/internal/sim"
@@ -367,7 +368,7 @@ func BenchmarkPacketPathFingerprinted(b *testing.B) {
 		eng.After(sim.Millisecond, tick)
 	}
 	eng.After(0, tick)
-	eng.SetPostEvent(func() { sc.FineSnapshot(eng.Executed, int64(eng.Now())) })
+	eng.SetPostEvent(func(now sim.Time, executed uint64) { sc.FineSnapshot(executed, int64(now)) })
 	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP}, star.Hosts)
 	st.Start(&transport.Flow{ID: st.NewFlowID(), Src: 0, Dst: 1, Size: 1 << 40})
 	eng.RunUntil(50 * sim.Millisecond) // warm pools past slow start
@@ -382,6 +383,60 @@ func BenchmarkPacketPathFingerprinted(b *testing.B) {
 		b.ReportMetric(float64(eng.Executed-start)/el, "events/sec")
 	}
 	b.ReportMetric(float64(len(rec.Records())), "digest-records")
+}
+
+// BenchmarkPacketPathProfiled is BenchmarkPacketPathSteadyState with the
+// cost profiler's deterministic plane attached: scope brackets on both
+// switch ports and the transport stack plus the per-event attribution
+// hook. The delta against the bare bench is the whole cost of
+// `tcnsim -profile`; the tcnbench gate holds it within 5% ns/op of the
+// committed baseline, and the AllocsPerRun pin below fails fast if the
+// attribution path ever allocates.
+func BenchmarkPacketPathProfiled(b *testing.B) {
+	eng := sim.NewEngine()
+	star := fabric.NewStar(eng, fabric.StarConfig{
+		Hosts: 2,
+		Rate:  10 * fabric.Gbps,
+		Prop:  10 * sim.Microsecond,
+		SwitchPort: func() fabric.PortConfig {
+			return fabric.PortConfig{Queues: 1}
+		},
+	})
+	p := prof.New(prof.Config{})
+	p.AttachEngine(eng)
+	for i := 0; i < star.Switch.NumPorts(); i++ {
+		label := "sw.p0"
+		if i == 1 {
+			label = "sw.p1"
+		}
+		star.Switch.Port(i).SetProfiler(p, label)
+	}
+	st := transport.NewStack(eng, transport.Config{CC: transport.DCTCP}, star.Hosts)
+	st.SetProfiler(p)
+	st.Start(&transport.Flow{ID: st.NewFlowID(), Src: 0, Dst: 1, Size: 1 << 40})
+	eng.RunUntil(50 * sim.Millisecond) // warm pools, slow start, and the scope tree
+	if a := testing.AllocsPerRun(10, func() {
+		eng.RunUntil(eng.Now() + 100*sim.Microsecond)
+	}); a != 0 { //tcnlint:floatexact zero-alloc assertion, exact by definition
+		b.Fatalf("profiled packet path allocates: %v allocs/run", a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := eng.Executed
+	for i := 0; i < b.N; i++ {
+		eng.RunUntil(eng.Now() + sim.Millisecond)
+	}
+	b.StopTimer()
+	p.FinishEngine(eng)
+	events, simNs := p.Totals()
+	if events != eng.Executed || simNs != int64(eng.Now()) {
+		b.Fatalf("profiler totals events=%d sim=%d, want %d/%d",
+			events, simNs, eng.Executed, int64(eng.Now()))
+	}
+	b.ReportMetric(float64(eng.Executed)/float64(b.N), "events/op")
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(eng.Executed-start)/el, "events/sec")
+	}
 }
 
 func max(a, b int) int {

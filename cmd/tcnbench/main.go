@@ -9,12 +9,16 @@
 //
 //	go run ./cmd/tcnbench [-bench REGEX] [-benchtime 1x] [-count 1] [-o FILE]
 //	    [-diff BASELINE] [-allow-config-drift] [-min-speedup Bench:metric:factor]...
+//	    [-profile-dir DIR]
 //
 // With -diff, the fresh results are compared against a committed baseline
 // and the run fails on a regression in the steady-state packet path: any
 // growth in allocs/op (the hot path is pinned at zero), more than 25% in
 // ns/op, or more than a 25% drop in events/sec (ROADMAP item 2's ratchet
 // metric; skipped with a note against baselines that predate it). The
+// profiled packet path (BenchmarkPacketPathProfiled) carries its own,
+// tighter gate — 5% ns/op and zero alloc growth — so the cost profiler's
+// attribution plane stays cheap enough to leave on. The
 // best value across -count repeats is compared on both sides (minimum
 // for costs, maximum for throughput), damping single-iteration noise.
 // The comparison itself is embedded in the written JSON as a "diff"
@@ -31,10 +35,19 @@
 // fails the diff unless the current run is at least 1.4x faster than the
 // baseline on that metric (for /sec metrics the ratio is new/old instead).
 //
+// With -profile-dir DIR, the benchmark child process runs under go test's
+// -cpuprofile/-memprofile and the resulting cpu.pb.gz / mem.pb.gz land in
+// DIR, attaching a wall-clock profile to the captured baseline. go test
+// rejects -cpuprofile across multiple packages, so the option narrows
+// -pkgs to the root suite unless the caller already chose one package.
+// (For sim-structured cost profiles keyed to component scopes, use
+// `tcnsim -profile` instead — see EXPERIMENTS.md "Profiling a run".)
+//
 // The default selection runs the perf-critical benches — the engine core,
-// the timing-wheel microbenches, the steady-state packet path, and the
-// parallel sweep at workers=1..4 — rather than every figure reproduction,
-// so a baseline capture stays in the minutes range.
+// the timing-wheel microbenches, the steady-state packet path (bare and
+// profiler-attached), and the parallel sweep at workers=1..4 — rather
+// than every figure reproduction, so a baseline capture stays in the
+// minutes range.
 package main
 
 import (
@@ -46,6 +59,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -121,7 +135,7 @@ func main() {
 	var gates minGates
 	var (
 		benchRe = flag.String("bench",
-			"BenchmarkEngine|BenchmarkWheel|BenchmarkSweepParallel|BenchmarkPacketPathSteadyState|BenchmarkFig6IsolationDWRR|BenchmarkPerfCampaignRecord|BenchmarkTDigestAdd",
+			"BenchmarkEngine|BenchmarkWheel|BenchmarkSweepParallel|BenchmarkPacketPathSteadyState|BenchmarkPacketPathProfiled|BenchmarkFig6IsolationDWRR|BenchmarkPerfCampaignRecord|BenchmarkTDigestAdd",
 			"benchmark selection regex passed to go test")
 		benchTime  = flag.String("benchtime", "1x", "value for -benchtime")
 		count      = flag.Int("count", 1, "value for -count")
@@ -133,11 +147,31 @@ func main() {
 	)
 	flag.Var(&gates, "min-speedup",
 		"repeatable Bench:metric:factor gate; the diff fails unless the current run beats the baseline by the factor")
+	profileDir := flag.String("profile-dir", "",
+		"directory for go test -cpuprofile/-memprofile of the bench run (forces -pkgs to a single package)")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$",
+	args := []string{"test", "-run", "^$",
 		"-bench", *benchRe, "-benchtime", *benchTime,
-		"-count", strconv.Itoa(*count), "-benchmem", *pkgs)
+		"-count", strconv.Itoa(*count), "-benchmem"}
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "tcnbench: %v\n", err)
+			os.Exit(1)
+		}
+		// go test rejects -cpuprofile with more than one package, so a
+		// profiled capture is pinned to the root bench suite unless the
+		// caller already narrowed -pkgs themselves.
+		if *pkgs == "./..." {
+			*pkgs = "."
+			fmt.Fprintln(os.Stderr, "tcnbench: -profile-dir forces -pkgs=. (go test rejects -cpuprofile across packages)")
+		}
+		args = append(args,
+			"-cpuprofile", filepath.Join(*profileDir, "cpu.pb.gz"),
+			"-memprofile", filepath.Join(*profileDir, "mem.pb.gz"))
+	}
+	args = append(args, *pkgs)
+	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -215,6 +249,18 @@ const gateTolerance = 0.25
 // never-grow rule of the packet-path gate; baselines that predate the
 // metric skip with a note.
 const isoGateBench = "BenchmarkFig6IsolationDWRR"
+
+// profGateBench is the cost-profiler gate: the steady-state packet path
+// with the deterministic attribution plane attached. Its tolerance is far
+// tighter than the main gate's because the bench exists to prove the
+// profiler stays cheap enough to leave on — if attribution cost creeps,
+// this trips long before the bare path would. allocs/op follows the same
+// never-grow rule as the bare packet path (the baseline is zero).
+// Baselines that predate the profiler skip with a note.
+const profGateBench = "BenchmarkPacketPathProfiled"
+
+// profGateTolerance is the allowed relative ns/op growth of profGateBench.
+const profGateTolerance = 0.05
 
 // loadBaseline reads a committed tcnbench JSON document.
 func loadBaseline(path string) (Baseline, error) {
@@ -357,6 +403,25 @@ func diffBaselines(w io.Writer, old, cur Baseline, gates minGates, rep *DiffRepo
 	case oldIso > 0 && curIso > oldIso*(1+gateTolerance):
 		return fmt.Errorf("%s allocs/op grew %v -> %v (+%.1f%%, tolerance %.0f%%)",
 			isoGateBench, oldIso, curIso, 100*(curIso-oldIso)/oldIso, 100*gateTolerance)
+	}
+	oldProf, okOP := bestMetric(old, profGateBench, "ns/op")
+	curProf, okCP := bestMetric(cur, profGateBench, "ns/op")
+	switch {
+	case !okOP:
+		fmt.Fprintf(w, "  note: baseline has no ns/op for %s (predates the profiler); gate skipped this round\n", profGateBench)
+	case !okCP:
+		return fmt.Errorf("%s missing from current run (baseline had %.0f ns/op)", profGateBench, oldProf)
+	case oldProf > 0 && curProf > oldProf*(1+profGateTolerance):
+		return fmt.Errorf("%s ns/op grew %.0f -> %.0f (+%.1f%%, tolerance %.0f%%; attribution must stay cheap enough to leave on)",
+			profGateBench, oldProf, curProf, 100*(curProf-oldProf)/oldProf, 100*profGateTolerance)
+	}
+	if okOP && okCP {
+		oldPA, _ := bestMetric(old, profGateBench, "allocs/op")
+		curPA, okPA := bestMetric(cur, profGateBench, "allocs/op")
+		if okPA && curPA > oldPA {
+			return fmt.Errorf("%s allocs/op grew %v -> %v (profiled hot path must stay zero-alloc)",
+				profGateBench, oldPA, curPA)
+		}
 	}
 	for _, g := range gates {
 		oldV, curV, speedup, ok := compareMetric(old, cur, g.name, g.metric)

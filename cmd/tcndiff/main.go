@@ -16,8 +16,10 @@
 // divergent event index.
 //
 // Optionally it also diffs flight-recorder time series CSVs
-// (-series-a/-series-b) and decision-ledger JSONL reason tables
-// (-ledger-a/-ledger-b), summarizing the largest per-series deltas.
+// (-series-a/-series-b), decision-ledger JSONL reason tables
+// (-ledger-a/-ledger-b), and folded cost profiles written by
+// `tcnsim -profile-folded` (-profile-a/-profile-b), reporting the top
+// per-stack cost regressions largest-|Δ| first.
 //
 // Exit status: 0 when every requested comparison matches, 1 when any
 // diverges, 2 on usage or input errors.
@@ -38,12 +40,15 @@ func main() {
 		seriesB = flag.String("series-b", "", "flight-recorder timeseries CSV of run B")
 		ledgerA = flag.String("ledger-a", "", "decision-ledger JSONL of run A (from tcnsim -ledger)")
 		ledgerB = flag.String("ledger-b", "", "decision-ledger JSONL of run B")
+		profA   = flag.String("profile-a", "", "folded cost profile of run A (from tcnsim -profile-folded)")
+		profB   = flag.String("profile-b", "", "folded cost profile of run B")
+		profTop = flag.Int("profile-top", 20, "cost-regression stacks printed by the text report (all differing stacks count toward the exit status)")
 	)
 	flag.Usage = usage
 	flag.Parse()
 
-	if (*seriesA == "") != (*seriesB == "") || (*ledgerA == "") != (*ledgerB == "") {
-		fmt.Fprintln(os.Stderr, "tcndiff: -series-a/-series-b and -ledger-a/-ledger-b must be given in pairs")
+	if (*seriesA == "") != (*seriesB == "") || (*ledgerA == "") != (*ledgerB == "") || (*profA == "") != (*profB == "") {
+		fmt.Fprintln(os.Stderr, "tcndiff: -series-a/-series-b, -ledger-a/-ledger-b, and -profile-a/-profile-b must be given in pairs")
 		os.Exit(2)
 	}
 	haveFP := flag.NArg() == 2
@@ -51,7 +56,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if !haveFP && *seriesA == "" && *ledgerA == "" {
+	if !haveFP && *seriesA == "" && *ledgerA == "" && *profA == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -93,6 +98,19 @@ func main() {
 			fatal(err)
 		}
 		out.Ledger = deltas
+		if len(deltas) > 0 {
+			out.Identical = false
+		}
+	}
+	if *profA != "" {
+		stacks, deltas, err := diffProfiles(*profA, *profB)
+		if err != nil {
+			fatal(err)
+		}
+		out.haveProfile = true
+		out.ProfileStacks = stacks
+		out.Profile = deltas
+		out.ProfileTop = *profTop
 		if len(deltas) > 0 {
 			out.Identical = false
 		}
@@ -144,6 +162,10 @@ Flags:
   -series-a/-series-b FILE   diff flight-recorder timeseries CSVs
                              (per-series max-delta summary)
   -ledger-a/-ledger-b FILE   diff decision-ledger reason tables
+  -profile-a/-profile-b FILE diff folded cost profiles (from tcnsim
+                             -profile-folded): top cost regressions per
+                             component stack, largest |Δ| first
+  -profile-top N             stacks shown by the text report (default 20)
 
 Exit: 0 identical, 1 divergent, 2 bad input.`)
 }

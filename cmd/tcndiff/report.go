@@ -16,6 +16,13 @@ type report struct {
 	Divergence         *digest.Divergence
 	Series             []seriesDelta
 	Ledger             []ledgerDelta
+
+	// haveProfile distinguishes "no -profile-a/-b requested" from "profiles
+	// identical" (Profile is empty either way).
+	haveProfile   bool
+	ProfileStacks int
+	Profile       []profileDelta
+	ProfileTop    int
 }
 
 // divergenceJSON is the machine-readable divergence. Digests travel as
@@ -51,15 +58,24 @@ type ledgerDeltaJSON struct {
 	NB     int64  `json:"n_b"`
 }
 
+type profileDeltaJSON struct {
+	Stack  string `json:"stack"`
+	ValueA int64  `json:"value_a"`
+	ValueB int64  `json:"value_b"`
+	Delta  int64  `json:"delta"`
+}
+
 type reportJSON struct {
-	Identical  bool              `json:"identical"`
-	RecordsA   int               `json:"records_a"`
-	RecordsB   int               `json:"records_b"`
-	FineA      int               `json:"fine_a,omitempty"`
-	FineB      int               `json:"fine_b,omitempty"`
-	Divergence *divergenceJSON   `json:"divergence,omitempty"`
-	Series     []seriesDeltaJSON `json:"series,omitempty"`
-	Ledger     []ledgerDeltaJSON `json:"ledger,omitempty"`
+	Identical     bool               `json:"identical"`
+	RecordsA      int                `json:"records_a"`
+	RecordsB      int                `json:"records_b"`
+	FineA         int                `json:"fine_a,omitempty"`
+	FineB         int                `json:"fine_b,omitempty"`
+	Divergence    *divergenceJSON    `json:"divergence,omitempty"`
+	Series        []seriesDeltaJSON  `json:"series,omitempty"`
+	Ledger        []ledgerDeltaJSON  `json:"ledger,omitempty"`
+	ProfileStacks int                `json:"profile_stacks,omitempty"`
+	Profile       []profileDeltaJSON `json:"profile,omitempty"`
 }
 
 func (r report) writeJSON(w io.Writer) error {
@@ -95,6 +111,12 @@ func (r report) writeJSON(w io.Writer) error {
 	for _, l := range r.Ledger {
 		j.Ledger = append(j.Ledger, ledgerDeltaJSON{
 			Where: l.where, Queue: l.queue, Reason: l.reason, NA: l.na, NB: l.nb,
+		})
+	}
+	j.ProfileStacks = r.ProfileStacks
+	for _, p := range r.Profile {
+		j.Profile = append(j.Profile, profileDeltaJSON{
+			Stack: p.stack, ValueA: p.va, ValueB: p.vb, Delta: p.delta(),
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -152,6 +174,31 @@ func (r report) writeText(w io.Writer, haveFP bool) {
 			for _, l := range r.Ledger {
 				fmt.Fprintf(w, "  %s q%d %-24s %d vs %d (Δ%+d)\n",
 					l.where, l.queue, l.reason, l.na, l.nb, l.nb-l.na)
+			}
+		}
+	}
+	if r.haveProfile {
+		if len(r.Profile) == 0 {
+			fmt.Fprintf(w, "cost profiles identical (%d stacks)\n", r.ProfileStacks)
+		} else {
+			fmt.Fprintf(w, "cost profile: %d of %d stacks differ; top regressions by |Δ|:\n",
+				len(r.Profile), r.ProfileStacks)
+			shown := r.Profile
+			if r.ProfileTop > 0 && len(shown) > r.ProfileTop {
+				shown = shown[:r.ProfileTop]
+			}
+			for _, p := range shown {
+				note := ""
+				if !p.presentA {
+					note = "  (B only)"
+				} else if !p.presentB {
+					note = "  (A only)"
+				}
+				fmt.Fprintf(w, "  %-60s %12d vs %-12d Δ%+d%s\n",
+					p.stack, p.va, p.vb, p.delta(), note)
+			}
+			if len(r.Profile) > len(shown) {
+				fmt.Fprintf(w, "  ... %d more (raise -profile-top or use -json)\n", len(r.Profile)-len(shown))
 			}
 		}
 	}

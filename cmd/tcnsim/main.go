@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
 	"tcn/internal/obs/perf"
+	"tcn/internal/obs/prof"
 	"tcn/internal/parallel"
 	"tcn/internal/sim"
 	"tcn/internal/trace"
@@ -61,7 +63,7 @@ func main() {
 		ledgerCap    = flag.Int("ledger-events", 1<<16, "verdicts retained in the ledger ring (exact counters never evict)")
 		perfettoFile = flag.String("perfetto", "", "write per-packet pipeline-stage spans as Chrome trace-event JSON (Perfetto-loadable) to this file ('-' = stdout)")
 		perfettoCap  = flag.Int("perfetto-events", 1<<16, "pipeline events retained in the Perfetto ring")
-		serveAddr    = flag.String("serve", "", "serve /metrics, /timeseries.csv, /flows.csv, /ledger.jsonl, /trace.perfetto.json, /perf.json, /campaign.json, and pprof on this address while running (e.g. :9090)")
+		serveAddr    = flag.String("serve", "", "serve /metrics, /timeseries.csv, /flows.csv, /ledger.jsonl, /trace.perfetto.json, /perf.json, /campaign.json, /profile.pb.gz, /profile.folded, and pprof on this address while running (e.g. :9090)")
 		tsFile       = flag.String("timeseries", "", "write the flight-recorder time series to this file, CSV by default, JSON for a .json suffix ('-' = stdout)")
 		spansFile    = flag.String("flow-spans", "", "write per-flow lifecycle spans (FCT, bytes, marks, drops, max sojourn) as CSV to this file ('-' = stdout)")
 		samplePeriod = flag.Duration("sample-period", 100*time.Microsecond, "flight-recorder probe polling period (simulated time)")
@@ -72,6 +74,10 @@ func main() {
 		fpFile  = flag.String("fingerprint", "", "write the run-fingerprint digest timeline (per-component chained digests per epoch) as JSONL to this file ('-' = stdout); diff two runs with tcndiff")
 		fpEpoch = flag.Duration("fingerprint-epoch", time.Millisecond, "fingerprint snapshot period (simulated time); both runs of a tcndiff pair must use the same period")
 		fpFine  = flag.Int64("fingerprint-fine", -1, "record per-event digests bracketed around this epoch index (-1 = off); set to the epoch tcndiff reported to localize the first divergent event")
+
+		profFile   = flag.String("profile", "", "write the sim-structured cost profile (gzip pprof protobuf; read with 'go tool pprof') to this file; attaches the deterministic event-cost profiler, which forces -workers 1 but leaves fingerprints identical to a bare run")
+		profFolded = flag.String("profile-folded", "", "write the cost profile as folded stacks ('a;b;c value' lines, flamegraph.pl-compatible) to this file ('-' = stdout); diff two with tcndiff -profile-a/-profile-b")
+		profWall   = flag.Bool("profile-wall", false, "also record wall-clock self-time per component scope (telemetry plane: observe-only, excluded from digests, nondeterministic across runs)")
 	)
 	flag.Parse()
 
@@ -162,6 +168,20 @@ func main() {
 			FineAtEpoch: *fpFine,
 		})
 	}
+	if *profFile != "" || *profFolded != "" || *profWall {
+		if obsSink == nil {
+			obsSink = &experiments.Obs{}
+		}
+		// The wall clock is injected here for the same reason as the perf
+		// campaign's below: internal packages may not call time.Now
+		// (simclock lint). Without -profile-wall the profiler runs its
+		// deterministic plane only.
+		var pcfg prof.Config
+		if *profWall {
+			pcfg.Wall = func() int64 { return time.Now().UnixNano() }
+		}
+		obsSink.Profiler = prof.New(pcfg)
+	}
 	if *progress || *serveAddr != "" {
 		// The self-telemetry campaign is atomics-only and never forces a
 		// sweep serial, so -progress composes with -workers N. The wall
@@ -172,10 +192,14 @@ func main() {
 		}
 		obsSink.Perf = perf.NewCampaign(func() int64 { return time.Now().UnixNano() })
 	}
+	var profExp *profileExport
+	if obsSink != nil && obsSink.Profiler != nil {
+		profExp = &profileExport{}
+	}
 	if *serveAddr != "" {
 		// The live endpoints read atomics-only snapshots; the flight
 		// recorder's reservoir rand is touched by the sim goroutine alone.
-		srv, err := startServer(*serveAddr, obsSink.Flight, obsSink.Perf) //tcnlint:goshare server reads atomic snapshots; the rand stays with the sim goroutine
+		srv, err := startServer(*serveAddr, obsSink.Flight, obsSink.Perf, profExp) //tcnlint:goshare server reads atomic snapshots; the rand stays with the sim goroutine
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -217,6 +241,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if obsSink != nil && obsSink.Profiler != nil {
+		if err := writeProfileOutputs(obsSink.Profiler, *profFile, *profFolded, profExp); err != nil {
+			fmt.Fprintf(os.Stderr, "writing profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeProfileOutputs renders the cost profile once the run is complete:
+// the -profile / -profile-folded files, plus an in-memory publication for
+// the /profile.pb.gz and /profile.folded endpoints when -serve is active
+// (the server keeps answering after the run, so a curl that raced the
+// simulation gets the rendered bytes instead of a mid-run 503 forever).
+func writeProfileOutputs(p *prof.Profiler, pbPath, foldedPath string, exp *profileExport) error {
+	if pbPath != "" {
+		if err := writeTo(pbPath, p.WritePprof); err != nil {
+			return fmt.Errorf("pprof export: %w", err)
+		}
+	}
+	if foldedPath != "" {
+		if err := writeTo(foldedPath, p.WriteFolded); err != nil {
+			return fmt.Errorf("folded export: %w", err)
+		}
+	}
+	if exp != nil {
+		var pb, folded bytes.Buffer
+		if err := p.WritePprof(&pb); err != nil {
+			return fmt.Errorf("pprof render: %w", err)
+		}
+		if err := p.WriteFolded(&folded); err != nil {
+			return fmt.Errorf("folded render: %w", err)
+		}
+		exp.publish(pb.Bytes(), folded.Bytes())
+	}
+	return nil
 }
 
 // obsSink, when -stats or -trace is given, is handed to every runner that
@@ -433,6 +492,13 @@ Flags: -flows N  -loads 0.5,0.9  -seed S  -full (paper scale)
        -fingerprint FILE [-fingerprint-epoch DUR] [-fingerprint-fine EPOCH]
          (digest timeline for tcndiff; fine mode adds per-event digests
           around the named epoch to localize the first divergent event)
+       -profile FILE  (sim-structured cost profile, gzip pprof protobuf:
+          events + sim-time attributed to engine/port/qdisc/sched/marker/
+          transport scopes; read with 'go tool pprof -top FILE')
+       -profile-folded FILE  (same profile as folded flamegraph stacks;
+          diff two runs with tcndiff -profile-a A -profile-b B)
+       -profile-wall  (add wall-clock self-time per scope — telemetry
+          only, never digested; the deterministic planes stay identical)
        -core wheel|heap  (engine event store; 'heap' is the differential
           oracle — same-seed runs must be fingerprint-identical to 'wheel')`)
 }

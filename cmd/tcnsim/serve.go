@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -95,6 +96,50 @@ func exposeHandler(rec *flight.Recorder, contentType string, field func(*flight.
 	}
 }
 
+// profileExport is the handoff between the simulation goroutine and the
+// /profile.pb.gz and /profile.folded handlers. The cost profiler's
+// counters are plain fields owned by the sim goroutine, so handlers never
+// read the profiler itself; instead the sim goroutine renders both
+// exports once, after the run completes, and publishes the immutable
+// bytes through these atomics. A nil *profileExport means the run carries
+// no profiler at all.
+type profileExport struct {
+	pb     atomic.Pointer[[]byte]
+	folded atomic.Pointer[[]byte]
+}
+
+// publish hands the rendered exports to the HTTP handlers.
+func (e *profileExport) publish(pb, folded []byte) {
+	e.pb.Store(&pb)
+	e.folded.Store(&folded)
+}
+
+// profileHandler serves one rendered profile export. exp is nil when the
+// run has no profiler attached; the bytes are nil until the run finishes.
+func profileHandler(exp *profileExport, contentType string, field func(*profileExport) *atomic.Pointer[[]byte]) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if exp == nil {
+			writeUnavailable(w, unavailableBody{
+				Error:  "cost profiler not attached",
+				Cause:  "this endpoint serves the sim-structured cost profile, which this run was started without",
+				Remedy: "rerun tcnsim with -profile FILE (add -profile-wall for wall self-time) to attach the profiler",
+			})
+			return
+		}
+		b := field(exp).Load()
+		if b == nil {
+			writeUnavailable(w, unavailableBody{
+				Error:  "profile not rendered yet",
+				Cause:  "the cost profile is rendered once, after the run completes, and this run is still executing",
+				Remedy: "retry once the run finishes; the server keeps answering after completion",
+			})
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(*b)
+	}
+}
+
 // perfHandler serves a self-telemetry JSON document rendered straight
 // from the campaign's atomics. Unlike the flight-recorder endpoints it
 // needs no simulation-goroutine tick, so it answers instantly mid-cell
@@ -117,8 +162,8 @@ func perfHandler(camp *perf.Campaign, render func(*perf.Campaign) ([]byte, error
 }
 
 // newServeMux wires /metrics, /timeseries.csv, /flows.csv, /perf.json,
-// /campaign.json, and pprof.
-func newServeMux(rec *flight.Recorder, camp *perf.Campaign) *http.ServeMux {
+// /campaign.json, the cost-profile exports, and pprof.
+func newServeMux(rec *flight.Recorder, camp *perf.Campaign, prof *profileExport) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics",
 		exposeHandler(rec, "text/plain; version=0.0.4; charset=utf-8",
@@ -137,6 +182,12 @@ func newServeMux(rec *flight.Recorder, camp *perf.Campaign) *http.ServeMux {
 			func(e *flight.Exposition) []byte { return e.Perfetto }))
 	mux.HandleFunc("/perf.json", perfHandler(camp, (*perf.Campaign).PerfJSON))
 	mux.HandleFunc("/campaign.json", perfHandler(camp, (*perf.Campaign).CampaignJSON))
+	mux.HandleFunc("/profile.pb.gz",
+		profileHandler(prof, "application/octet-stream",
+			func(e *profileExport) *atomic.Pointer[[]byte] { return &e.pb }))
+	mux.HandleFunc("/profile.folded",
+		profileHandler(prof, "text/plain; charset=utf-8",
+			func(e *profileExport) *atomic.Pointer[[]byte] { return &e.folded }))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -147,7 +198,7 @@ func newServeMux(rec *flight.Recorder, camp *perf.Campaign) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "tcnsim flight recorder\n\n/metrics\n/timeseries.csv\n/flows.csv\n/ledger.jsonl\n/trace.perfetto.json\n/perf.json\n/campaign.json\n/debug/pprof/\n")
+		fmt.Fprint(w, "tcnsim flight recorder\n\n/metrics\n/timeseries.csv\n/flows.csv\n/ledger.jsonl\n/trace.perfetto.json\n/perf.json\n/campaign.json\n/profile.pb.gz\n/profile.folded\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -155,13 +206,13 @@ func newServeMux(rec *flight.Recorder, camp *perf.Campaign) *http.ServeMux {
 // startServer begins serving the recorder on addr and returns once the
 // listener is bound, so a caller racing curl in CI cannot hit a closed
 // port.
-func startServer(addr string, rec *flight.Recorder, camp *perf.Campaign) (*http.Server, error) {
+func startServer(addr string, rec *flight.Recorder, camp *perf.Campaign, prof *profileExport) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: newServeMux(rec, camp)}
-	fmt.Fprintf(os.Stderr, "serving flight recorder on http://%s (metrics, timeseries.csv, flows.csv, ledger.jsonl, trace.perfetto.json, perf.json, campaign.json, debug/pprof)\n", ln.Addr())
+	srv := &http.Server{Handler: newServeMux(rec, camp, prof)}
+	fmt.Fprintf(os.Stderr, "serving flight recorder on http://%s (metrics, timeseries.csv, flows.csv, ledger.jsonl, trace.perfetto.json, perf.json, campaign.json, profile.pb.gz, profile.folded, debug/pprof)\n", ln.Addr())
 	go srv.Serve(ln)
 	return srv, nil
 }

@@ -10,34 +10,87 @@ import (
 	"tcn/internal/obs/flight"
 )
 
+// get503Body asserts path answers 503 with the machine-readable JSON
+// payload and returns it.
+func get503Body(t *testing.T, mux *http.ServeMux, path string) unavailableBody {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("%s: status %d, want 503", path, rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("%s: content type %q, want JSON", path, ct)
+	}
+	var body unavailableBody
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: body is not JSON: %v\n%s", path, err, rr.Body.String())
+	}
+	if body.Error == "" || body.Cause == "" {
+		t.Fatalf("%s: body missing error/cause: %+v", path, body)
+	}
+	return body
+}
+
 // TestServeWithoutRecorder503 pins the parallel-sweep contract: the
 // flight endpoints answer 503 with a JSON body naming the cause and the
 // exact remedy (-workers 1), not a bare status line.
 func TestServeWithoutRecorder503(t *testing.T) {
-	mux := newServeMux(nil, nil)
+	mux := newServeMux(nil, nil, nil)
 	for _, path := range []string{"/metrics", "/timeseries.csv", "/flows.csv", "/ledger.jsonl", "/trace.perfetto.json"} {
+		body := get503Body(t, mux, path)
+		if !strings.Contains(body.Remedy, "-workers 1") {
+			t.Fatalf("%s: remedy does not name the fix: %q", path, body.Remedy)
+		}
+	}
+}
+
+// TestServeWithoutProfiler503 pins the same contract for the cost-profile
+// endpoints: a run started without -profile answers with the flag that
+// fixes it, not a bare status line.
+func TestServeWithoutProfiler503(t *testing.T) {
+	mux := newServeMux(nil, nil, nil)
+	for _, path := range []string{"/profile.pb.gz", "/profile.folded"} {
+		body := get503Body(t, mux, path)
+		if !strings.Contains(body.Remedy, "-profile") {
+			t.Fatalf("%s: remedy does not name the fix: %q", path, body.Remedy)
+		}
+	}
+}
+
+// TestServeProfileMidRun503 covers the window between server start and run
+// completion: the profiler is attached but no export has been published
+// yet, so the endpoints say the run is still executing.
+func TestServeProfileMidRun503(t *testing.T) {
+	mux := newServeMux(nil, nil, &profileExport{})
+	for _, path := range []string{"/profile.pb.gz", "/profile.folded"} {
+		body := get503Body(t, mux, path)
+		if !strings.Contains(body.Cause, "still executing") {
+			t.Fatalf("%s: cause does not explain the wait: %q", path, body.Cause)
+		}
+	}
+}
+
+// TestServeProfilePublished200 is the positive half: once the sim
+// goroutine publishes the rendered exports, both endpoints serve the
+// exact bytes.
+func TestServeProfilePublished200(t *testing.T) {
+	exp := &profileExport{}
+	exp.publish([]byte("pprof-bytes"), []byte("engine;port 3\n"))
+	mux := newServeMux(nil, nil, exp)
+	for path, want := range map[string]string{
+		"/profile.pb.gz":  "pprof-bytes",
+		"/profile.folded": "engine;port 3\n",
+	} {
 		req := httptest.NewRequest(http.MethodGet, path, nil)
 		rr := httptest.NewRecorder()
 		mux.ServeHTTP(rr, req)
-		if rr.Code != http.StatusServiceUnavailable {
-			t.Fatalf("%s: status %d, want 503", path, rr.Code)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: status %d, want 200: %s", path, rr.Code, rr.Body.String())
 		}
-		if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
-			t.Fatalf("%s: content type %q, want JSON", path, ct)
-		}
-		var body struct {
-			Error  string `json:"error"`
-			Cause  string `json:"cause"`
-			Remedy string `json:"remedy"`
-		}
-		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
-			t.Fatalf("%s: body is not JSON: %v\n%s", path, err, rr.Body.String())
-		}
-		if body.Error == "" || body.Cause == "" {
-			t.Fatalf("%s: body missing error/cause: %+v", path, body)
-		}
-		if !strings.Contains(body.Remedy, "-workers 1") {
-			t.Fatalf("%s: remedy does not name the fix: %q", path, body.Remedy)
+		if rr.Body.String() != want {
+			t.Fatalf("%s: body %q, want %q", path, rr.Body.String(), want)
 		}
 	}
 }
@@ -48,7 +101,7 @@ func TestServeWithSealedRecorder200(t *testing.T) {
 	rec := flight.New(flight.Config{})
 	rec.Series("test.series").Record(0, 1.0)
 	rec.Seal()
-	mux := newServeMux(rec, nil)
+	mux := newServeMux(rec, nil, nil)
 	req := httptest.NewRequest(http.MethodGet, "/timeseries.csv", nil)
 	rr := httptest.NewRecorder()
 	mux.ServeHTTP(rr, req)

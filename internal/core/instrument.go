@@ -1,0 +1,40 @@
+package core
+
+import (
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// InstrumentMarker wraps m so OnEnqueue/OnDequeue are bracketed by
+// enter/exit — the cost profiler's scope push/pop around marking
+// decisions. Ports install the wrapper on their hot-path marker
+// reference only when a profiler is attached; digests and accessors keep
+// the unwrapped marker, so profiling cannot change fingerprint shape
+// (the wrapper deliberately does not forward MarkCounter/MarkProber —
+// consumers of those read the original through Port.Marker()).
+func InstrumentMarker(m Marker, enter, exit func()) Marker {
+	return &instrumentedMarker{m: m, enter: enter, exit: exit}
+}
+
+type instrumentedMarker struct {
+	m     Marker
+	enter func()
+	exit  func()
+}
+
+func (w *instrumentedMarker) Name() string { return w.m.Name() }
+
+func (w *instrumentedMarker) OnEnqueue(now sim.Time, i int, p *pkt.Packet, st PortState, v *Verdict) {
+	w.enter()
+	w.m.OnEnqueue(now, i, p, st, v)
+	w.exit()
+}
+
+func (w *instrumentedMarker) OnDequeue(now sim.Time, i int, p *pkt.Packet, st PortState, v *Verdict) {
+	w.enter()
+	w.m.OnDequeue(now, i, p, st, v)
+	w.exit()
+}
+
+// Underlying returns the wrapped marker.
+func (w *instrumentedMarker) Underlying() Marker { return w.m }

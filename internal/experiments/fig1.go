@@ -96,6 +96,7 @@ func runFig1Point(cfg Fig1Config, n int) Fig1Point {
 		CC:     transport.DCTCP,
 		RTOMin: 10 * sim.Millisecond,
 	}, net.Hosts)
+	cfg.Obs.AttachTransport(st)
 
 	meter := metrics.NewGoodputMeter(2, 100*sim.Millisecond)
 	st.OnDeliver = func(now sim.Time, f *transport.Flow, b int) {

@@ -149,6 +149,7 @@ func runFig2Once(cfg Fig2Config, scheme Scheme, dqThresh int, name string) Fig2T
 		RTOMin:     5 * sim.Millisecond,
 		InitWindow: 16,
 	}, net.Hosts)
+	cfg.Obs.AttachTransport(st)
 
 	const recv = 10
 	for src := 0; src < 8; src++ {

@@ -94,6 +94,7 @@ func runFig3Once(cfg Fig3Config, scheme Scheme) Fig3Trace {
 		RTOMin:     5 * sim.Millisecond,
 		InitWindow: 2,
 	}, net.Hosts)
+	cfg.Obs.AttachTransport(st)
 
 	const recv = 8
 	for src := 0; src < 8; src++ {

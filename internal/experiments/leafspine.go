@@ -136,6 +136,7 @@ func RunLeafSpine(cfg LeafSpineConfig) LeafSpineResult {
 		InitWindow: 16,
 		AckDSCP:    func(*transport.Flow) uint8 { return 0 },
 	}, net.Hosts)
+	cfg.Obs.AttachTransport(st)
 
 	hosts := len(net.Hosts)
 	all := make([]int, hosts)

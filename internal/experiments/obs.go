@@ -9,10 +9,12 @@ import (
 	"tcn/internal/obs"
 	"tcn/internal/obs/flight"
 	"tcn/internal/obs/perf"
+	"tcn/internal/obs/prof"
 	"tcn/internal/parallel"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 	"tcn/internal/trace"
+	"tcn/internal/transport"
 )
 
 // Obs bundles the observability sinks a runner can attach to the fabric it
@@ -33,6 +35,13 @@ type Obs struct {
 	// sinks above it is shared mutable state and forces sweeps serial.
 	Fingerprint *digest.Recorder
 
+	// Profiler, when set, attributes executed events and sim-time (and,
+	// in wall mode, wall self-time) to the component stack. Its counters
+	// are plain fields owned by the running goroutine, so like the sinks
+	// above it forces sweeps serial — unlike them it adds no events, so
+	// profiled runs fingerprint identically to bare runs.
+	Profiler *prof.Profiler
+
 	// Perf is the simulator self-telemetry campaign. Unlike the sinks
 	// above it is atomics-only and deliberately share-safe, so it does
 	// NOT count toward Active() and never forces a sweep serial.
@@ -47,7 +56,7 @@ type Obs struct {
 // the simulation, through atomics that tolerate any worker count.
 func (o *Obs) Active() bool {
 	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Flight != nil ||
-		o.Ledger != nil || o.Pipeline != nil || o.Fingerprint != nil)
+		o.Ledger != nil || o.Pipeline != nil || o.Fingerprint != nil || o.Profiler != nil)
 }
 
 // Tracker returns the perf campaign as a parallel.Tracker, or nil when no
@@ -75,6 +84,9 @@ func (o *Obs) AttachEngine(eng *sim.Engine) {
 	}
 	if o.Fingerprint != nil {
 		o.attachFingerprint(eng)
+	}
+	if o.Profiler != nil {
+		o.Profiler.AttachEngine(eng)
 	}
 }
 
@@ -107,7 +119,10 @@ func (o *Obs) attachFingerprint(eng *sim.Engine) {
 		// Fine mode: digest the whole scope after every executed event.
 		// Outside the requested two-epoch bracket this is one boolean
 		// test per event (plus the engine's nil check when disabled).
-		eng.SetPostEvent(func() { sc.FineSnapshot(eng.Executed, int64(eng.Now())) })
+		// AddPostEvent, not Set: the profiler chains onto the same hook.
+		eng.AddPostEvent(func(now sim.Time, executed uint64) {
+			sc.FineSnapshot(executed, int64(now))
+		})
 	}
 }
 
@@ -137,10 +152,18 @@ func (o *Obs) AttachFCT(eng *sim.Engine, col *metrics.FCTCollector) {
 }
 
 // ReportCell folds a finished cell's engine and packet-pool counters into
-// the campaign totals. Call it once per cell, after the last RunUntil,
-// from the goroutine that owns the engine.
+// the campaign totals and closes the profiler's books for the cell (the
+// final clock advance past the last event becomes engine-owned sim-time).
+// Call it once per cell, after the last RunUntil, from the goroutine that
+// owns the engine.
 func (o *Obs) ReportCell(eng *sim.Engine, pools ...*pkt.Pool) {
-	if o == nil || o.Perf == nil {
+	if o == nil {
+		return
+	}
+	if o.Profiler != nil {
+		o.Profiler.FinishEngine(eng)
+	}
+	if o.Perf == nil {
 		return
 	}
 	o.Perf.ReportEngine(eng)
@@ -207,6 +230,20 @@ func (o *Obs) AttachPort(label string, p *fabric.Port) {
 			sc.Register(digest.ComponentPort, label, p)
 		}
 	}
+	if o.Profiler != nil {
+		p.SetProfiler(o.Profiler, label)
+	}
+}
+
+// AttachTransport brackets a cell's transport stack with cost-profiler
+// scopes so endpoint protocol work is attributed to the transport rather
+// than the engine. Call after transport.NewStack; a nil *Obs or an
+// unprofiled run attaches nothing.
+func (o *Obs) AttachTransport(st *transport.Stack) {
+	if o == nil || o.Profiler == nil {
+		return
+	}
+	st.SetProfiler(o.Profiler)
 }
 
 // AttachStar instruments every switch egress port of a star topology,

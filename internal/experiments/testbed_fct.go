@@ -140,6 +140,7 @@ func RunTestbedFCT(cfg TestbedFCTConfig) TestbedFCTResult {
 		tc.AckDSCP = func(*transport.Flow) uint8 { return 0 }
 	}
 	st := transport.NewStack(eng, tc, net.Hosts)
+	cfg.Obs.AttachTransport(st)
 
 	// Plan the arrivals: web-search flows from the 8 servers to the
 	// client, randomly assigned to the service queues.

@@ -7,6 +7,7 @@ import (
 	"tcn/internal/digest"
 	"tcn/internal/invariant"
 	"tcn/internal/obs"
+	"tcn/internal/obs/prof"
 	"tcn/internal/pkt"
 	"tcn/internal/queue"
 	"tcn/internal/sched"
@@ -103,6 +104,16 @@ type Port struct {
 	// and histograms on every enqueue/drop/transmit. Nil = off, and the
 	// hot path pays only a nil check.
 	stats *obs.PortObs
+
+	// prof/scope, when attached via SetProfiler, bracket the enqueue and
+	// transmit stages with the cost profiler's port scope; hotSch and
+	// hotMarker are then instrumented wrappers of sch/marker. Nil prof =
+	// off, one nil check per stage. Digest and accessor paths always use
+	// the unwrapped sch/marker so profiling cannot change fingerprints.
+	prof      *prof.Profiler
+	scope     *prof.Scope
+	hotSch    sched.Scheduler
+	hotMarker core.Marker
 }
 
 // NewPort builds a port from cfg, delivering transmitted packets to peer.
@@ -137,16 +148,36 @@ func NewPort(eng *sim.Engine, cfg PortConfig, peer Receiver) *Port {
 		TxPackets: make([]int64, cfg.Queues),
 		TxBytes:   make([]int64, cfg.Queues),
 	}
+	p.hotSch = s
+	p.hotMarker = m
 	s.Bind(p.buf)
 	p.deliverFn = func(v any) { p.peer.Receive(v.(*pkt.Packet)) }
 	p.txFn = p.transmitNext
 	return p
 }
 
+// SetProfiler brackets the port's pipeline stages with cost-profiler
+// scopes: the port itself under "port:<label>" (the same label the
+// ledger and digest layers use for this port), its scheduler under
+// "sched:<name>", and its marker under "marker:<name>". Call at attach
+// time, before traffic flows; passing the profiler only swaps hot-path
+// references, so fingerprints are unchanged.
+func (pt *Port) SetProfiler(p *prof.Profiler, label string) {
+	pt.prof = p
+	pt.scope = p.NewScope("port:" + label)
+	schScope := p.NewScope("sched:" + pt.sch.Name())
+	pt.hotSch = sched.Instrument(pt.sch, schScope.Enter, p.Exit)
+	markScope := p.NewScope("marker:" + pt.marker.Name())
+	pt.hotMarker = core.InstrumentMarker(pt.marker, markScope.Enter, p.Exit)
+}
+
 // Send admits p to the port. It classifies, applies admission control
 // against the shared buffer, stamps the enqueue timestamp, runs enqueue-
 // side marking, and kicks the transmitter if the link is idle.
 func (pt *Port) Send(p *pkt.Packet) {
+	if pt.prof != nil {
+		pt.scope.Enter()
+	}
 	now := pt.eng.Now()
 	qi := pt.classify(p)
 	if !pt.buf.Push(qi, p) {
@@ -162,15 +193,18 @@ func (pt *Port) Send(p *pkt.Packet) {
 			pt.verdict.Dropped = true
 			pt.OnVerdict(now, qi, p, &pt.verdict)
 		}
+		if pt.prof != nil {
+			pt.prof.Exit()
+		}
 		return
 	}
 	if pt.stats != nil {
 		pt.stats.Enqueue(qi, p.Size, pt.buf.Bytes(qi))
 	}
 	p.EnqueuedAt = now
-	pt.sch.OnEnqueue(now, qi, p)
+	pt.hotSch.OnEnqueue(now, qi, p)
 	pt.verdict.Reset(core.StageEnqueue, pt.buf.Bytes(qi), pt.buf.Used())
-	pt.marker.OnEnqueue(now, qi, p, pt, &pt.verdict)
+	pt.hotMarker.OnEnqueue(now, qi, p, pt, &pt.verdict)
 	if pt.OnVerdict != nil && pt.verdict.Decisive() {
 		pt.OnVerdict(now, qi, p, &pt.verdict)
 	}
@@ -180,15 +214,24 @@ func (pt *Port) Send(p *pkt.Packet) {
 	if !pt.busy {
 		pt.transmitNext()
 	}
+	if pt.prof != nil {
+		pt.prof.Exit()
+	}
 }
 
 // transmitNext asks the scheduler for the next queue, dequeues, runs
 // dequeue-side marking, and occupies the link for the serialization time.
 func (pt *Port) transmitNext() {
+	if pt.prof != nil {
+		pt.scope.Enter()
+	}
 	now := pt.eng.Now()
-	qi := pt.sch.Next(now)
+	qi := pt.hotSch.Next(now)
 	if qi < 0 {
 		pt.busy = false
+		if pt.prof != nil {
+			pt.prof.Exit()
+		}
 		return
 	}
 	p := pt.buf.Pop(qi)
@@ -200,9 +243,9 @@ func (pt *Port) transmitNext() {
 			"fabric: negative sojourn %v (enqueued at %v, dequeued at %v)",
 			p.Sojourn(now), p.EnqueuedAt, now)
 	}
-	pt.sch.OnDequeue(now, qi, p)
+	pt.hotSch.OnDequeue(now, qi, p)
 	pt.verdict.Reset(core.StageDequeue, pt.buf.Bytes(qi), pt.buf.Used())
-	pt.marker.OnDequeue(now, qi, p, pt, &pt.verdict)
+	pt.hotMarker.OnDequeue(now, qi, p, pt, &pt.verdict)
 	if pt.OnVerdict != nil && pt.verdict.Decisive() {
 		pt.OnVerdict(now, qi, p, &pt.verdict)
 	}
@@ -222,6 +265,9 @@ func (pt *Port) transmitNext() {
 	arrival := txDone + pt.prop
 	pt.eng.AfterArg(arrival, pt.deliverFn, p)
 	pt.eng.After(txDone, pt.txFn)
+	if pt.prof != nil {
+		pt.prof.Exit()
+	}
 }
 
 // Instrument attaches the standard per-queue stats bundle (enqueue/

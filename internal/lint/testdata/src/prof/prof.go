@@ -1,0 +1,20 @@
+// Package prof is a self-contained stand-in for tcn/internal/obs/prof, so
+// the walltaint fixtures can exercise the cost profiler's injected
+// wall-clock rules (a type named Clock in a package named prof) without
+// importing the module.
+package prof
+
+// Clock mirrors prof.Clock: the injected wall source of the telemetry
+// plane, in nanoseconds.
+type Clock func() int64
+
+// Profiler mirrors the cost-attribution tree; wall self-time may land in
+// its counters freely.
+type Profiler struct {
+	WallNs int64
+}
+
+// SampleWall records a wall-clock interval against the current scope.
+// Telemetry is not simulator state, so walltaint deliberately does not
+// treat this as a sink.
+func (p *Profiler) SampleWall(ns int64) { p.WallNs += ns }

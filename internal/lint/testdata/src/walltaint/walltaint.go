@@ -9,6 +9,7 @@ import (
 
 	"core"
 	"perf"
+	"prof"
 	"sim"
 )
 
@@ -57,6 +58,21 @@ func stamp(v *core.Verdict, c perf.Clock) {
 // is what the observatory is for. No diagnostic.
 func telemetry(cam *perf.Campaign, c perf.Clock) {
 	cam.Observe(c())
+}
+
+// profWallSampling is the cost profiler's sanctioned flow: a prof.Clock
+// reading charged to a profiler counter is the telemetry plane working as
+// designed. No diagnostic.
+func profWallSampling(p *prof.Profiler, c prof.Clock, last int64) {
+	p.SampleWall(c() - last)
+}
+
+// profWallIntoSimState is profWallSampling's forbidden twin: the same
+// prof.Clock reading, un-waivered, pushed into the event loop instead of
+// a profiler counter. The profiler allowance is the destination, never
+// the source.
+func profWallIntoSimState(e *sim.Engine, c prof.Clock) {
+	e.After(sim.Time(c()), func() {}) // want `wall-clock value reaches a conversion to sim\.Time` `wall-clock value reaches sim\.Engine\.After`
 }
 
 // simTimeOnly derives everything from the simulated clock. No diagnostic.

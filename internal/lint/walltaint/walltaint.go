@@ -11,14 +11,14 @@
 // the value has been laundered through a variable or a helper function.
 //
 // The analyzer runs a forward taint analysis per function: sources are
-// time.Now/Since/Until, calls through a perf.Clock value, and calls to any
-// function carrying a TaintedResult fact; sinks are sim.Engine scheduling
-// arguments (At/After/AtArg/AfterArg), conversions to sim.Time, rand
-// seeding (sim.NewRand, math/rand.NewSource, math/rand/v2 NewPCG /
-// NewChaCha8), and stores into core.Verdict fields. Telemetry is the
-// deliberate non-sink: writes into the perf observatory and sim.Meter
-// counters consume wall time legitimately and are simply not in the sink
-// set. Interprocedural flows travel as facts — TaintedResult marks a
+// time.Now/Since/Until, calls through a perf.Clock or prof.Clock value,
+// and calls to any function carrying a TaintedResult fact; sinks are
+// sim.Engine scheduling arguments (At/After/AtArg/AfterArg), conversions
+// to sim.Time, rand seeding (sim.NewRand, math/rand.NewSource,
+// math/rand/v2 NewPCG / NewChaCha8), and stores into core.Verdict fields.
+// Telemetry is the deliberate non-sink: writes into the perf observatory,
+// the cost profiler's wall plane, and sim.Meter counters consume wall
+// time legitimately and are simply not in the sink set. Interprocedural flows travel as facts — TaintedResult marks a
 // function whose results carry wall-clock taint, SinkParams marks
 // parameters a function forwards into a sink, so the diagnostic fires at
 // the caller that supplied the tainted value. A deliberate flow can be
@@ -37,7 +37,7 @@ import (
 // Analyzer is the walltaint check.
 var Analyzer = &analysis.Analyzer{
 	Name: "walltaint",
-	Doc:  "wall-clock values (time.Now, perf.Clock) must not reach sim state: event scheduling, sim.Time, rand seeds, or core.Verdict fields",
+	Doc:  "wall-clock values (time.Now, perf.Clock, prof.Clock) must not reach sim state: event scheduling, sim.Time, rand seeds, or core.Verdict fields",
 	Run:  run,
 }
 
@@ -74,6 +74,10 @@ func corePkg(pkg *types.Package) bool {
 
 func perfPkg(pkg *types.Package) bool {
 	return pkg != nil && (pkg.Path() == "tcn/internal/obs/perf" || pkg.Path() == "perf")
+}
+
+func profPkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "tcn/internal/obs/prof" || pkg.Path() == "prof")
 }
 
 // namedIn reports whether t (through pointers) is the named type name
@@ -199,7 +203,7 @@ func (c *checker) isWallSource(e ast.Expr) bool {
 		if tv.IsType() {
 			return false
 		}
-		if namedIn(tv.Type, "Clock", perfPkg) {
+		if namedIn(tv.Type, "Clock", perfPkg) || namedIn(tv.Type, "Clock", profPkg) {
 			return true
 		}
 	}
@@ -306,7 +310,7 @@ func (c *checker) walkSinks(fi *funcInfo, t *analysis.Taint, report bool, hit fu
 		if analysis.LineCommentDirective(c.pass.Fset, fi.file, pos.Pos(), "walltaint") {
 			return
 		}
-		c.pass.Reportf(pos.Pos(), "wall-clock value reaches %s; simulator state must derive from sim.Time (wall time is for telemetry only: perf observatory, sim.Meter)", what)
+		c.pass.Reportf(pos.Pos(), "wall-clock value reaches %s; simulator state must derive from sim.Time (wall time is for telemetry only: perf observatory, cost profiler, sim.Meter)", what)
 	}
 
 	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {

@@ -1,0 +1,244 @@
+package prof
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a stdlib-only encoder for the pprof profile.proto wire
+// format (github.com/google/pprof/proto/profile.proto), so `go tool pprof
+// -top/-flamegraph http=...` works directly on simulator profiles without
+// any third-party dependency. Only the subset pprof needs is emitted:
+// sample types, samples, locations, functions, the string table, and
+// duration. Protobuf scalars are varints; messages and packed repeated
+// fields are length-delimited — both trivial to write by hand.
+
+// protobuf wire types.
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+// pbuf is a minimal protobuf writer: appends to one byte slice.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uintField emits field=v, skipping the zero default.
+func (p *pbuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, wireVarint)
+	p.varint(v)
+}
+
+// intField emits field=v as a plain (non-zigzag) varint, matching
+// profile.proto's int64 fields.
+func (p *pbuf) intField(field int, v int64) { p.uintField(field, uint64(v)) }
+
+// bytesField emits a length-delimited field (submessage, string, or
+// packed repeated scalars).
+func (p *pbuf) bytesField(field int, data []byte) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packed emits vs as one packed repeated varint field.
+func (p *pbuf) packed(field int, vs []uint64) {
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// profile.proto field numbers (message Profile).
+const (
+	fieldSampleType        = 1
+	fieldSample            = 2
+	fieldLocation          = 4
+	fieldFunction          = 5
+	fieldStringTable       = 6
+	fieldDurationNanos     = 10
+	fieldPeriodType        = 11
+	fieldPeriod            = 12
+	fieldDefaultSampleType = 14
+)
+
+// Submessage field numbers.
+const (
+	vtType           = 1 // ValueType.type (string index)
+	vtUnit           = 2 // ValueType.unit
+	sampleLocationID = 1
+	sampleValue      = 2
+	locID            = 1
+	locLine          = 4
+	lineFunctionID   = 1
+	fnID             = 1
+	fnName           = 2
+	fnSystemName     = 3
+)
+
+// WritePprof writes the profile in gzip-compressed profile.proto form.
+// Sample types are events/count, sim_time/nanoseconds, and
+// wall_time/nanoseconds (zero unless the telemetry plane is on);
+// sim_time is the default. One sample is emitted per scope-tree node
+// carrying any value, with its full stack; one function and location per
+// interned frame. Everything is keyed off profiler state that is a
+// deterministic function of the event history, and gzip is invoked with a
+// zero header, so two byte-identical runs export byte-identical profiles
+// (wall plane off).
+func (p *Profiler) WritePprof(w io.Writer) error {
+	// String table: index 0 must be "".
+	strs := []string{""}
+	strIdx := make(map[string]int64, len(p.frames)+8)
+	str := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	var out pbuf
+
+	// sample_type: [events/count, sim_time/nanoseconds, wall_time/nanoseconds]
+	valueType := func(typ, unit string) []byte {
+		var vt pbuf
+		vt.intField(vtType, str(typ))
+		vt.intField(vtUnit, str(unit))
+		return vt.b
+	}
+	stEvents := valueType("events", "count")
+	stSim := valueType("sim_time", "nanoseconds")
+	stWall := valueType("wall_time", "nanoseconds")
+	out.bytesField(fieldSampleType, stEvents)
+	out.bytesField(fieldSampleType, stSim)
+	out.bytesField(fieldSampleType, stWall)
+
+	// One function + location per frame; ids are frame index + 1 (protobuf
+	// ids must be nonzero).
+	frameStr := make([]int64, len(p.frames))
+	for i, name := range p.frames {
+		frameStr[i] = str(name)
+	}
+
+	// Samples: every node with any attributed value, stack leaf-first as
+	// location ids. Node order (creation order) keeps the encoding
+	// deterministic.
+	var stack []int32
+	var locs []uint64
+	_, totalSim := p.Totals()
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		if n.events == 0 && n.simNs == 0 && n.wallNs == 0 {
+			continue
+		}
+		stack = p.stackOf(stack[:0], int32(i))
+		locs = locs[:0]
+		for j := len(stack) - 1; j >= 0; j-- { // leaf first
+			locs = append(locs, uint64(stack[j])+1)
+		}
+		var smp pbuf
+		smp.packed(sampleLocationID, locs)
+		var vals pbuf
+		vals.varint(n.events)
+		vals.varint(uint64(n.simNs))
+		vals.varint(uint64(n.wallNs))
+		smp.bytesField(sampleValue, vals.b)
+		out.bytesField(fieldSample, smp.b)
+	}
+
+	for i := range p.frames {
+		var loc pbuf
+		loc.uintField(locID, uint64(i)+1)
+		var line pbuf
+		line.uintField(lineFunctionID, uint64(i)+1)
+		loc.bytesField(locLine, line.b)
+		out.bytesField(fieldLocation, loc.b)
+	}
+	for i := range p.frames {
+		var fn pbuf
+		fn.uintField(fnID, uint64(i)+1)
+		fn.intField(fnName, frameStr[i])
+		fn.intField(fnSystemName, frameStr[i])
+		out.bytesField(fieldFunction, fn.b)
+	}
+
+	out.intField(fieldDurationNanos, totalSim)
+	periodType := valueType("sim_time", "nanoseconds")
+	out.bytesField(fieldPeriodType, periodType)
+	out.intField(fieldPeriod, 1)
+	out.intField(fieldDefaultSampleType, str("sim_time"))
+
+	// String table entries go last in this writer but field order in a
+	// protobuf message is free; pprof reads them regardless.
+	for _, s := range strs {
+		out.stringField(fieldStringTable, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// WriteFolded writes the profile as folded stacks, one line per scope-
+// tree node: semicolon-joined frames root-first, a space, and the node's
+// value — wall self-time in nanoseconds when the telemetry plane is on,
+// attributed event count otherwise (the deterministic choice, so two
+// identical runs fold identically and tcndiff's profile report diffs
+// clean). Lines are sorted lexically for stable output.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	var lines []string
+	var stack []int32
+	for i := range p.nodes {
+		n := &p.nodes[i]
+		var v int64
+		if p.wall != nil {
+			v = n.wallNs
+		} else {
+			v = int64(n.events)
+		}
+		if v == 0 {
+			continue
+		}
+		stack = p.stackOf(stack[:0], int32(i))
+		line := ""
+		for j, f := range stack {
+			if j > 0 {
+				line += ";"
+			}
+			line += p.frames[f]
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", line, v))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"tcn/internal/fabric"
 	"tcn/internal/invariant"
 	"tcn/internal/obs"
+	"tcn/internal/obs/prof"
 	"tcn/internal/pkt"
 	"tcn/internal/queue"
 	"tcn/internal/sched"
@@ -165,6 +166,17 @@ type Qdisc struct {
 	// and histograms; nil = off.
 	stats *obs.PortObs
 
+	// prof and the two stage scopes, when attached via SetProfiler,
+	// bracket the enqueue and shaper/dequeue stages with cost-profiler
+	// scopes; hotSch and hotMarker are then instrumented wrappers of
+	// sch/marker. Nil prof = off, one nil check per stage; digests always
+	// use the unwrapped sch/marker.
+	prof      *prof.Profiler
+	enqScope  *prof.Scope
+	deqScope  *prof.Scope
+	hotSch    sched.Scheduler
+	hotMarker core.Marker
+
 	// Drops counts buffer rejections; Sent counts transmissions. Both
 	// are int64 so multi-hour runs cannot overflow on 32-bit platforms.
 	Drops int64
@@ -212,13 +224,33 @@ func New(eng *sim.Engine, cfg Config) *Qdisc {
 		rate:     cfg.LineRate,
 		transmit: cfg.Transmit,
 	}
+	q.hotSch = s
+	q.hotMarker = m
 	s.Bind(q.buf)
 	return q
+}
+
+// SetProfiler brackets the qdisc's pipeline stages with cost-profiler
+// scopes: the enqueue stage under "qdisc:<label>:enq", the shaper/dequeue
+// stage under "qdisc:<label>:deq", the scheduler under "sched:<name>",
+// and the marker under "marker:<name>". Attach before traffic flows;
+// only hot-path references are swapped, so fingerprints are unchanged.
+func (q *Qdisc) SetProfiler(p *prof.Profiler, label string) {
+	q.prof = p
+	q.enqScope = p.NewScope("qdisc:" + label + ":enq")
+	q.deqScope = p.NewScope("qdisc:" + label + ":deq")
+	schScope := p.NewScope("sched:" + q.sch.Name())
+	q.hotSch = sched.Instrument(q.sch, schScope.Enter, p.Exit)
+	markScope := p.NewScope("marker:" + q.marker.Name())
+	q.hotMarker = core.InstrumentMarker(q.marker, markScope.Enter, p.Exit)
 }
 
 // Enqueue admits a packet from the IP layer: classify, buffer, enqueue
 // marking.
 func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
+	if q.prof != nil {
+		q.enqScope.Enter()
+	}
 	now := q.eng.Now()
 	qi := q.classify(p)
 	if !q.buf.Push(qi, p) {
@@ -236,13 +268,16 @@ func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
 			q.verdict.TokensBytes = q.bucket.Level(now)
 			q.OnVerdict(now, qi, p, &q.verdict)
 		}
+		if q.prof != nil {
+			q.prof.Exit()
+		}
 		return false
 	}
 	if q.stats != nil {
 		q.stats.Enqueue(qi, p.Size, q.buf.Bytes(qi))
 	}
 	p.EnqueuedAt = now
-	q.sch.OnEnqueue(now, qi, p)
+	q.hotSch.OnEnqueue(now, qi, p)
 	q.verdict.Reset(core.StageEnqueue, q.buf.Bytes(qi), q.buf.Used())
 	if q.OnVerdict != nil {
 		// Level is a pure projection (no refill), so it is safe to skip
@@ -250,22 +285,31 @@ func (q *Qdisc) Enqueue(p *pkt.Packet) bool {
 		// ledger reads TokensBytes.
 		q.verdict.TokensBytes = q.bucket.Level(now)
 	}
-	q.marker.OnEnqueue(now, qi, p, q, &q.verdict)
+	q.hotMarker.OnEnqueue(now, qi, p, q, &q.verdict)
 	if q.OnVerdict != nil && q.verdict.Decisive() {
 		q.OnVerdict(now, qi, p, &q.verdict)
 	}
 	if !q.busy && !q.waiting {
 		q.dequeue()
 	}
+	if q.prof != nil {
+		q.prof.Exit()
+	}
 	return true
 }
 
 // dequeue pulls the next packet through the shaper and dequeue marker.
 func (q *Qdisc) dequeue() {
+	if q.prof != nil {
+		q.deqScope.Enter()
+	}
 	now := q.eng.Now()
-	qi := q.sch.Next(now)
+	qi := q.hotSch.Next(now)
 	if qi < 0 {
 		q.busy = false
+		if q.prof != nil {
+			q.prof.Exit()
+		}
 		return
 	}
 	head := q.buf.Head(qi)
@@ -277,6 +321,9 @@ func (q *Qdisc) dequeue() {
 		q.busy = false
 		q.waiting = true
 		q.eng.AfterArg(wait, shaperRetry, q)
+		if q.prof != nil {
+			q.prof.Exit()
+		}
 		return
 	}
 	p := q.buf.Pop(qi)
@@ -285,12 +332,12 @@ func (q *Qdisc) dequeue() {
 			"qdisc: negative sojourn %v (enqueued at %v, dequeued at %v)",
 			p.Sojourn(now), p.EnqueuedAt, now)
 	}
-	q.sch.OnDequeue(now, qi, p)
+	q.hotSch.OnDequeue(now, qi, p)
 	q.verdict.Reset(core.StageDequeue, q.buf.Bytes(qi), q.buf.Used())
 	if q.OnVerdict != nil {
 		q.verdict.TokensBytes = q.bucket.Level(now)
 	}
-	q.marker.OnDequeue(now, qi, p, q, &q.verdict)
+	q.hotMarker.OnDequeue(now, qi, p, q, &q.verdict)
 	if q.OnVerdict != nil && q.verdict.Decisive() {
 		q.OnVerdict(now, qi, p, &q.verdict)
 	}
@@ -308,6 +355,9 @@ func (q *Qdisc) dequeue() {
 	// evaluation, which would allocate once per transmitted packet.
 	q.busy = true
 	q.eng.AfterArg(q.rate.Serialize(p.Size), dequeueStep, q)
+	if q.prof != nil {
+		q.prof.Exit()
+	}
 }
 
 // dequeueStep resumes the dequeue loop when the wire frees up after a

@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"tcn/internal/pkt"
+	"tcn/internal/sim"
+)
+
+// Instrument wraps s so every Scheduler call is bracketed by enter/exit —
+// the cost profiler's scope push/pop. The wrapper is installed on a
+// port's hot-path scheduler reference only when a profiler is attached,
+// so unprofiled runs pay nothing; digest and accessor paths keep the
+// unwrapped scheduler (profiling must not change fingerprint shape).
+// Bind is forwarded unbracketed: it runs once at setup.
+func Instrument(s Scheduler, enter, exit func()) Scheduler {
+	return &instrumented{s: s, enter: enter, exit: exit}
+}
+
+type instrumented struct {
+	s     Scheduler
+	enter func()
+	exit  func()
+}
+
+func (w *instrumented) Name() string { return w.s.Name() }
+
+func (w *instrumented) Bind(v View) { w.s.Bind(v) }
+
+func (w *instrumented) OnEnqueue(now sim.Time, i int, p *pkt.Packet) {
+	w.enter()
+	w.s.OnEnqueue(now, i, p)
+	w.exit()
+}
+
+func (w *instrumented) Next(now sim.Time) int {
+	w.enter()
+	i := w.s.Next(now)
+	w.exit()
+	return i
+}
+
+func (w *instrumented) OnDequeue(now sim.Time, i int, p *pkt.Packet) {
+	w.enter()
+	w.s.OnDequeue(now, i, p)
+	w.exit()
+}
+
+// Underlying returns the wrapped scheduler.
+func (w *instrumented) Underlying() Scheduler { return w.s }

@@ -163,9 +163,10 @@ type Engine struct {
 	meterLastNow Time
 
 	// postEvent, when set, runs after every executed event — the hook the
-	// run-fingerprinting fine mode uses to digest per-event state. Costs
-	// one nil check per event when unset; see SetPostEvent.
-	postEvent func()
+	// run-fingerprinting fine mode uses to digest per-event state and the
+	// cost profiler uses to attribute elapsed sim-time. Costs one nil
+	// check per event when unset; see SetPostEvent and AddPostEvent.
+	postEvent PostEventHook
 }
 
 // NewEngine returns an engine on the default core with the clock at zero.
@@ -409,12 +410,41 @@ func (e *Engine) Cancel(r EventRef) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// PostEventHook observes one executed event. It receives the clock (at
+// the event's timestamp) and the total executed-event count, both already
+// advanced past the event, so consumers need no engine accessor calls on
+// the per-event path.
+type PostEventHook func(now Time, executed uint64)
+
 // SetPostEvent installs fn to run after every executed event, replacing
 // any previous hook (nil uninstalls). The hook runs with the clock at the
 // event's timestamp, after the event's callback and counters; it must not
-// schedule, cancel, or otherwise perturb the model — it exists so the
-// fingerprint recorder's fine mode can digest state between events.
-func (e *Engine) SetPostEvent(fn func()) { e.postEvent = fn }
+// schedule, cancel, or otherwise perturb the model — it exists so
+// observers that need per-event granularity (the fingerprint recorder's
+// fine mode, the cost profiler's deterministic plane) can read state
+// between events. Hooks are not part of DigestState: attaching one cannot
+// change a run's fingerprint unless the hook itself perturbs the model.
+func (e *Engine) SetPostEvent(fn PostEventHook) { e.postEvent = fn }
+
+// AddPostEvent chains fn after any hook already installed, so independent
+// per-event observers (fine-mode fingerprinting and the profiler, say)
+// can coexist. Composition happens here, at attach time: the hot loop
+// still pays exactly one nil check and one indirect call per event.
+// Passing nil is a no-op.
+func (e *Engine) AddPostEvent(fn PostEventHook) {
+	if fn == nil {
+		return
+	}
+	prev := e.postEvent
+	if prev == nil {
+		e.postEvent = fn
+		return
+	}
+	e.postEvent = func(now Time, executed uint64) {
+		prev(now, executed)
+		fn(now, executed)
+	}
+}
 
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() { e.RunUntil(MaxTime) }
@@ -466,7 +496,7 @@ func (e *Engine) runHeap(deadline Time) uint64 {
 		n++
 		e.Executed++
 		if e.postEvent != nil {
-			e.postEvent()
+			e.postEvent(e.now, e.Executed)
 		}
 		if e.meter != nil {
 			e.meterPend++

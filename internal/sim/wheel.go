@@ -512,7 +512,7 @@ func (e *Engine) runWheel(deadline Time) uint64 {
 			n++
 			e.Executed++
 			if e.postEvent != nil {
-				e.postEvent()
+				e.postEvent(e.now, e.Executed)
 			}
 			if e.meter != nil {
 				e.meterPend++
@@ -542,7 +542,7 @@ func (e *Engine) runWheel(deadline Time) uint64 {
 			n++
 			e.Executed++
 			if e.postEvent != nil {
-				e.postEvent()
+				e.postEvent(e.now, e.Executed)
 			}
 			if e.meter != nil {
 				e.meterPend++

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"tcn/internal/fabric"
+	"tcn/internal/obs/prof"
 	"tcn/internal/pkt"
 	"tcn/internal/sim"
 )
@@ -167,6 +168,15 @@ type Stack struct {
 	// func(any) lets StartAt schedule through AtArg without a per-flow
 	// closure.
 	startFn func(any)
+
+	// prof and the per-kind scopes, when attached via SetProfiler,
+	// bracket deliver's dispatch with cost-profiler scopes so endpoint
+	// protocol work (ACK clocking, retransmit arming, new segments it
+	// pushes into ports) is attributed to the transport. Nil = off.
+	prof      *prof.Profiler
+	dataScope *prof.Scope
+	ackScope  *prof.Scope
+	pingScope *prof.Scope
 }
 
 // NewStack wires a transport stack onto the given hosts, installing itself
@@ -182,6 +192,17 @@ func NewStack(eng *sim.Engine, cfg Config, hosts []*fabric.Host) *Stack {
 		h.Handler = s.deliver
 	}
 	return s
+}
+
+// SetProfiler brackets deliver's per-kind dispatch with cost-profiler
+// scopes under "transport:data", "transport:ack", and "transport:probe".
+// Attach at setup, before traffic flows; the scopes only observe, so
+// fingerprints are unchanged.
+func (s *Stack) SetProfiler(p *prof.Profiler) {
+	s.prof = p
+	s.dataScope = p.NewScope("transport:data")
+	s.ackScope = p.NewScope("transport:ack")
+	s.pingScope = p.NewScope("transport:probe")
 }
 
 // Pool exposes the stack's packet freelist (diagnostics and tests).
@@ -266,20 +287,32 @@ func (s *Stack) StartAt(t sim.Time, f *Flow) {
 func (s *Stack) deliver(p *pkt.Packet) {
 	switch p.Kind {
 	case pkt.Data:
+		if s.prof != nil {
+			s.dataScope.Enter()
+		}
 		if id := uint(p.Flow); id < uint(len(s.receivers)) {
 			if r := s.receivers[id]; r != nil {
 				r.onData(p)
 			}
 		}
 	case pkt.Ack:
+		if s.prof != nil {
+			s.ackScope.Enter()
+		}
 		if id := uint(p.Flow); id < uint(len(s.senders)) {
 			if snd := s.senders[id]; snd != nil {
 				snd.onAck(p)
 			}
 		}
 	case pkt.Ping:
+		if s.prof != nil {
+			s.pingScope.Enter()
+		}
 		s.echoPing(p)
 	case pkt.Pong:
+		if s.prof != nil {
+			s.pingScope.Enter()
+		}
 		if id := uint(p.Flow); id < uint(len(s.pingers)) {
 			if pg := s.pingers[id]; pg != nil {
 				pg.onPong(p)
@@ -287,6 +320,9 @@ func (s *Stack) deliver(p *pkt.Packet) {
 		}
 	}
 	s.pool.Put(p)
+	if s.prof != nil {
+		s.prof.Exit()
+	}
 }
 
 // send pushes a packet into the network from host src.
